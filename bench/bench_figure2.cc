@@ -1,0 +1,177 @@
+// Reproduces Figure 2 and the three summary tables of "Teaching an Old
+// Elephant New Tricks" (Bruno, CIDR 2009):
+//
+//   Figure 2:  execution time of Row / Row(MV) / Row(Col) / ColOpt for
+//              queries Q1-Q7 across predicate selectivities;
+//   Table §1:  speedup of ColOpt over Row;
+//   Table §2.1: Row(MV) relative to ColOpt (the paper's "4x^ .. 1400x_" row);
+//   Table §2.2.4: slowdown of Row(Col) relative to ColOpt (avg 2.7x in the
+//              paper).
+//
+// Reported time = modeled disk time (7200rpm-class DiskModel over the exact
+// page traffic, cold cache) + measured single-thread CPU time. Environment:
+//   ELEPHANT_SF        TPC-H scale factor (default 0.05)
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "benchlib/harness.h"
+#include "benchlib/report.h"
+
+namespace elephant {
+namespace paper {
+namespace {
+
+double EnvScaleFactor() {
+  const char* sf = std::getenv("ELEPHANT_SF");
+  return sf != nullptr ? std::atof(sf) : 0.05;
+}
+
+struct Point {
+  std::string query;
+  double selectivity;  // < 0 means "equality predicate, single point"
+};
+
+int Run() {
+  PaperBench::Options options;
+  options.scale_factor = EnvScaleFactor();
+  std::printf("=== Figure 2 reproduction: TPC-H SF %.3f ===\n",
+              options.scale_factor);
+  std::printf("building base tables, projections (D1, D2, D4), views...\n");
+  PaperBench bench(options);
+  Status s = bench.Setup();
+  if (!s.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<Point> points = {
+      {"Q1", 0.01}, {"Q1", 0.1}, {"Q1", 0.5}, {"Q1", 1.0},
+      {"Q2", -1},
+      {"Q3", 0.01}, {"Q3", 0.1}, {"Q3", 0.5}, {"Q3", 1.0},
+      {"Q4", 0.01}, {"Q4", 0.1}, {"Q4", 0.5}, {"Q4", 1.0},
+      {"Q5", -1},
+      {"Q6", 0.01}, {"Q6", 0.1}, {"Q6", 0.5}, {"Q6", 1.0},
+      {"Q7", -1},
+  };
+
+  ReportTable figure({"query", "sel", "strategy", "time", "io", "cpu",
+                      "seq_pages", "rand_pages", "seeks", "rows"});
+  // Per-query ratio accumulators (averaged over the selectivity sweep).
+  std::map<std::string, std::vector<double>> row_vs_colopt;
+  std::map<std::string, std::vector<double>> mv_vs_colopt;
+  std::map<std::string, std::vector<double>> col_vs_colopt;
+
+  for (const Point& p : points) {
+    Value d;
+    std::string sel_label;
+    if (p.selectivity < 0) {
+      sel_label = "eq";
+      auto q = (p.query == "Q2")   ? bench.MedianShipdate()
+               : (p.query == "Q5") ? bench.MedianOrderdate()
+                                   : Result<Value>(Value::Char("R"));
+      if (!q.ok()) {
+        std::fprintf(stderr, "%s\n", q.status().ToString().c_str());
+        return 1;
+      }
+      d = q.value();
+    } else {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%.0f%%", p.selectivity * 100);
+      sel_label = buf;
+      const bool on_shipdate = p.query == "Q1" || p.query == "Q3";
+      auto q = on_shipdate ? bench.ShipdateForSelectivity(p.selectivity)
+                           : bench.OrderdateForSelectivity(p.selectivity);
+      if (!q.ok()) {
+        std::fprintf(stderr, "%s\n", q.status().ToString().c_str());
+        return 1;
+      }
+      d = q.value();
+    }
+    const AnalyticQuery query = QueryByName(p.query, d);
+
+    auto add = [&](const Result<StrategyResult>& r) -> double {
+      if (!r.ok()) {
+        figure.AddRow({p.query, sel_label, "(failed)", r.status().ToString()});
+        return -1;
+      }
+      figure.AddRow({p.query, sel_label, r.value().strategy,
+                     FormatSeconds(r.value().seconds),
+                     FormatSeconds(r.value().io_seconds),
+                     FormatSeconds(r.value().cpu_seconds),
+                     std::to_string(r.value().pages_sequential),
+                     std::to_string(r.value().pages_random),
+                     std::to_string(r.value().index_seeks),
+                     std::to_string(r.value().rows)});
+      return r.value().seconds;
+    };
+
+    const double t_row = add(bench.RunRow(query));
+    const double t_mv = add(bench.RunMv(query));
+    const double t_col = add(bench.RunCol(query));
+    const double t_colopt = add(bench.RunColOpt(query));
+    if (t_colopt > 0) {
+      if (t_row > 0) row_vs_colopt[p.query].push_back(t_row / t_colopt);
+      if (t_mv > 0) mv_vs_colopt[p.query].push_back(t_mv / t_colopt);
+      if (t_col > 0) col_vs_colopt[p.query].push_back(t_col / t_colopt);
+    }
+  }
+  std::printf("\n--- Figure 2: per-query series ---\n%s\n",
+              figure.ToString().c_str());
+
+  auto avg = [](const std::vector<double>& v) {
+    double sum = 0;
+    for (double x : v) sum += x;
+    return v.empty() ? 0.0 : sum / static_cast<double>(v.size());
+  };
+
+  const std::vector<std::string> queries = {"Q1", "Q2", "Q3", "Q4",
+                                            "Q5", "Q6", "Q7"};
+  {
+    ReportTable t({"", "Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7"});
+    std::vector<std::string> row{"Speedup"};
+    for (const std::string& q : queries) {
+      row.push_back(FormatRatio(avg(row_vs_colopt[q])));
+    }
+    t.AddRow(row);
+    std::printf("--- Table (S1): ColOpt speedup over Row ---\n"
+                "    paper: 26191x 4602x 59x 35x 2586x 37x 113x\n%s\n",
+                t.ToString().c_str());
+  }
+  {
+    ReportTable t({"", "Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7"});
+    std::vector<std::string> row{"Row(MV)"};
+    for (const std::string& q : queries) {
+      row.push_back(FormatUpDown(avg(mv_vs_colopt[q])));
+    }
+    t.AddRow(row);
+    std::printf("--- Table (S2.1): Row(MV) vs ColOpt (^ slower, _ faster) ---\n"
+                "    paper: = 4x^ 2x^ 250x_ 2.5x^ 1.2x^ 1400x_\n%s\n",
+                t.ToString().c_str());
+  }
+  {
+    ReportTable t({"", "Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "avg"});
+    std::vector<std::string> row{"Row(Col)"};
+    double total = 0;
+    int n = 0;
+    for (const std::string& q : queries) {
+      const double r = avg(col_vs_colopt[q]);
+      row.push_back(FormatRatio(r));
+      total += r;
+      n++;
+    }
+    row.push_back(FormatRatio(total / n));
+    t.AddRow(row);
+    std::printf("--- Table (S2.2.4): Row(Col) slowdown vs ColOpt ---\n"
+                "    paper: 1.1x 5.6x 2.3x 2.2x 4.2x 2.1x 2.0x (avg 2.7x)\n%s\n",
+                t.ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace paper
+}  // namespace elephant
+
+int main() { return elephant::paper::Run(); }

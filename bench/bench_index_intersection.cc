@@ -1,0 +1,146 @@
+// Reproduces §2.2.3, "Additional index-based strategies": for schema
+// (T | a, b, c, d) and the query
+//
+//   SELECT a, b, ... FROM T WHERE c = c0 AND d = d0
+//
+// the predicates hit columns deep in the sort order. A C-store must either
+// scan the full c and d columns (late materialization) or seek them once per
+// (a, b) combination; the row-store simulation can instead seek both
+// c-tables' secondary v-indexes independently and *intersect* the partial
+// results (an f-ordered band merge over two index range scans), then fetch
+// the remaining columns — "this strategy can be more efficient than any
+// C-store alternative".
+//
+// Environment: ELEPHANT_ROWS (default 1000000 — the crossover against the
+// C-store full-column baseline needs column volume to dwarf seek floors).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchlib/report.h"
+#include "common/rng.h"
+#include "cstore/colopt.h"
+#include "cstore/ctable_builder.h"
+#include "cstore/rewriter.h"
+#include "engine/database.h"
+
+namespace elephant {
+namespace paper {
+namespace {
+
+int Run() {
+  const char* rows_env = std::getenv("ELEPHANT_ROWS");
+  const int64_t n = rows_env != nullptr ? std::atoll(rows_env) : 1000000;
+  std::printf("=== Index intersection (S2.2.3), %lld rows ===\n",
+              static_cast<long long>(n));
+
+  Database db;
+  // T(a, b, c, d): a/b shallow and low-cardinality, c/d deep and wider.
+  Schema schema({Column("a", TypeId::kInt32), Column("b", TypeId::kInt32),
+                 Column("c", TypeId::kInt32), Column("d", TypeId::kInt32)});
+  auto table = db.catalog().CreateTable("t", schema, {0, 1, 2, 3});
+  if (!table.ok()) return 1;
+  Rng rng(4242);
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (int64_t i = 0; i < n; i++) {
+    rows.push_back({Value::Int32(static_cast<int32_t>(rng.Uniform(0, 9))),
+                    Value::Int32(static_cast<int32_t>(rng.Uniform(0, 19))),
+                    Value::Int32(static_cast<int32_t>(rng.Uniform(0, 99))),
+                    Value::Int32(static_cast<int32_t>(rng.Uniform(0, 99)))});
+  }
+  if (!table.value()->BulkLoadRows(std::move(rows)).ok()) return 1;
+  if (!db.Analyze("t").ok()) return 1;
+
+  cstore::CTableBuilder builder(&db);
+  auto meta = builder.Build(
+      ProjectionDef{"p", "SELECT a, b, c, d FROM t", {"a", "b", "c", "d"}});
+  if (!meta.ok()) {
+    std::fprintf(stderr, "%s\n", meta.status().ToString().c_str());
+    return 1;
+  }
+
+  // The probe query: both predicates deep in the sort order. Expressed as a
+  // grouped aggregate so every strategy returns the same (a, b)-level facts.
+  AnalyticQuery q;
+  q.name = "intersect";
+  q.tables = {"t"};
+  q.filters = {{"c", CompareOp::kEq, Value::Int32(10)},
+               {"d", CompareOp::kEq, Value::Int32(20)}};
+  q.group_cols = {"a", "b"};
+  q.aggs = {{AggFunc::kCountStar, "", "cnt"}};
+
+  cstore::Rewriter rewriter(meta.value());
+  cstore::RewriteOptions loop;                    // per-run probes
+  cstore::RewriteOptions merge;                   // index intersection
+  merge.force_merge_join = true;
+
+  cstore::ColOptModel colopt(&db, meta.value());
+  auto lower = colopt.Estimate(q);
+
+  ReportTable t({"strategy", "time", "io", "cpu", "seq_pages", "rand_pages",
+                 "seeks", "rows"});
+  uint64_t checksum = 0;
+  for (const auto& [name, opts] :
+       std::vector<std::pair<std::string, cstore::RewriteOptions>>{
+           {"intersect via v-indexes (MERGE)", merge},
+           {"probe per run (LOOP)", loop}}) {
+    auto sql = rewriter.Rewrite(q, opts);
+    if (!sql.ok()) {
+      std::fprintf(stderr, "%s\n", sql.status().ToString().c_str());
+      return 1;
+    }
+    db.options().cold_cache = true;
+    auto r = db.Execute(sql.value());
+    db.options().cold_cache = false;
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n%s\n", sql.value().c_str(),
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    if (checksum == 0) {
+      checksum = r.value().rows.size();
+    } else if (checksum != r.value().rows.size()) {
+      std::fprintf(stderr, "strategies disagree!\n");
+      return 1;
+    }
+    t.AddRow({name, FormatSeconds(r.value().TotalSeconds()),
+              FormatSeconds(r.value().io_seconds),
+              FormatSeconds(r.value().cpu_seconds),
+              std::to_string(r.value().io.sequential_reads),
+              std::to_string(r.value().io.random_reads),
+              std::to_string(r.value().counters.index_seeks),
+              std::to_string(r.value().rows.size())});
+  }
+  // The C-store baseline: any implementation must read the full c and d
+  // columns (predicates are not on the sort prefix), plus the qualifying
+  // fraction of a and b.
+  if (lower.ok()) {
+    t.AddRow({"C-store full-column scan (model)",
+              FormatSeconds(lower.value().seconds),
+              FormatSeconds(lower.value().seconds), "0 us",
+              std::to_string(lower.value().pages), "0", "0", "-"});
+  }
+  std::printf("\n%s\n", t.ToString().c_str());
+  std::printf(
+      "expected shape: the v-index intersection touches only the qualifying\n"
+      "slivers of c and d, beating the C-store full-column scan baseline —\n"
+      "the §2.2.3 claim that multiple indexes per c-table enable strategies\n"
+      "no plain C-store has.\n");
+
+  // Also show the plan for the intersection strategy.
+  auto sql = rewriter.Rewrite(q, merge);
+  if (sql.ok()) {
+    auto plan = db.Explain(sql.value());
+    if (plan.ok()) {
+      std::printf("\n--- intersection plan ---\n%s", plan.value().c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace paper
+}  // namespace elephant
+
+int main() { return elephant::paper::Run(); }

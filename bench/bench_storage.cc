@@ -1,0 +1,122 @@
+// Reproduces the storage-layer study of §3 ("Storage layer"):
+//
+//   - per-c-table breakdown: native C-store RLE size vs. row-store c-table
+//     size, showing the per-tuple overhead the paper says "can effectively
+//     double the amount of space required to store data";
+//   - the delta-compression headroom on the dense, increasing f column;
+//   - dictionary vs. RLE vs. plain encodings per column class;
+//   - representation choice: which columns fell back to the (f, v) form.
+//
+// Environment: ELEPHANT_SF (default 0.05).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchlib/harness.h"
+#include "benchlib/report.h"
+#include "cstore/compression.h"
+
+namespace elephant {
+namespace paper {
+namespace {
+
+int Run() {
+  PaperBench::Options options;
+  const char* sf = std::getenv("ELEPHANT_SF");
+  options.scale_factor = sf != nullptr ? std::atof(sf) : 0.05;
+  options.build_views = false;
+  std::printf("=== Storage-layer study (S3), TPC-H SF %.3f ===\n",
+              options.scale_factor);
+  PaperBench bench(options);
+  Status s = bench.Setup();
+  if (!s.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  double grand_native = 0, grand_row = 0, grand_delta = 0;
+  for (const char* proj_name : {"d1", "d2", "d4"}) {
+    const ProjectionMeta& proj = bench.projection(proj_name);
+    std::printf("\n--- projection %s (%llu rows) ---\n", proj_name,
+                static_cast<unsigned long long>(proj.rows));
+    ReportTable t({"column", "repr", "runs", "native_rle", "rowstore_ctable",
+                   "overhead", "delta_f", "on_disk_pages"});
+    uint64_t native_total = 0, row_total = 0, delta_total = 0;
+    for (const CTableMeta& ct : proj.ctables) {
+      const uint64_t vbytes =
+          compression::NativeValueBytes(ct.type, ct.char_length);
+      const uint64_t native = compression::NativeRleBytes(ct.rle_runs, vbytes);
+      const uint64_t row = compression::CTableRowStoreBytes(ct.runs, vbytes,
+                                                            ct.has_count);
+      // §3: "c-tables are clustered by increasing and dense f values, which
+      // can be effectively delta-compressed" — model replacing the 4-byte f
+      // with a ~2-byte delta.
+      const uint64_t delta_saving = ct.runs * 2;
+      native_total += native;
+      row_total += row;
+      delta_total += row - delta_saving;
+      t.AddRow({ct.column, ct.has_count ? "(f,v,c)" : "(f,v)",
+                std::to_string(ct.runs), FormatBytes(native), FormatBytes(row),
+                FormatRatio(static_cast<double>(row) /
+                            static_cast<double>(std::max<uint64_t>(native, 1))),
+                FormatBytes(row - delta_saving),
+                std::to_string(ct.on_disk_pages)});
+    }
+    t.AddRow({"TOTAL", "", "", FormatBytes(native_total), FormatBytes(row_total),
+              FormatRatio(static_cast<double>(row_total) /
+                          static_cast<double>(std::max<uint64_t>(native_total, 1))),
+              FormatBytes(delta_total), ""});
+    std::printf("%s", t.ToString().c_str());
+    grand_native += static_cast<double>(native_total);
+    grand_row += static_cast<double>(row_total);
+    grand_delta += static_cast<double>(delta_total);
+  }
+
+  std::printf(
+      "\noverall: row-store c-tables use %.2fx the native C-store RLE bytes\n"
+      "(paper S3: the 9-byte tuple overhead 'can effectively double' storage);\n"
+      "delta-compressing f would reduce that to %.2fx.\n",
+      grand_row / grand_native, grand_delta / grand_native);
+
+  // Encoding comparison on representative columns (dictionary vs RLE vs
+  // plain), the §1 discussion of which compressions row-stores can share.
+  {
+    std::printf("\n--- encoding comparison (lineitem columns) ---\n");
+    ReportTable t({"column", "rows", "distinct", "plain", "dictionary",
+                   "rle_sorted"});
+    struct Probe {
+      const char* column;
+      const char* proj;
+    };
+    for (const Probe& p : {Probe{"L_SHIPDATE", "d1"}, Probe{"L_SUPPKEY", "d1"},
+                           Probe{"L_RETURNFLAG", "d4"},
+                           Probe{"L_EXTENDEDPRICE", "d4"}}) {
+      const ProjectionMeta& proj = bench.projection(p.proj);
+      const CTableMeta* ct = proj.Find(p.column);
+      if (ct == nullptr) continue;
+      auto distinct = bench.db().Execute("SELECT COUNT(*) FROM (SELECT v, COUNT(*) AS c FROM " +
+                                         ct->table_name + " GROUP BY v) g");
+      const uint64_t d =
+          distinct.ok() ? static_cast<uint64_t>(distinct.value().rows[0][0].AsInt64())
+                        : 0;
+      const uint64_t vbytes =
+          compression::NativeValueBytes(ct->type, ct->char_length);
+      t.AddRow({p.column, std::to_string(ct->source_rows), std::to_string(d),
+                FormatBytes(compression::NativePlainBytes(ct->source_rows, vbytes)),
+                FormatBytes(compression::DictionaryBytes(ct->source_rows, d, vbytes)),
+                FormatBytes(compression::NativeRleBytes(ct->rle_runs, vbytes))});
+    }
+    std::printf("%s", t.ToString().c_str());
+    std::printf(
+        "\nRLE wins only for sort-leading columns (the c-store advantage the\n"
+        "paper highlights); dictionary encoding — available to row-stores\n"
+        "too — wins for low-cardinality columns deep in the sort.\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace paper
+}  // namespace elephant
+
+int main() { return elephant::paper::Run(); }

@@ -1,0 +1,103 @@
+// A guided tour of the paper's core idea (§2.2): simulating a column store
+// inside an unmodified row-store with c-tables.
+//
+// Walks the exact example of Figure 3 — a 12-row table T(a, b, c) — through:
+//   1. building the c-tables Ta, Tb, Tc (RLE triples in plain tables),
+//   2. inspecting their contents and representation choices,
+//   3. mechanically rewriting queries into band joins (Figure 4 plans),
+//   4. verifying the rewrites return exactly what the original SQL returns.
+//
+// Build & run:  cmake --build build && ./build/examples/ctable_tour
+
+#include <cstdio>
+
+#include "cstore/ctable_builder.h"
+#include "cstore/rewriter.h"
+#include "engine/database.h"
+
+using namespace elephant;
+
+namespace {
+
+void Show(Database& db, const std::string& sql) {
+  std::printf("sql> %s\n", sql.c_str());
+  auto r = db.Execute(sql);
+  std::printf("%s\n", r.ok() ? r.value().ToString().c_str()
+                             : r.status().ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+
+  // The table of Figure 3(a), loaded in scrambled order — c-table
+  // construction sorts by the projection's sort columns anyway.
+  (void)db.Execute("CREATE TABLE t (a INT, b INT, c INT)");
+  const int a[12] = {2, 1, 1, 2, 1, 2, 1, 2, 2, 1, 2, 2};
+  const int b[12] = {3, 1, 2, 1, 2, 3, 1, 3, 1, 2, 3, 3};
+  const int c[12] = {2, 1, 4, 1, 5, 3, 4, 1, 1, 5, 2, 4};
+  for (int i = 0; i < 12; i++) {
+    (void)db.Execute("INSERT INTO t VALUES (" + std::to_string(a[i]) + ", " +
+                     std::to_string(b[i]) + ", " + std::to_string(c[i]) + ")");
+  }
+
+  std::printf("== step 1: build the c-tables for schema (T | a, b, c) ==\n");
+  cstore::CTableBuilder builder(&db);
+  auto meta =
+      builder.Build(ProjectionDef{"p", "SELECT a, b, c FROM t", {"a", "b", "c"}});
+  if (!meta.ok()) {
+    std::fprintf(stderr, "%s\n", meta.status().ToString().c_str());
+    return 1;
+  }
+  for (const CTableMeta& ct : meta.value().ctables) {
+    std::printf("  c-table %-6s column %-2s repr %-8s runs %llu\n",
+                ct.table_name.c_str(), ct.column.c_str(),
+                ct.has_count ? "(f,v,c)" : "(f,v)",
+                static_cast<unsigned long long>(ct.runs));
+  }
+  std::printf("\n== step 2: the c-tables are ordinary relational tables ==\n");
+  Show(db, "SELECT * FROM p_a");
+  Show(db, "SELECT * FROM p_b");
+  Show(db, "SELECT * FROM p_c LIMIT 4");
+  std::printf(
+      "note: Tc fell back to the plain (f, v) projection — most of its runs\n"
+      "have length one (Figure 3's 'alternative representation').\n\n");
+
+  std::printf("== step 3: mechanical query rewriting (S2.2.2) ==\n");
+  AnalyticQuery q;
+  q.name = "demo";
+  q.tables = {"t"};
+  q.filters = {{"a", CompareOp::kGt, Value::Int32(1)}};
+  q.group_cols = {"b"};
+  q.aggs = {{AggFunc::kSum, "c", "total"}};
+  std::printf("original:   SELECT b, SUM(c) FROM t WHERE a > 1 GROUP BY b\n");
+
+  cstore::Rewriter rewriter(meta.value());
+  cstore::RewriteOptions naive;
+  naive.range_collapse = false;
+  auto sql_naive = rewriter.Rewrite(q, naive);
+  auto sql_opt = rewriter.Rewrite(q);
+  if (!sql_naive.ok() || !sql_opt.ok()) return 1;
+  std::printf("\nnaive rewrite (Figure 4(a) shape):\n  %s\n",
+              sql_naive.value().c_str());
+  std::printf("optimized rewrite (Figure 4(b) shape — range collapse):\n  %s\n\n",
+              sql_opt.value().c_str());
+
+  auto plan_naive = db.Explain(sql_naive.value());
+  auto plan_opt = db.Explain(sql_opt.value());
+  std::printf("-- plan, naive --\n%s\n-- plan, optimized --\n%s\n",
+              plan_naive.ok() ? plan_naive.value().c_str() : "?",
+              plan_opt.ok() ? plan_opt.value().c_str() : "?");
+
+  std::printf("== step 4: all three agree ==\n");
+  Show(db, "SELECT b, SUM(c) FROM t WHERE a > 1 GROUP BY b");
+  Show(db, sql_naive.value());
+  Show(db, sql_opt.value());
+
+  std::printf(
+      "the rewrites run on completely standard machinery: clustered index\n"
+      "seeks, nested-loop band joins, SUM over the run lengths. 'No changes\n"
+      "whatsoever' to the engine (S2.2).\n");
+  return 0;
+}

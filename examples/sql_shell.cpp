@@ -1,0 +1,95 @@
+// An interactive SQL shell over the embedded engine — the quickest way to
+// poke at tables, c-tables and plans by hand.
+//
+//   ./build/examples/sql_shell            # empty database
+//   ./build/examples/sql_shell --tpch 0.01   # preloaded TPC-H
+//
+// Meta-commands:
+//   \tables            list catalog tables
+//   \explain <sql>     show the physical plan
+//   \cold on|off       toggle cold-cache execution
+//   \quit              exit
+// Everything else is executed as SQL.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "benchlib/report.h"
+#include "engine/database.h"
+#include "tpch/tpch.h"
+
+using namespace elephant;
+
+int main(int argc, char** argv) {
+  Database db;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--tpch") == 0 && i + 1 < argc) {
+      TpchConfig config;
+      config.scale_factor = std::atof(argv[i + 1]);
+      std::printf("loading TPC-H SF %.3f...\n", config.scale_factor);
+      TpchGenerator gen(config);
+      if (Status s = gen.LoadInto(&db); !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      i++;
+    }
+  }
+  std::printf("elephant sql shell — \\tables, \\explain <sql>, \\cold on|off, "
+              "\\quit\n");
+
+  std::string line;
+  while (true) {
+    std::printf("elephant> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    // Trim.
+    while (!line.empty() && (line.back() == ' ' || line.back() == ';')) {
+      line.pop_back();
+    }
+    size_t start = line.find_first_not_of(' ');
+    if (start == std::string::npos) continue;
+    line = line.substr(start);
+
+    if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\tables") {
+      for (const std::string& name : db.catalog().TableNames()) {
+        auto t = db.catalog().GetTable(name);
+        if (t.ok()) {
+          std::printf("  %-24s %10llu rows   (%s)\n", name.c_str(),
+                      static_cast<unsigned long long>(t.value()->row_count()),
+                      t.value()->schema().ToString().c_str());
+        }
+      }
+      continue;
+    }
+    if (line.rfind("\\explain ", 0) == 0) {
+      auto plan = db.Explain(line.substr(9));
+      std::printf("%s\n", plan.ok() ? plan.value().c_str()
+                                    : plan.status().ToString().c_str());
+      continue;
+    }
+    if (line.rfind("\\cold", 0) == 0) {
+      db.options().cold_cache = line.find("on") != std::string::npos;
+      std::printf("cold cache: %s\n", db.options().cold_cache ? "on" : "off");
+      continue;
+    }
+    auto r = db.Execute(line);
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+      continue;
+    }
+    if (r.value().schema.NumColumns() > 0) {
+      std::printf("%s", r.value().ToString(40).c_str());
+    }
+    std::printf("(%s io, %s cpu, %llu seq + %llu rand pages)\n",
+                paper::FormatSeconds(r.value().io_seconds).c_str(),
+                paper::FormatSeconds(r.value().cpu_seconds).c_str(),
+                static_cast<unsigned long long>(r.value().io.sequential_reads),
+                static_cast<unsigned long long>(r.value().io.random_reads));
+  }
+  std::printf("\nbye.\n");
+  return 0;
+}

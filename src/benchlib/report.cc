@@ -1,0 +1,80 @@
+#include "benchlib/report.h"
+
+#include <cstdio>
+
+namespace elephant {
+namespace paper {
+
+std::string ReportTable::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); c++) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); c++) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&widths](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < cells.size(); c++) {
+      if (c > 0) line += "  ";
+      line += cells[c];
+      line.append(widths[c] - cells[c].size(), ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); c++) total += widths[c] + (c > 0 ? 2 : 0);
+  out.append(total, '-');
+  out += "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[32];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  }
+  return buf;
+}
+
+std::string FormatRatio(double ratio) {
+  char buf[32];
+  if (ratio >= 100) {
+    std::snprintf(buf, sizeof(buf), "%.0fx", ratio);
+  } else if (ratio >= 10) {
+    std::snprintf(buf, sizeof(buf), "%.1fx", ratio);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fx", ratio);
+  }
+  return buf;
+}
+
+std::string FormatUpDown(double ratio) {
+  if (ratio > 0.9 && ratio < 1.1) return "=";
+  if (ratio >= 1.1) return FormatRatio(ratio) + "^";     // slower than baseline
+  return FormatRatio(1.0 / ratio) + "_";                  // faster than baseline
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[32];
+  if (bytes >= (1ull << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", static_cast<double>(bytes) / (1ull << 30));
+  } else if (bytes >= (1ull << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", static_cast<double>(bytes) / (1ull << 20));
+  } else if (bytes >= (1ull << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", static_cast<double>(bytes) / (1ull << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace paper
+}  // namespace elephant

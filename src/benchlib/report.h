@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace elephant {
+namespace paper {
+
+/// Minimal fixed-width table printer for benchmark reports.
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Renders with a header rule, columns padded to content width.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.3 ms" / "4.56 s" style duration formatting.
+std::string FormatSeconds(double seconds);
+
+/// "26191x" style ratio formatting (two significant digits past 10x).
+std::string FormatRatio(double ratio);
+
+/// The paper's ratio notation: "4x^" when `a` is slower than `b` (ratio > 1),
+/// "250x_" when faster, "=" when within 10%.
+std::string FormatUpDown(double ratio);
+
+/// Human-readable byte count ("1.5 MiB").
+std::string FormatBytes(uint64_t bytes);
+
+}  // namespace paper
+}  // namespace elephant

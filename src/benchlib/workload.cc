@@ -1,0 +1,193 @@
+#include "benchlib/workload.h"
+
+namespace elephant {
+namespace paper {
+
+namespace {
+
+/// Join conditions used throughout the workload (TPC-H foreign keys).
+std::pair<std::string, std::string> LineitemOrders() {
+  return {"l_orderkey", "o_orderkey"};
+}
+std::pair<std::string, std::string> OrdersCustomer() {
+  return {"o_custkey", "c_custkey"};
+}
+
+}  // namespace
+
+std::vector<ProjectionDef> Projections() {
+  std::vector<ProjectionDef> defs;
+  // D1: lineitem sorted by (l_shipdate, l_suppkey, <rest>).
+  defs.push_back(ProjectionDef{
+      "d1",
+      "SELECT l_shipdate, l_suppkey, l_orderkey, l_linenumber, l_quantity, "
+      "l_extendedprice, l_discount, l_tax, l_returnflag, l_linestatus, "
+      "l_commitdate, l_receiptdate, l_shipinstruct, l_shipmode FROM lineitem",
+      {"l_shipdate", "l_suppkey", "l_orderkey", "l_linenumber", "l_quantity",
+       "l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus",
+       "l_commitdate", "l_receiptdate", "l_shipinstruct", "l_shipmode"}});
+  // D2: lineitem ⋈ orders sorted by (o_orderdate, l_suppkey, l_shipdate, <rest>).
+  defs.push_back(ProjectionDef{
+      "d2",
+      "SELECT o_orderdate, l_suppkey, l_shipdate, l_orderkey, l_linenumber, "
+      "l_quantity, l_extendedprice, l_returnflag, o_custkey, o_orderstatus, "
+      "o_totalprice, o_orderpriority "
+      "FROM lineitem, orders WHERE l_orderkey = o_orderkey",
+      {"o_orderdate", "l_suppkey", "l_shipdate", "l_orderkey", "l_linenumber",
+       "l_quantity", "l_extendedprice", "l_returnflag", "o_custkey",
+       "o_orderstatus", "o_totalprice", "o_orderpriority"}});
+  // D4: lineitem ⋈ orders ⋈ customer sorted by
+  //     (l_returnflag, c_nationkey, l_extendedprice, <rest>).
+  defs.push_back(ProjectionDef{
+      "d4",
+      "SELECT l_returnflag, c_nationkey, l_extendedprice, l_orderkey, "
+      "l_linenumber, l_suppkey, l_shipdate, o_orderdate, o_custkey, "
+      "c_acctbal, c_mktsegment "
+      "FROM lineitem, orders, customer "
+      "WHERE l_orderkey = o_orderkey AND o_custkey = c_custkey",
+      {"l_returnflag", "c_nationkey", "l_extendedprice", "l_orderkey",
+       "l_linenumber", "l_suppkey", "l_shipdate", "o_orderdate", "o_custkey",
+       "c_acctbal", "c_mktsegment"}});
+  return defs;
+}
+
+const char* ProjectionFor(const std::string& query_name) {
+  if (query_name == "Q1" || query_name == "Q2" || query_name == "Q3") return "d1";
+  if (query_name == "Q4" || query_name == "Q5" || query_name == "Q6") return "d2";
+  return "d4";
+}
+
+AnalyticQuery Q1(const Value& d) {
+  AnalyticQuery q;
+  q.name = "Q1";
+  q.tables = {"lineitem"};
+  q.filters = {{"l_shipdate", CompareOp::kGt, d}};
+  q.group_cols = {"l_shipdate"};
+  q.aggs = {{AggFunc::kCountStar, "", "cnt"}};
+  return q;
+}
+
+AnalyticQuery Q2(const Value& d) {
+  AnalyticQuery q;
+  q.name = "Q2";
+  q.tables = {"lineitem"};
+  q.filters = {{"l_shipdate", CompareOp::kEq, d}};
+  q.group_cols = {"l_suppkey"};
+  q.aggs = {{AggFunc::kCountStar, "", "cnt"}};
+  return q;
+}
+
+AnalyticQuery Q3(const Value& d) {
+  AnalyticQuery q;
+  q.name = "Q3";
+  q.tables = {"lineitem"};
+  q.filters = {{"l_shipdate", CompareOp::kGt, d}};
+  q.group_cols = {"l_suppkey"};
+  q.aggs = {{AggFunc::kCountStar, "", "cnt"}};
+  return q;
+}
+
+AnalyticQuery Q4(const Value& d) {
+  AnalyticQuery q;
+  q.name = "Q4";
+  q.tables = {"lineitem", "orders"};
+  q.join_conds = {LineitemOrders()};
+  q.filters = {{"o_orderdate", CompareOp::kGt, d}};
+  q.group_cols = {"o_orderdate"};
+  q.aggs = {{AggFunc::kMax, "l_shipdate", "latest"}};
+  return q;
+}
+
+AnalyticQuery Q5(const Value& d) {
+  AnalyticQuery q;
+  q.name = "Q5";
+  q.tables = {"lineitem", "orders"};
+  q.join_conds = {LineitemOrders()};
+  q.filters = {{"o_orderdate", CompareOp::kEq, d}};
+  q.group_cols = {"l_suppkey"};
+  q.aggs = {{AggFunc::kMax, "l_shipdate", "latest"}};
+  return q;
+}
+
+AnalyticQuery Q6(const Value& d) {
+  AnalyticQuery q;
+  q.name = "Q6";
+  q.tables = {"lineitem", "orders"};
+  q.join_conds = {LineitemOrders()};
+  q.filters = {{"o_orderdate", CompareOp::kGt, d}};
+  q.group_cols = {"l_suppkey"};
+  q.aggs = {{AggFunc::kMax, "l_shipdate", "latest"}};
+  return q;
+}
+
+AnalyticQuery Q7() {
+  AnalyticQuery q;
+  q.name = "Q7";
+  q.tables = {"lineitem", "orders", "customer"};
+  q.join_conds = {LineitemOrders(), OrdersCustomer()};
+  q.filters = {{"l_returnflag", CompareOp::kEq, Value::Char("R")}};
+  q.group_cols = {"c_nationkey"};
+  q.aggs = {{AggFunc::kSum, "l_extendedprice", "lost_revenue"}};
+  return q;
+}
+
+AnalyticQuery QueryByName(const std::string& name, const Value& d) {
+  if (name == "Q1") return Q1(d);
+  if (name == "Q2") return Q2(d);
+  if (name == "Q3") return Q3(d);
+  if (name == "Q4") return Q4(d);
+  if (name == "Q5") return Q5(d);
+  if (name == "Q6") return Q6(d);
+  return Q7();
+}
+
+std::vector<mv::ViewDef> Views() {
+  std::vector<mv::ViewDef> defs;
+  {
+    mv::ViewDef v;
+    v.name = "mv1";
+    v.tables = {"lineitem"};
+    v.group_cols = {"l_shipdate"};
+    v.aggs = {{AggFunc::kCountStar, "", "cnt"}};
+    defs.push_back(std::move(v));
+  }
+  {
+    mv::ViewDef v;  // the paper's MV2,3
+    v.name = "mv23";
+    v.tables = {"lineitem"};
+    v.group_cols = {"l_shipdate", "l_suppkey"};
+    v.aggs = {{AggFunc::kCountStar, "", "cnt"}};
+    defs.push_back(std::move(v));
+  }
+  {
+    mv::ViewDef v;
+    v.name = "mv4";
+    v.tables = {"lineitem", "orders"};
+    v.join_conds = {LineitemOrders()};
+    v.group_cols = {"o_orderdate"};
+    v.aggs = {{AggFunc::kMax, "l_shipdate", "latest"}};
+    defs.push_back(std::move(v));
+  }
+  {
+    mv::ViewDef v;  // answers both Q5 and Q6
+    v.name = "mv56";
+    v.tables = {"lineitem", "orders"};
+    v.join_conds = {LineitemOrders()};
+    v.group_cols = {"o_orderdate", "l_suppkey"};
+    v.aggs = {{AggFunc::kMax, "l_shipdate", "latest"}};
+    defs.push_back(std::move(v));
+  }
+  {
+    mv::ViewDef v;  // the paper's MV7
+    v.name = "mv7";
+    v.tables = {"lineitem", "orders", "customer"};
+    v.join_conds = {LineitemOrders(), OrdersCustomer()};
+    v.group_cols = {"l_returnflag", "c_nationkey"};
+    v.aggs = {{AggFunc::kSum, "l_extendedprice", "lost_revenue"}};
+    defs.push_back(std::move(v));
+  }
+  return defs;
+}
+
+}  // namespace paper
+}  // namespace elephant

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "cstore/analytic_query.h"
+#include "cstore/projection.h"
+#include "mv/view.h"
+
+namespace elephant {
+namespace paper {
+
+/// The experimental workload of the paper (Figure 1): seven aggregate
+/// queries over TPC-H, each parameterized by a date D (Q7 by a flag). The
+/// C-store schema under test (§1):
+///
+///   D1: (lineitem | l_shipdate, l_suppkey)
+///   D2: (lineitem ⋈ orders | o_orderdate, l_suppkey)
+///   D4: (lineitem ⋈ orders ⋈ customer | l_returnflag)
+///
+/// with the remaining columns appended to each sort order (footnote 4: all
+/// columns participate in the sort).
+
+/// Projection definitions D1, D2 and D4 with full column lists.
+std::vector<ProjectionDef> Projections();
+
+/// Name of the projection each query runs against ("d1", "d2" or "d4").
+const char* ProjectionFor(const std::string& query_name);
+
+AnalyticQuery Q1(const Value& d);  ///< count items shipped each day after D
+AnalyticQuery Q2(const Value& d);  ///< count per supplier shipped on day D
+AnalyticQuery Q3(const Value& d);  ///< count per supplier shipped after D
+AnalyticQuery Q4(const Value& d);  ///< latest shipdate per orderdate after D
+AnalyticQuery Q5(const Value& d);  ///< latest shipdate per supplier, order day D
+AnalyticQuery Q6(const Value& d);  ///< latest shipdate per supplier, order after D
+AnalyticQuery Q7();                ///< lost revenue per nation for returned parts
+
+/// Builds the query by name ("Q1".."Q7"); `d` ignored for Q7.
+AnalyticQuery QueryByName(const std::string& name, const Value& d);
+
+/// The generalized materialized views of §2.1: each answers a whole family
+/// of parameterized instances.
+///
+///   MV1   = l_shipdate -> COUNT(*)                  (answers Q1)
+///   MV23  = l_shipdate, l_suppkey -> COUNT(*)       (answers Q1, Q2, Q3)
+///   MV4   = o_orderdate -> MAX(l_shipdate)          (answers Q4)
+///   MV56  = o_orderdate, l_suppkey -> MAX(l_shipdate)  (answers Q5, Q6)
+///   MV7   = l_returnflag, c_nationkey -> SUM(l_extendedprice)  (answers Q7)
+std::vector<mv::ViewDef> Views();
+
+}  // namespace paper
+}  // namespace elephant

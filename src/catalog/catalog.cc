@@ -1,0 +1,53 @@
+#include "catalog/catalog.h"
+
+#include <cctype>
+
+namespace elephant {
+
+std::string Catalog::Normalize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  return out;
+}
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema,
+                                    std::vector<size_t> cluster_cols,
+                                    bool unique_cluster) {
+  const std::string key = Normalize(name);
+  if (tables_.count(key) != 0) {
+    return Status::AlreadyExists("table " + name);
+  }
+  ELE_ASSIGN_OR_RETURN(std::unique_ptr<Table> table,
+                       Table::Create(pool_, name, std::move(schema),
+                                     std::move(cluster_cols), unique_cluster));
+  Table* raw = table.get();
+  tables_[key] = std::move(table);
+  return raw;
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(Normalize(name));
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  return it->second.get();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(Normalize(name)) != 0;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(Normalize(name)) == 0) {
+    return Status::NotFound("table " + name);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  return names;
+}
+
+}  // namespace elephant

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/table.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace elephant {
+
+/// The system catalog: owns every table (base tables, c-tables, materialized
+/// views all live here as regular tables — the whole point of the paper is
+/// that they are *just tables* to the engine).
+class Catalog {
+ public:
+  explicit Catalog(BufferPool* pool) : pool_(pool) {}
+
+  /// Creates a table clustered on `cluster_cols` (empty = clustered on the
+  /// internal sequence only, i.e. insertion order).
+  Result<Table*> CreateTable(const std::string& name, Schema schema,
+                             std::vector<size_t> cluster_cols = {},
+                             bool unique_cluster = false);
+
+  /// Looks a table up by (case-insensitive) name.
+  Result<Table*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+
+  Status DropTable(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+
+  BufferPool* pool() const { return pool_; }
+
+ private:
+  static std::string Normalize(const std::string& name);
+
+  BufferPool* pool_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace elephant

@@ -1,0 +1,277 @@
+#include "catalog/table.h"
+
+#include <algorithm>
+#include <set>
+
+namespace elephant {
+
+namespace {
+
+void AppendSeq(std::string* key, uint64_t seq) {
+  for (int i = 7; i >= 0; i--) {
+    key->push_back(static_cast<char>((seq >> (8 * i)) & 0xff));
+  }
+}
+
+}  // namespace
+
+SecondaryEntry DecodeSecondaryValue(std::string_view value) {
+  SecondaryEntry e;
+  const uint16_t cklen = static_cast<uint16_t>(
+      static_cast<unsigned char>(value[0]) |
+      (static_cast<unsigned char>(value[1]) << 8));
+  e.clustered_key.assign(value.data() + 2, cklen);
+  e.include_bytes.assign(value.data() + 2 + cklen, value.size() - 2 - cklen);
+  return e;
+}
+
+Result<std::unique_ptr<Table>> Table::Create(BufferPool* pool, std::string name,
+                                             Schema schema,
+                                             std::vector<size_t> cluster_cols,
+                                             bool unique_cluster) {
+  for (size_t c : cluster_cols) {
+    if (c >= schema.NumColumns()) {
+      return Status::InvalidArgument("cluster column index out of range");
+    }
+  }
+  if (cluster_cols.empty()) unique_cluster = false;  // seq is the whole key
+  auto table = std::unique_ptr<Table>(
+      new Table(pool, std::move(name), std::move(schema), std::move(cluster_cols),
+                unique_cluster));
+  ELE_ASSIGN_OR_RETURN(BPlusTree tree, BPlusTree::Create(pool));
+  table->clustered_ = std::make_unique<BPlusTree>(tree);
+  return table;
+}
+
+std::string Table::EncodeClusteredKey(const Row& row, uint64_t seq) const {
+  std::string key = keycodec::EncodeKey(row, cluster_cols_);
+  if (!unique_cluster_) AppendSeq(&key, seq);
+  return key;
+}
+
+std::string Table::EncodeClusterPrefix(const std::vector<Value>& values) const {
+  std::string key;
+  for (const Value& v : values) keycodec::Encode(v, &key);
+  return key;
+}
+
+Status Table::MakeSecondaryEntry(const SecondaryIndex& idx, const Row& row,
+                                 const std::string& ckey, std::string* key,
+                                 std::string* value) const {
+  *key = keycodec::EncodeKey(row, idx.key_cols);
+  key->append(ckey);
+  value->clear();
+  value->push_back(static_cast<char>(ckey.size() & 0xff));
+  value->push_back(static_cast<char>((ckey.size() >> 8) & 0xff));
+  value->append(ckey);
+  Row include_row;
+  include_row.reserve(idx.include_cols.size());
+  for (size_t c : idx.include_cols) include_row.push_back(row[c]);
+  return tuple::Serialize(idx.include_schema, include_row, value);
+}
+
+Status Table::Insert(const Row& row) {
+  if (row.size() != schema_.NumColumns()) {
+    return Status::InvalidArgument("insert arity mismatch on table " + name_);
+  }
+  const std::string ckey = EncodeClusteredKey(row, next_seq_++);
+  std::string payload;
+  ELE_RETURN_NOT_OK(tuple::Serialize(schema_, row, &payload));
+  ELE_RETURN_NOT_OK(clustered_->Insert(ckey, payload));
+  for (const auto& idx : secondary_) {
+    std::string key, value;
+    ELE_RETURN_NOT_OK(MakeSecondaryEntry(*idx, row, ckey, &key, &value));
+    ELE_RETURN_NOT_OK(idx->tree->Insert(key, value));
+  }
+  row_count_++;
+  return Status::OK();
+}
+
+Status Table::BulkLoadRows(std::vector<Row>&& rows) {
+  if (row_count_ != 0) {
+    return Status::InvalidArgument("bulk load into non-empty table " + name_);
+  }
+  // Pre-encode (key, payload) pairs, then sort by key. Sorting encoded keys
+  // is equivalent to sorting by the cluster columns.
+  std::vector<std::pair<std::string, std::string>> entries;
+  entries.reserve(rows.size());
+  for (Row& row : rows) {
+    std::string key = EncodeClusteredKey(row, next_seq_++);
+    std::string payload;
+    ELE_RETURN_NOT_OK(tuple::Serialize(schema_, row, &payload));
+    entries.emplace_back(std::move(key), std::move(payload));
+    Row().swap(row);  // free as we go
+  }
+  rows.clear();
+  rows.shrink_to_fit();
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t i = 0;
+  auto stream = [&](std::string* k, std::string* v) {
+    if (i >= entries.size()) return false;
+    *k = std::move(entries[i].first);
+    *v = std::move(entries[i].second);
+    i++;
+    return true;
+  };
+  ELE_ASSIGN_OR_RETURN(BPlusTree tree, BPlusTree::BulkLoad(pool_, stream));
+  *clustered_ = tree;
+  row_count_ = entries.size();
+  return Status::OK();
+}
+
+Result<uint64_t> Table::DeleteByClusterPrefix(
+    const std::vector<Value>& cluster_values) {
+  const std::string lo = EncodeClusterPrefix(cluster_values);
+  const std::string hi = keycodec::PrefixUpperBound(lo);
+  // Collect targets first (the iterator pins pages; mutate afterwards).
+  std::vector<std::pair<std::string, Row>> victims;
+  {
+    ELE_ASSIGN_OR_RETURN(RowIterator it, ScanRange(lo, hi));
+    while (it.Valid()) {
+      Row row;
+      ELE_RETURN_NOT_OK(it.Current(&row));
+      victims.emplace_back(std::string(it.it_.key()), std::move(row));
+      ELE_RETURN_NOT_OK(it.Next());
+    }
+  }
+  for (auto& [ckey, row] : victims) {
+    ELE_RETURN_NOT_OK(clustered_->Delete(ckey));
+    for (const auto& idx : secondary_) {
+      std::string key, value;
+      ELE_RETURN_NOT_OK(MakeSecondaryEntry(*idx, row, ckey, &key, &value));
+      ELE_RETURN_NOT_OK(idx->tree->Delete(key));
+    }
+    row_count_--;
+  }
+  return static_cast<uint64_t>(victims.size());
+}
+
+Status Table::CreateSecondaryIndex(const std::string& index_name,
+                                   std::vector<size_t> key_cols,
+                                   std::vector<size_t> include_cols) {
+  if (FindIndex(index_name) != nullptr) {
+    return Status::AlreadyExists("index " + index_name);
+  }
+  auto idx = std::make_unique<SecondaryIndex>();
+  idx->name = index_name;
+  idx->key_cols = std::move(key_cols);
+  idx->include_cols = std::move(include_cols);
+  std::vector<Column> out_cols, inc_cols;
+  for (size_t c : idx->key_cols) out_cols.push_back(schema_.ColumnAt(c));
+  for (size_t c : idx->include_cols) {
+    out_cols.push_back(schema_.ColumnAt(c));
+    inc_cols.push_back(schema_.ColumnAt(c));
+  }
+  idx->out_schema = Schema(out_cols);
+  idx->include_schema = Schema(inc_cols);
+
+  // Build entries from a full scan, sort, bulk-load.
+  std::vector<std::pair<std::string, std::string>> entries;
+  entries.reserve(row_count_);
+  {
+    ELE_ASSIGN_OR_RETURN(RowIterator it, ScanAll());
+    while (it.Valid()) {
+      Row row;
+      ELE_RETURN_NOT_OK(it.Current(&row));
+      std::string key, value;
+      ELE_RETURN_NOT_OK(
+          MakeSecondaryEntry(*idx, row, std::string(it.it_.key()), &key, &value));
+      entries.emplace_back(std::move(key), std::move(value));
+      ELE_RETURN_NOT_OK(it.Next());
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t i = 0;
+  auto stream = [&](std::string* k, std::string* v) {
+    if (i >= entries.size()) return false;
+    *k = std::move(entries[i].first);
+    *v = std::move(entries[i].second);
+    i++;
+    return true;
+  };
+  ELE_ASSIGN_OR_RETURN(BPlusTree tree, BPlusTree::BulkLoad(pool_, stream));
+  idx->tree = std::make_unique<BPlusTree>(tree);
+  secondary_.push_back(std::move(idx));
+  return Status::OK();
+}
+
+SecondaryIndex* Table::FindIndex(const std::string& index_name) {
+  for (const auto& idx : secondary_) {
+    if (idx->name == index_name) return idx.get();
+  }
+  return nullptr;
+}
+
+SecondaryIndex* Table::FindCoveringIndex(size_t leading_col,
+                                         const std::vector<size_t>& needed_cols) {
+  for (const auto& idx : secondary_) {
+    if (idx->key_cols.empty() || idx->key_cols[0] != leading_col) continue;
+    std::set<size_t> provided(idx->key_cols.begin(), idx->key_cols.end());
+    provided.insert(idx->include_cols.begin(), idx->include_cols.end());
+    bool covers = true;
+    for (size_t c : needed_cols) {
+      if (provided.count(c) == 0) {
+        covers = false;
+        break;
+      }
+    }
+    if (covers) return idx.get();
+  }
+  return nullptr;
+}
+
+Status Table::RowIterator::Current(Row* out) const {
+  std::string_view v = it_.value();
+  return tuple::Deserialize(*schema_, v.data(), v.size(), out);
+}
+
+Value Table::RowIterator::CurrentColumn(size_t col) const {
+  std::string_view v = it_.value();
+  return tuple::GetValue(*schema_, v.data(), v.size(), col);
+}
+
+Result<Table::RowIterator> Table::ScanAll() const {
+  ELE_ASSIGN_OR_RETURN(BPlusTree::Iterator it, clustered_->SeekToFirst());
+  return RowIterator(&schema_, std::move(it), "");
+}
+
+Result<Table::RowIterator> Table::ScanRange(const std::string& lo,
+                                            const std::string& hi) const {
+  BPlusTree::Iterator it;
+  if (lo.empty()) {
+    ELE_ASSIGN_OR_RETURN(it, clustered_->SeekToFirst());
+  } else {
+    ELE_ASSIGN_OR_RETURN(it, clustered_->Seek(lo));
+  }
+  return RowIterator(&schema_, std::move(it), hi);
+}
+
+Status Table::Analyze() {
+  std::vector<std::set<uint64_t>> distinct(schema_.NumColumns());
+  std::vector<bool> seen(schema_.NumColumns(), false);
+  stats_.assign(schema_.NumColumns(), ColumnStats{});
+  ELE_ASSIGN_OR_RETURN(RowIterator it, ScanAll());
+  while (it.Valid()) {
+    Row row;
+    ELE_RETURN_NOT_OK(it.Current(&row));
+    for (size_t c = 0; c < row.size(); c++) {
+      if (row[c].is_null()) {
+        stats_[c].null_count++;
+        continue;
+      }
+      distinct[c].insert(row[c].Hash());
+      if (!seen[c] || row[c].Compare(stats_[c].min) < 0) stats_[c].min = row[c];
+      if (!seen[c] || row[c].Compare(stats_[c].max) > 0) stats_[c].max = row[c];
+      seen[c] = true;
+    }
+    ELE_RETURN_NOT_OK(it.Next());
+  }
+  for (size_t c = 0; c < schema_.NumColumns(); c++) {
+    stats_[c].distinct = distinct[c].size();
+  }
+  return Status::OK();
+}
+
+}  // namespace elephant

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "index/btree.h"
+#include "storage/buffer_pool.h"
+
+namespace elephant {
+
+/// Per-column statistics gathered by Table::Analyze, consumed by the planner.
+struct ColumnStats {
+  uint64_t distinct = 0;
+  uint64_t null_count = 0;
+  Value min;
+  Value max;
+};
+
+/// A secondary covering index: key = (key columns ++ clustering key) so
+/// entries are unique, value = (clustering key bytes ++ included columns).
+/// Scans produce rows over `out_schema` = key columns ++ include columns —
+/// enough to answer covered queries without touching the base table.
+struct SecondaryIndex {
+  std::string name;
+  std::vector<size_t> key_cols;      ///< base-schema positions of key columns
+  std::vector<size_t> include_cols;  ///< base-schema positions of included columns
+  Schema out_schema;                 ///< key cols then include cols
+  Schema include_schema;             ///< include cols only (value payload layout)
+  std::unique_ptr<BPlusTree> tree;
+};
+
+/// A clustered-index-organized table (the only organization the engine uses
+/// for named tables, mirroring a row-store where every table has a primary
+/// index). The clustering key is (cluster columns ++ u64 sequence number);
+/// the sequence uniquifier makes every key distinct while preserving range
+/// scans on the cluster-column prefix. Leaf values are full serialized rows.
+class Table {
+ public:
+  /// `unique_cluster` declares the cluster-column combination unique: the
+  /// 8-byte sequence uniquifier is then omitted from every clustered key
+  /// (and from every secondary-index bookmark), saving per-row storage.
+  /// The engine does not enforce the uniqueness; callers assert it.
+  static Result<std::unique_ptr<Table>> Create(BufferPool* pool, std::string name,
+                                               Schema schema,
+                                               std::vector<size_t> cluster_cols,
+                                               bool unique_cluster = false);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const std::vector<size_t>& cluster_cols() const { return cluster_cols_; }
+  uint64_t row_count() const { return row_count_; }
+  BufferPool* pool() const { return pool_; }
+  const BPlusTree& clustered() const { return *clustered_; }
+
+  /// Inserts one row, maintaining all secondary indexes.
+  Status Insert(const Row& row);
+
+  /// Bulk-loads rows into an empty table (sorts by clustering key first).
+  /// Far faster than repeated Insert and produces sequentially laid-out
+  /// leaves. Consumes `rows`.
+  Status BulkLoadRows(std::vector<Row>&& rows);
+
+  /// Deletes all rows whose cluster-column values equal `cluster_values`
+  /// (prefix match). Returns the number of rows removed. Secondary indexes
+  /// are maintained.
+  Result<uint64_t> DeleteByClusterPrefix(const std::vector<Value>& cluster_values);
+
+  /// Creates a covering secondary index over the current contents
+  /// (bulk-built). Maintained by subsequent Insert calls.
+  Status CreateSecondaryIndex(const std::string& index_name,
+                              std::vector<size_t> key_cols,
+                              std::vector<size_t> include_cols);
+
+  const std::vector<std::unique_ptr<SecondaryIndex>>& secondary_indexes() const {
+    return secondary_;
+  }
+  /// Finds a secondary index by name (nullptr if absent).
+  SecondaryIndex* FindIndex(const std::string& index_name);
+  /// Finds a secondary index whose leading key column is `col` and which
+  /// covers all of `needed_cols` (nullptr if none).
+  SecondaryIndex* FindCoveringIndex(size_t leading_col,
+                                    const std::vector<size_t>& needed_cols);
+
+  /// Encoded clustering-key prefix for the given cluster-column values
+  /// (fewer values than cluster columns = shorter prefix).
+  std::string EncodeClusterPrefix(const std::vector<Value>& values) const;
+
+  /// Computes per-column statistics (full scan) and caches them.
+  Status Analyze();
+  const std::vector<ColumnStats>& stats() const { return stats_; }
+  bool analyzed() const { return !stats_.empty(); }
+
+  /// Pages in the clustered tree (on-disk footprint).
+  Result<uint64_t> ClusteredPages() const { return clustered_->CountPages(); }
+
+  /// Row iterator over the clustered index (full table, cluster-key order).
+  class RowIterator {
+   public:
+    bool Valid() const { return it_.Valid() && InRange(); }
+    Status Next() { return it_.Next(); }
+    /// Deserializes the current row.
+    Status Current(Row* out) const;
+    /// Reads one column of the current row without full deserialization.
+    Value CurrentColumn(size_t col) const;
+
+   private:
+    friend class Table;
+    RowIterator(const Schema* schema, BPlusTree::Iterator it, std::string hi)
+        : schema_(schema), it_(std::move(it)), hi_(std::move(hi)) {}
+    bool InRange() const {
+      return hi_.empty() || std::string_view(it_.key()) < std::string_view(hi_);
+    }
+    const Schema* schema_;
+    BPlusTree::Iterator it_;
+    std::string hi_;  ///< exclusive upper bound on encoded keys ("" = none)
+  };
+
+  Result<RowIterator> ScanAll() const;
+  /// Rows whose encoded clustering key is in [lo, hi) — "" bounds are open.
+  Result<RowIterator> ScanRange(const std::string& lo, const std::string& hi) const;
+
+ private:
+  Table(BufferPool* pool, std::string name, Schema schema,
+        std::vector<size_t> cluster_cols, bool unique_cluster)
+      : pool_(pool),
+        name_(std::move(name)),
+        schema_(std::move(schema)),
+        cluster_cols_(std::move(cluster_cols)),
+        unique_cluster_(unique_cluster) {}
+
+  std::string EncodeClusteredKey(const Row& row, uint64_t seq) const;
+  /// Builds the entry for `idx` from a row and its full clustered key.
+  Status MakeSecondaryEntry(const SecondaryIndex& idx, const Row& row,
+                            const std::string& ckey, std::string* key,
+                            std::string* value) const;
+
+  BufferPool* pool_;
+  std::string name_;
+  Schema schema_;
+  std::vector<size_t> cluster_cols_;
+  bool unique_cluster_ = false;
+  std::unique_ptr<BPlusTree> clustered_;
+  std::vector<std::unique_ptr<SecondaryIndex>> secondary_;
+  uint64_t row_count_ = 0;
+  uint64_t next_seq_ = 0;
+  std::vector<ColumnStats> stats_;
+};
+
+/// Decodes the payload of a secondary-index entry.
+struct SecondaryEntry {
+  std::string clustered_key;   ///< full clustering key of the base row
+  std::string include_bytes;   ///< serialized include-columns row
+};
+SecondaryEntry DecodeSecondaryValue(std::string_view value);
+
+}  // namespace elephant

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+
+namespace elephant {
+
+/// Disk page size in bytes (SQL Server uses 8 KiB pages; we follow suit).
+constexpr uint32_t kPageSize = 8192;
+
+/// Page identifier within a DiskManager. kInvalidPageId marks "no page".
+using page_id_t = int32_t;
+constexpr page_id_t kInvalidPageId = -1;
+
+/// Slot number within a slotted page.
+using slot_id_t = uint16_t;
+
+/// Record identifier: physical address of a tuple in a heap.
+struct Rid {
+  page_id_t page_id = kInvalidPageId;
+  slot_id_t slot = 0;
+
+  bool operator==(const Rid& o) const { return page_id == o.page_id && slot == o.slot; }
+};
+
+/// Default buffer pool capacity in pages (64 MiB at 8 KiB pages).
+constexpr uint32_t kDefaultBufferPoolPages = 8192;
+
+}  // namespace elephant

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+namespace elephant {
+
+/// Deterministic xorshift128+ generator. Used by the TPC-H generator and the
+/// property tests so every run is reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the two lanes.
+    auto next = [&seed]() {
+      uint64_t z = (seed += 0x9e3779b97f4a7c15ull);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      return z ^ (z >> 31);
+    };
+    s0_ = next();
+    s1_ = next();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / (1ull << 53)); }
+
+ private:
+  uint64_t s0_, s1_;
+};
+
+}  // namespace elephant

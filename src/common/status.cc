@@ -1,0 +1,34 @@
+#include "common/status.h"
+
+namespace elephant {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kNotSupported: return "NotSupported";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kBindError: return "BindError";
+    case StatusCode::kPlanError: return "PlanError";
+    case StatusCode::kExecError: return "ExecError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace elephant

@@ -1,0 +1,134 @@
+#include "common/types.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace elephant {
+
+const char* TypeName(TypeId t) {
+  switch (t) {
+    case TypeId::kInvalid: return "INVALID";
+    case TypeId::kBoolean: return "BOOLEAN";
+    case TypeId::kInt32: return "INT32";
+    case TypeId::kInt64: return "INT64";
+    case TypeId::kDate: return "DATE";
+    case TypeId::kDecimal: return "DECIMAL";
+    case TypeId::kDouble: return "DOUBLE";
+    case TypeId::kChar: return "CHAR";
+    case TypeId::kVarchar: return "VARCHAR";
+  }
+  return "UNKNOWN";
+}
+
+uint32_t TypeFixedSize(TypeId t, uint32_t length) {
+  switch (t) {
+    case TypeId::kBoolean: return 1;
+    case TypeId::kInt32: return 4;
+    case TypeId::kInt64: return 8;
+    case TypeId::kDate: return 4;
+    case TypeId::kDecimal: return 8;
+    case TypeId::kDouble: return 8;
+    case TypeId::kChar: return length;
+    case TypeId::kVarchar: return 0;
+    case TypeId::kInvalid: return 0;
+  }
+  return 0;
+}
+
+namespace date {
+
+// Howard Hinnant's civil-date algorithms (public domain).
+int32_t FromYMD(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + static_cast<int>(doe) - 719468;
+}
+
+void ToYMD(int32_t z, int* year, int* month, int* day) {
+  z += 719468;
+  const int era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);          // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int y = static_cast<int>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);          // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                               // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                       // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                            // [1, 12]
+  *year = y + (m <= 2);
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+Result<int32_t> Parse(const std::string& s) {
+  int y = 0, m = 0, d = 0;
+  if (std::sscanf(s.c_str(), "%d-%d-%d", &y, &m, &d) != 3 || m < 1 || m > 12 ||
+      d < 1 || d > 31) {
+    return Status::InvalidArgument("bad date literal: '" + s + "'");
+  }
+  return FromYMD(y, m, d);
+}
+
+std::string ToString(int32_t days) {
+  int y, m, d;
+  ToYMD(days, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+}  // namespace date
+
+namespace decimal {
+
+Result<int64_t> Parse(const std::string& s) {
+  if (s.empty()) return Status::InvalidArgument("empty decimal literal");
+  size_t i = 0;
+  bool neg = false;
+  if (s[i] == '-' || s[i] == '+') {
+    neg = s[i] == '-';
+    i++;
+  }
+  if (i >= s.size()) return Status::InvalidArgument("bad decimal literal: '" + s + "'");
+  int64_t whole = 0;
+  bool any = false;
+  for (; i < s.size() && s[i] >= '0' && s[i] <= '9'; i++) {
+    whole = whole * 10 + (s[i] - '0');
+    any = true;
+  }
+  int64_t frac = 0;
+  if (i < s.size() && s[i] == '.') {
+    i++;
+    int digits = 0;
+    for (; i < s.size() && s[i] >= '0' && s[i] <= '9'; i++) {
+      if (digits < 2) {
+        frac = frac * 10 + (s[i] - '0');
+        digits++;
+      }
+      any = true;
+    }
+    if (digits == 1) frac *= 10;
+  }
+  if (!any || i != s.size()) {
+    return Status::InvalidArgument("bad decimal literal: '" + s + "'");
+  }
+  int64_t v = whole * kScale + frac;
+  return neg ? -v : v;
+}
+
+std::string ToString(int64_t scaled) {
+  const char* sign = scaled < 0 ? "-" : "";
+  uint64_t abs = scaled < 0 ? static_cast<uint64_t>(-(scaled + 1)) + 1
+                            : static_cast<uint64_t>(scaled);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%llu.%02llu", sign,
+                static_cast<unsigned long long>(abs / 100),
+                static_cast<unsigned long long>(abs % 100));
+  return buf;
+}
+
+}  // namespace decimal
+
+}  // namespace elephant

@@ -1,0 +1,87 @@
+#include "cstore/analytic_query.h"
+
+namespace elephant {
+
+std::string SqlLiteral(const Value& v) {
+  switch (v.type()) {
+    case TypeId::kDate:
+      return "DATE '" + v.ToString() + "'";
+    case TypeId::kChar:
+    case TypeId::kVarchar: {
+      std::string out = "'";
+      for (char c : v.AsString()) {
+        out.push_back(c);
+        if (c == '\'') out.push_back('\'');
+      }
+      out += "'";
+      return out;
+    }
+    default:
+      return v.ToString();
+  }
+}
+
+std::string AnalyticQuery::FilterToSql(const std::string& qualified_col,
+                                       CompareOp op, const Value& value) {
+  return qualified_col + " " + CompareOpName(op) + " " + SqlLiteral(value);
+}
+
+std::vector<std::string> AnalyticQuery::ReferencedColumns() const {
+  std::vector<std::string> cols;
+  auto add = [&cols](const std::string& c) {
+    for (const std::string& existing : cols) {
+      if (existing == c) return;
+    }
+    cols.push_back(c);
+  };
+  for (const Filter& f : filters) add(f.column);
+  for (const std::string& g : group_cols) add(g);
+  for (const Agg& a : aggs) {
+    if (!a.column.empty()) add(a.column);
+  }
+  return cols;
+}
+
+std::string AnalyticQuery::ToRowSql() const {
+  std::string sql = "SELECT ";
+  bool first = true;
+  for (const std::string& g : group_cols) {
+    if (!first) sql += ", ";
+    sql += g;
+    first = false;
+  }
+  for (const Agg& a : aggs) {
+    if (!first) sql += ", ";
+    if (a.fn == AggFunc::kCountStar) {
+      sql += "COUNT(*)";
+    } else {
+      sql += std::string(AggFuncName(a.fn)) + "(" + a.column + ")";
+    }
+    if (!a.alias.empty()) sql += " AS " + a.alias;
+    first = false;
+  }
+  sql += " FROM ";
+  for (size_t i = 0; i < tables.size(); i++) {
+    if (i > 0) sql += ", ";
+    sql += tables[i];
+  }
+  std::vector<std::string> preds;
+  for (const auto& [l, r] : join_conds) preds.push_back(l + " = " + r);
+  for (const Filter& f : filters) {
+    preds.push_back(FilterToSql(f.column, f.op, f.value));
+  }
+  for (size_t i = 0; i < preds.size(); i++) {
+    sql += i == 0 ? " WHERE " : " AND ";
+    sql += preds[i];
+  }
+  if (!group_cols.empty()) {
+    sql += " GROUP BY ";
+    for (size_t i = 0; i < group_cols.size(); i++) {
+      if (i > 0) sql += ", ";
+      sql += group_cols[i];
+    }
+  }
+  return sql;
+}
+
+}  // namespace elephant

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "exec/expression.h"
+
+namespace elephant {
+
+/// A structured representation of the analytic query class the paper's
+/// evaluation uses (Figure 1): conjunctive comparisons against constants,
+/// equi-joins along known keys, GROUP BY on plain columns, and standard
+/// aggregates. One AnalyticQuery drives all four strategies:
+///
+///  - `Row`:      ToRowSql() produces the direct SQL over base tables;
+///  - `Row(MV)`:  mv::ViewMatcher rewrites it against a materialized view;
+///  - `Row(Col)`: cstore::Rewriter rewrites it against a projection's
+///                c-tables (band joins, compressed aggregation);
+///  - `ColOpt`:   cstore::ColOptModel lower-bounds any C-store execution.
+struct AnalyticQuery {
+  struct Filter {
+    std::string column;  ///< unqualified column name (TPC-H names are unique)
+    CompareOp op;
+    Value value;
+  };
+  struct Agg {
+    AggFunc fn;
+    std::string column;  ///< empty for COUNT(*)
+    std::string alias;   ///< output column name
+  };
+
+  std::string name;                 ///< e.g. "Q3"
+  std::vector<std::string> tables;  ///< base tables, fact table first
+  /// Equi-join conditions between base tables, as (left col, right col).
+  std::vector<std::pair<std::string, std::string>> join_conds;
+  std::vector<Filter> filters;
+  std::vector<std::string> group_cols;
+  std::vector<Agg> aggs;
+
+  /// Direct SQL over the base tables (the paper's `Row` strategy).
+  std::string ToRowSql() const;
+
+  /// All columns the query touches (filters + groups + aggregate args).
+  std::vector<std::string> ReferencedColumns() const;
+
+  /// Renders one filter as SQL text ("l_shipdate > DATE '1995-03-15'").
+  static std::string FilterToSql(const std::string& qualified_col,
+                                 CompareOp op, const Value& value);
+};
+
+/// SQL literal text for a value (dates as DATE '...', strings quoted).
+std::string SqlLiteral(const Value& v);
+
+}  // namespace elephant

@@ -1,0 +1,111 @@
+#include "cstore/colopt.h"
+
+#include "cstore/compression.h"
+
+namespace elephant {
+namespace cstore {
+
+Result<std::pair<double, uint64_t>> ColOptModel::FilterFraction(
+    const CTableMeta& meta,
+    const std::vector<AnalyticQuery::Filter>& filters) const {
+  std::string sql = meta.has_count
+                        ? "SELECT SUM(c), COUNT(*) FROM " + meta.table_name
+                        : "SELECT COUNT(*), COUNT(*) FROM " + meta.table_name;
+  bool first = true;
+  for (const AnalyticQuery::Filter& f : filters) {
+    if (ColumnKey(f.column) != ColumnKey(meta.column)) continue;
+    sql += first ? " WHERE " : " AND ";
+    sql += AnalyticQuery::FilterToSql("v", f.op, f.value);
+    first = false;
+  }
+  ELE_ASSIGN_OR_RETURN(QueryResult r, db_->Execute(sql));
+  if (r.rows.empty() || r.rows[0][0].is_null()) {
+    return std::pair<double, uint64_t>{0.0, 0};
+  }
+  const double matched = static_cast<double>(r.rows[0][0].AsInt64());
+  const uint64_t runs = static_cast<uint64_t>(r.rows[0][1].AsInt64());
+  const double total = static_cast<double>(meta.source_rows);
+  return std::pair<double, uint64_t>{total > 0 ? matched / total : 0.0, runs};
+}
+
+Result<ColOptEstimate> ColOptModel::Estimate(const AnalyticQuery& query) const {
+  ColOptEstimate est;
+
+  // Qualifying fraction: the product over filter columns of their exact
+  // selectivities (the workload filters a single column; the product is a
+  // lower-bound-friendly independence assumption otherwise).
+  double fraction = 1.0;
+  std::vector<std::string> filter_cols;
+  for (const AnalyticQuery::Filter& f : query.filters) {
+    bool seen = false;
+    for (const std::string& c : filter_cols) seen |= c == f.column;
+    if (!seen) filter_cols.push_back(f.column);
+  }
+  // Per-column matched run counts for filter columns.
+  std::vector<std::pair<std::string, uint64_t>> matched_runs;
+  for (const std::string& col : filter_cols) {
+    const CTableMeta* meta = proj_.Find(col);
+    if (meta == nullptr) {
+      return Status::InvalidArgument("projection " + proj_.name +
+                                     " has no c-table for column " + col);
+    }
+    ELE_ASSIGN_OR_RETURN(auto fr, FilterFraction(*meta, query.filters));
+    fraction *= fr.first;
+    matched_runs.emplace_back(col, fr.second);
+  }
+  est.selectivity = fraction;
+
+  const bool leading_filter =
+      filter_cols.empty() ||
+      (filter_cols.size() == 1 &&
+       proj_.Find(filter_cols[0])->sort_position == 0);
+
+  for (const std::string& col : query.ReferencedColumns()) {
+    const CTableMeta* meta = proj_.Find(col);
+    if (meta == nullptr) {
+      return Status::InvalidArgument("projection " + proj_.name +
+                                     " has no c-table for column " + col);
+    }
+    ColOptEstimate::ColumnRead read;
+    read.column = col;
+    const uint64_t value_bytes =
+        compression::NativeValueBytes(meta->type, meta->char_length);
+
+    bool is_filter_col = false;
+    uint64_t runs_for_col = meta->rle_runs;
+    for (const auto& [fc, mruns] : matched_runs) {
+      if (fc == col) {
+        is_filter_col = true;
+        runs_for_col = mruns;
+      }
+    }
+    if (is_filter_col && leading_filter) {
+      // Qualifying runs are contiguous and locatable without reading the
+      // rest of the column.
+      read.fraction = fraction;
+      read.bytes = compression::NativeRleBytes(runs_for_col, value_bytes);
+    } else if (is_filter_col) {
+      // Filter on a non-leading column: the whole column must be read.
+      read.fraction = 1.0;
+      read.bytes = compression::NativeRleBytes(meta->rle_runs, value_bytes);
+    } else if (leading_filter) {
+      // Non-filter column, qualifying positions contiguous: proportional read.
+      read.fraction = fraction;
+      read.bytes = static_cast<uint64_t>(
+          static_cast<double>(
+              compression::NativeRleBytes(meta->rle_runs, value_bytes)) *
+          fraction);
+    } else {
+      read.fraction = 1.0;
+      read.bytes = compression::NativeRleBytes(meta->rle_runs, value_bytes);
+    }
+    est.total_bytes += read.bytes;
+    est.columns.push_back(std::move(read));
+  }
+  est.pages = (est.total_bytes + kPageSize - 1) / kPageSize;
+  est.seconds = db_->disk_model().SequentialReadSeconds(est.total_bytes);
+  return est;
+}
+
+}  // namespace cstore
+}  // namespace elephant

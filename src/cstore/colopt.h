@@ -1,0 +1,56 @@
+#pragma once
+
+#include "cstore/analytic_query.h"
+#include "cstore/projection.h"
+#include "engine/database.h"
+
+namespace elephant {
+namespace cstore {
+
+/// Breakdown of the ColOpt lower bound for one query.
+struct ColOptEstimate {
+  struct ColumnRead {
+    std::string column;
+    double fraction = 1.0;   ///< fraction of the column any plan must read
+    uint64_t bytes = 0;      ///< compressed bytes read for this column
+  };
+  std::vector<ColumnRead> columns;
+  uint64_t total_bytes = 0;
+  uint64_t pages = 0;
+  double seconds = 0;        ///< time to just read those pages sequentially
+  double selectivity = 1.0;  ///< qualifying fraction of the projection's rows
+};
+
+/// The paper's `ColOpt` baseline: "a (loose) lower bound on any C-store
+/// implementation ... manually calculating how many (compressed) pages in
+/// disk need to be read by any C-store execution plan, and measuring the
+/// time taken to just read the input data" — no filtering, grouping or
+/// aggregation is charged.
+///
+/// For each column the query touches, the model charges the RLE-compressed
+/// native size (value + 4-byte count per run, no tuple headers) of the
+/// qualifying fraction: filters on the projection's leading sort column keep
+/// qualifying rows contiguous, so every column is read only in proportion to
+/// the selectivity; a filter on a non-leading column forces that whole
+/// column to be read. The byte total converts to time via the DiskModel's
+/// sequential read rate.
+class ColOptModel {
+ public:
+  ColOptModel(Database* db, const ProjectionMeta& projection)
+      : db_(db), proj_(projection) {}
+
+  Result<ColOptEstimate> Estimate(const AnalyticQuery& query) const;
+
+ private:
+  /// Fraction of source rows satisfying `filters` on column `meta`
+  /// (computed exactly from the c-table), plus the matching run count.
+  Result<std::pair<double, uint64_t>> FilterFraction(
+      const CTableMeta& meta,
+      const std::vector<AnalyticQuery::Filter>& filters) const;
+
+  Database* db_;
+  const ProjectionMeta& proj_;
+};
+
+}  // namespace cstore
+}  // namespace elephant

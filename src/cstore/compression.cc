@@ -1,0 +1,68 @@
+#include "cstore/compression.h"
+
+#include <cmath>
+
+#include "common/schema.h"
+
+namespace elephant {
+namespace compression {
+
+std::vector<Run> RleRuns(const std::vector<Row>& rows, size_t col,
+                         const std::vector<size_t>& prefix_cols) {
+  std::vector<Run> runs;
+  for (size_t i = 0; i < rows.size(); i++) {
+    bool new_run = i == 0;
+    if (!new_run) {
+      if (rows[i][col].Compare(rows[i - 1][col]) != 0) {
+        new_run = true;
+      } else {
+        for (size_t p : prefix_cols) {
+          if (rows[i][p].Compare(rows[i - 1][p]) != 0) {
+            new_run = true;
+            break;
+          }
+        }
+      }
+    }
+    if (new_run) {
+      runs.push_back(Run{rows[i][col], 1});
+    } else {
+      runs.back().count++;
+    }
+  }
+  return runs;
+}
+
+uint64_t NativeValueBytes(TypeId t, uint32_t char_length) {
+  const uint32_t fixed = TypeFixedSize(t, char_length);
+  return fixed > 0 ? fixed : 16;  // average width for VARCHAR
+}
+
+uint64_t NativeRleBytes(uint64_t runs, uint64_t value_bytes) {
+  return runs * (value_bytes + 4);
+}
+
+uint64_t NativePlainBytes(uint64_t rows, uint64_t value_bytes) {
+  return rows * value_bytes;
+}
+
+uint64_t DictionaryBytes(uint64_t rows, uint64_t distinct, uint64_t value_bytes) {
+  if (distinct == 0) return 0;
+  uint64_t bits = 1;
+  while ((1ull << bits) < distinct) bits++;
+  const uint64_t code_bytes = (bits + 7) / 8;
+  return distinct * value_bytes + rows * code_bytes;
+}
+
+uint64_t DeltaBytes(uint64_t rows, uint64_t avg_delta_bytes) {
+  return rows * avg_delta_bytes;
+}
+
+uint64_t CTableRowStoreBytes(uint64_t runs, uint64_t value_bytes, bool has_count) {
+  const uint64_t header = tuple::kHeaderSize + 1;  // header + null bitmap byte
+  const uint64_t row = header + 8 /*f*/ + value_bytes + (has_count ? 8 : 0);
+  return runs * row;
+}
+
+}  // namespace compression
+}  // namespace elephant

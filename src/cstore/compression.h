@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/value.h"
+
+namespace elephant {
+namespace compression {
+
+/// One RLE run: `count` consecutive occurrences of `value`.
+struct Run {
+  Value value;
+  uint64_t count;
+};
+
+/// Computes prefix-respecting RLE runs for column `col` of `rows` (already
+/// sorted): a new run starts whenever the column value changes OR any of the
+/// columns in `prefix_cols` differs from the previous row — the grouping rule
+/// of §2.2.1 that keeps c-table ranges aligned with shallower columns.
+std::vector<Run> RleRuns(const std::vector<Row>& rows, size_t col,
+                         const std::vector<size_t>& prefix_cols);
+
+/// Size estimators used by the ColOpt lower bound and the storage study
+/// (§3, "Storage layer"). All sizes in bytes.
+
+/// Fixed byte width of a value of this type in a native column store
+/// (strings use their actual lengths; the helpers below take averages).
+uint64_t NativeValueBytes(TypeId t, uint32_t char_length);
+
+/// Native C-store RLE size: one (value, count) pair per run, no per-tuple
+/// header (count stored as a 32-bit integer).
+uint64_t NativeRleBytes(uint64_t runs, uint64_t value_bytes);
+
+/// Uncompressed native column size: one value per row.
+uint64_t NativePlainBytes(uint64_t rows, uint64_t value_bytes);
+
+/// Dictionary-encoded size: distinct values stored once plus ceil(log2 d)
+/// bits per row (byte-aligned per row for simplicity).
+uint64_t DictionaryBytes(uint64_t rows, uint64_t distinct, uint64_t value_bytes);
+
+/// Delta-encoded size for a sorted, dense integer column (the c-table `f`
+/// column, §3: "clustered by increasing and dense f values, which can be
+/// effectively delta-compressed"): varint-style, assumes most deltas fit in
+/// `avg_delta_bytes`.
+uint64_t DeltaBytes(uint64_t rows, uint64_t avg_delta_bytes = 2);
+
+/// Row-store size of a c-table in (f, v, c) form: per-tuple header +
+/// f (8) + v + c (8), matching the engine's tuple layout.
+uint64_t CTableRowStoreBytes(uint64_t runs, uint64_t value_bytes, bool has_count);
+
+}  // namespace compression
+}  // namespace elephant

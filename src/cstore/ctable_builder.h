@@ -1,0 +1,39 @@
+#pragma once
+
+#include "cstore/projection.h"
+#include "engine/database.h"
+
+namespace elephant {
+namespace cstore {
+
+/// Materializes a projection as c-tables inside an unmodified row-store
+/// (§2.2.1). For projection P with sort order (s1, s2, ..., sk):
+///
+///  1. run P's defining query and sort its rows by the sort columns;
+///  2. assign each row a virtual id = its position in the ordering;
+///  3. for each column x, group consecutive rows with equal x that also
+///     agree on all shallower sort columns; each group becomes a tuple
+///     (f, v, c) in c-table `<P>_<x>`: f = first id, v = value, c = size;
+///  4. when RLE does not pay (most groups of size one), store the plain
+///     (f, v) projection instead — the `TC` alternative in Figure 3;
+///  5. cluster every c-table on f and add a secondary covering index with
+///     leading column v (enabling the index-based strategies of §2.2.3).
+///
+/// All resulting tables are ordinary relational tables: no engine changes.
+class CTableBuilder {
+ public:
+  explicit CTableBuilder(Database* db) : db_(db) {}
+
+  /// Builds every c-table of `def`; returns their metadata.
+  Result<ProjectionMeta> Build(const ProjectionDef& def);
+
+  /// Catalog name of a projection's c-table for `column`.
+  static std::string CTableName(const std::string& projection,
+                                const std::string& column);
+
+ private:
+  Database* db_;
+};
+
+}  // namespace cstore
+}  // namespace elephant

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace elephant {
+
+/// SQL identifiers are case-insensitive; all c-table metadata lookups go
+/// through this normalization.
+inline std::string ColumnKey(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+/// A C-store projection definition `(expression | sortCols)` as in §2.2.1:
+/// `query` materializes the projection's rows (a SELECT over base tables),
+/// and `sort_cols` is the global ordering the DBA chose. Following the
+/// paper's simplifying assumption (footnote 4), every projected column
+/// appears in the sort order; the builder derives one c-table per column.
+struct ProjectionDef {
+  std::string name;                    ///< e.g. "D1"
+  std::string query;                   ///< SELECT producing the rows
+  std::vector<std::string> sort_cols;  ///< output column names, sort-major first
+};
+
+/// Metadata for one materialized c-table.
+struct CTableMeta {
+  std::string table_name;  ///< catalog name, "<proj>_<col>"
+  std::string column;      ///< source column name
+  TypeId type = TypeId::kInvalid;
+  uint32_t char_length = 0;
+  /// True when the (f, v, c) representation was chosen; false for the plain
+  /// (f, v) projection used when RLE would not pay off (§2.2.1: columns deep
+  /// in the sort order whose run counts are mostly one).
+  bool has_count = true;
+  int sort_position = 0;
+  uint64_t runs = 0;          ///< rows in the c-table (= rle_runs when has_count)
+  uint64_t rle_runs = 0;      ///< true RLE run count (for the ColOpt model)
+  uint64_t source_rows = 0;   ///< rows in the source projection
+  uint64_t on_disk_pages = 0; ///< clustered index size after build
+};
+
+/// Metadata for a fully built projection.
+struct ProjectionMeta {
+  std::string name;
+  uint64_t rows = 0;                ///< rows in the source projection
+  std::vector<CTableMeta> ctables;  ///< in sort order
+
+  /// Finds a c-table by source column name, case-insensitively
+  /// (nullptr if absent).
+  const CTableMeta* Find(const std::string& column) const {
+    const std::string key = ColumnKey(column);
+    for (const CTableMeta& c : ctables) {
+      if (ColumnKey(c.column) == key) return &c;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace elephant

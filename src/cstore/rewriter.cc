@@ -1,0 +1,212 @@
+#include "cstore/rewriter.h"
+
+#include <algorithm>
+
+namespace elephant {
+namespace cstore {
+
+namespace {
+
+/// A c-table participating in the rewrite, with its alias.
+struct Participant {
+  const CTableMeta* meta;
+  std::string alias;
+};
+
+/// Upper end of a c-table run in SQL text: "T.f + T.c - 1", or just "T.f"
+/// for count-less c-tables (every run covers one row).
+std::string RunEnd(const Participant& p) {
+  return p.meta->has_count ? p.alias + ".f + " + p.alias + ".c - 1"
+                           : p.alias + ".f";
+}
+
+/// Band-join predicate: deeper run start falls inside the shallower run.
+std::string BandJoin(const Participant& shallow, const Participant& deep) {
+  if (!shallow.meta->has_count) {
+    // Runs of length one: containment degenerates to equality.
+    return deep.alias + ".f = " + shallow.alias + ".f";
+  }
+  return deep.alias + ".f BETWEEN " + shallow.alias + ".f AND " +
+         RunEnd(shallow);
+}
+
+}  // namespace
+
+bool Rewriter::RangeCollapseApplies(const AnalyticQuery& query) const {
+  if (query.filters.empty()) return false;
+  // All filters must be on the projection's leading sort column...
+  const CTableMeta& lead = proj_.ctables.front();
+  for (const AnalyticQuery::Filter& f : query.filters) {
+    if (ColumnKey(f.column) != ColumnKey(lead.column)) return false;
+  }
+  // ...and that column must not be needed in the output.
+  for (const std::string& g : query.group_cols) {
+    if (ColumnKey(g) == ColumnKey(lead.column)) return false;
+  }
+  for (const AnalyticQuery::Agg& a : query.aggs) {
+    if (ColumnKey(a.column) == ColumnKey(lead.column)) return false;
+  }
+  // The collapse reads f and c of the leading c-table; both exist always.
+  return true;
+}
+
+Result<std::string> Rewriter::Rewrite(const AnalyticQuery& query,
+                                      const RewriteOptions& options) const {
+  // Resolve every referenced column to its c-table and order by sort depth.
+  std::vector<const CTableMeta*> needed;
+  for (const std::string& col : query.ReferencedColumns()) {
+    const CTableMeta* meta = proj_.Find(col);
+    if (meta == nullptr) {
+      return Status::InvalidArgument("projection " + proj_.name +
+                                     " has no c-table for column " + col);
+    }
+    needed.push_back(meta);
+  }
+  if (needed.empty()) {
+    return Status::InvalidArgument("query references no columns");
+  }
+  std::sort(needed.begin(), needed.end(),
+            [](const CTableMeta* a, const CTableMeta* b) {
+              return a->sort_position < b->sort_position;
+            });
+
+  const bool collapse = options.range_collapse && !options.force_merge_join &&
+                        RangeCollapseApplies(query);
+
+  // Assign aliases T0, T1, ... in sort order.
+  std::vector<Participant> parts;
+  for (size_t i = 0; i < needed.size(); i++) {
+    parts.push_back(Participant{needed[i], "T" + std::to_string(i)});
+  }
+  const Participant& deepest = parts.back();
+
+  // --- FROM clause ---
+  std::string from;
+  std::vector<std::string> where;
+  if (collapse) {
+    // Figure 4(b): the filtered leading c-table becomes a one-row derived
+    // table carrying the global [min f, max f+c-1] window.
+    const Participant& t0 = parts[0];
+    std::string derived = "(SELECT MIN(" + t0.alias + ".f) AS XMIN, MAX(" +
+                          RunEnd(t0) + ") AS XMAX FROM " +
+                          t0.meta->table_name + " " + t0.alias;
+    bool first = true;
+    for (const AnalyticQuery::Filter& f : query.filters) {
+      derived += first ? " WHERE " : " AND ";
+      derived +=
+          AnalyticQuery::FilterToSql(t0.alias + ".v", f.op, f.value);
+      first = false;
+    }
+    derived += ") T0AGG";
+    from = derived;
+    if (parts.size() < 2) {
+      return Status::InvalidArgument(
+          "range collapse requires at least one output column");
+    }
+    from += ", " + parts[1].meta->table_name + " " + parts[1].alias;
+    where.push_back(parts[1].alias + ".f BETWEEN T0AGG.XMIN AND T0AGG.XMAX");
+  } else {
+    from = parts[0].meta->table_name + " " + parts[0].alias;
+    if (parts.size() > 1) {
+      from += ", " + parts[1].meta->table_name + " " + parts[1].alias;
+    }
+    // Filters apply to the v column of their c-table.
+    for (const AnalyticQuery::Filter& f : query.filters) {
+      for (const Participant& p : parts) {
+        if (ColumnKey(p.meta->column) == ColumnKey(f.column)) {
+          where.push_back(
+              AnalyticQuery::FilterToSql(p.alias + ".v", f.op, f.value));
+        }
+      }
+    }
+    if (parts.size() > 1) {
+      where.push_back(BandJoin(parts[0], parts[1]));
+    }
+  }
+  // Chain the remaining c-tables, each band-joined to the previous one.
+  // (Whether or not the collapse fired, parts[0..1] are already in FROM.)
+  for (size_t i = 1; i + 1 < parts.size(); i++) {
+    from += ", " + parts[i + 1].meta->table_name + " " + parts[i + 1].alias;
+    where.push_back(BandJoin(parts[i], parts[i + 1]));
+  }
+
+  // --- SELECT list ---
+  std::string select;
+  auto alias_of = [&parts](const std::string& col) -> const Participant* {
+    for (const Participant& p : parts) {
+      if (ColumnKey(p.meta->column) == ColumnKey(col)) return &p;
+    }
+    return nullptr;
+  };
+  bool first = true;
+  for (const std::string& g : query.group_cols) {
+    const Participant* p = alias_of(g);
+    if (!first) select += ", ";
+    select += p->alias + ".v AS " + g;
+    first = false;
+  }
+  // Aggregation over compressed data: the deepest c-table's count is the
+  // number of original rows each joined tuple stands for.
+  const std::string deep_count =
+      deepest.meta->has_count ? deepest.alias + ".c" : "";
+  for (const AnalyticQuery::Agg& a : query.aggs) {
+    if (!first) select += ", ";
+    first = false;
+    std::string expr;
+    switch (a.fn) {
+      case AggFunc::kCountStar:
+      case AggFunc::kCount:
+        expr = deep_count.empty() ? "COUNT(*)" : "SUM(" + deep_count + ")";
+        break;
+      case AggFunc::kSum: {
+        const Participant* p = alias_of(a.column);
+        expr = deep_count.empty() ? "SUM(" + p->alias + ".v)"
+                                  : "SUM(" + p->alias + ".v * " + deep_count + ")";
+        break;
+      }
+      case AggFunc::kMin:
+      case AggFunc::kMax: {
+        const Participant* p = alias_of(a.column);
+        expr = std::string(a.fn == AggFunc::kMin ? "MIN" : "MAX") + "(" +
+               p->alias + ".v)";
+        break;
+      }
+      case AggFunc::kAvg: {
+        const Participant* p = alias_of(a.column);
+        if (deep_count.empty()) {
+          expr = "AVG(" + p->alias + ".v)";
+        } else {
+          expr = "SUM(" + p->alias + ".v * " + deep_count + ") / SUM(" +
+                 deep_count + ")";
+        }
+        break;
+      }
+    }
+    select += expr;
+    if (!a.alias.empty()) select += " AS " + a.alias;
+  }
+
+  // --- assemble ---
+  std::string sql;
+  if (options.use_hints || options.force_merge_join) {
+    sql += "/*+ FORCE_ORDER ";
+    sql += options.force_merge_join ? "MERGE_JOIN" : "LOOP_JOIN";
+    sql += " */ ";
+  }
+  sql += "SELECT " + select + " FROM " + from;
+  for (size_t i = 0; i < where.size(); i++) {
+    sql += i == 0 ? " WHERE " : " AND ";
+    sql += where[i];
+  }
+  if (!query.group_cols.empty()) {
+    sql += " GROUP BY ";
+    for (size_t i = 0; i < query.group_cols.size(); i++) {
+      if (i > 0) sql += ", ";
+      sql += alias_of(query.group_cols[i])->alias + ".v";
+    }
+  }
+  return sql;
+}
+
+}  // namespace cstore
+}  // namespace elephant

@@ -1,0 +1,165 @@
+#include "engine/database.h"
+
+#include <chrono>
+
+#include "parser/parser.h"
+#include "planner/binder.h"
+
+namespace elephant {
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t c = 0; c < schema.NumColumns(); c++) {
+    if (c > 0) out += " | ";
+    out += schema.ColumnAt(c).name;
+  }
+  out += "\n";
+  out.append(out.size() > 1 ? out.size() - 1 : 0, '-');
+  out += "\n";
+  size_t shown = 0;
+  for (const Row& row : rows) {
+    if (shown++ >= max_rows) {
+      out += "... (" + std::to_string(rows.size() - max_rows) + " more rows)\n";
+      break;
+    }
+    for (size_t c = 0; c < row.size(); c++) {
+      if (c > 0) out += " | ";
+      out += row[c].ToString();
+    }
+    out += "\n";
+  }
+  out += "(" + std::to_string(rows.size()) + " rows)\n";
+  return out;
+}
+
+Database::Database(DatabaseOptions options) : options_(options) {
+  disk_ = std::make_unique<DiskManager>();
+  pool_ = std::make_unique<BufferPool>(disk_.get(), options_.buffer_pool_pages);
+  catalog_ = std::make_unique<Catalog>(pool_.get());
+}
+
+Status Database::EvictCaches() { return pool_->EvictAll(); }
+
+Status Database::Analyze(const std::string& table) {
+  ELE_ASSIGN_OR_RETURN(Table * t, catalog_->GetTable(table));
+  return t->Analyze();
+}
+
+Result<std::string> Database::Explain(const std::string& sql,
+                                      PlanHints extra_hints) {
+  ELE_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt, ParseSelect(sql));
+  Binder binder(catalog_.get());
+  ELE_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound, binder.Bind(*stmt));
+  bound->hints = bound->hints.Merge(extra_hints);
+  ExecContext ctx(pool_.get());
+  Planner planner(&ctx);
+  ELE_ASSIGN_OR_RETURN(PlannedQuery plan, planner.Plan(std::move(bound)));
+  return plan.explain;
+}
+
+Result<QueryResult> Database::ExecuteSelect(std::unique_ptr<SelectStmt> stmt,
+                                            PlanHints extra_hints) {
+  Binder binder(catalog_.get());
+  ELE_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound, binder.Bind(*stmt));
+  bound->hints = bound->hints.Merge(extra_hints);
+  ExecContext ctx(pool_.get());
+  Planner planner(&ctx);
+  ELE_ASSIGN_OR_RETURN(PlannedQuery plan, planner.Plan(std::move(bound)));
+
+  if (options_.cold_cache) {
+    ELE_RETURN_NOT_OK(pool_->EvictAll());
+  }
+  const IoStats io_before = disk_->stats();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  QueryResult result;
+  result.schema = plan.output_schema;
+  ELE_RETURN_NOT_OK(plan.executor->Init());
+  Row row;
+  while (true) {
+    ELE_ASSIGN_OR_RETURN(bool has, plan.executor->Next(&row));
+    if (!has) break;
+    result.rows.push_back(row);
+  }
+  plan.executor.reset();  // release pinned pages before measuring
+
+  const auto t1 = std::chrono::steady_clock::now();
+  result.cpu_seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.io = disk_->stats() - io_before;
+  result.io_seconds = options_.disk_model.Seconds(result.io);
+  result.counters = ctx.counters();
+  return result;
+}
+
+Result<QueryResult> Database::Execute(const std::string& sql,
+                                      PlanHints extra_hints) {
+  ELE_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      return ExecuteSelect(std::move(stmt.select), extra_hints);
+    case StatementKind::kCreateTable: {
+      const CreateTableStmt& ct = *stmt.create_table;
+      std::vector<Column> cols;
+      for (const ColumnDef& cd : ct.columns) {
+        cols.emplace_back(cd.name, cd.type, cd.length);
+      }
+      Schema schema(cols);
+      std::vector<size_t> cluster;
+      for (const std::string& name : ct.cluster_by) {
+        const int idx = schema.FindColumn(name);
+        if (idx < 0) {
+          return Status::BindError("unknown CLUSTER BY column " + name);
+        }
+        cluster.push_back(static_cast<size_t>(idx));
+      }
+      ELE_RETURN_NOT_OK(catalog_->CreateTable(ct.name, schema, cluster).status());
+      return QueryResult{};
+    }
+    case StatementKind::kCreateIndex: {
+      const CreateIndexStmt& ci = *stmt.create_index;
+      ELE_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(ci.table_name));
+      std::vector<size_t> keys, includes;
+      for (const std::string& name : ci.key_columns) {
+        const int idx = table->schema().FindColumn(name);
+        if (idx < 0) return Status::BindError("unknown index column " + name);
+        keys.push_back(static_cast<size_t>(idx));
+      }
+      for (const std::string& name : ci.include_columns) {
+        const int idx = table->schema().FindColumn(name);
+        if (idx < 0) return Status::BindError("unknown INCLUDE column " + name);
+        includes.push_back(static_cast<size_t>(idx));
+      }
+      ELE_RETURN_NOT_OK(table->CreateSecondaryIndex(ci.index_name, keys, includes));
+      return QueryResult{};
+    }
+    case StatementKind::kInsert: {
+      const InsertStmt& ins = *stmt.insert;
+      ELE_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(ins.table_name));
+      const Schema& schema = table->schema();
+      for (const auto& row_exprs : ins.rows) {
+        if (row_exprs.size() != schema.NumColumns()) {
+          return Status::BindError("INSERT arity mismatch");
+        }
+        Row row;
+        for (size_t c = 0; c < row_exprs.size(); c++) {
+          if (row_exprs[c]->kind != SqlExprKind::kLiteral) {
+            return Status::BindError("INSERT values must be literals");
+          }
+          Value v = row_exprs[c]->literal;
+          if (v.type() != schema.ColumnAt(c).type && !v.is_null()) {
+            auto cast = v.CastTo(schema.ColumnAt(c).type);
+            if (cast.ok()) v = std::move(cast).value();
+          }
+          row.push_back(std::move(v));
+        }
+        ELE_RETURN_NOT_OK(table->Insert(row));
+      }
+      QueryResult qr;
+      qr.counters.rows_output = ins.rows.size();
+      return qr;
+    }
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+}  // namespace elephant

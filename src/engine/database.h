@@ -1,0 +1,80 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/executor.h"
+#include "parser/ast.h"
+#include "planner/hints.h"
+#include "planner/planner.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace elephant {
+
+/// Result of executing one statement.
+struct QueryResult {
+  Schema schema;
+  std::vector<Row> rows;
+
+  ExecCounters counters;     ///< operator-level counters
+  IoStats io;                ///< physical I/O performed by this statement
+  double cpu_seconds = 0;    ///< measured wall time of execution (single thread)
+  double io_seconds = 0;     ///< modeled disk time for `io`
+  /// Modeled end-to-end time: what this execution would have taken with the
+  /// configured disk (I/O model) plus the measured CPU time.
+  double TotalSeconds() const { return cpu_seconds + io_seconds; }
+
+  /// Renders rows as an aligned text table (for examples and debugging).
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+/// Configuration for a Database instance.
+struct DatabaseOptions {
+  uint32_t buffer_pool_pages = kDefaultBufferPoolPages;
+  DiskModel disk_model;
+  /// When true (the default for benchmarks), Execute() drops the buffer pool
+  /// before running so every query starts cold, like the paper's experiments.
+  bool cold_cache = false;
+};
+
+/// The "old elephant": an embedded row-store database. SQL in, rows out.
+/// Everything the paper's strategies need — clustered and covering secondary
+/// indexes, materialized views (mv/), c-tables (cstore/) — is layered on top
+/// of this engine without modifying it.
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+
+  Catalog& catalog() { return *catalog_; }
+  BufferPool& pool() { return *pool_; }
+  DiskManager& disk() { return *disk_; }
+  const DiskModel& disk_model() const { return options_.disk_model; }
+  DatabaseOptions& options() { return options_; }
+
+  /// Executes one statement (SELECT / CREATE TABLE / CREATE INDEX / INSERT).
+  /// `extra_hints` merge with any /*+ ... */ hints in the SQL text.
+  Result<QueryResult> Execute(const std::string& sql, PlanHints extra_hints = {});
+
+  /// Returns the physical plan for a SELECT without running it.
+  Result<std::string> Explain(const std::string& sql, PlanHints extra_hints = {});
+
+  /// Flushes and empties the buffer pool (next query runs cold).
+  Status EvictCaches();
+
+  /// Refreshes optimizer statistics for one table.
+  Status Analyze(const std::string& table);
+
+ private:
+  Result<QueryResult> ExecuteSelect(std::unique_ptr<SelectStmt> stmt,
+                                    PlanHints extra_hints);
+
+  DatabaseOptions options_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<Catalog> catalog_;
+};
+
+}  // namespace elephant

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <memory>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace elephant {
+
+/// Counters gathered while a plan runs. `index_seeks` counts inner-side index
+/// probes of index nested-loop joins — the "context switches" the paper's
+/// optimized Q3 rewrite (Figure 4(b)) is designed to reduce.
+struct ExecCounters {
+  uint64_t rows_output = 0;
+  uint64_t index_seeks = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t sort_rows = 0;
+};
+
+/// Shared state for one query execution.
+class ExecContext {
+ public:
+  explicit ExecContext(BufferPool* pool) : pool_(pool) {}
+
+  BufferPool* pool() const { return pool_; }
+  ExecCounters& counters() { return counters_; }
+
+ private:
+  BufferPool* pool_;
+  ExecCounters counters_;
+};
+
+/// Volcano-style executor: Init() once, then Next() until it yields false.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  virtual Status Init() = 0;
+
+  /// Produces the next row into `out`. Returns false at end of stream.
+  virtual Result<bool> Next(Row* out) = 0;
+
+  virtual const Schema& OutputSchema() const = 0;
+};
+
+using ExecutorPtr = std::unique_ptr<Executor>;
+
+/// Drains an executor into a vector of rows (Init + all Next calls).
+Result<std::vector<Row>> ExecuteToVector(Executor* exec);
+
+}  // namespace elephant

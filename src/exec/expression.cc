@@ -1,0 +1,208 @@
+#include "exec/expression.h"
+
+namespace elephant {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "<>";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+const char* ArithOpName(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd: return "+";
+    case ArithOp::kSub: return "-";
+    case ArithOp::kMul: return "*";
+    case ArithOp::kDiv: return "/";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc fn) {
+  switch (fn) {
+    case AggFunc::kCountStar: return "COUNT(*)";
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kSum: return "SUM";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+    case AggFunc::kAvg: return "AVG";
+  }
+  return "?";
+}
+
+Result<Value> CompareExpr::Eval(const Row& row) const {
+  ELE_ASSIGN_OR_RETURN(Value l, lhs_->Eval(row));
+  ELE_ASSIGN_OR_RETURN(Value r, rhs_->Eval(row));
+  if (l.is_null() || r.is_null()) return Value::Boolean(false);
+  const int c = l.Compare(r);
+  switch (op_) {
+    case CompareOp::kEq: return Value::Boolean(c == 0);
+    case CompareOp::kNe: return Value::Boolean(c != 0);
+    case CompareOp::kLt: return Value::Boolean(c < 0);
+    case CompareOp::kLe: return Value::Boolean(c <= 0);
+    case CompareOp::kGt: return Value::Boolean(c > 0);
+    case CompareOp::kGe: return Value::Boolean(c >= 0);
+  }
+  return Status::Internal("bad compare op");
+}
+
+Result<Value> LogicalExpr::Eval(const Row& row) const {
+  ELE_ASSIGN_OR_RETURN(Value l, lhs_->Eval(row));
+  const bool lb = !l.is_null() && l.AsBool();
+  if (op_ == LogicalOp::kAnd && !lb) return Value::Boolean(false);
+  if (op_ == LogicalOp::kOr && lb) return Value::Boolean(true);
+  ELE_ASSIGN_OR_RETURN(Value r, rhs_->Eval(row));
+  return Value::Boolean(!r.is_null() && r.AsBool());
+}
+
+Result<Value> ArithExpr::Eval(const Row& row) const {
+  ELE_ASSIGN_OR_RETURN(Value l, lhs_->Eval(row));
+  ELE_ASSIGN_OR_RETURN(Value r, rhs_->Eval(row));
+  switch (op_) {
+    case ArithOp::kAdd: return l.Add(r);
+    case ArithOp::kSub: return l.Subtract(r);
+    case ArithOp::kMul: return l.Multiply(r);
+    case ArithOp::kDiv: {
+      // SQL `/` is exact here and always yields DOUBLE (deliberate
+      // divergence from integer division) so derived averages such as
+      // SUM(x)/COUNT(*) — used by view matching and the c-table rewriter —
+      // are lossless.
+      if (!IsNumeric(l.type()) || !IsNumeric(r.type())) {
+        return Status::InvalidArgument("division of non-numeric types");
+      }
+      if (l.is_null() || r.is_null()) return Value::Null(TypeId::kDouble);
+      const double denom = r.AsDouble();
+      if (denom == 0) return Status::InvalidArgument("division by zero");
+      return Value::Double(l.AsDouble() / denom);
+    }
+  }
+  return Status::Internal("bad arith op");
+}
+
+TypeId ArithExpr::output_type() const {
+  if (op_ == ArithOp::kDiv) return TypeId::kDouble;
+  const TypeId a = lhs_->output_type();
+  const TypeId b = rhs_->output_type();
+  if (a == TypeId::kDouble || b == TypeId::kDouble) return TypeId::kDouble;
+  if (a == TypeId::kDecimal || b == TypeId::kDecimal) return TypeId::kDecimal;
+  if (a == TypeId::kInt64 || b == TypeId::kInt64) return TypeId::kInt64;
+  if (a == TypeId::kDate || b == TypeId::kDate) return TypeId::kDate;
+  return TypeId::kInt32;
+}
+
+Result<Value> NotExpr::Eval(const Row& row) const {
+  ELE_ASSIGN_OR_RETURN(Value v, child_->Eval(row));
+  if (v.is_null()) return Value::Null(TypeId::kBoolean);
+  return Value::Boolean(!v.AsBool());
+}
+
+ExprPtr ConjoinAll(std::vector<ExprPtr> preds) {
+  ExprPtr out;
+  for (ExprPtr& p : preds) {
+    if (p == nullptr) continue;
+    out = out == nullptr ? std::move(p) : And(std::move(out), std::move(p));
+  }
+  return out;
+}
+
+void SplitConjuncts(ExprPtr pred, std::vector<ExprPtr>* out) {
+  if (pred == nullptr) return;
+  auto* logical = dynamic_cast<LogicalExpr*>(pred.get());
+  if (logical != nullptr && logical->op() == LogicalOp::kAnd) {
+    SplitConjuncts(logical->TakeLhs(), out);
+    SplitConjuncts(logical->TakeRhs(), out);
+    return;
+  }
+  out->push_back(std::move(pred));
+}
+
+Result<bool> EvalPredicate(const Expr& pred, const Row& row) {
+  ELE_ASSIGN_OR_RETURN(Value v, pred.Eval(row));
+  return !v.is_null() && v.AsBool();
+}
+
+TypeId AggSpec::OutputType() const {
+  switch (fn) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return TypeId::kInt64;
+    case AggFunc::kSum: {
+      const TypeId t = arg->output_type();
+      if (t == TypeId::kDouble) return TypeId::kDouble;
+      if (t == TypeId::kDecimal) return TypeId::kDecimal;
+      return TypeId::kInt64;
+    }
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return arg->output_type();
+    case AggFunc::kAvg:
+      return TypeId::kDouble;
+  }
+  return TypeId::kInvalid;
+}
+
+Status AggState::Accumulate(const Value& v) {
+  if (fn_ == AggFunc::kCountStar) {
+    count_++;
+    return Status::OK();
+  }
+  if (v.is_null()) return Status::OK();
+  count_++;
+  switch (fn_) {
+    case AggFunc::kCount:
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      if (!has_value_) {
+        // Widen to the SUM domain so int32 sums don't overflow.
+        if (v.type() == TypeId::kInt32) {
+          acc_ = Value::Int64(v.AsInt64());
+        } else {
+          acc_ = v;
+        }
+      } else {
+        ELE_ASSIGN_OR_RETURN(acc_, acc_.Add(v));
+      }
+      has_value_ = true;
+      break;
+    case AggFunc::kMin:
+      if (!has_value_ || v.Compare(acc_) < 0) acc_ = v;
+      has_value_ = true;
+      break;
+    case AggFunc::kMax:
+      if (!has_value_ || v.Compare(acc_) > 0) acc_ = v;
+      has_value_ = true;
+      break;
+    case AggFunc::kCountStar:
+      break;
+  }
+  return Status::OK();
+}
+
+Value AggState::Finalize() const {
+  switch (fn_) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return Value::Int64(count_);
+    case AggFunc::kSum:
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return has_value_ ? acc_ : Value::Null(acc_.type());
+    case AggFunc::kAvg: {
+      if (count_ == 0) return Value::Null(TypeId::kDouble);
+      double sum = acc_.type() == TypeId::kDecimal
+                       ? static_cast<double>(acc_.AsInt64()) / decimal::kScale
+                       : acc_.AsDouble();
+      return Value::Double(sum / static_cast<double>(count_));
+    }
+  }
+  return Value();
+}
+
+}  // namespace elephant

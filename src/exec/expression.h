@@ -1,0 +1,334 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace elephant {
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class LogicalOp { kAnd, kOr };
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+const char* CompareOpName(CompareOp op);
+const char* ArithOpName(ArithOp op);
+
+/// A scalar expression evaluated against a single input row. Column
+/// references are positional (resolved by the binder/planner); join
+/// executors evaluate expressions against the concatenated row.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  /// Evaluates against `row`. Comparison of NULL operands yields false
+  /// (simplified SQL three-valued logic: NULL never satisfies a filter).
+  virtual Result<Value> Eval(const Row& row) const = 0;
+
+  /// Static result type.
+  virtual TypeId output_type() const = 0;
+
+  /// Width for CHAR results (0 otherwise). Needed so schemas derived from
+  /// expressions keep fixed-width string layouts intact.
+  virtual uint32_t output_length() const { return 0; }
+
+  virtual std::string ToString() const = 0;
+
+  virtual ExprPtr Clone() const = 0;
+
+  /// Collects all column indices referenced by this expression.
+  virtual void CollectColumns(std::vector<size_t>* out) const = 0;
+
+  /// Rewrites every column index i to i + delta (used when an expression
+  /// moves across a join boundary).
+  virtual void ShiftColumns(int delta) = 0;
+
+  /// Rewrites every column index i to mapping[i]. Entries of -1 mark columns
+  /// that must not be referenced (programming error if hit).
+  virtual void RemapColumns(const std::vector<int>& mapping) = 0;
+};
+
+/// Positional column reference.
+class ColumnExpr final : public Expr {
+ public:
+  ColumnExpr(size_t index, TypeId type, std::string name = "", uint32_t length = 0)
+      : index_(index), type_(type), name_(std::move(name)), length_(length) {}
+
+  Result<Value> Eval(const Row& row) const override {
+    if (index_ >= row.size()) {
+      return Status::ExecError("column index " + std::to_string(index_) +
+                               " out of range (row arity " +
+                               std::to_string(row.size()) + ")");
+    }
+    return row[index_];
+  }
+  TypeId output_type() const override { return type_; }
+  uint32_t output_length() const override { return length_; }
+  std::string ToString() const override {
+    return name_.empty() ? "#" + std::to_string(index_) : name_;
+  }
+  ExprPtr Clone() const override {
+    return std::make_unique<ColumnExpr>(index_, type_, name_, length_);
+  }
+  void CollectColumns(std::vector<size_t>* out) const override {
+    out->push_back(index_);
+  }
+  void ShiftColumns(int delta) override {
+    index_ = static_cast<size_t>(static_cast<long>(index_) + delta);
+  }
+  void RemapColumns(const std::vector<int>& mapping) override {
+    assert(index_ < mapping.size() && mapping[index_] >= 0 &&
+           "column remap to unavailable position");
+    index_ = static_cast<size_t>(mapping[index_]);
+  }
+
+  size_t index() const { return index_; }
+
+ private:
+  size_t index_;
+  TypeId type_;
+  std::string name_;
+  uint32_t length_;
+};
+
+/// Constant.
+class LiteralExpr final : public Expr {
+ public:
+  explicit LiteralExpr(Value v) : value_(std::move(v)) {}
+
+  Result<Value> Eval(const Row&) const override { return value_; }
+  TypeId output_type() const override { return value_.type(); }
+  uint32_t output_length() const override {
+    return value_.type() == TypeId::kChar
+               ? static_cast<uint32_t>(value_.AsString().size())
+               : 0;
+  }
+  std::string ToString() const override { return value_.ToString(); }
+  ExprPtr Clone() const override { return std::make_unique<LiteralExpr>(value_); }
+  void CollectColumns(std::vector<size_t>*) const override {}
+  void ShiftColumns(int) override {}
+  void RemapColumns(const std::vector<int>&) override {}
+
+  const Value& value() const { return value_; }
+
+ private:
+  Value value_;
+};
+
+/// Binary comparison; returns BOOLEAN (false when either side is NULL).
+class CompareExpr final : public Expr {
+ public:
+  CompareExpr(CompareOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Result<Value> Eval(const Row& row) const override;
+  TypeId output_type() const override { return TypeId::kBoolean; }
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() + " " + CompareOpName(op_) + " " +
+           rhs_->ToString() + ")";
+  }
+  ExprPtr Clone() const override {
+    return std::make_unique<CompareExpr>(op_, lhs_->Clone(), rhs_->Clone());
+  }
+  void CollectColumns(std::vector<size_t>* out) const override {
+    lhs_->CollectColumns(out);
+    rhs_->CollectColumns(out);
+  }
+  void ShiftColumns(int delta) override {
+    lhs_->ShiftColumns(delta);
+    rhs_->ShiftColumns(delta);
+  }
+  void RemapColumns(const std::vector<int>& mapping) override {
+    lhs_->RemapColumns(mapping);
+    rhs_->RemapColumns(mapping);
+  }
+
+  CompareOp op() const { return op_; }
+  const Expr* lhs() const { return lhs_.get(); }
+  const Expr* rhs() const { return rhs_.get(); }
+  ExprPtr TakeLhs() { return std::move(lhs_); }
+  ExprPtr TakeRhs() { return std::move(rhs_); }
+
+ private:
+  CompareOp op_;
+  ExprPtr lhs_, rhs_;
+};
+
+/// AND / OR over boolean operands.
+class LogicalExpr final : public Expr {
+ public:
+  LogicalExpr(LogicalOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Result<Value> Eval(const Row& row) const override;
+  TypeId output_type() const override { return TypeId::kBoolean; }
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() + (op_ == LogicalOp::kAnd ? " AND " : " OR ") +
+           rhs_->ToString() + ")";
+  }
+  ExprPtr Clone() const override {
+    return std::make_unique<LogicalExpr>(op_, lhs_->Clone(), rhs_->Clone());
+  }
+  void CollectColumns(std::vector<size_t>* out) const override {
+    lhs_->CollectColumns(out);
+    rhs_->CollectColumns(out);
+  }
+  void ShiftColumns(int delta) override {
+    lhs_->ShiftColumns(delta);
+    rhs_->ShiftColumns(delta);
+  }
+  void RemapColumns(const std::vector<int>& mapping) override {
+    lhs_->RemapColumns(mapping);
+    rhs_->RemapColumns(mapping);
+  }
+
+  LogicalOp op() const { return op_; }
+  const Expr* lhs() const { return lhs_.get(); }
+  const Expr* rhs() const { return rhs_.get(); }
+  ExprPtr TakeLhs() { return std::move(lhs_); }
+  ExprPtr TakeRhs() { return std::move(rhs_); }
+
+ private:
+  LogicalOp op_;
+  ExprPtr lhs_, rhs_;
+};
+
+/// +, -, *, / over numeric operands.
+class ArithExpr final : public Expr {
+ public:
+  ArithExpr(ArithOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Result<Value> Eval(const Row& row) const override;
+  TypeId output_type() const override;
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() + " " + ArithOpName(op_) + " " +
+           rhs_->ToString() + ")";
+  }
+  ExprPtr Clone() const override {
+    return std::make_unique<ArithExpr>(op_, lhs_->Clone(), rhs_->Clone());
+  }
+  void CollectColumns(std::vector<size_t>* out) const override {
+    lhs_->CollectColumns(out);
+    rhs_->CollectColumns(out);
+  }
+  void ShiftColumns(int delta) override {
+    lhs_->ShiftColumns(delta);
+    rhs_->ShiftColumns(delta);
+  }
+  void RemapColumns(const std::vector<int>& mapping) override {
+    lhs_->RemapColumns(mapping);
+    rhs_->RemapColumns(mapping);
+  }
+
+ private:
+  ArithOp op_;
+  ExprPtr lhs_, rhs_;
+};
+
+/// NOT over a boolean operand (NULL stays NULL -> filter-false).
+class NotExpr final : public Expr {
+ public:
+  explicit NotExpr(ExprPtr child) : child_(std::move(child)) {}
+
+  Result<Value> Eval(const Row& row) const override;
+  TypeId output_type() const override { return TypeId::kBoolean; }
+  std::string ToString() const override { return "NOT " + child_->ToString(); }
+  ExprPtr Clone() const override {
+    return std::make_unique<NotExpr>(child_->Clone());
+  }
+  void CollectColumns(std::vector<size_t>* out) const override {
+    child_->CollectColumns(out);
+  }
+  void ShiftColumns(int delta) override { child_->ShiftColumns(delta); }
+  void RemapColumns(const std::vector<int>& mapping) override {
+    child_->RemapColumns(mapping);
+  }
+
+ private:
+  ExprPtr child_;
+};
+
+// ---- Convenience constructors ----
+
+inline ExprPtr Col(size_t i, TypeId t, std::string name = "", uint32_t length = 0) {
+  return std::make_unique<ColumnExpr>(i, t, std::move(name), length);
+}
+inline ExprPtr Lit(Value v) { return std::make_unique<LiteralExpr>(std::move(v)); }
+inline ExprPtr Cmp(CompareOp op, ExprPtr l, ExprPtr r) {
+  return std::make_unique<CompareExpr>(op, std::move(l), std::move(r));
+}
+inline ExprPtr And(ExprPtr l, ExprPtr r) {
+  return std::make_unique<LogicalExpr>(LogicalOp::kAnd, std::move(l), std::move(r));
+}
+inline ExprPtr Or(ExprPtr l, ExprPtr r) {
+  return std::make_unique<LogicalExpr>(LogicalOp::kOr, std::move(l), std::move(r));
+}
+inline ExprPtr Arith(ArithOp op, ExprPtr l, ExprPtr r) {
+  return std::make_unique<ArithExpr>(op, std::move(l), std::move(r));
+}
+
+/// ANDs a list of predicates (nullptr when empty).
+ExprPtr ConjoinAll(std::vector<ExprPtr> preds);
+
+/// Splits a predicate tree into its top-level AND conjuncts.
+void SplitConjuncts(ExprPtr pred, std::vector<ExprPtr>* out);
+
+/// Evaluates `pred` as a filter: true iff it evaluates to non-NULL true.
+Result<bool> EvalPredicate(const Expr& pred, const Row& row);
+
+// ---- Aggregates ----
+
+enum class AggFunc { kCountStar, kCount, kSum, kMin, kMax, kAvg };
+
+const char* AggFuncName(AggFunc fn);
+
+/// One aggregate in a SELECT list: the function and its argument
+/// (nullptr for COUNT(*)).
+struct AggSpec {
+  AggFunc fn;
+  ExprPtr arg;
+  std::string name;
+
+  AggSpec(AggFunc f, ExprPtr a, std::string n = "")
+      : fn(f), arg(std::move(a)), name(std::move(n)) {}
+  AggSpec Clone() const {
+    return AggSpec(fn, arg ? arg->Clone() : nullptr, name);
+  }
+
+  /// Result type of the aggregate given its argument type.
+  TypeId OutputType() const;
+
+  /// CHAR width of the result (nonzero only for MIN/MAX of CHAR columns).
+  uint32_t OutputLength() const {
+    return (fn == AggFunc::kMin || fn == AggFunc::kMax) && arg != nullptr
+               ? arg->output_length()
+               : 0;
+  }
+};
+
+/// Incremental aggregate accumulator.
+class AggState {
+ public:
+  explicit AggState(AggFunc fn) : fn_(fn) {}
+
+  /// Folds one input value (ignored for COUNT(*); NULLs skipped per SQL).
+  Status Accumulate(const Value& v);
+  /// Number of accumulated inputs so far (for COUNT/AVG).
+  Value Finalize() const;
+
+ private:
+  AggFunc fn_;
+  int64_t count_ = 0;
+  Value acc_;  ///< running SUM / MIN / MAX
+  bool has_value_ = false;
+};
+
+}  // namespace elephant

@@ -1,0 +1,84 @@
+#include "exec/scan_executor.h"
+
+namespace elephant {
+
+KeyRange MakeKeyRange(const std::vector<Value>& eq_values,
+                      const std::optional<Value>& lo, bool lo_inclusive,
+                      const std::optional<Value>& hi, bool hi_inclusive) {
+  KeyRange range;
+  std::string prefix;
+  for (const Value& v : eq_values) keycodec::Encode(v, &prefix);
+  range.lo = prefix;
+  if (lo.has_value()) {
+    keycodec::Encode(*lo, &range.lo);
+    if (!lo_inclusive) {
+      // Exclusive lower bound: skip every key extending this exact value.
+      range.lo = keycodec::PrefixUpperBound(range.lo);
+    }
+  }
+  if (hi.has_value()) {
+    range.hi = prefix;
+    keycodec::Encode(*hi, &range.hi);
+    if (hi_inclusive) {
+      // Inclusive upper bound: include every key extending this exact value.
+      range.hi = keycodec::PrefixUpperBound(range.hi);
+    }
+  } else if (!prefix.empty()) {
+    range.hi = keycodec::PrefixUpperBound(prefix);
+  }
+  return range;
+}
+
+Status ClusteredScanExecutor::Init() {
+  ELE_ASSIGN_OR_RETURN(Table::RowIterator it,
+                       table_->ScanRange(range_.lo, range_.hi));
+  it_.emplace(std::move(it));
+  return Status::OK();
+}
+
+Result<bool> ClusteredScanExecutor::Next(Row* out) {
+  if (!it_->Valid()) return false;
+  ELE_RETURN_NOT_OK(it_->Current(out));
+  ELE_RETURN_NOT_OK(it_->Next());
+  ctx_->counters().rows_scanned++;
+  return true;
+}
+
+Status SecondaryIndexScanExecutor::Init() {
+  BPlusTree::Iterator it;
+  if (range_.lo.empty()) {
+    ELE_ASSIGN_OR_RETURN(it, index_->tree->SeekToFirst());
+  } else {
+    ELE_ASSIGN_OR_RETURN(it, index_->tree->Seek(range_.lo));
+  }
+  it_.emplace(std::move(it));
+  return Status::OK();
+}
+
+Result<bool> SecondaryIndexScanExecutor::Next(Row* out) {
+  if (!it_->Valid()) return false;
+  const std::string_view key = it_->key();
+  if (!range_.hi.empty() && std::string_view(key) >= std::string_view(range_.hi)) {
+    return false;
+  }
+  // Decode key columns from the encoded key, then include columns from the
+  // serialized payload.
+  out->clear();
+  std::string key_str(key);
+  size_t pos = 0;
+  for (size_t c : index_->key_cols) {
+    ELE_ASSIGN_OR_RETURN(
+        Value v, keycodec::Decode(table_->schema().ColumnAt(c).type, key_str, &pos));
+    out->push_back(std::move(v));
+  }
+  SecondaryEntry entry = DecodeSecondaryValue(it_->value());
+  Row include_row;
+  ELE_RETURN_NOT_OK(tuple::Deserialize(index_->include_schema, entry.include_bytes.data(),
+                                       entry.include_bytes.size(), &include_row));
+  for (Value& v : include_row) out->push_back(std::move(v));
+  ELE_RETURN_NOT_OK(it_->Next());
+  ctx_->counters().rows_scanned++;
+  return true;
+}
+
+}  // namespace elephant

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <optional>
+
+#include "catalog/table.h"
+#include "exec/executor.h"
+#include "exec/expression.h"
+
+namespace elephant {
+
+/// A static key range over an index: an encoded lower bound (inclusive) and
+/// upper bound (exclusive). Empty strings mean unbounded.
+struct KeyRange {
+  std::string lo;
+  std::string hi;
+};
+
+/// Builds an encoded KeyRange from per-column bounds on the leading index
+/// columns: `eq_values` constrain a prefix by equality; then an optional
+/// range [lo, hi] (inclusive flags) on the next column.
+KeyRange MakeKeyRange(const std::vector<Value>& eq_values,
+                      const std::optional<Value>& lo, bool lo_inclusive,
+                      const std::optional<Value>& hi, bool hi_inclusive);
+
+/// Scans a table through its clustered index, optionally within a key range.
+/// Output schema = the table schema. Range scans over a cluster-key prefix
+/// touch only the qualifying leaves (sequential I/O on bulk-loaded tables).
+class ClusteredScanExecutor final : public Executor {
+ public:
+  ClusteredScanExecutor(ExecContext* ctx, const Table* table, KeyRange range = {})
+      : ctx_(ctx), table_(table), range_(std::move(range)) {}
+
+  Status Init() override;
+  Result<bool> Next(Row* out) override;
+  const Schema& OutputSchema() const override { return table_->schema(); }
+
+ private:
+  ExecContext* ctx_;
+  const Table* table_;
+  KeyRange range_;
+  std::optional<Table::RowIterator> it_;
+};
+
+/// Scans a secondary covering index within a key range. Output schema =
+/// index key columns followed by include columns (SecondaryIndex::out_schema).
+class SecondaryIndexScanExecutor final : public Executor {
+ public:
+  SecondaryIndexScanExecutor(ExecContext* ctx, const Table* table,
+                             const SecondaryIndex* index, KeyRange range = {})
+      : ctx_(ctx), table_(table), index_(index), range_(std::move(range)) {}
+
+  Status Init() override;
+  Result<bool> Next(Row* out) override;
+  const Schema& OutputSchema() const override { return index_->out_schema; }
+
+ private:
+  ExecContext* ctx_;
+  const Table* table_;
+  const SecondaryIndex* index_;
+  KeyRange range_;
+  std::optional<BPlusTree::Iterator> it_;
+};
+
+/// Emits a fixed list of rows (used for VALUES and for testing).
+class ValuesExecutor final : public Executor {
+ public:
+  ValuesExecutor(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  Status Init() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+  Result<bool> Next(Row* out) override {
+    if (pos_ >= rows_.size()) return false;
+    *out = rows_[pos_++];
+    return true;
+  }
+  const Schema& OutputSchema() const override { return schema_; }
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+}  // namespace elephant

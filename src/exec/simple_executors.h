@@ -1,0 +1,89 @@
+#pragma once
+
+#include "exec/executor.h"
+#include "exec/expression.h"
+
+namespace elephant {
+
+/// Emits child rows satisfying `predicate`.
+class FilterExecutor final : public Executor {
+ public:
+  FilterExecutor(ExecutorPtr child, ExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+  Status Init() override { return child_->Init(); }
+  Result<bool> Next(Row* out) override;
+  const Schema& OutputSchema() const override { return child_->OutputSchema(); }
+
+ private:
+  ExecutorPtr child_;
+  ExprPtr predicate_;
+};
+
+/// Computes one output column per expression.
+class ProjectExecutor final : public Executor {
+ public:
+  ProjectExecutor(ExecutorPtr child, std::vector<ExprPtr> exprs,
+                  std::vector<std::string> names);
+
+  Status Init() override { return child_->Init(); }
+  Result<bool> Next(Row* out) override;
+  const Schema& OutputSchema() const override { return schema_; }
+
+ private:
+  ExecutorPtr child_;
+  std::vector<ExprPtr> exprs_;
+  Schema schema_;
+};
+
+/// One sort key: an expression and its direction.
+struct SortKey {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// Materializes the child and emits rows in sort-key order (in-memory sort;
+/// the engine's working sets fit the paper's read-mostly workloads).
+class SortExecutor final : public Executor {
+ public:
+  SortExecutor(ExecContext* ctx, ExecutorPtr child, std::vector<SortKey> keys)
+      : ctx_(ctx), child_(std::move(child)), keys_(std::move(keys)) {}
+
+  Status Init() override;
+  Result<bool> Next(Row* out) override;
+  const Schema& OutputSchema() const override { return child_->OutputSchema(); }
+
+ private:
+  ExecContext* ctx_;
+  ExecutorPtr child_;
+  std::vector<SortKey> keys_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+/// Emits at most `limit` child rows.
+class LimitExecutor final : public Executor {
+ public:
+  LimitExecutor(ExecutorPtr child, uint64_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+
+  Status Init() override {
+    emitted_ = 0;
+    return child_->Init();
+  }
+  Result<bool> Next(Row* out) override {
+    if (emitted_ >= limit_) return false;
+    ELE_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+    if (!has) return false;
+    emitted_++;
+    return true;
+  }
+  const Schema& OutputSchema() const override { return child_->OutputSchema(); }
+
+ private:
+  ExecutorPtr child_;
+  uint64_t limit_;
+  uint64_t emitted_ = 0;
+};
+
+}  // namespace elephant

@@ -1,0 +1,452 @@
+#include "index/btree.h"
+
+#include <cstring>
+#include <deque>
+#include <vector>
+
+#include "index/btree_node.h"
+
+namespace elephant {
+
+namespace {
+
+/// Little-endian child pid payload for internal cells.
+std::string ChildValue(page_id_t pid) {
+  std::string v(4, '\0');
+  for (int i = 0; i < 4; i++) v[i] = static_cast<char>((pid >> (8 * i)) & 0xff);
+  return v;
+}
+
+}  // namespace
+
+Result<BPlusTree> BPlusTree::Create(BufferPool* pool) {
+  page_id_t pid;
+  ELE_ASSIGN_OR_RETURN(Frame * frame, pool->NewPage(&pid));
+  BTreeNode node(frame->data());
+  node.Init(BTreeNode::kLeaf);
+  pool->UnpinPage(pid, true);
+  return BPlusTree(pool, pid);
+}
+
+Result<page_id_t> BPlusTree::FindLeaf(
+    std::string_view key, std::vector<std::pair<page_id_t, int>>* path) const {
+  page_id_t pid = root_;
+  while (true) {
+    ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(pid));
+    BTreeNode node(frame->data());
+    if (node.IsLeaf()) {
+      pool_->UnpinPage(pid, false);
+      return pid;
+    }
+    int idx = node.LowerBound(key);  // strict <: equal keys route left
+    page_id_t child = node.ChildForIndex(idx);
+    pool_->UnpinPage(pid, false);
+    if (path != nullptr) path->emplace_back(pid, idx);
+    pid = child;
+  }
+}
+
+Status BPlusTree::SplitNode(page_id_t pid, std::string* separator,
+                            page_id_t* new_pid, int* split_index) {
+  ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(pid));
+  BTreeNode node(frame->data());
+  const int count = node.Count();
+  if (count < 2) {
+    pool_->UnpinPage(pid, false);
+    return Status::Internal("split of node with <2 cells");
+  }
+  // Choose split index m so the left half holds ~half of the live bytes.
+  const uint32_t half = node.LiveBytes() / 2;
+  uint32_t acc = 0;
+  int m = 0;
+  for (; m < count - 1; m++) {
+    acc += BTreeNode::CellBytes(node.KeyAt(m).size(), node.ValueAt(m).size());
+    if (acc >= half && m + 1 >= 1) break;
+  }
+  if (m == 0) m = 1;
+  if (m >= count) m = count - 1;
+
+  page_id_t right_pid;
+  auto right_frame = pool_->NewPage(&right_pid);
+  if (!right_frame.ok()) {
+    pool_->UnpinPage(pid, false);
+    return right_frame.status();
+  }
+  BTreeNode right(right_frame.value()->data());
+
+  if (node.IsLeaf()) {
+    right.Init(BTreeNode::kLeaf);
+    *separator = std::string(node.KeyAt(m));
+    for (int i = m; i < count; i++) {
+      right.InsertCell(i - m, node.KeyAt(i), node.ValueAt(i));
+    }
+    right.SetLink(node.Link());
+    // Truncate left to [0, m) and reclaim space.
+    node.PutU16(1, static_cast<uint16_t>(m));
+    node.Compact();
+    node.SetLink(right_pid);
+  } else {
+    right.Init(BTreeNode::kInternal);
+    *separator = std::string(node.KeyAt(m));
+    right.SetLink(node.ChildCellAt(m));  // separator's child becomes leftmost
+    for (int i = m + 1; i < count; i++) {
+      right.InsertCell(i - m - 1, node.KeyAt(i), node.ValueAt(i));
+    }
+    node.PutU16(1, static_cast<uint16_t>(m));
+    node.Compact();
+  }
+  pool_->UnpinPage(right_pid, true);
+  pool_->UnpinPage(pid, true);
+  *new_pid = right_pid;
+  *split_index = m;
+  return Status::OK();
+}
+
+Status BPlusTree::InsertIntoParent(std::vector<std::pair<page_id_t, int>>& path,
+                                   std::string separator, page_id_t new_child) {
+  while (true) {
+    if (path.empty()) {
+      // Root split: create a new internal root.
+      page_id_t new_root;
+      ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->NewPage(&new_root));
+      BTreeNode node(frame->data());
+      node.Init(BTreeNode::kInternal);
+      node.SetLink(root_);
+      node.InsertCell(0, separator, ChildValue(new_child));
+      pool_->UnpinPage(new_root, true);
+      root_ = new_root;
+      return Status::OK();
+    }
+    auto [pid, child_idx] = path.back();
+    path.pop_back();
+    ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(pid));
+    BTreeNode node(frame->data());
+    const std::string child_value = ChildValue(new_child);
+    const uint32_t need = BTreeNode::CellBytes(separator.size(), child_value.size());
+    if (need <= node.ContiguousFree() || need <= node.TotalFree()) {
+      if (need > node.ContiguousFree()) node.Compact();
+      node.InsertCell(child_idx, separator, child_value);
+      pool_->UnpinPage(pid, true);
+      return Status::OK();
+    }
+    pool_->UnpinPage(pid, false);
+    // Parent overfull: split it, insert into the proper half by *position*
+    // (duplicate-safe), and continue propagating its separator upward.
+    std::string parent_sep;
+    page_id_t parent_right;
+    int m;
+    ELE_RETURN_NOT_OK(SplitNode(pid, &parent_sep, &parent_right, &m));
+    // Pre-split coordinates: cell position child_idx. Internal split keeps
+    // cells [0,m) left, promotes m, moves (m,count) right (right cell i maps
+    // to pre-split cell m+1+i).
+    page_id_t target = child_idx <= m ? pid : parent_right;
+    int idx = child_idx <= m ? child_idx : child_idx - m - 1;
+    ELE_ASSIGN_OR_RETURN(Frame * tframe, pool_->FetchPage(target));
+    BTreeNode tnode(tframe->data());
+    if (BTreeNode::CellBytes(separator.size(), child_value.size()) >
+        tnode.ContiguousFree()) {
+      tnode.Compact();
+    }
+    tnode.InsertCell(idx, separator, child_value);
+    pool_->UnpinPage(target, true);
+    separator = std::move(parent_sep);
+    new_child = parent_right;
+  }
+}
+
+Status BPlusTree::Insert(std::string_view key, std::string_view value) {
+  if (key.size() + value.size() > kMaxCellPayload) {
+    return Status::InvalidArgument("btree entry exceeds max payload");
+  }
+  std::vector<std::pair<page_id_t, int>> path;
+  ELE_ASSIGN_OR_RETURN(page_id_t leaf_pid, FindLeaf(key, &path));
+  ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(leaf_pid));
+  BTreeNode leaf(frame->data());
+  const uint32_t need = BTreeNode::CellBytes(key.size(), value.size());
+  int pos = leaf.LowerBound(key);
+  if (need <= leaf.ContiguousFree()) {
+    leaf.InsertCell(pos, key, value);
+    pool_->UnpinPage(leaf_pid, true);
+    return Status::OK();
+  }
+  if (need <= leaf.TotalFree()) {
+    leaf.Compact();
+    leaf.InsertCell(pos, key, value);
+    pool_->UnpinPage(leaf_pid, true);
+    return Status::OK();
+  }
+  pool_->UnpinPage(leaf_pid, false);
+  // Leaf overfull: split, insert into the proper half by pre-split position
+  // (duplicate-safe), fix ancestors. Leaf split keeps cells [0,m) left and
+  // moves [m,count) right.
+  std::string separator;
+  page_id_t right_pid;
+  int m;
+  ELE_RETURN_NOT_OK(SplitNode(leaf_pid, &separator, &right_pid, &m));
+  page_id_t target = pos <= m ? leaf_pid : right_pid;
+  int idx = pos <= m ? pos : pos - m;
+  ELE_ASSIGN_OR_RETURN(Frame * tframe, pool_->FetchPage(target));
+  BTreeNode tnode(tframe->data());
+  if (need > tnode.ContiguousFree()) tnode.Compact();
+  tnode.InsertCell(idx, key, value);
+  pool_->UnpinPage(target, true);
+  return InsertIntoParent(path, std::move(separator), right_pid);
+}
+
+namespace {
+
+/// Locates the first exact occurrence of `key`: (leaf pid, cell index).
+struct ExactPos {
+  page_id_t leaf;
+  int pos;
+};
+
+}  // namespace
+
+static Result<ExactPos> LocateExact(BufferPool* pool, const BPlusTree& tree,
+                                    std::string_view key, page_id_t start_leaf) {
+  page_id_t pid = start_leaf;
+  while (pid != kInvalidPageId) {
+    ELE_ASSIGN_OR_RETURN(Frame * frame, pool->FetchPage(pid));
+    BTreeNode node(frame->data());
+    int pos = node.LowerBound(key);
+    if (pos < node.Count()) {
+      bool match = node.KeyAt(pos) == key;
+      pool->UnpinPage(pid, false);
+      if (match) return ExactPos{pid, pos};
+      return Status::NotFound("key not in btree");
+    }
+    page_id_t next = node.Link();
+    pool->UnpinPage(pid, false);
+    pid = next;  // duplicates/edge: first >= key may start on the next leaf
+  }
+  return Status::NotFound("key not in btree");
+}
+
+Result<std::string> BPlusTree::Get(std::string_view key) const {
+  ELE_ASSIGN_OR_RETURN(page_id_t leaf_pid, FindLeaf(key, nullptr));
+  ELE_ASSIGN_OR_RETURN(ExactPos at, LocateExact(pool_, *this, key, leaf_pid));
+  ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(at.leaf));
+  BTreeNode node(frame->data());
+  std::string out(node.ValueAt(at.pos));
+  pool_->UnpinPage(at.leaf, false);
+  return out;
+}
+
+Status BPlusTree::Delete(std::string_view key) {
+  ELE_ASSIGN_OR_RETURN(page_id_t leaf_pid, FindLeaf(key, nullptr));
+  ELE_ASSIGN_OR_RETURN(ExactPos at, LocateExact(pool_, *this, key, leaf_pid));
+  ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(at.leaf));
+  BTreeNode node(frame->data());
+  node.RemoveCell(at.pos);
+  pool_->UnpinPage(at.leaf, true);
+  return Status::OK();
+}
+
+Status BPlusTree::Update(std::string_view key, std::string_view value) {
+  ELE_ASSIGN_OR_RETURN(page_id_t leaf_pid, FindLeaf(key, nullptr));
+  ELE_ASSIGN_OR_RETURN(ExactPos at, LocateExact(pool_, *this, key, leaf_pid));
+  ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(at.leaf));
+  BTreeNode node(frame->data());
+  if (node.ValueAt(at.pos).size() == value.size()) {
+    node.SetValueInPlace(at.pos, value);
+    pool_->UnpinPage(at.leaf, true);
+    return Status::OK();
+  }
+  node.RemoveCell(at.pos);
+  pool_->UnpinPage(at.leaf, true);
+  return Insert(key, value);
+}
+
+Status BPlusTree::Iterator::LoadCell() {
+  BTreeNode node(guard_.data());
+  if (pos_ < node.Count()) {
+    key_ = node.KeyAt(pos_);
+    value_ = node.ValueAt(pos_);
+    valid_ = true;
+    return Status::OK();
+  }
+  return AdvanceLeaf();
+}
+
+Status BPlusTree::Iterator::AdvanceLeaf() {
+  while (true) {
+    BTreeNode node(guard_.data());
+    page_id_t next = node.Link();
+    guard_.Release();
+    if (next == kInvalidPageId) {
+      valid_ = false;
+      return Status::OK();
+    }
+    ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(next));
+    guard_ = PageGuard(pool_, next, frame);
+    leaf_ = next;
+    pos_ = 0;
+    BTreeNode nnode(guard_.data());
+    if (nnode.Count() > 0) {
+      key_ = nnode.KeyAt(0);
+      value_ = nnode.ValueAt(0);
+      valid_ = true;
+      return Status::OK();
+    }
+  }
+}
+
+Status BPlusTree::Iterator::Next() {
+  pos_++;
+  return LoadCell();
+}
+
+Result<BPlusTree::Iterator> BPlusTree::SeekToFirst() const {
+  // Descend along leftmost children.
+  page_id_t pid = root_;
+  while (true) {
+    ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(pid));
+    BTreeNode node(frame->data());
+    if (node.IsLeaf()) {
+      Iterator it;
+      it.pool_ = pool_;
+      it.guard_ = PageGuard(pool_, pid, frame);
+      it.leaf_ = pid;
+      it.pos_ = 0;
+      ELE_RETURN_NOT_OK(it.LoadCell());
+      return it;
+    }
+    page_id_t child = node.Link();
+    pool_->UnpinPage(pid, false);
+    pid = child;
+  }
+}
+
+Result<BPlusTree::Iterator> BPlusTree::Seek(std::string_view key) const {
+  ELE_ASSIGN_OR_RETURN(page_id_t leaf_pid, FindLeaf(key, nullptr));
+  ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(leaf_pid));
+  Iterator it;
+  it.pool_ = pool_;
+  it.guard_ = PageGuard(pool_, leaf_pid, frame);
+  it.leaf_ = leaf_pid;
+  BTreeNode node(frame->data());
+  it.pos_ = node.LowerBound(key);
+  ELE_RETURN_NOT_OK(it.LoadCell());
+  return it;
+}
+
+Result<BPlusTree> BPlusTree::BulkLoad(BufferPool* pool, const KvStream& stream,
+                                      double fill_fraction) {
+  const uint32_t budget = static_cast<uint32_t>(
+      (kPageSize - BTreeNode::kHeaderBytes) * fill_fraction);
+
+  // Level 0: pack leaves. Collect (first key, pid) per leaf.
+  std::vector<std::pair<std::string, page_id_t>> level;
+  page_id_t cur_pid = kInvalidPageId;
+  page_id_t prev_pid = kInvalidPageId;
+  Frame* cur_frame = nullptr;
+  uint32_t used = 0;
+  std::string key, value;
+  while (stream(&key, &value)) {
+    if (key.size() + value.size() > kMaxCellPayload) {
+      if (cur_frame != nullptr) pool->UnpinPage(cur_pid, true);
+      return Status::InvalidArgument("btree entry exceeds max payload");
+    }
+    const uint32_t need = BTreeNode::CellBytes(key.size(), value.size());
+    if (cur_frame == nullptr || used + need > budget) {
+      if (cur_frame != nullptr) {
+        pool->UnpinPage(cur_pid, true);
+        prev_pid = cur_pid;
+      }
+      page_id_t pid;
+      ELE_ASSIGN_OR_RETURN(Frame * frame, pool->NewPage(&pid));
+      BTreeNode node(frame->data());
+      node.Init(BTreeNode::kLeaf);
+      if (prev_pid != kInvalidPageId) {
+        ELE_ASSIGN_OR_RETURN(Frame * pframe, pool->FetchPage(prev_pid));
+        BTreeNode(pframe->data()).SetLink(pid);
+        pool->UnpinPage(prev_pid, true);
+      }
+      cur_pid = pid;
+      cur_frame = frame;
+      used = 0;
+      level.emplace_back(key, pid);
+    }
+    BTreeNode node(cur_frame->data());
+    node.InsertCell(node.Count(), key, value);
+    used += need;
+  }
+  if (cur_frame != nullptr) {
+    pool->UnpinPage(cur_pid, true);
+  } else {
+    // Empty input: an empty tree.
+    return Create(pool);
+  }
+
+  // Upper levels: pack (separator, child) fan-out nodes until one root.
+  while (level.size() > 1) {
+    std::vector<std::pair<std::string, page_id_t>> next_level;
+    size_t i = 0;
+    while (i < level.size()) {
+      page_id_t pid;
+      ELE_ASSIGN_OR_RETURN(Frame * frame, pool->NewPage(&pid));
+      BTreeNode node(frame->data());
+      node.Init(BTreeNode::kInternal);
+      node.SetLink(level[i].second);
+      next_level.emplace_back(level[i].first, pid);
+      i++;
+      uint32_t node_used = 0;
+      while (i < level.size()) {
+        const uint32_t need = BTreeNode::CellBytes(level[i].first.size(), 4);
+        if (node_used + need > budget) break;
+        node.InsertCell(node.Count(), level[i].first, ChildValue(level[i].second));
+        node_used += need;
+        i++;
+      }
+      pool->UnpinPage(pid, true);
+    }
+    level = std::move(next_level);
+  }
+  return BPlusTree(pool, level[0].second);
+}
+
+Result<uint64_t> BPlusTree::CountEntries() const {
+  uint64_t n = 0;
+  ELE_ASSIGN_OR_RETURN(Iterator it, SeekToFirst());
+  while (it.Valid()) {
+    n++;
+    ELE_RETURN_NOT_OK(it.Next());
+  }
+  return n;
+}
+
+Result<uint64_t> BPlusTree::CountPages() const {
+  uint64_t n = 0;
+  std::deque<page_id_t> queue{root_};
+  while (!queue.empty()) {
+    page_id_t pid = queue.front();
+    queue.pop_front();
+    n++;
+    ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(pid));
+    BTreeNode node(frame->data());
+    if (!node.IsLeaf()) {
+      queue.push_back(node.Link());
+      for (int i = 0; i < node.Count(); i++) queue.push_back(node.ChildCellAt(i));
+    }
+    pool_->UnpinPage(pid, false);
+  }
+  return n;
+}
+
+Result<uint32_t> BPlusTree::Height() const {
+  uint32_t h = 1;
+  page_id_t pid = root_;
+  while (true) {
+    ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(pid));
+    BTreeNode node(frame->data());
+    bool leaf = node.IsLeaf();
+    page_id_t child = leaf ? kInvalidPageId : node.Link();
+    pool_->UnpinPage(pid, false);
+    if (leaf) return h;
+    h++;
+    pid = child;
+  }
+}
+
+}  // namespace elephant

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace elephant {
+
+/// A disk-resident B+-tree over opaque byte-string keys and values. Keys are
+/// compared with memcmp (callers encode with keycodec so memcmp order equals
+/// value order). Duplicate keys are allowed; Seek/Get find the first
+/// occurrence in key order.
+///
+/// Leaves form a singly linked chain for range scans. Bulk loading packs
+/// leaves into consecutively allocated pages, so full scans of freshly built
+/// indexes are sequential I/O — matching the behaviour of a clustered index
+/// in a real row-store.
+///
+/// Deletions do not rebalance (read-mostly engine); pages may stay underfull.
+class BPlusTree {
+ public:
+  /// Creates an empty tree (root = single empty leaf).
+  static Result<BPlusTree> Create(BufferPool* pool);
+
+  /// Opens an existing tree.
+  BPlusTree(BufferPool* pool, page_id_t root) : pool_(pool), root_(root) {}
+
+  /// A sorted key/value producer for bulk loading. Returns false at end.
+  using KvStream = std::function<bool(std::string* key, std::string* value)>;
+
+  /// Builds a tree from a stream of key-ascending entries (duplicates OK).
+  /// `fill_fraction` controls leaf packing (1.0 = fully packed).
+  static Result<BPlusTree> BulkLoad(BufferPool* pool, const KvStream& stream,
+                                    double fill_fraction = 0.95);
+
+  /// Inserts an entry. key.size()+value.size() must be <= kMaxCellPayload.
+  Status Insert(std::string_view key, std::string_view value);
+
+  /// Removes the first entry with exactly this key (NotFound if absent).
+  Status Delete(std::string_view key);
+
+  /// Replaces the value of the first entry with exactly this key.
+  Status Update(std::string_view key, std::string_view value);
+
+  /// Returns the value of the first entry with exactly this key.
+  Result<std::string> Get(std::string_view key) const;
+
+  /// Forward iterator over entries, in key order, across the leaf chain.
+  /// Holds one pinned page while valid; destroy or exhaust before EvictAll.
+  class Iterator {
+   public:
+    Iterator() = default;
+
+    bool Valid() const { return valid_; }
+    Status Next();
+    std::string_view key() const { return key_; }
+    std::string_view value() const { return value_; }
+
+   private:
+    friend class BPlusTree;
+    Status LoadCell();
+    Status AdvanceLeaf();
+
+    BufferPool* pool_ = nullptr;
+    PageGuard guard_;
+    page_id_t leaf_ = kInvalidPageId;
+    int pos_ = 0;
+    bool valid_ = false;
+    std::string_view key_;
+    std::string_view value_;
+  };
+
+  /// Iterator positioned at the first entry (end iterator if empty).
+  Result<Iterator> SeekToFirst() const;
+
+  /// Iterator positioned at the first entry with key >= `key`.
+  Result<Iterator> Seek(std::string_view key) const;
+
+  page_id_t root() const { return root_; }
+
+  /// Number of entries (full leaf walk; for tests/stats, not hot paths).
+  Result<uint64_t> CountEntries() const;
+
+  /// Number of pages reachable from the root (tree size on disk).
+  Result<uint64_t> CountPages() const;
+
+  /// Tree height (1 = root is a leaf).
+  Result<uint32_t> Height() const;
+
+  /// Largest key+value payload a single cell may carry.
+  static constexpr uint32_t kMaxCellPayload = 1900;
+
+ private:
+  /// Descends to the leaf that should contain `key` (lower-bound routing),
+  /// recording the path of (page id, child index) pairs when `path` != null.
+  Result<page_id_t> FindLeaf(std::string_view key,
+                             std::vector<std::pair<page_id_t, int>>* path) const;
+
+  /// Splits the given overfull node; returns the separator key, the new
+  /// (right) page and the split index `m` in pre-split cell coordinates
+  /// (leaves keep cells [0,m) left / [m,count) right; internal nodes keep
+  /// [0,m) left, promote cell m, and move (m,count) right). The caller
+  /// inserts the separator into the parent. Positional routing (rather than
+  /// key comparison) keeps duplicate keys correctly ordered.
+  Status SplitNode(page_id_t pid, std::string* separator, page_id_t* new_pid,
+                   int* split_index);
+
+  /// Inserts (separator,new_child) into the parent chain after a child split.
+  Status InsertIntoParent(std::vector<std::pair<page_id_t, int>>& path,
+                          std::string separator, page_id_t new_child);
+
+  BufferPool* pool_ = nullptr;
+  page_id_t root_ = kInvalidPageId;
+};
+
+}  // namespace elephant

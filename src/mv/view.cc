@@ -1,0 +1,303 @@
+#include "mv/view.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace elephant {
+namespace mv {
+
+namespace {
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// Canonical form of a join-condition set for comparison.
+std::set<std::pair<std::string, std::string>> CanonicalJoins(
+    const std::vector<std::pair<std::string, std::string>>& conds) {
+  std::set<std::pair<std::string, std::string>> out;
+  for (const auto& [l, r] : conds) {
+    std::string a = Lower(l), b = Lower(r);
+    if (b < a) std::swap(a, b);
+    out.emplace(a, b);
+  }
+  return out;
+}
+
+std::set<std::string> CanonicalTables(const std::vector<std::string>& tables) {
+  std::set<std::string> out;
+  for (const std::string& t : tables) out.insert(Lower(t));
+  return out;
+}
+
+std::string AggSql(AggFunc fn, const std::string& column) {
+  if (fn == AggFunc::kCountStar) return "COUNT(*)";
+  return std::string(AggFuncName(fn)) + "(" + column + ")";
+}
+
+}  // namespace
+
+std::string ViewManager::MaterializationSql(const ViewInfo& info,
+                                            const std::string& extra_pred) {
+  const ViewDef& def = info.def;
+  std::string sql = "SELECT ";
+  for (size_t i = 0; i < def.group_cols.size(); i++) {
+    if (i > 0) sql += ", ";
+    sql += def.group_cols[i];
+  }
+  for (const ViewInfo::AggColumn& a : info.agg_cols) {
+    sql += ", " + AggSql(a.fn, a.column) + " AS " + a.mv_col;
+  }
+  sql += " FROM ";
+  for (size_t i = 0; i < def.tables.size(); i++) {
+    if (i > 0) sql += ", ";
+    sql += def.tables[i];
+  }
+  std::vector<std::string> preds;
+  for (const auto& [l, r] : def.join_conds) preds.push_back(l + " = " + r);
+  if (!extra_pred.empty()) preds.push_back(extra_pred);
+  for (size_t i = 0; i < preds.size(); i++) {
+    sql += i == 0 ? " WHERE " : " AND ";
+    sql += preds[i];
+  }
+  sql += " GROUP BY ";
+  for (size_t i = 0; i < def.group_cols.size(); i++) {
+    if (i > 0) sql += ", ";
+    sql += def.group_cols[i];
+  }
+  return sql;
+}
+
+Status ViewManager::CreateView(const ViewDef& def) {
+  for (const AnalyticQuery::Agg& a : def.aggs) {
+    if (a.fn == AggFunc::kAvg) {
+      return Status::InvalidArgument(
+          "materialize SUM and COUNT(*) instead of AVG; the matcher derives "
+          "AVG from them");
+    }
+  }
+  ViewInfo info;
+  info.def = def;
+  info.table_name = Lower(def.name);
+
+  // Named aggregate columns; always include COUNT(*) (maintenance needs it).
+  bool has_count_star = false;
+  int i = 0;
+  for (const AnalyticQuery::Agg& a : def.aggs) {
+    ViewInfo::AggColumn col;
+    col.fn = a.fn;
+    col.column = Lower(a.column);
+    col.mv_col = !a.alias.empty() ? Lower(a.alias) : "agg" + std::to_string(i);
+    has_count_star |= a.fn == AggFunc::kCountStar;
+    info.agg_cols.push_back(std::move(col));
+    i++;
+  }
+  if (!has_count_star) {
+    info.agg_cols.push_back(
+        ViewInfo::AggColumn{AggFunc::kCountStar, "", "cnt_star"});
+  }
+
+  // Materialize.
+  ELE_ASSIGN_OR_RETURN(QueryResult result,
+                       db_->Execute(MaterializationSql(info, "")));
+  // Backing table: group columns (their original names/types) followed by
+  // aggregate columns, clustered on the group columns.
+  std::vector<Column> cols;
+  std::vector<size_t> cluster;
+  for (size_t g = 0; g < info.def.group_cols.size(); g++) {
+    Column c = result.schema.ColumnAt(g);
+    c.name = Lower(info.def.group_cols[g]);
+    cols.push_back(c);
+    cluster.push_back(g);
+  }
+  for (size_t a = 0; a < info.agg_cols.size(); a++) {
+    Column c = result.schema.ColumnAt(info.def.group_cols.size() + a);
+    c.name = info.agg_cols[a].mv_col;
+    cols.push_back(c);
+  }
+  ELE_ASSIGN_OR_RETURN(Table * table,
+                       db_->catalog().CreateTable(info.table_name, Schema(cols),
+                                                  cluster, /*unique_cluster=*/true));
+  info.rows = result.rows.size();
+  ELE_RETURN_NOT_OK(table->BulkLoadRows(std::move(result.rows)));
+  ELE_RETURN_NOT_OK(table->Analyze());
+  views_.push_back(std::move(info));
+  return Status::OK();
+}
+
+bool ViewManager::Matches(const ViewInfo& info, const AnalyticQuery& query,
+                          std::vector<std::string>* derived_aggs) const {
+  if (CanonicalTables(info.def.tables) != CanonicalTables(query.tables)) {
+    return false;
+  }
+  if (CanonicalJoins(info.def.join_conds) != CanonicalJoins(query.join_conds)) {
+    return false;
+  }
+  std::set<std::string> view_groups;
+  for (const std::string& g : info.def.group_cols) view_groups.insert(Lower(g));
+  for (const AnalyticQuery::Filter& f : query.filters) {
+    if (view_groups.count(Lower(f.column)) == 0) return false;
+  }
+  for (const std::string& g : query.group_cols) {
+    if (view_groups.count(Lower(g)) == 0) return false;
+  }
+  // Aggregate derivability.
+  auto find_col = [&info](AggFunc fn, const std::string& column) -> const char* {
+    for (const ViewInfo::AggColumn& a : info.agg_cols) {
+      if (a.fn == fn && a.column == Lower(column)) return a.mv_col.c_str();
+    }
+    return nullptr;
+  };
+  derived_aggs->clear();
+  for (const AnalyticQuery::Agg& a : query.aggs) {
+    std::string expr;
+    switch (a.fn) {
+      case AggFunc::kCountStar:
+      case AggFunc::kCount: {  // TPC-H columns are non-null: COUNT == COUNT(*)
+        const char* c = find_col(AggFunc::kCountStar, "");
+        if (c == nullptr) return false;
+        expr = std::string("SUM(") + c + ")";
+        break;
+      }
+      case AggFunc::kSum: {
+        const char* c = find_col(AggFunc::kSum, a.column);
+        if (c == nullptr) return false;
+        expr = std::string("SUM(") + c + ")";
+        break;
+      }
+      case AggFunc::kMin: {
+        const char* c = find_col(AggFunc::kMin, a.column);
+        if (c == nullptr) return false;
+        expr = std::string("MIN(") + c + ")";
+        break;
+      }
+      case AggFunc::kMax: {
+        const char* c = find_col(AggFunc::kMax, a.column);
+        if (c == nullptr) return false;
+        expr = std::string("MAX(") + c + ")";
+        break;
+      }
+      case AggFunc::kAvg: {
+        const char* s = find_col(AggFunc::kSum, a.column);
+        const char* n = find_col(AggFunc::kCountStar, "");
+        if (s == nullptr || n == nullptr) return false;
+        expr = std::string("SUM(") + s + ") / SUM(" + n + ")";
+        break;
+      }
+    }
+    if (!a.alias.empty()) expr += " AS " + a.alias;
+    derived_aggs->push_back(std::move(expr));
+  }
+  return true;
+}
+
+Result<std::string> ViewManager::TryRewrite(const AnalyticQuery& query) const {
+  const ViewInfo* best = nullptr;
+  std::vector<std::string> best_aggs;
+  for (const ViewInfo& info : views_) {
+    std::vector<std::string> derived;
+    if (Matches(info, query, &derived) &&
+        (best == nullptr || info.rows < best->rows)) {
+      best = &info;
+      best_aggs = std::move(derived);
+    }
+  }
+  if (best == nullptr) {
+    return Status::NotFound("no materialized view matches " + query.name);
+  }
+  // Compensation: filter the view by the (group-column) predicates, then
+  // re-aggregate to the query's grouping.
+  std::string sql = "SELECT ";
+  bool first = true;
+  for (const std::string& g : query.group_cols) {
+    if (!first) sql += ", ";
+    sql += g;
+    first = false;
+  }
+  for (const std::string& a : best_aggs) {
+    if (!first) sql += ", ";
+    sql += a;
+    first = false;
+  }
+  sql += " FROM " + best->table_name;
+  for (size_t i = 0; i < query.filters.size(); i++) {
+    sql += i == 0 ? " WHERE " : " AND ";
+    const AnalyticQuery::Filter& f = query.filters[i];
+    sql += AnalyticQuery::FilterToSql(f.column, f.op, f.value);
+  }
+  if (!query.group_cols.empty()) {
+    sql += " GROUP BY ";
+    for (size_t i = 0; i < query.group_cols.size(); i++) {
+      if (i > 0) sql += ", ";
+      sql += query.group_cols[i];
+    }
+  }
+  return sql;
+}
+
+Status ViewManager::MergeDelta(const ViewInfo& info, const std::vector<Row>& delta) {
+  ELE_ASSIGN_OR_RETURN(Table * table, db_->catalog().GetTable(info.table_name));
+  const size_t ngroups = info.def.group_cols.size();
+  for (const Row& drow : delta) {
+    std::vector<Value> key(drow.begin(), drow.begin() + ngroups);
+    // Probe for an existing group.
+    const std::string lo = table->EncodeClusterPrefix(key);
+    const std::string hi = keycodec::PrefixUpperBound(lo);
+    ELE_ASSIGN_OR_RETURN(Table::RowIterator it, table->ScanRange(lo, hi));
+    if (!it.Valid()) {
+      ELE_RETURN_NOT_OK(table->Insert(drow));
+      continue;
+    }
+    Row existing;
+    ELE_RETURN_NOT_OK(it.Current(&existing));
+    // Merge aggregate columns.
+    Row merged = existing;
+    for (size_t a = 0; a < info.agg_cols.size(); a++) {
+      const size_t c = ngroups + a;
+      const Value& old_v = existing[c];
+      const Value& new_v = drow[c];
+      switch (info.agg_cols[a].fn) {
+        case AggFunc::kCountStar:
+        case AggFunc::kCount:
+        case AggFunc::kSum: {
+          ELE_ASSIGN_OR_RETURN(merged[c], old_v.Add(new_v));
+          break;
+        }
+        case AggFunc::kMin:
+          merged[c] = new_v.Compare(old_v) < 0 ? new_v : old_v;
+          break;
+        case AggFunc::kMax:
+          merged[c] = new_v.Compare(old_v) > 0 ? new_v : old_v;
+          break;
+        case AggFunc::kAvg:
+          return Status::Internal("AVG is never materialized");
+      }
+    }
+    ELE_RETURN_NOT_OK(table->DeleteByClusterPrefix(key).status());
+    ELE_RETURN_NOT_OK(table->Insert(merged));
+  }
+  return Status::OK();
+}
+
+Status ViewManager::NotifyAppend(const std::string& table,
+                                 const std::string& key_col, const Value& lo,
+                                 const Value& hi) {
+  const std::string pred = key_col + " BETWEEN " + SqlLiteral(lo) + " AND " +
+                           SqlLiteral(hi);
+  for (const ViewInfo& info : views_) {
+    bool involves = false;
+    for (const std::string& t : info.def.tables) {
+      involves |= Lower(t) == Lower(table);
+    }
+    if (!involves) continue;
+    ELE_ASSIGN_OR_RETURN(QueryResult delta,
+                         db_->Execute(MaterializationSql(info, pred)));
+    ELE_RETURN_NOT_OK(MergeDelta(info, delta.rows));
+  }
+  return Status::OK();
+}
+
+}  // namespace mv
+}  // namespace elephant

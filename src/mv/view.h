@@ -1,0 +1,96 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cstore/analytic_query.h"
+#include "engine/database.h"
+
+namespace elephant {
+namespace mv {
+
+/// A materialized view definition: a group-by aggregate over a join of base
+/// tables, like the paper's generalized views (§2.1):
+///
+///   MV2,3 = SELECT l_shipdate, l_suppkey, COUNT(*)
+///           FROM lineitem GROUP BY l_shipdate, l_suppkey
+///
+/// The view's group-by columns are deliberately *wider* than any single
+/// query's so that one view answers a whole family of parameterized queries.
+struct ViewDef {
+  std::string name;
+  std::vector<std::string> tables;
+  std::vector<std::pair<std::string, std::string>> join_conds;
+  std::vector<std::string> group_cols;
+  /// Aggregates to materialize. AVG is rejected: store SUM and COUNT(*)
+  /// instead and let the matcher derive AVG.
+  std::vector<AnalyticQuery::Agg> aggs;
+};
+
+/// Metadata for a materialized view (its backing table is an ordinary
+/// relational table clustered on the group-by columns, so parameterized
+/// filters on a group-column prefix become clustered-index seeks).
+struct ViewInfo {
+  ViewDef def;
+  std::string table_name;
+
+  struct AggColumn {
+    AggFunc fn;
+    std::string column;  ///< base column ("" for COUNT(*))
+    std::string mv_col;  ///< column name in the view's backing table
+  };
+  std::vector<AggColumn> agg_cols;  ///< includes the implicit COUNT(*) column
+  uint64_t rows = 0;
+};
+
+/// Creates, matches and incrementally maintains materialized views — the
+/// paper's `Row(MV)` strategy, implemented entirely with plain tables and
+/// rewritten SQL (view matching would be native in SQL Server; here the
+/// manager plays that role outside an unmodified engine).
+class ViewManager {
+ public:
+  explicit ViewManager(Database* db) : db_(db) {}
+
+  /// Materializes the view (executes its defining query, stores the result
+  /// clustered on the group columns) and registers it for matching. A
+  /// COUNT(*) column is always materialized (needed for maintenance and for
+  /// COUNT/AVG derivation).
+  Status CreateView(const ViewDef& def);
+
+  const std::vector<ViewInfo>& views() const { return views_; }
+
+  /// View matching: if some view can answer `query`, returns the
+  /// compensating SQL over the view's backing table (filters on group
+  /// columns + re-aggregation). Picks the smallest matching view. Returns
+  /// NotFound when no view matches — the caller falls back to another
+  /// strategy, mirroring §2.1's discussion of the approach's narrow scope.
+  Result<std::string> TryRewrite(const AnalyticQuery& query) const;
+
+  /// Incremental maintenance: after rows with `key_col` in [lo, hi] were
+  /// inserted into base table `table`, re-computes the delta for every view
+  /// over that table and merges it in (COUNT/SUM add, MIN/MAX take extrema).
+  /// Inserts only — the paper's data-warehouse setting is read-mostly with
+  /// batch appends.
+  Status NotifyAppend(const std::string& table, const std::string& key_col,
+                      const Value& lo, const Value& hi);
+
+ private:
+  /// The SQL that (re)computes a view's contents, with an optional extra
+  /// conjunct restricting the fact rows (used for deltas).
+  static std::string MaterializationSql(const ViewInfo& info,
+                                        const std::string& extra_pred);
+
+  /// Merges delta group rows into the view's backing table.
+  Status MergeDelta(const ViewInfo& info, const std::vector<Row>& delta);
+
+  /// True when the view can answer the query; fills the derived agg exprs.
+  bool Matches(const ViewInfo& info, const AnalyticQuery& query,
+               std::vector<std::string>* derived_aggs) const;
+
+  Database* db_;
+  std::vector<ViewInfo> views_;
+};
+
+}  // namespace mv
+}  // namespace elephant

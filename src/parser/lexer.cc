@@ -1,0 +1,133 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+namespace elephant {
+
+Result<std::vector<Token>> Lex(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      i++;
+      continue;
+    }
+    // Comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') i++;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && sql[i + 1] == '*') {
+      const bool is_hint = i + 2 < n && sql[i + 2] == '+';
+      size_t start = i + (is_hint ? 3 : 2);
+      size_t end = sql.find("*/", start);
+      if (end == std::string::npos) {
+        return Status::ParseError("unterminated comment at offset " +
+                                  std::to_string(i));
+      }
+      if (is_hint) {
+        Token t;
+        t.kind = TokenKind::kHintBlock;
+        t.text = sql.substr(start, end - start);
+        t.offset = i;
+        tokens.push_back(std::move(t));
+      }
+      i = end + 2;
+      continue;
+    }
+    Token t;
+    t.offset = i;
+    // String literal.
+    if (c == '\'') {
+      i++;
+      std::string s;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            s.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          i++;
+          break;
+        }
+        s.push_back(sql[i++]);
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(t.offset));
+      }
+      t.kind = TokenKind::kString;
+      t.text = s;
+      t.raw = s;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Number literal (digits, optional fraction).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) i++;
+      if (i < n && sql[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+        i++;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) i++;
+      }
+      t.kind = TokenKind::kNumber;
+      t.text = sql.substr(start, i - start);
+      t.raw = t.text;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Identifier / keyword.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        i++;
+      }
+      t.kind = TokenKind::kIdent;
+      t.raw = sql.substr(start, i - start);
+      t.text = t.raw;
+      for (char& ch : t.text) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Multi-char symbols.
+    if (c == '<' && i + 1 < n && (sql[i + 1] == '=' || sql[i + 1] == '>')) {
+      t.kind = TokenKind::kSymbol;
+      t.text = sql.substr(i, 2);
+      i += 2;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '>' && i + 1 < n && sql[i + 1] == '=') {
+      t.kind = TokenKind::kSymbol;
+      t.text = ">=";
+      i += 2;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::string("(),.*+-/=<>;").find(c) != std::string::npos) {
+      t.kind = TokenKind::kSymbol;
+      t.text = std::string(1, c);
+      i++;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' at offset " + std::to_string(i));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace elephant

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace elephant {
+
+enum class TokenKind {
+  kEnd,
+  kIdent,      ///< bare identifier (keywords are classified by the parser)
+  kNumber,     ///< integer or decimal literal text
+  kString,     ///< 'quoted' string (quotes stripped, '' unescaped)
+  kSymbol,     ///< punctuation: ( ) , . * + - / = < > <= >= <>
+  kHintBlock,  ///< contents of a leading /*+ ... */ optimizer-hint comment
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   ///< identifier (upper-cased), symbol, or literal text
+  std::string raw;    ///< original spelling (for error messages / strings)
+  size_t offset = 0;  ///< byte offset in the input (for diagnostics)
+};
+
+/// Splits SQL text into tokens. Identifiers are upper-cased in `text` (SQL is
+/// case-insensitive) but preserved in `raw`. Comments (`-- ...` and
+/// `/* ... */`) are skipped, except optimizer hints `/*+ ... */` which are
+/// surfaced as kHintBlock tokens.
+Result<std::vector<Token>> Lex(const std::string& sql);
+
+}  // namespace elephant

@@ -1,0 +1,554 @@
+#include "parser/parser.h"
+
+#include <cstdlib>
+
+#include "parser/lexer.h"
+
+namespace elephant {
+
+std::string SqlExpr::ToString() const {
+  switch (kind) {
+    case SqlExprKind::kIdent:
+      return qualifier.empty() ? name : qualifier + "." + name;
+    case SqlExprKind::kLiteral:
+      return literal.ToString();
+    case SqlExprKind::kStar:
+      return "*";
+    case SqlExprKind::kBinary:
+      return "(" + lhs->ToString() + " " + op + " " + rhs->ToString() + ")";
+    case SqlExprKind::kNot:
+      return "NOT " + child->ToString();
+    case SqlExprKind::kIsNull:
+      return child->ToString() + (is_not ? " IS NOT NULL" : " IS NULL");
+    case SqlExprKind::kFuncCall:
+      return func + "(" + (star_arg ? "*" : child->ToString()) + ")";
+    case SqlExprKind::kBetween:
+      return child->ToString() + " BETWEEN " + between_lo->ToString() + " AND " +
+             between_hi->ToString();
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsAggName(const std::string& s) {
+  return s == "COUNT" || s == "SUM" || s == "MIN" || s == "MAX" || s == "AVG";
+}
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement();
+  Result<std::unique_ptr<SelectStmt>> ParseSelectStmt();
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  bool MatchKeyword(const std::string& kw) {
+    if (Peek().kind == TokenKind::kIdent && Peek().text == kw) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool CheckKeyword(const std::string& kw) const {
+    return Peek().kind == TokenKind::kIdent && Peek().text == kw;
+  }
+  bool MatchSymbol(const std::string& sym) {
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == sym) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool CheckSymbol(const std::string& sym) const {
+    return Peek().kind == TokenKind::kSymbol && Peek().text == sym;
+  }
+  Status ExpectSymbol(const std::string& sym) {
+    if (!MatchSymbol(sym)) {
+      return Status::ParseError("expected '" + sym + "' near offset " +
+                                std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!MatchKeyword(kw)) {
+      return Status::ParseError("expected " + kw + " near offset " +
+                                std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Status::ParseError("expected identifier near offset " +
+                                std::to_string(Peek().offset));
+    }
+    return Advance().text;
+  }
+
+  Result<SqlExprPtr> ParseExpr() { return ParseOr(); }
+  Result<SqlExprPtr> ParseOr();
+  Result<SqlExprPtr> ParseAnd();
+  Result<SqlExprPtr> ParseNot();
+  Result<SqlExprPtr> ParseComparison();
+  Result<SqlExprPtr> ParseAdditive();
+  Result<SqlExprPtr> ParseMultiplicative();
+  Result<SqlExprPtr> ParsePrimary();
+  Result<Value> ParseNumberLiteral(const std::string& text);
+
+  Result<TableRef> ParseTableRef();
+  Result<CreateTableStmt> ParseCreateTable();
+  Result<CreateIndexStmt> ParseCreateIndex();
+  Result<InsertStmt> ParseInsert();
+  Result<std::vector<std::string>> ParseNameList();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+SqlExprPtr MakeBinary(std::string op, SqlExprPtr l, SqlExprPtr r) {
+  auto e = std::make_unique<SqlExpr>();
+  e->kind = SqlExprKind::kBinary;
+  e->op = std::move(op);
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+Result<SqlExprPtr> Parser::ParseOr() {
+  ELE_ASSIGN_OR_RETURN(SqlExprPtr lhs, ParseAnd());
+  while (MatchKeyword("OR")) {
+    ELE_ASSIGN_OR_RETURN(SqlExprPtr rhs, ParseAnd());
+    lhs = MakeBinary("OR", std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<SqlExprPtr> Parser::ParseAnd() {
+  ELE_ASSIGN_OR_RETURN(SqlExprPtr lhs, ParseNot());
+  while (MatchKeyword("AND")) {
+    ELE_ASSIGN_OR_RETURN(SqlExprPtr rhs, ParseNot());
+    lhs = MakeBinary("AND", std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<SqlExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    ELE_ASSIGN_OR_RETURN(SqlExprPtr child, ParseNot());
+    auto e = std::make_unique<SqlExpr>();
+    e->kind = SqlExprKind::kNot;
+    e->child = std::move(child);
+    return e;
+  }
+  return ParseComparison();
+}
+
+Result<SqlExprPtr> Parser::ParseComparison() {
+  ELE_ASSIGN_OR_RETURN(SqlExprPtr lhs, ParseAdditive());
+  if (Peek().kind == TokenKind::kSymbol) {
+    const std::string& sym = Peek().text;
+    if (sym == "=" || sym == "<>" || sym == "<" || sym == "<=" || sym == ">" ||
+        sym == ">=") {
+      std::string op = Advance().text;
+      ELE_ASSIGN_OR_RETURN(SqlExprPtr rhs, ParseAdditive());
+      return MakeBinary(std::move(op), std::move(lhs), std::move(rhs));
+    }
+  }
+  if (CheckKeyword("BETWEEN")) {
+    Advance();
+    ELE_ASSIGN_OR_RETURN(SqlExprPtr lo, ParseAdditive());
+    ELE_RETURN_NOT_OK(ExpectKeyword("AND"));
+    ELE_ASSIGN_OR_RETURN(SqlExprPtr hi, ParseAdditive());
+    auto e = std::make_unique<SqlExpr>();
+    e->kind = SqlExprKind::kBetween;
+    e->child = std::move(lhs);
+    e->between_lo = std::move(lo);
+    e->between_hi = std::move(hi);
+    return e;
+  }
+  if (CheckKeyword("IS")) {
+    Advance();
+    bool is_not = MatchKeyword("NOT");
+    ELE_RETURN_NOT_OK(ExpectKeyword("NULL"));
+    auto e = std::make_unique<SqlExpr>();
+    e->kind = SqlExprKind::kIsNull;
+    e->child = std::move(lhs);
+    e->is_not = is_not;
+    return e;
+  }
+  return lhs;
+}
+
+Result<SqlExprPtr> Parser::ParseAdditive() {
+  ELE_ASSIGN_OR_RETURN(SqlExprPtr lhs, ParseMultiplicative());
+  while (CheckSymbol("+") || CheckSymbol("-")) {
+    std::string op = Advance().text;
+    ELE_ASSIGN_OR_RETURN(SqlExprPtr rhs, ParseMultiplicative());
+    lhs = MakeBinary(std::move(op), std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<SqlExprPtr> Parser::ParseMultiplicative() {
+  ELE_ASSIGN_OR_RETURN(SqlExprPtr lhs, ParsePrimary());
+  while (CheckSymbol("*") || CheckSymbol("/")) {
+    std::string op = Advance().text;
+    ELE_ASSIGN_OR_RETURN(SqlExprPtr rhs, ParsePrimary());
+    lhs = MakeBinary(std::move(op), std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<Value> Parser::ParseNumberLiteral(const std::string& text) {
+  if (text.find('.') != std::string::npos) {
+    ELE_ASSIGN_OR_RETURN(int64_t scaled, decimal::Parse(text));
+    return Value::Decimal(scaled);
+  }
+  errno = 0;
+  const long long v = std::strtoll(text.c_str(), nullptr, 10);
+  if (errno != 0) return Status::ParseError("integer literal overflow: " + text);
+  if (v >= INT32_MIN && v <= INT32_MAX) return Value::Int32(static_cast<int32_t>(v));
+  return Value::Int64(v);
+}
+
+Result<SqlExprPtr> Parser::ParsePrimary() {
+  const Token& tok = Peek();
+  if (tok.kind == TokenKind::kNumber) {
+    Advance();
+    auto e = std::make_unique<SqlExpr>();
+    e->kind = SqlExprKind::kLiteral;
+    ELE_ASSIGN_OR_RETURN(e->literal, ParseNumberLiteral(tok.text));
+    return e;
+  }
+  if (tok.kind == TokenKind::kString) {
+    Advance();
+    auto e = std::make_unique<SqlExpr>();
+    e->kind = SqlExprKind::kLiteral;
+    e->literal = Value::Varchar(tok.raw);
+    return e;
+  }
+  if (tok.kind == TokenKind::kSymbol && tok.text == "(") {
+    Advance();
+    ELE_ASSIGN_OR_RETURN(SqlExprPtr inner, ParseExpr());
+    ELE_RETURN_NOT_OK(ExpectSymbol(")"));
+    return inner;
+  }
+  if (tok.kind == TokenKind::kSymbol && tok.text == "-") {
+    // Unary minus: 0 - primary.
+    Advance();
+    ELE_ASSIGN_OR_RETURN(SqlExprPtr operand, ParsePrimary());
+    auto zero = std::make_unique<SqlExpr>();
+    zero->kind = SqlExprKind::kLiteral;
+    zero->literal = Value::Int32(0);
+    return MakeBinary("-", std::move(zero), std::move(operand));
+  }
+  if (tok.kind == TokenKind::kIdent) {
+    // DATE 'yyyy-mm-dd' literal.
+    if (tok.text == "DATE" && Peek(1).kind == TokenKind::kString) {
+      Advance();
+      const Token& str = Advance();
+      ELE_ASSIGN_OR_RETURN(int32_t days, date::Parse(str.raw));
+      auto e = std::make_unique<SqlExpr>();
+      e->kind = SqlExprKind::kLiteral;
+      e->literal = Value::Date(days);
+      return e;
+    }
+    if (tok.text == "NULL") {
+      Advance();
+      auto e = std::make_unique<SqlExpr>();
+      e->kind = SqlExprKind::kLiteral;
+      e->literal = Value();
+      return e;
+    }
+    // Aggregate function call.
+    if (IsAggName(tok.text) && Peek(1).kind == TokenKind::kSymbol &&
+        Peek(1).text == "(") {
+      std::string func = Advance().text;
+      Advance();  // '('
+      auto e = std::make_unique<SqlExpr>();
+      e->kind = SqlExprKind::kFuncCall;
+      e->func = func;
+      if (CheckSymbol("*")) {
+        Advance();
+        e->star_arg = true;
+      } else {
+        ELE_ASSIGN_OR_RETURN(e->child, ParseExpr());
+      }
+      ELE_RETURN_NOT_OK(ExpectSymbol(")"));
+      return e;
+    }
+    // Qualified or bare identifier.
+    Advance();
+    auto e = std::make_unique<SqlExpr>();
+    e->kind = SqlExprKind::kIdent;
+    if (CheckSymbol(".")) {
+      Advance();
+      ELE_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+      e->qualifier = tok.text;
+      e->name = col;
+    } else {
+      e->name = tok.text;
+    }
+    return e;
+  }
+  return Status::ParseError("unexpected token near offset " +
+                            std::to_string(tok.offset));
+}
+
+Result<TableRef> Parser::ParseTableRef() {
+  TableRef ref;
+  if (MatchSymbol("(")) {
+    ELE_ASSIGN_OR_RETURN(ref.derived, ParseSelectStmt());
+    ELE_RETURN_NOT_OK(ExpectSymbol(")"));
+    MatchKeyword("AS");
+    ELE_ASSIGN_OR_RETURN(ref.alias, ExpectIdent());
+    return ref;
+  }
+  ELE_ASSIGN_OR_RETURN(ref.table_name, ExpectIdent());
+  ref.alias = ref.table_name;
+  if (MatchKeyword("AS")) {
+    ELE_ASSIGN_OR_RETURN(ref.alias, ExpectIdent());
+  } else if (Peek().kind == TokenKind::kIdent && !CheckKeyword("WHERE") &&
+             !CheckKeyword("GROUP") && !CheckKeyword("ORDER") &&
+             !CheckKeyword("LIMIT") && !CheckKeyword("ON") &&
+             !CheckKeyword("INNER") && !CheckKeyword("JOIN") &&
+             !CheckKeyword("HAVING")) {
+    ELE_ASSIGN_OR_RETURN(ref.alias, ExpectIdent());
+  }
+  return ref;
+}
+
+Result<std::unique_ptr<SelectStmt>> Parser::ParseSelectStmt() {
+  auto stmt = std::make_unique<SelectStmt>();
+  if (Peek().kind == TokenKind::kHintBlock) {
+    stmt->hint_text = Advance().text;
+  }
+  ELE_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+  if (MatchKeyword("DISTINCT")) stmt->distinct = true;
+  // Select list.
+  do {
+    SelectItem item;
+    if (CheckSymbol("*")) {
+      Advance();
+      item.star = true;
+    } else {
+      ELE_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("AS")) {
+        ELE_ASSIGN_OR_RETURN(item.alias, ExpectIdent());
+      } else if (Peek().kind == TokenKind::kIdent && !CheckKeyword("FROM")) {
+        ELE_ASSIGN_OR_RETURN(item.alias, ExpectIdent());
+      }
+    }
+    stmt->items.push_back(std::move(item));
+  } while (MatchSymbol(","));
+
+  ELE_RETURN_NOT_OK(ExpectKeyword("FROM"));
+  do {
+    ELE_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+    stmt->from.push_back(std::move(ref));
+    // Explicit INNER JOIN ... ON ... sugar: fold the ON condition into WHERE.
+    while (CheckKeyword("INNER") || CheckKeyword("JOIN")) {
+      MatchKeyword("INNER");
+      ELE_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+      ELE_ASSIGN_OR_RETURN(TableRef jref, ParseTableRef());
+      stmt->from.push_back(std::move(jref));
+      ELE_RETURN_NOT_OK(ExpectKeyword("ON"));
+      ELE_ASSIGN_OR_RETURN(SqlExprPtr cond, ParseExpr());
+      stmt->where = stmt->where == nullptr
+                        ? std::move(cond)
+                        : MakeBinary("AND", std::move(stmt->where), std::move(cond));
+    }
+  } while (MatchSymbol(","));
+
+  if (MatchKeyword("WHERE")) {
+    ELE_ASSIGN_OR_RETURN(SqlExprPtr w, ParseExpr());
+    stmt->where = stmt->where == nullptr
+                      ? std::move(w)
+                      : MakeBinary("AND", std::move(stmt->where), std::move(w));
+  }
+  if (MatchKeyword("GROUP")) {
+    ELE_RETURN_NOT_OK(ExpectKeyword("BY"));
+    do {
+      ELE_ASSIGN_OR_RETURN(SqlExprPtr g, ParseExpr());
+      stmt->group_by.push_back(std::move(g));
+    } while (MatchSymbol(","));
+  }
+  if (MatchKeyword("HAVING")) {
+    ELE_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+  }
+  if (MatchKeyword("ORDER")) {
+    ELE_RETURN_NOT_OK(ExpectKeyword("BY"));
+    do {
+      OrderItem item;
+      ELE_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("DESC")) {
+        item.ascending = false;
+      } else {
+        MatchKeyword("ASC");
+      }
+      stmt->order_by.push_back(std::move(item));
+    } while (MatchSymbol(","));
+  }
+  if (MatchKeyword("LIMIT")) {
+    if (Peek().kind != TokenKind::kNumber) {
+      return Status::ParseError("expected number after LIMIT");
+    }
+    stmt->limit = std::strtoull(Advance().text.c_str(), nullptr, 10);
+  }
+  return stmt;
+}
+
+Result<CreateTableStmt> Parser::ParseCreateTable() {
+  CreateTableStmt stmt;
+  ELE_ASSIGN_OR_RETURN(stmt.name, ExpectIdent());
+  ELE_RETURN_NOT_OK(ExpectSymbol("("));
+  do {
+    ColumnDef col;
+    ELE_ASSIGN_OR_RETURN(col.name, ExpectIdent());
+    ELE_ASSIGN_OR_RETURN(std::string type, ExpectIdent());
+    if (type == "INT" || type == "INTEGER" || type == "INT32") {
+      col.type = TypeId::kInt32;
+    } else if (type == "BIGINT" || type == "INT64") {
+      col.type = TypeId::kInt64;
+    } else if (type == "DATE") {
+      col.type = TypeId::kDate;
+    } else if (type == "DECIMAL" || type == "NUMERIC" || type == "MONEY") {
+      col.type = TypeId::kDecimal;
+      if (MatchSymbol("(")) {  // DECIMAL(p,s) accepted, scale fixed at 2
+        while (!CheckSymbol(")") && !AtEnd()) Advance();
+        ELE_RETURN_NOT_OK(ExpectSymbol(")"));
+      }
+    } else if (type == "DOUBLE" || type == "FLOAT" || type == "REAL") {
+      col.type = TypeId::kDouble;
+    } else if (type == "CHAR") {
+      col.type = TypeId::kChar;
+      col.length = 1;
+      if (MatchSymbol("(")) {
+        if (Peek().kind != TokenKind::kNumber) {
+          return Status::ParseError("expected CHAR length");
+        }
+        col.length = static_cast<uint32_t>(std::strtoul(Advance().text.c_str(),
+                                                        nullptr, 10));
+        ELE_RETURN_NOT_OK(ExpectSymbol(")"));
+      }
+    } else if (type == "VARCHAR" || type == "TEXT") {
+      col.type = TypeId::kVarchar;
+      if (MatchSymbol("(")) {  // length accepted but not enforced
+        while (!CheckSymbol(")") && !AtEnd()) Advance();
+        ELE_RETURN_NOT_OK(ExpectSymbol(")"));
+      }
+    } else {
+      return Status::ParseError("unknown type " + type);
+    }
+    stmt.columns.push_back(std::move(col));
+  } while (MatchSymbol(","));
+  ELE_RETURN_NOT_OK(ExpectSymbol(")"));
+  if (MatchKeyword("CLUSTER")) {
+    ELE_RETURN_NOT_OK(ExpectKeyword("BY"));
+    ELE_RETURN_NOT_OK(ExpectSymbol("("));
+    ELE_ASSIGN_OR_RETURN(stmt.cluster_by, ParseNameList());
+    ELE_RETURN_NOT_OK(ExpectSymbol(")"));
+  }
+  return stmt;
+}
+
+Result<std::vector<std::string>> Parser::ParseNameList() {
+  std::vector<std::string> names;
+  do {
+    ELE_ASSIGN_OR_RETURN(std::string n, ExpectIdent());
+    names.push_back(std::move(n));
+  } while (MatchSymbol(","));
+  return names;
+}
+
+Result<CreateIndexStmt> Parser::ParseCreateIndex() {
+  CreateIndexStmt stmt;
+  ELE_ASSIGN_OR_RETURN(stmt.index_name, ExpectIdent());
+  ELE_RETURN_NOT_OK(ExpectKeyword("ON"));
+  ELE_ASSIGN_OR_RETURN(stmt.table_name, ExpectIdent());
+  ELE_RETURN_NOT_OK(ExpectSymbol("("));
+  ELE_ASSIGN_OR_RETURN(stmt.key_columns, ParseNameList());
+  ELE_RETURN_NOT_OK(ExpectSymbol(")"));
+  if (MatchKeyword("INCLUDE")) {
+    ELE_RETURN_NOT_OK(ExpectSymbol("("));
+    ELE_ASSIGN_OR_RETURN(stmt.include_columns, ParseNameList());
+    ELE_RETURN_NOT_OK(ExpectSymbol(")"));
+  }
+  return stmt;
+}
+
+Result<InsertStmt> Parser::ParseInsert() {
+  InsertStmt stmt;
+  ELE_RETURN_NOT_OK(ExpectKeyword("INTO"));
+  ELE_ASSIGN_OR_RETURN(stmt.table_name, ExpectIdent());
+  ELE_RETURN_NOT_OK(ExpectKeyword("VALUES"));
+  do {
+    ELE_RETURN_NOT_OK(ExpectSymbol("("));
+    std::vector<SqlExprPtr> row;
+    do {
+      ELE_ASSIGN_OR_RETURN(SqlExprPtr e, ParseExpr());
+      row.push_back(std::move(e));
+    } while (MatchSymbol(","));
+    ELE_RETURN_NOT_OK(ExpectSymbol(")"));
+    stmt.rows.push_back(std::move(row));
+  } while (MatchSymbol(","));
+  return stmt;
+}
+
+Result<Statement> Parser::ParseStatement() {
+  Statement stmt;
+  if (CheckKeyword("SELECT") || Peek().kind == TokenKind::kHintBlock) {
+    stmt.kind = StatementKind::kSelect;
+    ELE_ASSIGN_OR_RETURN(stmt.select, ParseSelectStmt());
+  } else if (MatchKeyword("CREATE")) {
+    if (MatchKeyword("TABLE")) {
+      stmt.kind = StatementKind::kCreateTable;
+      ELE_ASSIGN_OR_RETURN(CreateTableStmt ct, ParseCreateTable());
+      stmt.create_table = std::make_unique<CreateTableStmt>(std::move(ct));
+    } else if (MatchKeyword("INDEX")) {
+      stmt.kind = StatementKind::kCreateIndex;
+      ELE_ASSIGN_OR_RETURN(CreateIndexStmt ci, ParseCreateIndex());
+      stmt.create_index = std::make_unique<CreateIndexStmt>(std::move(ci));
+    } else {
+      return Status::ParseError("expected TABLE or INDEX after CREATE");
+    }
+  } else if (MatchKeyword("INSERT")) {
+    stmt.kind = StatementKind::kInsert;
+    ELE_ASSIGN_OR_RETURN(InsertStmt ins, ParseInsert());
+    stmt.insert = std::make_unique<InsertStmt>(std::move(ins));
+  } else {
+    return Status::ParseError("expected SELECT, CREATE or INSERT");
+  }
+  MatchSymbol(";");
+  if (!AtEnd()) {
+    return Status::ParseError("trailing tokens near offset " +
+                              std::to_string(Peek().offset));
+  }
+  return stmt;
+}
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& sql) {
+  ELE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& sql) {
+  ELE_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  if (stmt.kind != StatementKind::kSelect) {
+    return Status::ParseError("expected a SELECT statement");
+  }
+  return std::move(stmt.select);
+}
+
+}  // namespace elephant

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "parser/ast.h"
+
+namespace elephant {
+
+/// Parses one SQL statement (SELECT / CREATE TABLE / CREATE INDEX / INSERT).
+/// The supported subset covers everything the paper's workload and its
+/// c-table rewrites need: multi-table FROM with derived tables, WHERE with
+/// AND/OR/BETWEEN, GROUP BY, aggregate functions, ORDER BY, LIMIT, and a
+/// leading /*+ ... */ hint block.
+Result<Statement> ParseStatement(const std::string& sql);
+
+/// Convenience: parses a statement that must be a SELECT.
+Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& sql);
+
+}  // namespace elephant

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "parser/ast.h"
+#include "planner/bound_query.h"
+
+namespace elephant {
+
+/// Resolves a parsed SELECT against the catalog: table/alias lookup, column
+/// resolution to positional references, aggregate extraction, GROUP BY
+/// validation, ORDER BY resolution (by alias, ordinal, or select expression),
+/// and hint parsing. Derived tables are bound recursively.
+class Binder {
+ public:
+  explicit Binder(const Catalog* catalog) : catalog_(catalog) {}
+
+  Result<std::unique_ptr<BoundQuery>> Bind(const SelectStmt& stmt);
+
+ private:
+  /// Binds a scalar expression over the relations' concatenated schema.
+  Result<ExprPtr> BindScalar(const SqlExpr& expr, const BoundQuery& q);
+
+  /// Binds a select/order expression in a grouped query: aggregates become
+  /// references into the aggregate output; other subexpressions must match a
+  /// GROUP BY expression.
+  Result<ExprPtr> BindProjection(const SqlExpr& expr, BoundQuery* q,
+                                 const std::vector<std::string>& group_keys);
+
+  Result<ExprPtr> BindColumnRef(const SqlExpr& expr, const BoundQuery& q);
+
+  const Catalog* catalog_;
+};
+
+}  // namespace elephant

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/table.h"
+#include "exec/expression.h"
+#include "planner/hints.h"
+
+namespace elephant {
+
+struct BoundQuery;
+
+/// One FROM-list entry after binding: a base table or a derived table, plus
+/// its output schema and its column offset within the query's concatenated
+/// input schema.
+struct BoundRelation {
+  std::string alias;
+  Table* table = nullptr;                ///< base table (null for derived)
+  std::unique_ptr<BoundQuery> derived;   ///< derived table (null for base)
+  Schema schema;
+  size_t offset = 0;
+};
+
+struct BoundOrderKey {
+  ExprPtr expr;  ///< over the query's output schema
+  bool ascending = true;
+};
+
+/// A fully resolved single-block query. All expressions are positional:
+/// `conjuncts`, `group_by` and aggregate arguments index into
+/// `input_schema` (the concatenation of relation schemas in FROM order);
+/// `select_exprs` index into the aggregate output schema
+/// (group columns ++ aggregates) when `has_grouping`, else into
+/// `input_schema`; `order_by` indexes into `output_schema`.
+struct BoundQuery {
+  std::vector<BoundRelation> relations;
+  Schema input_schema;
+
+  std::vector<ExprPtr> conjuncts;
+
+  bool has_grouping = false;
+  std::vector<ExprPtr> group_by;
+  std::vector<AggSpec> aggs;
+
+  std::vector<ExprPtr> select_exprs;
+  std::vector<std::string> select_names;
+  /// HAVING predicate over the aggregate output schema (may be null).
+  ExprPtr having;
+  /// SELECT DISTINCT: deduplicate the final projection.
+  bool distinct = false;
+  Schema output_schema;
+
+  std::vector<BoundOrderKey> order_by;
+  std::optional<uint64_t> limit;
+
+  PlanHints hints;
+};
+
+}  // namespace elephant

@@ -1,0 +1,1079 @@
+#include "planner/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "exec/agg_executor.h"
+#include "exec/join_executor.h"
+#include "exec/scan_executor.h"
+#include "exec/simple_executors.h"
+
+namespace elephant {
+
+namespace {
+
+// ---------- EXPLAIN tree ----------
+
+struct ExplainNode {
+  std::string label;
+  std::vector<std::unique_ptr<ExplainNode>> kids;
+};
+using ExplainPtr = std::unique_ptr<ExplainNode>;
+
+ExplainPtr Note(std::string label) {
+  auto n = std::make_unique<ExplainNode>();
+  n->label = std::move(label);
+  return n;
+}
+
+ExplainPtr Note(std::string label, ExplainPtr kid) {
+  ExplainPtr n = Note(std::move(label));
+  n->kids.push_back(std::move(kid));
+  return n;
+}
+
+ExplainPtr Note(std::string label, ExplainPtr kid1, ExplainPtr kid2) {
+  ExplainPtr n = Note(std::move(label));
+  n->kids.push_back(std::move(kid1));
+  n->kids.push_back(std::move(kid2));
+  return n;
+}
+
+void Render(const ExplainNode& n, int depth, std::string* out) {
+  // Multi-line labels (nested sub-plan renderings) keep their own arrows;
+  // indent every line to this node's depth.
+  size_t start = 0;
+  bool first = true;
+  while (start <= n.label.size()) {
+    size_t end = n.label.find('\n', start);
+    if (end == std::string::npos) end = n.label.size();
+    out->append(static_cast<size_t>(depth) * 2, ' ');
+    if (first) out->append("-> ");
+    out->append(n.label, start, end - start);
+    out->push_back('\n');
+    first = false;
+    if (end == n.label.size()) break;
+    start = end + 1;
+  }
+  for (const auto& kid : n.kids) Render(*kid, depth + 1, out);
+}
+
+// ---------- working structures ----------
+
+struct SubPlan {
+  ExecutorPtr exec;
+  ExplainPtr note;
+  size_t width = 0;  ///< number of output columns
+  /// Plan positions whose values are provably ascending across the output
+  /// stream (interesting-order tracking). Lets a band merge join skip its
+  /// sort when the outer is already ordered — the c-table chains of §2.2.2
+  /// always are, since every band join preserves f-order.
+  std::set<size_t> ordered;
+};
+
+/// A sargable atom: relation-local column `col` compared against `other`,
+/// an expression that does not reference the relation itself.
+struct Sarg {
+  size_t col;
+  CompareOp op;
+  const Expr* other;
+  size_t conjunct_id;
+};
+
+/// The result of matching sargs against an index's key columns.
+struct BoundsMatch {
+  std::vector<const Expr*> eq;        ///< per leading key column
+  const Expr* lo = nullptr;
+  bool lo_inclusive = true;
+  const Expr* hi = nullptr;
+  bool hi_inclusive = true;
+  std::set<size_t> used_conjuncts;
+  int matched_cols = 0;
+};
+
+/// Matches sargs against key columns (in key order): equalities on the
+/// prefix, then one range on the following column.
+BoundsMatch MatchBounds(const std::vector<size_t>& key_cols,
+                        const std::vector<Sarg>& sargs) {
+  BoundsMatch m;
+  for (size_t kc : key_cols) {
+    const Sarg* eq = nullptr;
+    for (const Sarg& s : sargs) {
+      if (s.col == kc && s.op == CompareOp::kEq) {
+        eq = &s;
+        break;
+      }
+    }
+    if (eq != nullptr) {
+      m.eq.push_back(eq->other);
+      m.used_conjuncts.insert(eq->conjunct_id);
+      m.matched_cols++;
+      continue;
+    }
+    bool any_range = false;
+    for (const Sarg& s : sargs) {
+      if (s.col != kc) continue;
+      if ((s.op == CompareOp::kGe || s.op == CompareOp::kGt) && m.lo == nullptr) {
+        m.lo = s.other;
+        m.lo_inclusive = s.op == CompareOp::kGe;
+        m.used_conjuncts.insert(s.conjunct_id);
+        any_range = true;
+      } else if ((s.op == CompareOp::kLe || s.op == CompareOp::kLt) &&
+                 m.hi == nullptr) {
+        m.hi = s.other;
+        m.hi_inclusive = s.op == CompareOp::kLe;
+        m.used_conjuncts.insert(s.conjunct_id);
+        any_range = true;
+      }
+    }
+    if (any_range) m.matched_cols++;
+    break;  // after the first non-equality column, the prefix ends
+  }
+  return m;
+}
+
+CompareOp FlipOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt: return CompareOp::kGt;
+    case CompareOp::kLe: return CompareOp::kGe;
+    case CompareOp::kGt: return CompareOp::kLt;
+    case CompareOp::kGe: return CompareOp::kLe;
+    default: return op;
+  }
+}
+
+/// The set of relations referenced by an expression (via a column->relation
+/// map over the query's input schema).
+std::set<size_t> RelsOf(const Expr& e, const std::vector<size_t>& col_rel) {
+  std::vector<size_t> cols;
+  e.CollectColumns(&cols);
+  std::set<size_t> rels;
+  for (size_t c : cols) rels.insert(col_rel[c]);
+  return rels;
+}
+
+// ---------- the per-query builder ----------
+
+class PlanBuilder {
+ public:
+  PlanBuilder(ExecContext* ctx, std::unique_ptr<BoundQuery> q)
+      : ctx_(ctx), q_(std::move(q)) {}
+
+  Result<PlannedQuery> Build();
+
+ private:
+  Status AnalyzePrereqs();
+  std::vector<size_t> ChooseJoinOrder() const;
+  double EstimateRows(size_t r) const;
+  double EstimateConjunctSelectivity(size_t r, const Expr& pred) const;
+
+  /// Plans the access path for relation r (consumes its single-relation
+  /// conjuncts). `local_to_plan` maps relation-local columns to positions in
+  /// the produced plan's output (-1 = unavailable).
+  Result<SubPlan> AccessPath(size_t r, std::vector<int>* local_to_plan);
+
+  /// Joins relation r into `plan`.
+  Status JoinNext(size_t r, SubPlan* plan);
+
+  /// Applies every not-yet-consumed conjunct that only references joined
+  /// relations as a filter.
+  Status ApplyAvailableFilters(SubPlan* plan);
+
+  /// Localizes a conjunct to relation-local positions (clone + remap).
+  ExprPtr Localize(const Expr& e, size_t r) const;
+
+  /// Extracts sargable atoms (col vs literal) from relation-local conjuncts.
+  static void ExtractLiteralSargs(const std::vector<ExprPtr>& preds,
+                                  std::vector<Sarg>* out);
+
+  /// Evaluates a bound-side expression list into Values (literals only).
+  static Result<std::vector<Value>> EvalConstExprs(
+      const std::vector<const Expr*>& exprs);
+
+  ExecContext* ctx_;
+  std::unique_ptr<BoundQuery> q_;
+
+  size_t ncols_ = 0;
+  std::vector<size_t> col_rel_;              ///< input column -> relation
+  std::vector<std::set<size_t>> needed_;     ///< per relation: local cols needed
+  std::vector<bool> consumed_;               ///< per conjunct
+  std::set<size_t> joined_;
+  std::vector<int> mapping_;                 ///< input column -> plan position
+  double outer_est_ = 1.0;                   ///< running cardinality estimate
+};
+
+Status PlanBuilder::AnalyzePrereqs() {
+  ncols_ = q_->input_schema.NumColumns();
+  col_rel_.assign(ncols_, 0);
+  needed_.assign(q_->relations.size(), {});
+  for (size_t r = 0; r < q_->relations.size(); r++) {
+    const BoundRelation& rel = q_->relations[r];
+    for (size_t c = 0; c < rel.schema.NumColumns(); c++) {
+      col_rel_[rel.offset + c] = r;
+    }
+  }
+  auto add_needed = [&](const Expr& e) {
+    std::vector<size_t> cols;
+    e.CollectColumns(&cols);
+    for (size_t c : cols) {
+      const size_t r = col_rel_[c];
+      needed_[r].insert(c - q_->relations[r].offset);
+    }
+  };
+  for (const ExprPtr& c : q_->conjuncts) add_needed(*c);
+  for (const ExprPtr& g : q_->group_by) add_needed(*g);
+  for (const AggSpec& a : q_->aggs) {
+    if (a.arg) add_needed(*a.arg);
+  }
+  if (!q_->has_grouping) {
+    for (const ExprPtr& s : q_->select_exprs) add_needed(*s);
+  }
+  consumed_.assign(q_->conjuncts.size(), false);
+  return Status::OK();
+}
+
+double PlanBuilder::EstimateConjunctSelectivity(size_t r, const Expr& pred) const {
+  const auto* cmp = dynamic_cast<const CompareExpr*>(&pred);
+  if (cmp == nullptr) return 0.5;
+  const auto* lcol = dynamic_cast<const ColumnExpr*>(cmp->lhs());
+  const auto* rcol = dynamic_cast<const ColumnExpr*>(cmp->rhs());
+  const auto* llit = dynamic_cast<const LiteralExpr*>(cmp->lhs());
+  const auto* rlit = dynamic_cast<const LiteralExpr*>(cmp->rhs());
+  const ColumnExpr* col = lcol != nullptr ? lcol : rcol;
+  const LiteralExpr* lit = rlit != nullptr ? rlit : llit;
+  if (col == nullptr || lit == nullptr) return 0.5;
+  CompareOp op = lcol != nullptr ? cmp->op() : FlipOp(cmp->op());
+  const Table* table = q_->relations[r].table;
+  const size_t local = col->index() - q_->relations[r].offset;
+  const bool analyzed = table != nullptr && table->analyzed();
+  switch (op) {
+    case CompareOp::kEq: {
+      if (analyzed && table->stats()[local].distinct > 0) {
+        return 1.0 / static_cast<double>(table->stats()[local].distinct);
+      }
+      return 0.05;
+    }
+    case CompareOp::kNe:
+      return 0.9;
+    default: {
+      if (analyzed && IsNumeric(table->stats()[local].min.type())) {
+        const double lo = table->stats()[local].min.AsDouble();
+        const double hi = table->stats()[local].max.AsDouble();
+        const double v = lit->value().AsDouble();
+        if (hi > lo) {
+          double frac = (op == CompareOp::kLt || op == CompareOp::kLe)
+                            ? (v - lo) / (hi - lo)
+                            : (hi - v) / (hi - lo);
+          return std::clamp(frac, 0.0001, 1.0);
+        }
+      }
+      return 0.3;
+    }
+  }
+}
+
+double PlanBuilder::EstimateRows(size_t r) const {
+  const BoundRelation& rel = q_->relations[r];
+  double rows = rel.table != nullptr
+                    ? static_cast<double>(rel.table->row_count())
+                    : 1000.0;
+  for (size_t i = 0; i < q_->conjuncts.size(); i++) {
+    std::set<size_t> rels = RelsOf(*q_->conjuncts[i], col_rel_);
+    if (rels.size() == 1 && *rels.begin() == r) {
+      rows *= EstimateConjunctSelectivity(r, *q_->conjuncts[i]);
+    }
+  }
+  return std::max(rows, 1.0);
+}
+
+std::vector<size_t> PlanBuilder::ChooseJoinOrder() const {
+  const size_t n = q_->relations.size();
+  std::vector<size_t> order;
+  if (n == 1 || q_->hints.force_order) {
+    for (size_t i = 0; i < n; i++) order.push_back(i);
+    return order;
+  }
+  std::vector<double> est(n);
+  for (size_t r = 0; r < n; r++) est[r] = EstimateRows(r);
+  size_t start = 0;
+  for (size_t r = 1; r < n; r++) {
+    if (est[r] < est[start]) start = r;
+  }
+  order.push_back(start);
+  std::set<size_t> in{start};
+  while (order.size() < n) {
+    int best = -1;
+    for (size_t r = 0; r < n; r++) {
+      if (in.count(r) != 0) continue;
+      bool connected = false;
+      for (const ExprPtr& c : q_->conjuncts) {
+        std::set<size_t> rels = RelsOf(*c, col_rel_);
+        if (rels.count(r) == 0 || rels.size() < 2) continue;
+        bool rest_in = true;
+        for (size_t x : rels) {
+          if (x != r && in.count(x) == 0) rest_in = false;
+        }
+        if (rest_in) {
+          connected = true;
+          break;
+        }
+      }
+      if (connected && (best < 0 || est[r] < est[best])) {
+        best = static_cast<int>(r);
+      }
+    }
+    if (best < 0) {  // disconnected: pick the smallest remaining
+      for (size_t r = 0; r < n; r++) {
+        if (in.count(r) == 0 && (best < 0 || est[r] < est[best])) {
+          best = static_cast<int>(r);
+        }
+      }
+    }
+    order.push_back(static_cast<size_t>(best));
+    in.insert(static_cast<size_t>(best));
+  }
+  return order;
+}
+
+ExprPtr PlanBuilder::Localize(const Expr& e, size_t r) const {
+  std::vector<int> local_map(ncols_, -1);
+  const BoundRelation& rel = q_->relations[r];
+  for (size_t c = 0; c < rel.schema.NumColumns(); c++) {
+    local_map[rel.offset + c] = static_cast<int>(c);
+  }
+  ExprPtr out = e.Clone();
+  out->RemapColumns(local_map);
+  return out;
+}
+
+void PlanBuilder::ExtractLiteralSargs(const std::vector<ExprPtr>& preds,
+                                      std::vector<Sarg>* out) {
+  for (size_t i = 0; i < preds.size(); i++) {
+    const auto* cmp = dynamic_cast<const CompareExpr*>(preds[i].get());
+    if (cmp == nullptr) continue;
+    const auto* lcol = dynamic_cast<const ColumnExpr*>(cmp->lhs());
+    const auto* rcol = dynamic_cast<const ColumnExpr*>(cmp->rhs());
+    const auto* llit = dynamic_cast<const LiteralExpr*>(cmp->lhs());
+    const auto* rlit = dynamic_cast<const LiteralExpr*>(cmp->rhs());
+    if (lcol != nullptr && rlit != nullptr) {
+      out->push_back(Sarg{lcol->index(), cmp->op(), rlit, i});
+    } else if (rcol != nullptr && llit != nullptr) {
+      out->push_back(Sarg{rcol->index(), FlipOp(cmp->op()), llit, i});
+    }
+  }
+}
+
+Result<std::vector<Value>> PlanBuilder::EvalConstExprs(
+    const std::vector<const Expr*>& exprs) {
+  std::vector<Value> out;
+  Row empty;
+  for (const Expr* e : exprs) {
+    ELE_ASSIGN_OR_RETURN(Value v, e->Eval(empty));
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+Result<SubPlan> PlanBuilder::AccessPath(size_t r, std::vector<int>* local_to_plan) {
+  BoundRelation& rel = q_->relations[r];
+
+  // Collect and localize this relation's single-relation conjuncts.
+  std::vector<ExprPtr> local_preds;
+  for (size_t i = 0; i < q_->conjuncts.size(); i++) {
+    if (consumed_[i]) continue;
+    std::set<size_t> rels = RelsOf(*q_->conjuncts[i], col_rel_);
+    if (rels.empty() || (rels.size() == 1 && *rels.begin() == r)) {
+      local_preds.push_back(Localize(*q_->conjuncts[i], r));
+      consumed_[i] = true;
+    }
+  }
+
+  SubPlan plan;
+  if (rel.derived != nullptr) {
+    const bool derived_grouped = rel.derived->has_grouping;
+    const bool derived_scalar = derived_grouped && rel.derived->group_by.empty();
+    Planner sub_planner(ctx_);
+    ELE_ASSIGN_OR_RETURN(PlannedQuery sub, sub_planner.Plan(std::move(rel.derived)));
+    plan.exec = std::move(sub.executor);
+    plan.width = rel.schema.NumColumns();
+    plan.note = Note("DerivedTable " + rel.alias);
+    {
+      std::string nested = std::move(sub.explain);
+      if (!nested.empty() && nested.back() == '\n') nested.pop_back();
+      if (nested.rfind("-> ", 0) == 0) nested.erase(0, 3);
+      plan.note->kids.push_back(Note(std::move(nested)));
+    }
+    local_to_plan->assign(rel.schema.NumColumns(), 0);
+    for (size_t c = 0; c < rel.schema.NumColumns(); c++) {
+      (*local_to_plan)[c] = static_cast<int>(c);
+    }
+    if (derived_scalar) {
+      // Single-row relations are trivially ordered in every column.
+      for (size_t c = 0; c < rel.schema.NumColumns(); c++) plan.ordered.insert(c);
+    } else if (derived_grouped) {
+      plan.ordered.insert(0);  // aggregates emit in group-key order
+    }
+    if (!local_preds.empty()) {
+      ExprPtr pred = ConjoinAll(std::move(local_preds));
+      std::string label = "Filter " + pred->ToString();
+      plan.exec = std::make_unique<FilterExecutor>(std::move(plan.exec),
+                                                   std::move(pred));
+      plan.note = Note(std::move(label), std::move(plan.note));
+    }
+    return plan;
+  }
+
+  // Base table: try clustered prefix, then covering secondary indexes.
+  std::vector<Sarg> sargs;
+  ExtractLiteralSargs(local_preds, &sargs);
+
+  // Needed local columns for covering checks: query needs + predicate cols.
+  std::set<size_t> needed_all = needed_[r];
+  for (const ExprPtr& p : local_preds) {
+    std::vector<size_t> cols;
+    p->CollectColumns(&cols);
+    needed_all.insert(cols.begin(), cols.end());
+  }
+  std::vector<size_t> needed_vec(needed_all.begin(), needed_all.end());
+
+  BoundsMatch clustered_match = MatchBounds(rel.table->cluster_cols(), sargs);
+  SecondaryIndex* best_idx = nullptr;
+  BoundsMatch idx_match;
+  for (const auto& idx : rel.table->secondary_indexes()) {
+    // Covering check.
+    std::set<size_t> provided(idx->key_cols.begin(), idx->key_cols.end());
+    provided.insert(idx->include_cols.begin(), idx->include_cols.end());
+    bool covers = true;
+    for (size_t c : needed_vec) {
+      if (provided.count(c) == 0) covers = false;
+    }
+    if (!covers) continue;
+    BoundsMatch m = MatchBounds(idx->key_cols, sargs);
+    if (m.matched_cols > idx_match.matched_cols) {
+      idx_match = std::move(m);
+      best_idx = idx.get();
+    }
+  }
+
+  const bool use_clustered = clustered_match.matched_cols >= idx_match.matched_cols;
+  const BoundsMatch& match = use_clustered ? clustered_match : idx_match;
+
+  // Build the static key range (bound sides are literals here).
+  KeyRange range;
+  if (match.matched_cols > 0) {
+    ELE_ASSIGN_OR_RETURN(std::vector<Value> eq_values, EvalConstExprs(match.eq));
+    std::optional<Value> lo, hi;
+    if (match.lo != nullptr) {
+      ELE_ASSIGN_OR_RETURN(Value v, match.lo->Eval(Row{}));
+      lo = std::move(v);
+    }
+    if (match.hi != nullptr) {
+      ELE_ASSIGN_OR_RETURN(Value v, match.hi->Eval(Row{}));
+      hi = std::move(v);
+    }
+    range = MakeKeyRange(eq_values, lo, match.lo_inclusive, hi, match.hi_inclusive);
+  }
+
+  std::string range_desc =
+      match.matched_cols > 0
+          ? " range on " + std::to_string(match.matched_cols) + " key col(s)"
+          : " (full scan)";
+  if (use_clustered || best_idx == nullptr) {
+    plan.exec = std::make_unique<ClusteredScanExecutor>(ctx_, rel.table, range);
+    plan.width = rel.table->schema().NumColumns();
+    plan.note = Note("ClusteredIndexScan " + rel.table->name() + " as " +
+                     rel.alias + range_desc);
+    local_to_plan->assign(rel.schema.NumColumns(), 0);
+    for (size_t c = 0; c < rel.schema.NumColumns(); c++) {
+      (*local_to_plan)[c] = static_cast<int>(c);
+    }
+    if (!rel.table->cluster_cols().empty()) {
+      plan.ordered.insert(rel.table->cluster_cols()[0]);
+      // With an equality prefix pinned, the next cluster column ascends too.
+      if (match.eq.size() > 0 &&
+          match.eq.size() < rel.table->cluster_cols().size() && use_clustered) {
+        plan.ordered.insert(rel.table->cluster_cols()[match.eq.size()]);
+      }
+    }
+  } else {
+    plan.exec = std::make_unique<SecondaryIndexScanExecutor>(ctx_, rel.table,
+                                                             best_idx, range);
+    plan.width = best_idx->out_schema.NumColumns();
+    plan.note = Note("CoveringIndexSeek " + best_idx->name + " on " +
+                     rel.table->name() + " as " + rel.alias + range_desc);
+    local_to_plan->assign(rel.schema.NumColumns(), -1);
+    size_t out_pos = 0;
+    for (size_t kc : best_idx->key_cols) {
+      (*local_to_plan)[kc] = static_cast<int>(out_pos++);
+    }
+    for (size_t ic : best_idx->include_cols) {
+      if ((*local_to_plan)[ic] < 0) {
+        (*local_to_plan)[ic] = static_cast<int>(out_pos);
+      }
+      out_pos++;
+    }
+    plan.ordered.insert(0);  // index emits in leading-key order
+    // With an equality prefix pinned, the next key column ascends. When the
+    // whole key is pinned, entries order by the appended clustering key, so
+    // the first include column ascends if it IS the leading cluster column
+    // (true for c-tables: key v, include f, clustered on f).
+    if (!match.eq.empty()) {
+      if (match.eq.size() < best_idx->key_cols.size()) {
+        plan.ordered.insert(match.eq.size());
+      } else if (!best_idx->include_cols.empty() &&
+                 !rel.table->cluster_cols().empty() &&
+                 best_idx->include_cols[0] == rel.table->cluster_cols()[0]) {
+        plan.ordered.insert(match.eq.size());
+      }
+    }
+  }
+
+  // Residual local predicates (those not consumed by the key range).
+  std::vector<ExprPtr> residual;
+  for (size_t i = 0; i < local_preds.size(); i++) {
+    bool used = false;
+    for (size_t cid : match.used_conjuncts) {
+      // used_conjuncts holds indices into local_preds via Sarg::conjunct_id.
+      if (cid == i) used = true;
+    }
+    if (!used) residual.push_back(std::move(local_preds[i]));
+  }
+  if (!residual.empty()) {
+    // Remap from relation-local positions to plan output positions.
+    std::vector<int> to_plan(rel.schema.NumColumns(), -1);
+    for (size_t c = 0; c < rel.schema.NumColumns(); c++) {
+      to_plan[c] = (*local_to_plan)[c];
+    }
+    for (ExprPtr& p : residual) p->RemapColumns(to_plan);
+    ExprPtr pred = ConjoinAll(std::move(residual));
+    std::string label = "Filter " + pred->ToString();
+    plan.exec =
+        std::make_unique<FilterExecutor>(std::move(plan.exec), std::move(pred));
+    plan.note = Note(std::move(label), std::move(plan.note));
+  }
+  return plan;
+}
+
+Status PlanBuilder::ApplyAvailableFilters(SubPlan* plan) {
+  std::vector<ExprPtr> preds;
+  for (size_t i = 0; i < q_->conjuncts.size(); i++) {
+    if (consumed_[i]) continue;
+    std::set<size_t> rels = RelsOf(*q_->conjuncts[i], col_rel_);
+    bool all_in = true;
+    for (size_t r : rels) {
+      if (joined_.count(r) == 0) all_in = false;
+    }
+    if (all_in) {
+      ExprPtr p = q_->conjuncts[i]->Clone();
+      p->RemapColumns(mapping_);
+      preds.push_back(std::move(p));
+      consumed_[i] = true;
+    }
+  }
+  if (!preds.empty()) {
+    ExprPtr pred = ConjoinAll(std::move(preds));
+    std::string label = "Filter " + pred->ToString();
+    plan->exec =
+        std::make_unique<FilterExecutor>(std::move(plan->exec), std::move(pred));
+    plan->note = Note(std::move(label), std::move(plan->note));
+  }
+  return Status::OK();
+}
+
+Status PlanBuilder::JoinNext(size_t r, SubPlan* plan) {
+  BoundRelation& rel = q_->relations[r];
+
+  // Candidate join atoms: conjuncts of the form (R.col op outer-expr) where
+  // the other side only references already-joined relations.
+  struct JoinCand {
+    size_t local_col;
+    CompareOp op;
+    const Expr* outer;  ///< expression over already-joined relations
+    size_t conjunct_id;
+  };
+  std::vector<JoinCand> cands;
+  std::vector<size_t> cross_ids;
+  for (size_t i = 0; i < q_->conjuncts.size(); i++) {
+    if (consumed_[i]) continue;
+    std::set<size_t> rels = RelsOf(*q_->conjuncts[i], col_rel_);
+    if (rels.count(r) == 0) continue;
+    bool rest_joined = true;
+    for (size_t x : rels) {
+      if (x != r && joined_.count(x) == 0) rest_joined = false;
+    }
+    if (!rest_joined) continue;
+    cross_ids.push_back(i);
+    const auto* cmp = dynamic_cast<const CompareExpr*>(q_->conjuncts[i].get());
+    if (cmp == nullptr) continue;
+    auto side_cand = [&](const Expr* a, const Expr* b, CompareOp op) {
+      const auto* col = dynamic_cast<const ColumnExpr*>(a);
+      if (col == nullptr || col_rel_[col->index()] != r) return;
+      std::set<size_t> other_rels = RelsOf(*b, col_rel_);
+      if (other_rels.count(r) != 0) return;
+      cands.push_back(JoinCand{col->index() - rel.offset, op, b, i});
+    };
+    side_cand(cmp->lhs(), cmp->rhs(), cmp->op());
+    side_cand(cmp->rhs(), cmp->lhs(), FlipOp(cmp->op()));
+  }
+
+  // Also treat R's literal predicates as candidates so they can extend INLJ
+  // bounds (they are consumed in AccessPath for the hash-join path instead).
+  std::vector<ExprPtr> local_pred_storage;
+  std::vector<size_t> local_ids;
+  for (size_t i = 0; i < q_->conjuncts.size(); i++) {
+    if (consumed_[i]) continue;
+    std::set<size_t> rels = RelsOf(*q_->conjuncts[i], col_rel_);
+    if (rels.size() == 1 && *rels.begin() == r) local_ids.push_back(i);
+  }
+  std::vector<Sarg> local_sargs;
+  {
+    std::vector<ExprPtr> localized;
+    for (size_t i : local_ids) localized.push_back(Localize(*q_->conjuncts[i], r));
+    ExtractLiteralSargs(localized, &local_sargs);
+    for (size_t k = 0; k < local_sargs.size(); k++) {
+      // conjunct_id in local_sargs indexes `localized`; translate to global.
+      local_sargs[k].conjunct_id = local_ids[local_sargs[k].conjunct_id];
+    }
+    for (auto& p : localized) local_pred_storage.push_back(std::move(p));
+  }
+  // Merge: express everything as Sargs over R-local columns. The `other`
+  // expr of a JoinCand is over the input schema (joined rels only).
+  std::vector<Sarg> all_sargs = local_sargs;
+  for (const JoinCand& c : cands) {
+    all_sargs.push_back(Sarg{c.local_col, c.op, c.outer, c.conjunct_id});
+  }
+
+  // Pick the best inner index for an INLJ (base tables only).
+  BoundsMatch best_match;
+  const SecondaryIndex* best_idx = nullptr;
+  bool use_clustered = false;
+  if (rel.table != nullptr) {
+    BoundsMatch cm = MatchBounds(rel.table->cluster_cols(), all_sargs);
+    if (cm.matched_cols > 0) {
+      best_match = std::move(cm);
+      use_clustered = true;
+    }
+    std::set<size_t> needed_all = needed_[r];
+    for (const auto& idx : rel.table->secondary_indexes()) {
+      std::set<size_t> provided(idx->key_cols.begin(), idx->key_cols.end());
+      provided.insert(idx->include_cols.begin(), idx->include_cols.end());
+      bool covers = true;
+      for (size_t c : needed_all) {
+        if (provided.count(c) == 0) covers = false;
+      }
+      if (!covers) continue;
+      BoundsMatch m = MatchBounds(idx->key_cols, all_sargs);
+      if (m.matched_cols > best_match.matched_cols) {
+        best_match = std::move(m);
+        best_idx = idx.get();
+        use_clustered = false;
+      }
+    }
+  }
+
+  const size_t outer_width = plan->width;
+  const Schema* inner_schema = nullptr;
+
+  // Detect a band pattern for the MERGE_JOIN hint: lo and hi candidates on
+  // the leading cluster column of R, both from cross conjuncts.
+  const JoinCand* band_lo = nullptr;
+  const JoinCand* band_hi = nullptr;
+  if (rel.table != nullptr && !rel.table->cluster_cols().empty()) {
+    const size_t lead = rel.table->cluster_cols()[0];
+    for (const JoinCand& c : cands) {
+      if (c.local_col != lead) continue;
+      if ((c.op == CompareOp::kGe || c.op == CompareOp::kGt) && band_lo == nullptr) {
+        band_lo = &c;
+      }
+      if ((c.op == CompareOp::kLe || c.op == CompareOp::kLt) && band_hi == nullptr) {
+        band_hi = &c;
+      }
+    }
+  }
+
+  // Merge is taken when hinted, or when the cost model rejects INLJ for a
+  // band join (no equality keys exist, so hash is not an option). The
+  // latter is the §3 complaint: a pessimistic optimizer "picks merge joins
+  // over index nested loop joins" for c-table bands unless hinted.
+  const bool band_possible = band_lo != nullptr && band_hi != nullptr;
+
+  // Cost-based INLJ-vs-hash choice, using the *pessimistic* textbook
+  // assumption that every inner probe pays a random seek. This is precisely
+  // the §3 "Query hints" behaviour: for c-table band joins the probes are
+  // strictly sorted and nearly free, but the optimizer does not know that —
+  // rewritten queries pass LOOP_JOIN to override it.
+  bool cost_prefers_inlj = true;
+  double inner_rows_est = EstimateRows(r);
+  if (rel.table != nullptr && best_match.matched_cols > 0 &&
+      !q_->hints.loop_join) {
+    const double bytes_per_row = rel.table->schema().FixedSectionSize() + 24.0;
+    const double inner_pages =
+        std::max(1.0, static_cast<double>(rel.table->row_count()) *
+                          bytes_per_row / kPageSize);
+    constexpr double kSeekSeconds = 0.0085;
+    constexpr double kPageSeconds = 8.2e-5;
+    constexpr double kTupleCpuSeconds = 2e-7;
+    const double inlj_cost = outer_est_ * (kSeekSeconds + kPageSeconds);
+    const double hash_cost = kSeekSeconds + inner_pages * kPageSeconds +
+                             inner_rows_est * kTupleCpuSeconds;
+    cost_prefers_inlj = inlj_cost < hash_cost;
+  }
+  const bool want_merge =
+      band_possible && (q_->hints.merge_join ||
+                        (!q_->hints.loop_join && !cost_prefers_inlj));
+  const bool want_inlj = !want_merge && best_match.matched_cols > 0 &&
+                         !q_->hints.hash_join &&
+                         (q_->hints.loop_join || cost_prefers_inlj);
+
+  // Estimated output cardinality of this join (FK-style fanout from the
+  // inner's join-column distinct count when statistics exist).
+  {
+    double fanout = 1.0;
+    if (rel.table != nullptr && rel.table->analyzed()) {
+      for (const JoinCand& c : cands) {
+        if (c.op != CompareOp::kEq) continue;
+        const uint64_t distinct = rel.table->stats()[c.local_col].distinct;
+        fanout = std::max(1.0, inner_rows_est /
+                                   std::max<double>(1.0, static_cast<double>(distinct)));
+        break;
+      }
+    }
+    outer_est_ = std::max(1.0, outer_est_ * fanout);
+  }
+
+  std::vector<int> local_to_plan;
+  std::string join_label;
+
+  if (want_inlj) {
+    // ----- Index nested-loop join -----
+    InljBounds bounds;
+    for (const Expr* e : best_match.eq) {
+      ExprPtr b = e->Clone();
+      b->RemapColumns(mapping_);  // literals remap trivially
+      bounds.eq_exprs.push_back(std::move(b));
+    }
+    if (best_match.lo != nullptr) {
+      bounds.lo = best_match.lo->Clone();
+      bounds.lo->RemapColumns(mapping_);
+      bounds.lo_inclusive = best_match.lo_inclusive;
+    }
+    if (best_match.hi != nullptr) {
+      bounds.hi = best_match.hi->Clone();
+      bounds.hi->RemapColumns(mapping_);
+      bounds.hi_inclusive = best_match.hi_inclusive;
+    }
+    for (size_t cid : best_match.used_conjuncts) consumed_[cid] = true;
+
+    if (use_clustered) {
+      inner_schema = &rel.table->schema();
+      local_to_plan.assign(rel.schema.NumColumns(), 0);
+      for (size_t c = 0; c < rel.schema.NumColumns(); c++) {
+        local_to_plan[c] = static_cast<int>(c);
+      }
+      join_label = "IndexNestedLoopJoin inner=" + rel.table->name() + " as " +
+                   rel.alias + " (clustered seek, " +
+                   std::to_string(best_match.matched_cols) + " key col(s))";
+    } else {
+      inner_schema = &best_idx->out_schema;
+      local_to_plan.assign(rel.schema.NumColumns(), -1);
+      size_t out_pos = 0;
+      for (size_t kc : best_idx->key_cols) {
+        local_to_plan[kc] = static_cast<int>(out_pos++);
+      }
+      for (size_t ic : best_idx->include_cols) {
+        if (local_to_plan[ic] < 0) local_to_plan[ic] = static_cast<int>(out_pos);
+        out_pos++;
+      }
+      join_label = "IndexNestedLoopJoin inner=" + rel.table->name() + " as " +
+                   rel.alias + " (covering seek " + best_idx->name + ")";
+    }
+
+    // Commit the combined mapping before building residuals.
+    for (size_t c = 0; c < rel.schema.NumColumns(); c++) {
+      mapping_[rel.offset + c] =
+          local_to_plan[c] < 0
+              ? -1
+              : static_cast<int>(outer_width) + local_to_plan[c];
+    }
+    joined_.insert(r);
+
+    // Residual: every remaining conjunct over the joined set (includes R's
+    // leftover local predicates).
+    std::vector<ExprPtr> residual;
+    for (size_t i : cross_ids) {
+      if (consumed_[i]) continue;
+      ExprPtr p = q_->conjuncts[i]->Clone();
+      p->RemapColumns(mapping_);
+      residual.push_back(std::move(p));
+      consumed_[i] = true;
+    }
+    for (size_t i : local_ids) {
+      if (consumed_[i]) continue;
+      ExprPtr p = q_->conjuncts[i]->Clone();
+      p->RemapColumns(mapping_);
+      residual.push_back(std::move(p));
+      consumed_[i] = true;
+    }
+    ExprPtr resid = ConjoinAll(std::move(residual));
+    // Order propagation: outer-major order is preserved. If the probe's
+    // first bound expression is a provably-ordered outer column, the inner
+    // leading key column ascends too (nested/equal ranges).
+    {
+      const Expr* first_bound = !bounds.eq_exprs.empty()
+                                    ? bounds.eq_exprs[0].get()
+                                    : bounds.lo.get();
+      const auto* bc = dynamic_cast<const ColumnExpr*>(first_bound);
+      if (bc != nullptr && plan->ordered.count(bc->index()) != 0) {
+        const std::vector<size_t>& keys = use_clustered
+                                              ? rel.table->cluster_cols()
+                                              : best_idx->key_cols;
+        if (!keys.empty() && local_to_plan[keys[0]] >= 0) {
+          plan->ordered.insert(outer_width +
+                               static_cast<size_t>(local_to_plan[keys[0]]));
+        }
+      }
+    }
+    ExplainPtr outer_note = std::move(plan->note);
+    plan->exec = std::make_unique<IndexNestedLoopJoinExecutor>(
+        ctx_, std::move(plan->exec), rel.table,
+        use_clustered ? nullptr : best_idx, std::move(bounds), std::move(resid));
+    plan->note = Note(std::move(join_label), std::move(outer_note));
+    plan->width = outer_width + inner_schema->NumColumns();
+    return Status::OK();
+  }
+
+  if (want_merge) {
+    // ----- Band merge join (full scan of the inner side) -----
+    // The inner is a full clustered scan of R; R's local predicates become a
+    // filter on that scan via AccessPath.
+    std::vector<int> inner_map;
+    ELE_ASSIGN_OR_RETURN(SubPlan inner, AccessPath(r, &inner_map));
+    // Outer must be sorted by the band's lower bound; skip the sort when
+    // that bound is a provably-ordered column of the outer stream (always
+    // true for §2.2.2 c-table chains, whose band joins preserve f-order).
+    ExprPtr sort_key = band_lo->outer->Clone();
+    sort_key->RemapColumns(mapping_);
+    bool already_sorted = false;
+    if (const auto* sc = dynamic_cast<const ColumnExpr*>(sort_key.get())) {
+      already_sorted = plan->ordered.count(sc->index()) != 0;
+    }
+    ExplainPtr outer_note;
+    ExecutorPtr outer_sorted;
+    if (already_sorted) {
+      outer_note = std::move(plan->note);
+      outer_sorted = std::move(plan->exec);
+    } else {
+      outer_note = Note("Sort (merge-join order: " + sort_key->ToString() + ")",
+                        std::move(plan->note));
+      std::vector<SortKey> keys;
+      keys.push_back(SortKey{sort_key->Clone(), true});
+      outer_sorted = std::make_unique<SortExecutor>(ctx_, std::move(plan->exec),
+                                                    std::move(keys));
+    }
+
+    // Inner point: the leading cluster column, in inner-plan coordinates.
+    const size_t lead = rel.table->cluster_cols()[0];
+    // The merge consumes the inner in point order. AccessPath may have
+    // chosen an access path ordered differently (e.g. a v-index range scan
+    // of a c-table emits in v order, not f order): sort if not provable.
+    const size_t lead_pos = static_cast<size_t>(inner_map[lead]);
+    if (inner.ordered.count(lead_pos) == 0) {
+      std::vector<SortKey> ikeys;
+      ikeys.push_back(SortKey{
+          Col(lead_pos, rel.schema.ColumnAt(lead).type,
+              rel.alias + "." + rel.schema.ColumnAt(lead).name),
+          true});
+      inner.note = Note("Sort (merge-join inner order)", std::move(inner.note));
+      inner.exec = std::make_unique<SortExecutor>(ctx_, std::move(inner.exec),
+                                                  std::move(ikeys));
+    }
+    ExprPtr lo = band_lo->outer->Clone();
+    lo->RemapColumns(mapping_);
+    ExprPtr hi = band_hi->outer->Clone();
+    hi->RemapColumns(mapping_);
+    ExprPtr point = Col(static_cast<size_t>(inner_map[lead]),
+                        rel.schema.ColumnAt(lead).type,
+                        rel.alias + "." + rel.schema.ColumnAt(lead).name);
+    consumed_[band_lo->conjunct_id] = true;
+    consumed_[band_hi->conjunct_id] = true;
+
+    for (size_t c = 0; c < rel.schema.NumColumns(); c++) {
+      mapping_[rel.offset + c] =
+          inner_map[c] < 0 ? -1 : static_cast<int>(outer_width) + inner_map[c];
+    }
+    joined_.insert(r);
+    // Output stays outer-ordered and is additionally ordered on the inner
+    // point column.
+    if (!already_sorted) plan->ordered.clear();
+    plan->ordered.insert(outer_width + static_cast<size_t>(inner_map[lead]));
+
+    std::vector<ExprPtr> residual;
+    for (size_t i : cross_ids) {
+      if (consumed_[i]) continue;
+      ExprPtr p = q_->conjuncts[i]->Clone();
+      p->RemapColumns(mapping_);
+      residual.push_back(std::move(p));
+      consumed_[i] = true;
+    }
+    ExprPtr resid = ConjoinAll(std::move(residual));
+    plan->exec = std::make_unique<BandMergeJoinExecutor>(
+        ctx_, std::move(outer_sorted), std::move(inner.exec), std::move(lo),
+        std::move(hi), std::move(point), std::move(resid));
+    plan->note = Note(std::string("BandMergeJoin inner=") + rel.table->name() +
+                          " as " + rel.alias + " (full inner scan" +
+                          (already_sorted ? ", outer pre-sorted)" : ")"),
+                      std::move(outer_note), std::move(inner.note));
+    plan->width = outer_width + inner.width;
+    return Status::OK();
+  }
+
+  // ----- Hash join (or cross product when no equality keys exist) -----
+  std::vector<int> inner_map;
+  ELE_ASSIGN_OR_RETURN(SubPlan inner, AccessPath(r, &inner_map));
+  std::vector<ExprPtr> lkeys, rkeys;
+  for (const JoinCand& c : cands) {
+    if (c.op != CompareOp::kEq || consumed_[c.conjunct_id]) continue;
+    if (inner_map[c.local_col] < 0) continue;
+    ExprPtr outer = c.outer->Clone();
+    outer->RemapColumns(mapping_);
+    lkeys.push_back(std::move(outer));
+    rkeys.push_back(Col(static_cast<size_t>(inner_map[c.local_col]),
+                        rel.schema.ColumnAt(c.local_col).type));
+    consumed_[c.conjunct_id] = true;
+  }
+  for (size_t c = 0; c < rel.schema.NumColumns(); c++) {
+    mapping_[rel.offset + c] =
+        inner_map[c] < 0 ? -1 : static_cast<int>(outer_width) + inner_map[c];
+  }
+  joined_.insert(r);
+  std::vector<ExprPtr> residual;
+  for (size_t i : cross_ids) {
+    if (consumed_[i]) continue;
+    ExprPtr p = q_->conjuncts[i]->Clone();
+    p->RemapColumns(mapping_);
+    residual.push_back(std::move(p));
+    consumed_[i] = true;
+  }
+  ExprPtr resid = ConjoinAll(std::move(residual));
+  // Probe-side order is preserved by the hash join (plan->ordered keeps the
+  // outer positions, which do not move).
+  const std::string label =
+      lkeys.empty() ? "NestedProduct (no join keys)" : "HashJoin build=" + rel.alias;
+  ExplainPtr outer_note = std::move(plan->note);
+  plan->exec = std::make_unique<HashJoinExecutor>(
+      ctx_, std::move(plan->exec), std::move(inner.exec), std::move(lkeys),
+      std::move(rkeys), std::move(resid));
+  plan->note = Note(label, std::move(outer_note), std::move(inner.note));
+  plan->width = outer_width + inner.width;
+  return Status::OK();
+}
+
+Result<PlannedQuery> PlanBuilder::Build() {
+  ELE_RETURN_NOT_OK(AnalyzePrereqs());
+  const std::vector<size_t> order = ChooseJoinOrder();
+
+  outer_est_ = EstimateRows(order[0]);
+  std::vector<int> local_map;
+  ELE_ASSIGN_OR_RETURN(SubPlan plan, AccessPath(order[0], &local_map));
+  mapping_.assign(ncols_, -1);
+  {
+    const BoundRelation& rel = q_->relations[order[0]];
+    for (size_t c = 0; c < rel.schema.NumColumns(); c++) {
+      mapping_[rel.offset + c] = local_map[c];
+    }
+  }
+  joined_.insert(order[0]);
+  ELE_RETURN_NOT_OK(ApplyAvailableFilters(&plan));
+  for (size_t i = 1; i < order.size(); i++) {
+    ELE_RETURN_NOT_OK(JoinNext(order[i], &plan));
+    ELE_RETURN_NOT_OK(ApplyAvailableFilters(&plan));
+  }
+
+  // Aggregation.
+  if (q_->has_grouping) {
+    std::vector<ExprPtr> groups;
+    for (ExprPtr& g : q_->group_by) {
+      g->RemapColumns(mapping_);
+      groups.push_back(std::move(g));
+    }
+    std::vector<AggSpec> aggs;
+    for (AggSpec& a : q_->aggs) {
+      if (a.arg) a.arg->RemapColumns(mapping_);
+      aggs.push_back(std::move(a));
+    }
+    if (q_->hints.stream_agg && !q_->hints.hash_agg) {
+      std::vector<SortKey> keys;
+      for (const ExprPtr& g : groups) keys.push_back(SortKey{g->Clone(), true});
+      ExplainPtr note = Note("Sort (group order)", std::move(plan.note));
+      plan.exec = std::make_unique<SortExecutor>(ctx_, std::move(plan.exec),
+                                                 std::move(keys));
+      plan.exec = std::make_unique<StreamAggregateExecutor>(
+          ctx_, std::move(plan.exec), std::move(groups), std::move(aggs));
+      plan.note = Note("StreamAggregate", std::move(note));
+    } else {
+      plan.exec = std::make_unique<HashAggregateExecutor>(
+          ctx_, std::move(plan.exec), std::move(groups), std::move(aggs));
+      plan.note = Note("HashAggregate", std::move(plan.note));
+    }
+    if (q_->having != nullptr) {
+      std::string label = "Filter (HAVING) " + q_->having->ToString();
+      plan.exec = std::make_unique<FilterExecutor>(std::move(plan.exec),
+                                                   std::move(q_->having));
+      plan.note = Note(std::move(label), std::move(plan.note));
+    }
+  }
+
+  // Final projection.
+  std::vector<ExprPtr> projs;
+  for (ExprPtr& s : q_->select_exprs) {
+    if (!q_->has_grouping) s->RemapColumns(mapping_);
+    projs.push_back(std::move(s));
+  }
+  plan.exec = std::make_unique<ProjectExecutor>(std::move(plan.exec),
+                                                std::move(projs), q_->select_names);
+  plan.note = Note("Project", std::move(plan.note));
+  if (q_->distinct) {
+    // DISTINCT = group by every output column with no aggregates.
+    std::vector<ExprPtr> dgroups;
+    const Schema& out_schema = plan.exec->OutputSchema();
+    for (size_t c = 0; c < out_schema.NumColumns(); c++) {
+      dgroups.push_back(Col(c, out_schema.ColumnAt(c).type,
+                            out_schema.ColumnAt(c).name,
+                            out_schema.ColumnAt(c).length));
+    }
+    plan.exec = std::make_unique<HashAggregateExecutor>(
+        ctx_, std::move(plan.exec), std::move(dgroups), std::vector<AggSpec>{});
+    plan.note = Note("Distinct", std::move(plan.note));
+  }
+
+  // ORDER BY / LIMIT.
+  if (!q_->order_by.empty()) {
+    std::vector<SortKey> keys;
+    for (BoundOrderKey& k : q_->order_by) {
+      keys.push_back(SortKey{std::move(k.expr), k.ascending});
+    }
+    plan.exec = std::make_unique<SortExecutor>(ctx_, std::move(plan.exec),
+                                               std::move(keys));
+    plan.note = Note("Sort (ORDER BY)", std::move(plan.note));
+  }
+  if (q_->limit.has_value()) {
+    plan.exec = std::make_unique<LimitExecutor>(std::move(plan.exec), *q_->limit);
+    plan.note = Note("Limit " + std::to_string(*q_->limit), std::move(plan.note));
+  }
+
+  PlannedQuery out;
+  out.output_schema = q_->output_schema;
+  out.executor = std::move(plan.exec);
+  Render(*plan.note, 0, &out.explain);
+  return out;
+}
+
+}  // namespace
+
+Result<PlannedQuery> Planner::Plan(std::unique_ptr<BoundQuery> q) {
+  PlanBuilder builder(ctx_, std::move(q));
+  return builder.Build();
+}
+
+}  // namespace elephant

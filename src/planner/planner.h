@@ -1,0 +1,39 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "exec/executor.h"
+#include "planner/bound_query.h"
+
+namespace elephant {
+
+/// A planned query: an executable operator tree plus its EXPLAIN rendering.
+struct PlannedQuery {
+  ExecutorPtr executor;
+  std::string explain;
+  Schema output_schema;
+};
+
+/// Translates a BoundQuery into a physical operator tree.
+///
+/// The planner implements exactly the row-store machinery the paper relies
+/// on: predicate pushdown into clustered/secondary index ranges, covering-
+/// index selection, greedy cost-based join ordering (filtered-cardinality
+/// heuristic over ANALYZE statistics), index nested-loop joins with
+/// correlated equality *and band* bounds, hash joins, band merge joins, and
+/// hash/stream aggregation — all overridable with `/*+ ... */` hints (§3,
+/// "Query hints").
+class Planner {
+ public:
+  Planner(ExecContext* ctx) : ctx_(ctx) {}
+
+  /// Consumes `q` (expressions are moved into the executors).
+  Result<PlannedQuery> Plan(std::unique_ptr<BoundQuery> q);
+
+ private:
+  ExecContext* ctx_;
+};
+
+}  // namespace elephant

@@ -1,0 +1,125 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+namespace elephant {
+
+BufferPool::BufferPool(DiskManager* disk, uint32_t capacity_pages)
+    : disk_(disk), capacity_(capacity_pages) {
+  frames_.resize(capacity_);
+  free_frames_.reserve(capacity_);
+  for (uint32_t i = 0; i < capacity_; i++) {
+    frames_[i].data_ = std::make_unique<char[]>(kPageSize);
+    free_frames_.push_back(capacity_ - 1 - i);  // hand out low indices first
+  }
+}
+
+void BufferPool::Touch(size_t frame_idx) {
+  auto it = lru_pos_.find(frame_idx);
+  if (it != lru_pos_.end()) lru_.erase(it->second);
+  lru_.push_front(frame_idx);
+  lru_pos_[frame_idx] = lru_.begin();
+}
+
+Status BufferPool::FlushFrame(size_t i) {
+  Frame& f = frames_[i];
+  if (f.dirty_ && f.page_id_ != kInvalidPageId) {
+    ELE_RETURN_NOT_OK(disk_->WritePage(f.page_id_, f.data()));
+    f.dirty_ = false;
+  }
+  return Status::OK();
+}
+
+Result<size_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  // Evict the least-recently-used unpinned frame.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    size_t idx = *it;
+    if (frames_[idx].pin_count_ == 0) {
+      ELE_RETURN_NOT_OK(FlushFrame(idx));
+      page_table_.erase(frames_[idx].page_id_);
+      lru_.erase(lru_pos_[idx]);
+      lru_pos_.erase(idx);
+      frames_[idx].page_id_ = kInvalidPageId;
+      stats_.evictions++;
+      return idx;
+    }
+  }
+  return Status::ResourceExhausted("buffer pool: all frames pinned");
+}
+
+Result<Frame*> BufferPool::FetchPage(page_id_t page_id) {
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    stats_.hits++;
+    Frame& f = frames_[it->second];
+    f.pin_count_++;
+    Touch(it->second);
+    return &f;
+  }
+  stats_.misses++;
+  ELE_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
+  Frame& f = frames_[idx];
+  ELE_RETURN_NOT_OK(disk_->ReadPage(page_id, f.data()));
+  f.page_id_ = page_id;
+  f.pin_count_ = 1;
+  f.dirty_ = false;
+  page_table_[page_id] = idx;
+  Touch(idx);
+  return &f;
+}
+
+Result<Frame*> BufferPool::NewPage(page_id_t* page_id) {
+  *page_id = disk_->AllocatePage();
+  ELE_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
+  Frame& f = frames_[idx];
+  std::memset(f.data(), 0, kPageSize);
+  f.page_id_ = *page_id;
+  f.pin_count_ = 1;
+  f.dirty_ = true;
+  page_table_[*page_id] = idx;
+  Touch(idx);
+  return &f;
+}
+
+void BufferPool::UnpinPage(page_id_t page_id, bool dirty) {
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return;
+  Frame& f = frames_[it->second];
+  if (f.pin_count_ > 0) f.pin_count_--;
+  if (dirty) f.dirty_ = true;
+}
+
+Status BufferPool::FlushAll() {
+  for (size_t i = 0; i < frames_.size(); i++) {
+    ELE_RETURN_NOT_OK(FlushFrame(i));
+  }
+  return Status::OK();
+}
+
+Status BufferPool::EvictAll() {
+  ELE_RETURN_NOT_OK(FlushAll());
+  for (size_t i = 0; i < frames_.size(); i++) {
+    Frame& f = frames_[i];
+    if (f.page_id_ == kInvalidPageId) continue;
+    if (f.pin_count_ != 0) {
+      return Status::Internal("EvictAll with pinned page " +
+                              std::to_string(f.page_id_));
+    }
+    page_table_.erase(f.page_id_);
+    auto it = lru_pos_.find(i);
+    if (it != lru_pos_.end()) {
+      lru_.erase(it->second);
+      lru_pos_.erase(it);
+    }
+    f.page_id_ = kInvalidPageId;
+    free_frames_.push_back(i);
+  }
+  return Status::OK();
+}
+
+}  // namespace elephant

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "storage/disk_manager.h"
+
+namespace elephant {
+
+/// A buffered page frame. `data()` exposes the raw kPageSize bytes.
+class Frame {
+ public:
+  char* data() { return data_.get(); }
+  const char* data() const { return data_.get(); }
+
+ private:
+  friend class BufferPool;
+  std::unique_ptr<char[]> data_;
+  page_id_t page_id_ = kInvalidPageId;
+  int pin_count_ = 0;
+  bool dirty_ = false;
+};
+
+/// Buffer-pool hit/miss counters (cache behaviour, distinct from disk I/O).
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+/// A fixed-capacity LRU buffer pool over a DiskManager. All page access in
+/// the engine flows through here, so "cold cache" experiments are obtained by
+/// calling `EvictAll()` before a run. The engine is single-threaded by
+/// design (the paper's experiments are single-stream), so no latching.
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, uint32_t capacity_pages = kDefaultBufferPoolPages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins the page in memory, reading it from disk on a miss.
+  /// Caller must Unpin() exactly once per fetch.
+  Result<Frame*> FetchPage(page_id_t page_id);
+
+  /// Allocates a new page on disk and pins its (zeroed, dirty) frame.
+  Result<Frame*> NewPage(page_id_t* page_id);
+
+  /// Releases one pin; `dirty` marks the frame as modified.
+  void UnpinPage(page_id_t page_id, bool dirty);
+
+  /// Writes back all dirty frames.
+  Status FlushAll();
+
+  /// Flushes and drops every frame — the cold-cache knob for benchmarks.
+  Status EvictAll();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+
+  DiskManager* disk() { return disk_; }
+  uint32_t capacity() const { return capacity_; }
+
+ private:
+  /// Returns a free frame, evicting the LRU unpinned page if needed.
+  Result<size_t> GetVictimFrame();
+  Status FlushFrame(size_t frame_idx);
+  void Touch(size_t frame_idx);
+
+  DiskManager* disk_;
+  uint32_t capacity_;
+  std::vector<Frame> frames_;
+  std::unordered_map<page_id_t, size_t> page_table_;
+  // LRU: front = most recent. Entries are frame indices of resident pages.
+  std::list<size_t> lru_;
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
+  std::vector<size_t> free_frames_;
+  BufferPoolStats stats_;
+};
+
+/// RAII pin holder: unpins on destruction. Use `MarkDirty()` before release
+/// when the page was modified.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, page_id_t page_id, Frame* frame)
+      : pool_(pool), page_id_(page_id), frame_(frame) {}
+  ~PageGuard() { Release(); }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+  PageGuard& operator=(PageGuard&& o) noexcept {
+    if (this != &o) {
+      Release();
+      pool_ = o.pool_;
+      page_id_ = o.page_id_;
+      frame_ = o.frame_;
+      dirty_ = o.dirty_;
+      o.pool_ = nullptr;
+      o.frame_ = nullptr;
+    }
+    return *this;
+  }
+
+  bool valid() const { return frame_ != nullptr; }
+  page_id_t page_id() const { return page_id_; }
+  char* data() { return frame_->data(); }
+  const char* data() const { return frame_->data(); }
+  void MarkDirty() { dirty_ = true; }
+
+  void Release() {
+    if (pool_ != nullptr && frame_ != nullptr) {
+      pool_->UnpinPage(page_id_, dirty_);
+    }
+    pool_ = nullptr;
+    frame_ = nullptr;
+    dirty_ = false;
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  page_id_t page_id_ = kInvalidPageId;
+  Frame* frame_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace elephant

@@ -1,0 +1,52 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+
+namespace elephant {
+
+page_id_t DiskManager::AllocatePage() {
+  auto page = std::make_unique<char[]>(kPageSize);
+  std::memset(page.get(), 0, kPageSize);
+  pages_.push_back(std::move(page));
+  return static_cast<page_id_t>(pages_.size() - 1);
+}
+
+Status DiskManager::ReadPage(page_id_t page_id, char* dest) {
+  if (page_id < 0 || static_cast<size_t>(page_id) >= pages_.size()) {
+    return Status::OutOfRange("read of unallocated page " + std::to_string(page_id));
+  }
+  clock_++;
+  int hit = -1;
+  int lru = 0;
+  for (int i = 0; i < kReadStreams; i++) {
+    // A stream continues when the new page extends it (same page counts
+    // too: a re-read the cache dropped but the drive buffer still holds).
+    if (page_id == streams_[i].last_page + 1 || page_id == streams_[i].last_page) {
+      hit = i;
+      break;
+    }
+    if (streams_[i].last_used < streams_[lru].last_used) lru = i;
+  }
+  if (hit >= 0) {
+    stats_.sequential_reads++;
+    streams_[hit].last_page = page_id;
+    streams_[hit].last_used = clock_;
+  } else {
+    stats_.random_reads++;
+    streams_[lru].last_page = page_id;
+    streams_[lru].last_used = clock_;
+  }
+  std::memcpy(dest, pages_[page_id].get(), kPageSize);
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(page_id_t page_id, const char* src) {
+  if (page_id < 0 || static_cast<size_t>(page_id) >= pages_.size()) {
+    return Status::OutOfRange("write of unallocated page " + std::to_string(page_id));
+  }
+  stats_.page_writes++;
+  std::memcpy(pages_[page_id].get(), src, kPageSize);
+  return Status::OK();
+}
+
+}  // namespace elephant

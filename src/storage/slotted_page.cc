@@ -1,0 +1,85 @@
+#include "storage/slotted_page.h"
+
+#include <cstring>
+
+namespace elephant {
+
+uint16_t SlottedPage::GetU16(uint32_t off) const {
+  return static_cast<uint16_t>(static_cast<unsigned char>(data_[off]) |
+                               (static_cast<unsigned char>(data_[off + 1]) << 8));
+}
+void SlottedPage::PutU16(uint32_t off, uint16_t v) {
+  data_[off] = static_cast<char>(v & 0xff);
+  data_[off + 1] = static_cast<char>((v >> 8) & 0xff);
+}
+int32_t SlottedPage::GetI32(uint32_t off) const {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; i++) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[off + i])) << (8 * i);
+  }
+  return static_cast<int32_t>(v);
+}
+void SlottedPage::PutI32(uint32_t off, int32_t v) {
+  for (int i = 0; i < 4; i++) data_[off + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void SlottedPage::Init() {
+  PutU16(0, 0);                      // slot_count
+  PutU16(2, kPageSize);              // free_ptr (data grows down from page end)
+  PutI32(4, kInvalidPageId);         // next_page
+}
+
+uint16_t SlottedPage::SlotCount() const { return GetU16(0); }
+page_id_t SlottedPage::NextPageId() const { return GetI32(4); }
+void SlottedPage::SetNextPageId(page_id_t id) { PutI32(4, id); }
+
+uint32_t SlottedPage::FreeSpace() const {
+  const uint32_t slots_end = kHeaderBytes + SlotCount() * kSlotBytes;
+  const uint32_t free_ptr = GetU16(2);
+  if (free_ptr < slots_end + kSlotBytes) return 0;
+  return free_ptr - slots_end - kSlotBytes;
+}
+
+Result<slot_id_t> SlottedPage::Insert(std::string_view record) {
+  if (record.size() > FreeSpace()) {
+    return Status::ResourceExhausted("page full");
+  }
+  const uint16_t count = SlotCount();
+  const uint16_t free_ptr = GetU16(2);
+  const uint16_t new_off = static_cast<uint16_t>(free_ptr - record.size());
+  std::memcpy(data_ + new_off, record.data(), record.size());
+  PutU16(kHeaderBytes + count * kSlotBytes, new_off);
+  PutU16(kHeaderBytes + count * kSlotBytes + 2, static_cast<uint16_t>(record.size()));
+  PutU16(0, count + 1);
+  PutU16(2, new_off);
+  return static_cast<slot_id_t>(count);
+}
+
+Result<std::string_view> SlottedPage::Get(slot_id_t slot) const {
+  if (slot >= SlotCount()) return Status::NotFound("slot out of range");
+  const uint16_t len = SlotLength(slot);
+  if (len == 0) return Status::NotFound("deleted slot");
+  return std::string_view(data_ + SlotOffset(slot), len);
+}
+
+Status SlottedPage::Delete(slot_id_t slot) {
+  if (slot >= SlotCount()) return Status::NotFound("slot out of range");
+  PutU16(kHeaderBytes + slot * kSlotBytes + 2, 0);
+  return Status::OK();
+}
+
+Status SlottedPage::Update(slot_id_t slot, std::string_view record) {
+  if (slot >= SlotCount()) return Status::NotFound("slot out of range");
+  const uint16_t len = SlotLength(slot);
+  if (len == 0) return Status::NotFound("deleted slot");
+  if (record.size() > len) {
+    return Status::ResourceExhausted("in-place update larger than record");
+  }
+  std::memcpy(data_ + SlotOffset(slot), record.data(), record.size());
+  if (record.size() < len) {
+    PutU16(kHeaderBytes + slot * kSlotBytes + 2, static_cast<uint16_t>(record.size()));
+  }
+  return Status::OK();
+}
+
+}  // namespace elephant

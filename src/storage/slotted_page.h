@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/config.h"
+#include "common/status.h"
+
+namespace elephant {
+
+/// A view over one kPageSize buffer laid out as a classic slotted page:
+///
+///   [u16 slot_count][u16 free_ptr][i32 next_page]      (8-byte header)
+///   [slot 0][slot 1]...                                 (grow upward)
+///   ...free space...
+///   [tuple data]                                        (grows downward)
+///
+/// Each slot is {u16 offset, u16 length}; length == 0 marks a deleted slot.
+/// The view does not own the buffer; it is typically backed by a pinned
+/// buffer-pool frame.
+class SlottedPage {
+ public:
+  explicit SlottedPage(char* data) : data_(data) {}
+
+  /// Formats a fresh page (empty, no next page).
+  void Init();
+
+  uint16_t SlotCount() const;
+  page_id_t NextPageId() const;
+  void SetNextPageId(page_id_t id);
+
+  /// Free bytes available for a new tuple (accounting for its slot entry).
+  uint32_t FreeSpace() const;
+
+  /// Inserts a record, returning its slot id, or ResourceExhausted when the
+  /// page is full.
+  Result<slot_id_t> Insert(std::string_view record);
+
+  /// Returns the record stored at `slot` (NotFound for deleted/oob slots).
+  Result<std::string_view> Get(slot_id_t slot) const;
+
+  /// Marks the slot deleted. Space is not compacted (fine for this engine:
+  /// heaps are append-mostly and rebuilt wholesale).
+  Status Delete(slot_id_t slot);
+
+  /// Replaces the record in place when the new payload is not larger;
+  /// returns ResourceExhausted otherwise (caller should delete+reinsert).
+  Status Update(slot_id_t slot, std::string_view record);
+
+ private:
+  static constexpr uint32_t kHeaderBytes = 8;
+  static constexpr uint32_t kSlotBytes = 4;
+
+  uint16_t GetU16(uint32_t off) const;
+  void PutU16(uint32_t off, uint16_t v);
+  int32_t GetI32(uint32_t off) const;
+  void PutI32(uint32_t off, int32_t v);
+
+  uint16_t SlotOffset(slot_id_t s) const { return GetU16(kHeaderBytes + s * kSlotBytes); }
+  uint16_t SlotLength(slot_id_t s) const {
+    return GetU16(kHeaderBytes + s * kSlotBytes + 2);
+  }
+
+  char* data_;
+};
+
+}  // namespace elephant

@@ -1,0 +1,99 @@
+#include "storage/table_heap.h"
+
+namespace elephant {
+
+Result<TableHeap> TableHeap::Create(BufferPool* pool) {
+  page_id_t pid;
+  ELE_ASSIGN_OR_RETURN(Frame * frame, pool->NewPage(&pid));
+  SlottedPage page(frame->data());
+  page.Init();
+  pool->UnpinPage(pid, /*dirty=*/true);
+  return TableHeap(pool, pid, pid);
+}
+
+Result<Rid> TableHeap::Insert(std::string_view record) {
+  if (record.size() > kPageSize / 2) {
+    return Status::InvalidArgument("tuple larger than half a page");
+  }
+  ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(last_page_));
+  SlottedPage page(frame->data());
+  auto slot = page.Insert(record);
+  if (slot.ok()) {
+    pool_->UnpinPage(last_page_, /*dirty=*/true);
+    return Rid{last_page_, slot.value()};
+  }
+  // Tail page full: chain a new page.
+  page_id_t new_pid;
+  auto new_frame = pool_->NewPage(&new_pid);
+  if (!new_frame.ok()) {
+    pool_->UnpinPage(last_page_, false);
+    return new_frame.status();
+  }
+  SlottedPage new_page(new_frame.value()->data());
+  new_page.Init();
+  page.SetNextPageId(new_pid);
+  pool_->UnpinPage(last_page_, /*dirty=*/true);
+  last_page_ = new_pid;
+  auto slot2 = new_page.Insert(record);
+  pool_->UnpinPage(new_pid, /*dirty=*/true);
+  if (!slot2.ok()) return slot2.status();
+  return Rid{new_pid, slot2.value()};
+}
+
+Status TableHeap::Get(const Rid& rid, std::string* out) const {
+  ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(rid.page_id));
+  SlottedPage page(frame->data());
+  auto rec = page.Get(rid.slot);
+  if (rec.ok()) out->assign(rec.value().data(), rec.value().size());
+  pool_->UnpinPage(rid.page_id, false);
+  return rec.status();
+}
+
+Status TableHeap::Delete(const Rid& rid) {
+  ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(rid.page_id));
+  SlottedPage page(frame->data());
+  Status s = page.Delete(rid.slot);
+  pool_->UnpinPage(rid.page_id, s.ok());
+  return s;
+}
+
+Result<TableHeap::Iterator> TableHeap::Begin() const {
+  Iterator it(pool_, first_page_);
+  ELE_RETURN_NOT_OK(it.SeekToLive());
+  return it;
+}
+
+TableHeap::Iterator::Iterator(BufferPool* pool, page_id_t page_id)
+    : pool_(pool), page_(page_id), slot_(0) {}
+
+Status TableHeap::Iterator::SeekToLive() {
+  while (page_ != kInvalidPageId) {
+    ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(page_));
+    SlottedPage sp(frame->data());
+    const uint16_t count = sp.SlotCount();
+    while (slot_ < count) {
+      auto rec = sp.Get(slot_);
+      if (rec.ok()) {
+        record_.assign(rec.value().data(), rec.value().size());
+        rid_ = Rid{page_, slot_};
+        valid_ = true;
+        pool_->UnpinPage(page_, false);
+        return Status::OK();
+      }
+      slot_++;
+    }
+    page_id_t next = sp.NextPageId();
+    pool_->UnpinPage(page_, false);
+    page_ = next;
+    slot_ = 0;
+  }
+  valid_ = false;
+  return Status::OK();
+}
+
+Status TableHeap::Iterator::Next() {
+  slot_++;
+  return SeekToLive();
+}
+
+}  // namespace elephant

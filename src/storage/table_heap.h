@@ -1,0 +1,72 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/slotted_page.h"
+
+namespace elephant {
+
+/// An unordered heap of serialized tuples stored as a singly linked chain of
+/// slotted pages. Appends go to the tail page. This is the base storage of
+/// every plain table (the clustered-index organization lives in index/).
+class TableHeap {
+ public:
+  /// Creates a fresh heap with one empty page.
+  static Result<TableHeap> Create(BufferPool* pool);
+
+  /// Opens an existing heap rooted at `first_page`.
+  TableHeap(BufferPool* pool, page_id_t first_page, page_id_t last_page)
+      : pool_(pool), first_page_(first_page), last_page_(last_page) {}
+
+  /// Appends a serialized tuple, returning its Rid.
+  Result<Rid> Insert(std::string_view record);
+
+  /// Fetches the tuple at `rid` into `out`.
+  Status Get(const Rid& rid, std::string* out) const;
+
+  /// Deletes the tuple at `rid`.
+  Status Delete(const Rid& rid);
+
+  page_id_t first_page() const { return first_page_; }
+  page_id_t last_page() const { return last_page_; }
+
+  /// Forward iterator over all live tuples, page by page (sequential I/O).
+  class Iterator {
+   public:
+    Iterator(BufferPool* pool, page_id_t page_id);
+
+    /// True when positioned on a tuple.
+    bool Valid() const { return valid_; }
+    /// Advances to the next live tuple.
+    Status Next();
+    /// Current tuple bytes (valid until the next call to Next()).
+    const std::string& record() const { return record_; }
+    Rid rid() const { return rid_; }
+
+   private:
+    friend class TableHeap;
+    /// Loads the tuple at (page_, slot_) or advances across pages until one
+    /// is found; sets valid_=false at end of heap.
+    Status SeekToLive();
+
+    BufferPool* pool_;
+    page_id_t page_ = kInvalidPageId;
+    slot_id_t slot_ = 0;
+    bool valid_ = false;
+    std::string record_;
+    Rid rid_;
+  };
+
+  Result<Iterator> Begin() const;
+
+ private:
+  BufferPool* pool_;
+  page_id_t first_page_;
+  page_id_t last_page_;
+};
+
+}  // namespace elephant

@@ -1,0 +1,227 @@
+#include "tpch/tpch.h"
+
+#include "common/rng.h"
+
+namespace elephant {
+
+namespace {
+
+const char* kNations[25] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+    "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+    "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+const int kNationRegion[25] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                               4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+const char* kRegions[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+const char* kSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD",
+                            "MACHINERY"};
+const char* kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                              "4-NOT SPECIFIED", "5-LOW"};
+const char* kModes[7] = {"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP",
+                         "TRUCK"};
+const char* kInstructs[4] = {"COLLECT COD", "DELIVER IN PERSON", "NONE",
+                             "TAKE BACK RETURN"};
+
+std::string PaddedNumber(const char* prefix, uint64_t n, int width) {
+  std::string s = std::to_string(n);
+  std::string out = prefix;
+  out.append(width > static_cast<int>(s.size()) ? width - s.size() : 0, '0');
+  out += s;
+  return out;
+}
+
+}  // namespace
+
+int32_t TpchGenerator::MinOrderDate() { return date::FromYMD(1992, 1, 1); }
+int32_t TpchGenerator::MaxOrderDate() { return date::FromYMD(1998, 8, 2); }
+
+Schema TpchGenerator::NationSchema() {
+  return Schema({Column("n_nationkey", TypeId::kInt32),
+                 Column("n_name", TypeId::kVarchar),
+                 Column("n_regionkey", TypeId::kInt32),
+                 Column("n_comment", TypeId::kVarchar)});
+}
+
+Schema TpchGenerator::RegionSchema() {
+  return Schema({Column("r_regionkey", TypeId::kInt32),
+                 Column("r_name", TypeId::kVarchar),
+                 Column("r_comment", TypeId::kVarchar)});
+}
+
+Schema TpchGenerator::SupplierSchema() {
+  return Schema({Column("s_suppkey", TypeId::kInt32),
+                 Column("s_name", TypeId::kVarchar),
+                 Column("s_address", TypeId::kVarchar),
+                 Column("s_nationkey", TypeId::kInt32),
+                 Column("s_phone", TypeId::kVarchar),
+                 Column("s_acctbal", TypeId::kDecimal)});
+}
+
+Schema TpchGenerator::CustomerSchema() {
+  return Schema({Column("c_custkey", TypeId::kInt32),
+                 Column("c_name", TypeId::kVarchar),
+                 Column("c_address", TypeId::kVarchar),
+                 Column("c_nationkey", TypeId::kInt32),
+                 Column("c_phone", TypeId::kVarchar),
+                 Column("c_acctbal", TypeId::kDecimal),
+                 Column("c_mktsegment", TypeId::kVarchar)});
+}
+
+Schema TpchGenerator::OrdersSchema() {
+  return Schema({Column("o_orderkey", TypeId::kInt32),
+                 Column("o_custkey", TypeId::kInt32),
+                 Column("o_orderstatus", TypeId::kChar, 1),
+                 Column("o_totalprice", TypeId::kDecimal),
+                 Column("o_orderdate", TypeId::kDate),
+                 Column("o_orderpriority", TypeId::kVarchar),
+                 Column("o_shippriority", TypeId::kInt32)});
+}
+
+Schema TpchGenerator::LineitemSchema() {
+  return Schema({Column("l_orderkey", TypeId::kInt32),
+                 Column("l_linenumber", TypeId::kInt32),
+                 Column("l_suppkey", TypeId::kInt32),
+                 Column("l_quantity", TypeId::kInt32),
+                 Column("l_extendedprice", TypeId::kDecimal),
+                 Column("l_discount", TypeId::kDecimal),
+                 Column("l_tax", TypeId::kDecimal),
+                 Column("l_returnflag", TypeId::kChar, 1),
+                 Column("l_linestatus", TypeId::kChar, 1),
+                 Column("l_shipdate", TypeId::kDate),
+                 Column("l_commitdate", TypeId::kDate),
+                 Column("l_receiptdate", TypeId::kDate),
+                 Column("l_shipinstruct", TypeId::kVarchar),
+                 Column("l_shipmode", TypeId::kVarchar)});
+}
+
+Status TpchGenerator::LoadInto(Database* db) const {
+  Catalog& catalog = db->catalog();
+  Rng rng(config_.seed);
+
+  // --- nation / region (fixed size) ---
+  {
+    ELE_ASSIGN_OR_RETURN(Table * region,
+                         catalog.CreateTable("region", RegionSchema(), {0}, true));
+    std::vector<Row> rows;
+    for (int r = 0; r < 5; r++) {
+      rows.push_back({Value::Int32(r), Value::Varchar(kRegions[r]),
+                      Value::Varchar("region comment")});
+    }
+    ELE_RETURN_NOT_OK(region->BulkLoadRows(std::move(rows)));
+  }
+  {
+    ELE_ASSIGN_OR_RETURN(Table * nation,
+                         catalog.CreateTable("nation", NationSchema(), {0}, true));
+    std::vector<Row> rows;
+    for (int n = 0; n < 25; n++) {
+      rows.push_back({Value::Int32(n), Value::Varchar(kNations[n]),
+                      Value::Int32(kNationRegion[n]),
+                      Value::Varchar("nation comment")});
+    }
+    ELE_RETURN_NOT_OK(nation->BulkLoadRows(std::move(rows)));
+  }
+
+  // --- supplier ---
+  {
+    ELE_ASSIGN_OR_RETURN(Table * supplier,
+                         catalog.CreateTable("supplier", SupplierSchema(), {0}, true));
+    std::vector<Row> rows;
+    const uint64_t n = NumSuppliers();
+    rows.reserve(n);
+    for (uint64_t i = 1; i <= n; i++) {
+      rows.push_back({Value::Int32(static_cast<int32_t>(i)),
+                      Value::Varchar(PaddedNumber("Supplier#", i, 9)),
+                      Value::Varchar(PaddedNumber("addr", rng.Uniform(0, 99999), 5)),
+                      Value::Int32(static_cast<int32_t>(rng.Uniform(0, 24))),
+                      Value::Varchar(PaddedNumber("27-", rng.Uniform(1000000, 9999999), 7)),
+                      Value::Decimal(rng.Uniform(-99999, 999999))});
+    }
+    ELE_RETURN_NOT_OK(supplier->BulkLoadRows(std::move(rows)));
+  }
+
+  // --- customer ---
+  const uint64_t num_customers = NumCustomers();
+  {
+    ELE_ASSIGN_OR_RETURN(Table * customer,
+                         catalog.CreateTable("customer", CustomerSchema(), {0}, true));
+    std::vector<Row> rows;
+    rows.reserve(num_customers);
+    for (uint64_t i = 1; i <= num_customers; i++) {
+      rows.push_back({Value::Int32(static_cast<int32_t>(i)),
+                      Value::Varchar(PaddedNumber("Customer#", i, 9)),
+                      Value::Varchar(PaddedNumber("addr", rng.Uniform(0, 999999), 6)),
+                      Value::Int32(static_cast<int32_t>(rng.Uniform(0, 24))),
+                      Value::Varchar(PaddedNumber("13-", rng.Uniform(1000000, 9999999), 7)),
+                      Value::Decimal(rng.Uniform(-99999, 999999)),
+                      Value::Varchar(kSegments[rng.Uniform(0, 4)])});
+    }
+    ELE_RETURN_NOT_OK(customer->BulkLoadRows(std::move(rows)));
+  }
+
+  // --- orders + lineitem (lineitem derives from its order) ---
+  const uint64_t num_orders = NumOrders();
+  const int32_t min_date = MinOrderDate();
+  const int32_t max_date = MaxOrderDate();
+  const int32_t flag_cutoff = date::FromYMD(1995, 6, 17);
+  {
+    ELE_ASSIGN_OR_RETURN(Table * orders,
+                         catalog.CreateTable("orders", OrdersSchema(), {0}, true));
+    ELE_ASSIGN_OR_RETURN(
+        Table * lineitem,
+        catalog.CreateTable("lineitem", LineitemSchema(), {0, 1}, true));
+    std::vector<Row> order_rows;
+    std::vector<Row> line_rows;
+    order_rows.reserve(num_orders);
+    line_rows.reserve(num_orders * 4);
+    const int64_t num_suppliers = static_cast<int64_t>(NumSuppliers());
+    for (uint64_t o = 1; o <= num_orders; o++) {
+      const int32_t orderdate =
+          static_cast<int32_t>(rng.Uniform(min_date, max_date));
+      const int lines = static_cast<int>(rng.Uniform(1, 7));
+      int64_t total = 0;
+      for (int ln = 1; ln <= lines; ln++) {
+        const int32_t shipdate = orderdate + static_cast<int32_t>(rng.Uniform(1, 121));
+        const int32_t commitdate =
+            orderdate + static_cast<int32_t>(rng.Uniform(30, 90));
+        const int32_t receiptdate =
+            shipdate + static_cast<int32_t>(rng.Uniform(1, 30));
+        const int32_t qty = static_cast<int32_t>(rng.Uniform(1, 50));
+        const int64_t price = rng.Uniform(90000, 10500000) / 100 * qty;  // cents
+        total += price;
+        std::string returnflag = "N";
+        if (receiptdate <= flag_cutoff) {
+          returnflag = rng.Uniform(0, 1) == 0 ? "R" : "A";
+        }
+        const std::string linestatus = shipdate > date::FromYMD(1995, 6, 17) ? "O" : "F";
+        line_rows.push_back(
+            {Value::Int32(static_cast<int32_t>(o)), Value::Int32(ln),
+             Value::Int32(static_cast<int32_t>(rng.Uniform(1, num_suppliers))),
+             Value::Int32(qty), Value::Decimal(price),
+             Value::Decimal(rng.Uniform(0, 10)), Value::Decimal(rng.Uniform(0, 8)),
+             Value::Char(returnflag), Value::Char(linestatus),
+             Value::Date(shipdate), Value::Date(commitdate),
+             Value::Date(receiptdate),
+             Value::Varchar(kInstructs[rng.Uniform(0, 3)]),
+             Value::Varchar(kModes[rng.Uniform(0, 6)])});
+      }
+      order_rows.push_back(
+          {Value::Int32(static_cast<int32_t>(o)),
+           Value::Int32(static_cast<int32_t>(rng.Uniform(1, static_cast<int64_t>(num_customers)))),
+           Value::Char(orderdate > date::FromYMD(1995, 6, 17) ? "O" : "F"),
+           Value::Decimal(total), Value::Date(orderdate),
+           Value::Varchar(kPriorities[rng.Uniform(0, 4)]), Value::Int32(0)});
+    }
+    ELE_RETURN_NOT_OK(orders->BulkLoadRows(std::move(order_rows)));
+    ELE_RETURN_NOT_OK(lineitem->BulkLoadRows(std::move(line_rows)));
+  }
+
+  // Refresh statistics for the planner.
+  for (const char* t :
+       {"region", "nation", "supplier", "customer", "orders", "lineitem"}) {
+    ELE_RETURN_NOT_OK(db->Analyze(t));
+  }
+  return Status::OK();
+}
+
+}  // namespace elephant

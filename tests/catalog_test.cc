@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+
+namespace elephant {
+namespace {
+
+Schema PointSchema() {
+  return Schema({
+      Column("k", TypeId::kInt32),
+      Column("grp", TypeId::kInt32),
+      Column("label", TypeId::kVarchar),
+  });
+}
+
+struct CatalogFixture : public ::testing::Test {
+  DiskManager disk;
+  BufferPool pool{&disk, 4096};
+  Catalog catalog{&pool};
+};
+
+TEST_F(CatalogFixture, CreateGetDrop) {
+  ASSERT_TRUE(catalog.CreateTable("t1", PointSchema(), {0}).ok());
+  EXPECT_TRUE(catalog.HasTable("T1"));  // case-insensitive
+  ASSERT_TRUE(catalog.GetTable("t1").ok());
+  EXPECT_FALSE(catalog.CreateTable("T1", PointSchema(), {0}).ok());
+  ASSERT_TRUE(catalog.DropTable("t1").ok());
+  EXPECT_FALSE(catalog.HasTable("t1"));
+  EXPECT_FALSE(catalog.DropTable("t1").ok());
+}
+
+TEST_F(CatalogFixture, RejectsBadClusterColumn) {
+  EXPECT_FALSE(catalog.CreateTable("bad", PointSchema(), {9}).ok());
+}
+
+TEST_F(CatalogFixture, InsertAndScanSortedByClusterKey) {
+  auto t = catalog.CreateTable("t", PointSchema(), {0});
+  ASSERT_TRUE(t.ok());
+  // Insert out of order; scan must come back sorted by k.
+  for (int k : {5, 1, 9, 3, 7}) {
+    ASSERT_TRUE(
+        t.value()
+            ->Insert({Value::Int32(k), Value::Int32(k % 2), Value::Varchar("r")})
+            .ok());
+  }
+  auto it = t.value()->ScanAll();
+  ASSERT_TRUE(it.ok());
+  std::vector<int> seen;
+  while (it.value().Valid()) {
+    Row row;
+    ASSERT_TRUE(it.value().Current(&row).ok());
+    seen.push_back(row[0].AsInt32());
+    ASSERT_TRUE(it.value().Next().ok());
+  }
+  EXPECT_EQ(seen, (std::vector<int>{1, 3, 5, 7, 9}));
+  EXPECT_EQ(t.value()->row_count(), 5u);
+}
+
+TEST_F(CatalogFixture, DuplicateClusterKeysAllowedViaUniquifier) {
+  auto t = catalog.CreateTable("t", PointSchema(), {0});
+  ASSERT_TRUE(t.ok());
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(
+        t.value()
+            ->Insert({Value::Int32(7), Value::Int32(i), Value::Varchar("dup")})
+            .ok());
+  }
+  EXPECT_EQ(t.value()->row_count(), 10u);
+  auto it = t.value()->ScanAll();
+  ASSERT_TRUE(it.ok());
+  int n = 0;
+  while (it.value().Valid()) {
+    n++;
+    ASSERT_TRUE(it.value().Next().ok());
+  }
+  EXPECT_EQ(n, 10);
+}
+
+TEST_F(CatalogFixture, RangeScanByClusterPrefix) {
+  auto t = catalog.CreateTable("t", PointSchema(), {0});
+  ASSERT_TRUE(t.ok());
+  std::vector<Row> rows;
+  for (int k = 0; k < 100; k++) {
+    rows.push_back({Value::Int32(k), Value::Int32(k / 10), Value::Varchar("x")});
+  }
+  ASSERT_TRUE(t.value()->BulkLoadRows(std::move(rows)).ok());
+  std::string lo = t.value()->EncodeClusterPrefix({Value::Int32(20)});
+  std::string hi = t.value()->EncodeClusterPrefix({Value::Int32(30)});
+  auto it = t.value()->ScanRange(lo, hi);
+  ASSERT_TRUE(it.ok());
+  int n = 0, first = -1, last = -1;
+  while (it.value().Valid()) {
+    Row row;
+    ASSERT_TRUE(it.value().Current(&row).ok());
+    if (first < 0) first = row[0].AsInt32();
+    last = row[0].AsInt32();
+    n++;
+    ASSERT_TRUE(it.value().Next().ok());
+  }
+  EXPECT_EQ(n, 10);
+  EXPECT_EQ(first, 20);
+  EXPECT_EQ(last, 29);
+}
+
+TEST_F(CatalogFixture, BulkLoadSortsUnsortedInput) {
+  auto t = catalog.CreateTable("t", PointSchema(), {0});
+  ASSERT_TRUE(t.ok());
+  Rng rng(99);
+  std::vector<Row> rows;
+  for (int i = 0; i < 5000; i++) {
+    rows.push_back({Value::Int32(static_cast<int32_t>(rng.Uniform(0, 100000))),
+                    Value::Int32(i), Value::Varchar("bulk")});
+  }
+  ASSERT_TRUE(t.value()->BulkLoadRows(std::move(rows)).ok());
+  EXPECT_EQ(t.value()->row_count(), 5000u);
+  auto it = t.value()->ScanAll();
+  ASSERT_TRUE(it.ok());
+  int prev = -1;
+  while (it.value().Valid()) {
+    int v = it.value().CurrentColumn(0).AsInt32();
+    EXPECT_GE(v, prev);
+    prev = v;
+    ASSERT_TRUE(it.value().Next().ok());
+  }
+}
+
+TEST_F(CatalogFixture, BulkLoadIntoNonEmptyTableRejected) {
+  auto t = catalog.CreateTable("t", PointSchema(), {0});
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(
+      t.value()->Insert({Value::Int32(1), Value::Int32(1), Value::Varchar("a")}).ok());
+  std::vector<Row> rows{{Value::Int32(2), Value::Int32(2), Value::Varchar("b")}};
+  EXPECT_FALSE(t.value()->BulkLoadRows(std::move(rows)).ok());
+}
+
+TEST_F(CatalogFixture, SecondaryIndexCoversAndFinds) {
+  auto t = catalog.CreateTable("t", PointSchema(), {0});
+  ASSERT_TRUE(t.ok());
+  std::vector<Row> rows;
+  for (int k = 0; k < 1000; k++) {
+    rows.push_back({Value::Int32(k), Value::Int32(k % 7),
+                    Value::Varchar("v" + std::to_string(k))});
+  }
+  ASSERT_TRUE(t.value()->BulkLoadRows(std::move(rows)).ok());
+  ASSERT_TRUE(t.value()->CreateSecondaryIndex("idx_grp", {1}, {0}).ok());
+  SecondaryIndex* idx = t.value()->FindIndex("idx_grp");
+  ASSERT_NE(idx, nullptr);
+  EXPECT_EQ(idx->tree->CountEntries().value(), 1000u);
+  // Covering check.
+  EXPECT_NE(t.value()->FindCoveringIndex(1, {0, 1}), nullptr);
+  EXPECT_EQ(t.value()->FindCoveringIndex(1, {0, 1, 2}), nullptr);  // label missing
+  EXPECT_EQ(t.value()->FindCoveringIndex(0, {0}), nullptr);        // wrong leading col
+}
+
+TEST_F(CatalogFixture, SecondaryIndexMaintainedOnInsert) {
+  auto t = catalog.CreateTable("t", PointSchema(), {0});
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t.value()->CreateSecondaryIndex("idx_grp", {1}, {0}).ok());
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(t.value()
+                    ->Insert({Value::Int32(i), Value::Int32(i % 5),
+                              Value::Varchar("m")})
+                    .ok());
+  }
+  SecondaryIndex* idx = t.value()->FindIndex("idx_grp");
+  EXPECT_EQ(idx->tree->CountEntries().value(), 50u);
+}
+
+TEST_F(CatalogFixture, DeleteByClusterPrefixMaintainsIndexes) {
+  auto t = catalog.CreateTable("t", PointSchema(), {0});
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t.value()->CreateSecondaryIndex("idx_grp", {1}, {0}).ok());
+  for (int i = 0; i < 20; i++) {
+    ASSERT_TRUE(t.value()
+                    ->Insert({Value::Int32(i % 4), Value::Int32(i), Value::Varchar("d")})
+                    .ok());
+  }
+  auto removed = t.value()->DeleteByClusterPrefix({Value::Int32(2)});
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed.value(), 5u);
+  EXPECT_EQ(t.value()->row_count(), 15u);
+  SecondaryIndex* idx = t.value()->FindIndex("idx_grp");
+  EXPECT_EQ(idx->tree->CountEntries().value(), 15u);
+}
+
+TEST_F(CatalogFixture, AnalyzeComputesStats) {
+  auto t = catalog.CreateTable("t", PointSchema(), {0});
+  ASSERT_TRUE(t.ok());
+  std::vector<Row> rows;
+  for (int k = 0; k < 100; k++) {
+    rows.push_back({Value::Int32(k), Value::Int32(k % 10), Value::Varchar("s")});
+  }
+  rows.push_back({Value::Int32(200), Value::Null(TypeId::kInt32), Value::Varchar("s")});
+  ASSERT_TRUE(t.value()->BulkLoadRows(std::move(rows)).ok());
+  ASSERT_TRUE(t.value()->Analyze().ok());
+  const auto& stats = t.value()->stats();
+  EXPECT_EQ(stats[0].distinct, 101u);
+  EXPECT_EQ(stats[0].min.AsInt32(), 0);
+  EXPECT_EQ(stats[0].max.AsInt32(), 200);
+  EXPECT_EQ(stats[1].distinct, 10u);
+  EXPECT_EQ(stats[1].null_count, 1u);
+  EXPECT_EQ(stats[2].distinct, 1u);
+}
+
+}  // namespace
+}  // namespace elephant

@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "common/value.h"
+
+namespace elephant {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status s = Status::NotFound("thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NotFound: thing");
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  Result<int> e = Status::InvalidArgument("nope");
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DateTest, RoundTrip) {
+  int32_t d = date::FromYMD(1995, 3, 15);
+  int y, m, dd;
+  date::ToYMD(d, &y, &m, &dd);
+  EXPECT_EQ(y, 1995);
+  EXPECT_EQ(m, 3);
+  EXPECT_EQ(dd, 15);
+  EXPECT_EQ(date::ToString(d), "1995-03-15");
+}
+
+TEST(DateTest, Epoch) { EXPECT_EQ(date::FromYMD(1970, 1, 1), 0); }
+
+TEST(DateTest, ParseValidAndInvalid) {
+  auto r = date::Parse("1998-12-01");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(date::ToString(r.value()), "1998-12-01");
+  EXPECT_FALSE(date::Parse("not-a-date").ok());
+  EXPECT_FALSE(date::Parse("1998-13-01").ok());
+}
+
+TEST(DateTest, OrderingAcrossYears) {
+  EXPECT_LT(date::FromYMD(1992, 12, 31), date::FromYMD(1993, 1, 1));
+  EXPECT_LT(date::FromYMD(1995, 2, 28), date::FromYMD(1995, 3, 1));
+}
+
+TEST(DecimalTest, ParseAndFormat) {
+  EXPECT_EQ(decimal::Parse("12.34").value(), 1234);
+  EXPECT_EQ(decimal::Parse("12.3").value(), 1230);
+  EXPECT_EQ(decimal::Parse("12").value(), 1200);
+  EXPECT_EQ(decimal::Parse("-0.07").value(), -7);
+  EXPECT_EQ(decimal::ToString(1234), "12.34");
+  EXPECT_EQ(decimal::ToString(-7), "-0.07");
+  EXPECT_FALSE(decimal::Parse("abc").ok());
+  EXPECT_FALSE(decimal::Parse("").ok());
+}
+
+TEST(ValueTest, CompareNumeric) {
+  EXPECT_LT(Value::Int32(1).Compare(Value::Int32(2)), 0);
+  EXPECT_EQ(Value::Int32(5).Compare(Value::Int64(5)), 0);
+  EXPECT_GT(Value::Double(2.5).Compare(Value::Int32(2)), 0);
+  EXPECT_EQ(Value::Decimal(150).Compare(Value::Decimal(150)), 0);
+}
+
+TEST(ValueTest, NullOrdering) {
+  Value n = Value::Null(TypeId::kInt32);
+  EXPECT_LT(n.Compare(Value::Int32(-100)), 0);
+  EXPECT_EQ(n.Compare(Value::Null(TypeId::kInt32)), 0);
+}
+
+TEST(ValueTest, CharPaddingSemantics) {
+  EXPECT_EQ(Value::Char("ab  ").Compare(Value::Varchar("ab")), 0);
+  EXPECT_EQ(Value::Char("ab  ").Hash(), Value::Varchar("ab").Hash());
+  EXPECT_LT(Value::Char("ab").Compare(Value::Char("b")), 0);
+}
+
+TEST(ValueTest, Arithmetic) {
+  EXPECT_EQ(Value::Int32(3).Add(Value::Int32(4)).value().AsInt32(), 7);
+  EXPECT_EQ(Value::Int64(10).Subtract(Value::Int32(3)).value().AsInt64(), 7);
+  // DECIMAL 1.50 * 2 = 3.00
+  EXPECT_EQ(Value::Decimal(150).Multiply(Value::Int32(2)).value().AsInt64(), 300);
+  // DECIMAL 1.50 * DECIMAL 2.00 = 3.00 (scale preserved)
+  EXPECT_EQ(Value::Decimal(150).Multiply(Value::Decimal(200)).value().AsInt64(), 300);
+  EXPECT_FALSE(Value::Varchar("x").Add(Value::Int32(1)).ok());
+  EXPECT_FALSE(Value::Int32(1).Divide(Value::Int32(0)).ok());
+}
+
+TEST(ValueTest, ArithmeticWithNullYieldsNull) {
+  Value r = Value::Int32(3).Add(Value::Null(TypeId::kInt32)).value();
+  EXPECT_TRUE(r.is_null());
+}
+
+TEST(ValueTest, CastLossless) {
+  EXPECT_EQ(Value::Int32(7).CastTo(TypeId::kInt64).value().AsInt64(), 7);
+  EXPECT_EQ(Value::Int32(3).CastTo(TypeId::kDecimal).value().AsInt64(), 300);
+  EXPECT_EQ(Value::Varchar("1994-01-01").CastTo(TypeId::kDate).value().AsInt32(),
+            date::FromYMD(1994, 1, 1));
+  EXPECT_FALSE(Value::Varchar("zz").CastTo(TypeId::kDate).ok());
+}
+
+Schema TestSchema() {
+  return Schema({
+      Column("id", TypeId::kInt64),
+      Column("qty", TypeId::kInt32),
+      Column("price", TypeId::kDecimal),
+      Column("flag", TypeId::kChar, 1),
+      Column("comment", TypeId::kVarchar),
+      Column("shipped", TypeId::kDate),
+  });
+}
+
+TEST(SchemaTest, FindColumnCaseInsensitive) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.FindColumn("QTY"), 1);
+  EXPECT_EQ(s.FindColumn("comment"), 4);
+  EXPECT_EQ(s.FindColumn("missing"), -1);
+}
+
+TEST(SchemaTest, ConcatPreservesOrder) {
+  Schema a({Column("x", TypeId::kInt32)});
+  Schema b({Column("y", TypeId::kInt64)});
+  Schema c = Schema::Concat(a, b);
+  ASSERT_EQ(c.NumColumns(), 2u);
+  EXPECT_EQ(c.ColumnAt(0).name, "x");
+  EXPECT_EQ(c.ColumnAt(1).name, "y");
+}
+
+TEST(TupleTest, HeaderOverheadIsNineBytes) {
+  // The paper (§3) cites 9 bytes/tuple of row-store overhead; our layout
+  // reproduces it.
+  EXPECT_EQ(tuple::kHeaderSize, 9u);
+}
+
+TEST(TupleTest, SerializeDeserializeRoundTrip) {
+  Schema s = TestSchema();
+  Row row{Value::Int64(12345),  Value::Int32(-7),
+          Value::Decimal(9999), Value::Char("R"),
+          Value::Varchar("hello world"), Value::Date(date::FromYMD(1994, 5, 1))};
+  std::string buf;
+  ASSERT_TRUE(tuple::Serialize(s, row, &buf).ok());
+  EXPECT_EQ(buf.size(), tuple::SerializedSize(s, row));
+  Row back;
+  ASSERT_TRUE(tuple::Deserialize(s, buf.data(), buf.size(), &back).ok());
+  ASSERT_EQ(back.size(), row.size());
+  for (size_t i = 0; i < row.size(); i++) {
+    EXPECT_EQ(back[i].Compare(row[i]), 0) << "column " << i;
+  }
+}
+
+TEST(TupleTest, NullsRoundTrip) {
+  Schema s = TestSchema();
+  Row row{Value::Null(TypeId::kInt64), Value::Int32(1),
+          Value::Null(TypeId::kDecimal), Value::Null(TypeId::kChar),
+          Value::Null(TypeId::kVarchar), Value::Date(0)};
+  std::string buf;
+  ASSERT_TRUE(tuple::Serialize(s, row, &buf).ok());
+  Row back;
+  ASSERT_TRUE(tuple::Deserialize(s, buf.data(), buf.size(), &back).ok());
+  EXPECT_TRUE(back[0].is_null());
+  EXPECT_FALSE(back[1].is_null());
+  EXPECT_TRUE(back[2].is_null());
+  EXPECT_TRUE(back[4].is_null());
+}
+
+TEST(TupleTest, SingleColumnAccessWithoutFullDeserialize) {
+  Schema s = TestSchema();
+  Row row{Value::Int64(1), Value::Int32(2), Value::Decimal(3), Value::Char("A"),
+          Value::Varchar("xyz"), Value::Date(100)};
+  std::string buf;
+  ASSERT_TRUE(tuple::Serialize(s, row, &buf).ok());
+  EXPECT_EQ(tuple::GetValue(s, buf.data(), buf.size(), 4).AsString(), "xyz");
+  EXPECT_EQ(tuple::GetValue(s, buf.data(), buf.size(), 0).AsInt64(), 1);
+}
+
+TEST(TupleTest, ArityMismatchRejected) {
+  Schema s = TestSchema();
+  Row row{Value::Int64(1)};
+  std::string buf;
+  EXPECT_FALSE(tuple::Serialize(s, row, &buf).ok());
+}
+
+TEST(TupleTest, CharIsSpacePadded) {
+  Schema s({Column("c", TypeId::kChar, 4)});
+  Row row{Value::Char("ab")};
+  std::string buf;
+  ASSERT_TRUE(tuple::Serialize(s, row, &buf).ok());
+  Value v = tuple::GetValue(s, buf.data(), buf.size(), 0);
+  EXPECT_EQ(v.AsString(), "ab  ");
+  EXPECT_EQ(v.Compare(Value::Char("ab")), 0);
+}
+
+// --- Key codec property tests: memcmp order must equal value order. ---
+
+class KeyCodecOrderTest : public ::testing::TestWithParam<TypeId> {};
+
+Value RandomValueOf(TypeId t, Rng* rng) {
+  switch (t) {
+    case TypeId::kInt32: return Value::Int32(static_cast<int32_t>(rng->Uniform(-1000000, 1000000)));
+    case TypeId::kInt64: return Value::Int64(rng->Uniform(-1'000'000'000'000, 1'000'000'000'000));
+    case TypeId::kDate: return Value::Date(static_cast<int32_t>(rng->Uniform(0, 20000)));
+    case TypeId::kDecimal: return Value::Decimal(rng->Uniform(-10'000'000, 10'000'000));
+    case TypeId::kDouble: return Value::Double((rng->NextDouble() - 0.5) * 1e9);
+    case TypeId::kVarchar: {
+      std::string s;
+      int len = static_cast<int>(rng->Uniform(0, 12));
+      for (int i = 0; i < len; i++) {
+        s.push_back(static_cast<char>('a' + rng->Uniform(0, 25)));
+      }
+      return Value::Varchar(s);
+    }
+    default: return Value::Int32(0);
+  }
+}
+
+TEST_P(KeyCodecOrderTest, EncodingPreservesOrder) {
+  TypeId t = GetParam();
+  Rng rng(12345 + static_cast<int>(t));
+  for (int trial = 0; trial < 2000; trial++) {
+    Value a = RandomValueOf(t, &rng);
+    Value b = RandomValueOf(t, &rng);
+    std::string ka, kb;
+    keycodec::Encode(a, &ka);
+    keycodec::Encode(b, &kb);
+    int vcmp = a.Compare(b);
+    int kcmp = ka.compare(kb);
+    if (vcmp < 0) EXPECT_LT(kcmp, 0) << a.ToString() << " vs " << b.ToString();
+    if (vcmp > 0) EXPECT_GT(kcmp, 0) << a.ToString() << " vs " << b.ToString();
+    if (vcmp == 0) EXPECT_EQ(kcmp, 0) << a.ToString() << " vs " << b.ToString();
+  }
+}
+
+TEST_P(KeyCodecOrderTest, DecodeRoundTrips) {
+  TypeId t = GetParam();
+  Rng rng(999 + static_cast<int>(t));
+  for (int trial = 0; trial < 500; trial++) {
+    Value a = RandomValueOf(t, &rng);
+    std::string k;
+    keycodec::Encode(a, &k);
+    size_t pos = 0;
+    auto back = keycodec::Decode(t, k, &pos);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value().Compare(a), 0);
+    EXPECT_EQ(pos, k.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, KeyCodecOrderTest,
+                         ::testing::Values(TypeId::kInt32, TypeId::kInt64,
+                                           TypeId::kDate, TypeId::kDecimal,
+                                           TypeId::kDouble, TypeId::kVarchar));
+
+TEST(KeyCodecTest, NullSortsFirst) {
+  std::string kn, kv;
+  keycodec::Encode(Value::Null(TypeId::kInt32), &kn);
+  keycodec::Encode(Value::Int32(-2000000000), &kv);
+  EXPECT_LT(kn.compare(kv), 0);
+}
+
+TEST(KeyCodecTest, CompositeKeysDoNotAlias) {
+  // ("ab", "c") must differ from ("a", "bc").
+  std::string k1, k2;
+  keycodec::Encode(Value::Varchar("ab"), &k1);
+  keycodec::Encode(Value::Varchar("c"), &k1);
+  keycodec::Encode(Value::Varchar("a"), &k2);
+  keycodec::Encode(Value::Varchar("bc"), &k2);
+  EXPECT_NE(k1, k2);
+}
+
+TEST(KeyCodecTest, EmbeddedZeroBytesRoundTrip) {
+  std::string raw("a\0b", 3);
+  std::string k;
+  keycodec::Encode(Value::Varchar(raw), &k);
+  size_t pos = 0;
+  auto v = keycodec::Decode(TypeId::kVarchar, k, &pos);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().AsString(), raw);
+}
+
+TEST(KeyCodecTest, PrefixUpperBoundCoversAllExtensions) {
+  std::string prefix;
+  keycodec::Encode(Value::Int32(42), &prefix);
+  std::string full = prefix;
+  keycodec::Encode(Value::Int32(2147483647), &full);
+  EXPECT_LT(full.compare(keycodec::PrefixUpperBound(prefix)), 0);
+  EXPECT_GT(keycodec::PrefixUpperBound(prefix).compare(prefix), 0);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; i++) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng r(3);
+  for (int i = 0; i < 1000; i++) {
+    int64_t v = r.Uniform(5, 10);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 10);
+  }
+}
+
+}  // namespace
+}  // namespace elephant

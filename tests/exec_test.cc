@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "exec/agg_executor.h"
+#include "exec/join_executor.h"
+#include "exec/scan_executor.h"
+#include "exec/simple_executors.h"
+
+namespace elephant {
+namespace {
+
+struct ExecFixture : public ::testing::Test {
+  DiskManager disk;
+  BufferPool pool{&disk, 4096};
+  Catalog catalog{&pool};
+  ExecContext ctx{&pool};
+
+  /// Creates t(k INT32 cluster, grp INT32, amount DECIMAL) with n rows:
+  /// k = i, grp = i % groups, amount = i cents.
+  Table* MakeTable(const std::string& name, int n, int groups) {
+    Schema s({Column("k", TypeId::kInt32), Column("grp", TypeId::kInt32),
+              Column("amount", TypeId::kDecimal)});
+    auto t = catalog.CreateTable(name, s, {0});
+    EXPECT_TRUE(t.ok());
+    std::vector<Row> rows;
+    for (int i = 0; i < n; i++) {
+      rows.push_back(
+          {Value::Int32(i), Value::Int32(i % groups), Value::Decimal(i)});
+    }
+    EXPECT_TRUE(t.value()->BulkLoadRows(std::move(rows)).ok());
+    return t.value();
+  }
+};
+
+TEST_F(ExecFixture, ClusteredScanFull) {
+  Table* t = MakeTable("t", 100, 5);
+  ClusteredScanExecutor scan(&ctx, t);
+  auto rows = ExecuteToVector(&scan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().size(), 100u);
+  EXPECT_EQ(rows.value()[42][0].AsInt32(), 42);
+}
+
+TEST_F(ExecFixture, ClusteredScanRange) {
+  Table* t = MakeTable("t", 100, 5);
+  KeyRange range = MakeKeyRange({}, Value::Int32(10), true, Value::Int32(19), true);
+  ClusteredScanExecutor scan(&ctx, t, range);
+  auto rows = ExecuteToVector(&scan);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 10u);
+  EXPECT_EQ(rows.value().front()[0].AsInt32(), 10);
+  EXPECT_EQ(rows.value().back()[0].AsInt32(), 19);
+}
+
+TEST_F(ExecFixture, ClusteredScanExclusiveBounds) {
+  Table* t = MakeTable("t", 100, 5);
+  KeyRange range = MakeKeyRange({}, Value::Int32(10), false, Value::Int32(19), false);
+  ClusteredScanExecutor scan(&ctx, t, range);
+  auto rows = ExecuteToVector(&scan);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 8u);
+  EXPECT_EQ(rows.value().front()[0].AsInt32(), 11);
+  EXPECT_EQ(rows.value().back()[0].AsInt32(), 18);
+}
+
+TEST_F(ExecFixture, SecondaryIndexScanDecodesKeyAndIncludes) {
+  Table* t = MakeTable("t", 100, 5);
+  ASSERT_TRUE(t->CreateSecondaryIndex("idx", {1}, {2}).ok());
+  SecondaryIndex* idx = t->FindIndex("idx");
+  KeyRange range = MakeKeyRange({Value::Int32(3)}, std::nullopt, true, std::nullopt, true);
+  SecondaryIndexScanExecutor scan(&ctx, t, idx, range);
+  auto rows = ExecuteToVector(&scan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().size(), 20u);  // 100 rows, 5 groups
+  for (const Row& r : rows.value()) {
+    EXPECT_EQ(r[0].AsInt32(), 3);                 // key col grp
+    EXPECT_EQ(r[1].AsInt64() % 5, 3);             // amount = k cents, k%5==3
+  }
+}
+
+TEST_F(ExecFixture, FilterAndProject) {
+  Table* t = MakeTable("t", 50, 5);
+  auto scan = std::make_unique<ClusteredScanExecutor>(&ctx, t);
+  auto filter = std::make_unique<FilterExecutor>(
+      std::move(scan),
+      Cmp(CompareOp::kGe, Col(0, TypeId::kInt32), Lit(Value::Int32(45))));
+  std::vector<ExprPtr> projs;
+  projs.push_back(Arith(ArithOp::kMul, Col(0, TypeId::kInt32), Lit(Value::Int32(2))));
+  ProjectExecutor proj(std::move(filter), std::move(projs), {"double_k"});
+  auto rows = ExecuteToVector(&proj);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 5u);
+  EXPECT_EQ(rows.value()[0][0].AsInt32(), 90);
+  EXPECT_EQ(proj.OutputSchema().ColumnAt(0).name, "double_k");
+}
+
+TEST_F(ExecFixture, SortAscendingAndDescending) {
+  Schema s({Column("x", TypeId::kInt32)});
+  std::vector<Row> input{{Value::Int32(3)}, {Value::Int32(1)}, {Value::Int32(2)}};
+  {
+    std::vector<SortKey> keys;
+    keys.push_back({Col(0, TypeId::kInt32), true});
+    SortExecutor sort(&ctx, std::make_unique<ValuesExecutor>(s, input),
+                      std::move(keys));
+    auto rows = ExecuteToVector(&sort);
+    ASSERT_TRUE(rows.ok());
+    EXPECT_EQ(rows.value()[0][0].AsInt32(), 1);
+    EXPECT_EQ(rows.value()[2][0].AsInt32(), 3);
+  }
+  {
+    std::vector<SortKey> keys;
+    keys.push_back({Col(0, TypeId::kInt32), false});
+    SortExecutor sort(&ctx, std::make_unique<ValuesExecutor>(s, input),
+                      std::move(keys));
+    auto rows = ExecuteToVector(&sort);
+    ASSERT_TRUE(rows.ok());
+    EXPECT_EQ(rows.value()[0][0].AsInt32(), 3);
+    EXPECT_EQ(rows.value()[2][0].AsInt32(), 1);
+  }
+}
+
+TEST_F(ExecFixture, Limit) {
+  Table* t = MakeTable("t", 100, 5);
+  auto scan = std::make_unique<ClusteredScanExecutor>(&ctx, t);
+  LimitExecutor limit(std::move(scan), 7);
+  auto rows = ExecuteToVector(&limit);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().size(), 7u);
+}
+
+TEST_F(ExecFixture, HashAggregateGroupsAndAggregates) {
+  Table* t = MakeTable("t", 100, 4);
+  auto scan = std::make_unique<ClusteredScanExecutor>(&ctx, t);
+  std::vector<ExprPtr> groups;
+  groups.push_back(Col(1, TypeId::kInt32, "grp"));
+  std::vector<AggSpec> aggs;
+  aggs.emplace_back(AggFunc::kCountStar, nullptr, "cnt");
+  aggs.emplace_back(AggFunc::kSum, Col(2, TypeId::kDecimal), "total");
+  aggs.emplace_back(AggFunc::kMin, Col(0, TypeId::kInt32), "min_k");
+  aggs.emplace_back(AggFunc::kMax, Col(0, TypeId::kInt32), "max_k");
+  aggs.emplace_back(AggFunc::kAvg, Col(0, TypeId::kInt32), "avg_k");
+  HashAggregateExecutor agg(&ctx, std::move(scan), std::move(groups), std::move(aggs));
+  auto rows = ExecuteToVector(&agg);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 4u);
+  // Groups emitted in key order: grp 0..3. grp 0: k = 0,4,...,96 (25 rows).
+  const Row& g0 = rows.value()[0];
+  EXPECT_EQ(g0[0].AsInt32(), 0);
+  EXPECT_EQ(g0[1].AsInt64(), 25);
+  EXPECT_EQ(g0[2].AsInt64(), (0 + 96) * 25 / 2);  // sum of cents
+  EXPECT_EQ(g0[3].AsInt32(), 0);
+  EXPECT_EQ(g0[4].AsInt32(), 96);
+  EXPECT_DOUBLE_EQ(g0[5].AsDouble(), 48.0);
+}
+
+TEST_F(ExecFixture, ScalarAggregateOverEmptyInput) {
+  Schema s({Column("x", TypeId::kInt32)});
+  auto values = std::make_unique<ValuesExecutor>(s, std::vector<Row>{});
+  std::vector<AggSpec> aggs;
+  aggs.emplace_back(AggFunc::kCountStar, nullptr, "cnt");
+  aggs.emplace_back(AggFunc::kSum, Col(0, TypeId::kInt32), "s");
+  HashAggregateExecutor agg(&ctx, std::move(values), {}, std::move(aggs));
+  auto rows = ExecuteToVector(&agg);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 1u);
+  EXPECT_EQ(rows.value()[0][0].AsInt64(), 0);
+  EXPECT_TRUE(rows.value()[0][1].is_null());
+}
+
+TEST_F(ExecFixture, StreamAggregateMatchesHashAggregate) {
+  Table* t = MakeTable("t", 120, 6);
+  // Input sorted by grp via SortExecutor, then stream-aggregate.
+  auto scan = std::make_unique<ClusteredScanExecutor>(&ctx, t);
+  std::vector<SortKey> keys;
+  keys.push_back({Col(1, TypeId::kInt32), true});
+  auto sort = std::make_unique<SortExecutor>(&ctx, std::move(scan), std::move(keys));
+  std::vector<ExprPtr> groups;
+  groups.push_back(Col(1, TypeId::kInt32));
+  std::vector<AggSpec> aggs;
+  aggs.emplace_back(AggFunc::kCountStar, nullptr, "cnt");
+  aggs.emplace_back(AggFunc::kSum, Col(2, TypeId::kDecimal), "total");
+  StreamAggregateExecutor stream(&ctx, std::move(sort), std::move(groups),
+                                 std::move(aggs));
+  auto srows = ExecuteToVector(&stream);
+  ASSERT_TRUE(srows.ok());
+
+  auto scan2 = std::make_unique<ClusteredScanExecutor>(&ctx, t);
+  std::vector<ExprPtr> groups2;
+  groups2.push_back(Col(1, TypeId::kInt32));
+  std::vector<AggSpec> aggs2;
+  aggs2.emplace_back(AggFunc::kCountStar, nullptr, "cnt");
+  aggs2.emplace_back(AggFunc::kSum, Col(2, TypeId::kDecimal), "total");
+  HashAggregateExecutor hash(&ctx, std::move(scan2), std::move(groups2),
+                             std::move(aggs2));
+  auto hrows = ExecuteToVector(&hash);
+  ASSERT_TRUE(hrows.ok());
+  ASSERT_EQ(srows.value().size(), hrows.value().size());
+  for (size_t i = 0; i < srows.value().size(); i++) {
+    for (size_t c = 0; c < 3; c++) {
+      EXPECT_EQ(srows.value()[i][c].Compare(hrows.value()[i][c]), 0);
+    }
+  }
+}
+
+TEST_F(ExecFixture, HashJoinMatchesExpectedPairs) {
+  Table* a = MakeTable("a", 20, 4);
+  Table* b = MakeTable("b", 8, 4);
+  auto sa = std::make_unique<ClusteredScanExecutor>(&ctx, a);
+  auto sb = std::make_unique<ClusteredScanExecutor>(&ctx, b);
+  std::vector<ExprPtr> lk, rk;
+  lk.push_back(Col(1, TypeId::kInt32));  // a.grp
+  rk.push_back(Col(1, TypeId::kInt32));  // b.grp
+  HashJoinExecutor join(&ctx, std::move(sa), std::move(sb), std::move(lk),
+                        std::move(rk), nullptr);
+  auto rows = ExecuteToVector(&join);
+  ASSERT_TRUE(rows.ok());
+  // Each a row matches b rows with same grp: b has 8 rows over 4 groups = 2 each.
+  EXPECT_EQ(rows.value().size(), 20u * 2);
+  for (const Row& r : rows.value()) {
+    EXPECT_EQ(r[1].AsInt32(), r[4].AsInt32());  // grp == grp
+  }
+}
+
+TEST_F(ExecFixture, IndexNestedLoopJoinWithEqualityBounds) {
+  Table* outer = MakeTable("outer", 10, 10);
+  Table* inner = MakeTable("inner", 100, 100);  // k unique 0..99, clustered on k
+  auto so = std::make_unique<ClusteredScanExecutor>(&ctx, outer);
+  InljBounds bounds;
+  // inner.k == outer.k * 3
+  bounds.eq_exprs.push_back(
+      Arith(ArithOp::kMul, Col(0, TypeId::kInt32), Lit(Value::Int32(3))));
+  IndexNestedLoopJoinExecutor join(&ctx, std::move(so), inner, nullptr,
+                                   std::move(bounds), nullptr);
+  auto rows = ExecuteToVector(&join);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 10u);
+  for (const Row& r : rows.value()) {
+    EXPECT_EQ(r[3].AsInt32(), r[0].AsInt32() * 3);
+  }
+  EXPECT_EQ(ctx.counters().index_seeks, 10u);
+}
+
+TEST_F(ExecFixture, IndexNestedLoopJoinWithBandBounds) {
+  Table* ranges = MakeTable("ranges", 5, 5);   // k = 0..4
+  Table* points = MakeTable("points", 50, 5);  // k = 0..49, clustered on k
+  auto so = std::make_unique<ClusteredScanExecutor>(&ctx, ranges);
+  InljBounds bounds;
+  // points.k BETWEEN ranges.k*10 AND ranges.k*10+9
+  bounds.lo = Arith(ArithOp::kMul, Col(0, TypeId::kInt32), Lit(Value::Int32(10)));
+  bounds.hi = Arith(ArithOp::kAdd,
+                    Arith(ArithOp::kMul, Col(0, TypeId::kInt32), Lit(Value::Int32(10))),
+                    Lit(Value::Int32(9)));
+  IndexNestedLoopJoinExecutor join(&ctx, std::move(so), points, nullptr,
+                                   std::move(bounds), nullptr);
+  auto rows = ExecuteToVector(&join);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().size(), 50u);  // every point falls in exactly one band
+  for (const Row& r : rows.value()) {
+    int band = r[0].AsInt32();
+    int point = r[3].AsInt32();
+    EXPECT_GE(point, band * 10);
+    EXPECT_LE(point, band * 10 + 9);
+  }
+}
+
+TEST_F(ExecFixture, BandMergeJoinEqualsInljResult) {
+  Table* ranges = MakeTable("ranges", 5, 5);
+  Table* points = MakeTable("points", 50, 5);
+  auto run_band_merge = [&]() {
+    auto so = std::make_unique<ClusteredScanExecutor>(&ctx, ranges);
+    auto si = std::make_unique<ClusteredScanExecutor>(&ctx, points);
+    BandMergeJoinExecutor join(
+        &ctx, std::move(so), std::move(si),
+        Arith(ArithOp::kMul, Col(0, TypeId::kInt32), Lit(Value::Int32(10))),
+        Arith(ArithOp::kAdd,
+              Arith(ArithOp::kMul, Col(0, TypeId::kInt32), Lit(Value::Int32(10))),
+              Lit(Value::Int32(9))),
+        Col(0, TypeId::kInt32), nullptr);
+    return ExecuteToVector(&join);
+  };
+  auto rows = run_band_merge();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().size(), 50u);
+  for (const Row& r : rows.value()) {
+    int band = r[0].AsInt32();
+    int point = r[3].AsInt32();
+    EXPECT_GE(point, band * 10);
+    EXPECT_LE(point, band * 10 + 9);
+  }
+}
+
+TEST_F(ExecFixture, JoinResidualPredicateApplies) {
+  Table* a = MakeTable("a", 10, 2);
+  Table* b = MakeTable("b", 10, 2);
+  auto sa = std::make_unique<ClusteredScanExecutor>(&ctx, a);
+  auto sb = std::make_unique<ClusteredScanExecutor>(&ctx, b);
+  std::vector<ExprPtr> lk, rk;
+  lk.push_back(Col(1, TypeId::kInt32));
+  rk.push_back(Col(1, TypeId::kInt32));
+  // Residual: a.k < b.k (columns 0 and 3 of the joined row).
+  HashJoinExecutor join(&ctx, std::move(sa), std::move(sb), std::move(lk),
+                        std::move(rk),
+                        Cmp(CompareOp::kLt, Col(0, TypeId::kInt32),
+                            Col(3, TypeId::kInt32)));
+  auto rows = ExecuteToVector(&join);
+  ASSERT_TRUE(rows.ok());
+  for (const Row& r : rows.value()) {
+    EXPECT_LT(r[0].AsInt32(), r[3].AsInt32());
+  }
+  // 5 per group; pairs with a.k < b.k within a group: 5*4/2 = 10 per group.
+  EXPECT_EQ(rows.value().size(), 20u);
+}
+
+}  // namespace
+}  // namespace elephant

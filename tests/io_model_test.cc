@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "exec/scan_executor.h"
+#include "storage/disk_manager.h"
+
+namespace elephant {
+namespace {
+
+/// The multi-stream readahead classifier: the disk-model behaviour behind
+/// the §3 observation that sorted index-nested-loop probes do not pay a
+/// seek per request.
+TEST(DiskStreamsTest, InterleavedAscendingStreamsAreSequential) {
+  DiskManager disk;
+  for (int i = 0; i < 200; i++) disk.AllocatePage();
+  char buf[kPageSize];
+  // Two interleaved ascending streams (outer at 0.., inner at 100..), the
+  // access pattern of a band merge or sorted INLJ.
+  ASSERT_TRUE(disk.ReadPage(0, buf).ok());
+  ASSERT_TRUE(disk.ReadPage(100, buf).ok());
+  for (int i = 1; i < 50; i++) {
+    ASSERT_TRUE(disk.ReadPage(i, buf).ok());
+    ASSERT_TRUE(disk.ReadPage(100 + i, buf).ok());
+  }
+  // Only the two stream-opening reads are random.
+  EXPECT_EQ(disk.stats().random_reads, 2u);
+  EXPECT_EQ(disk.stats().sequential_reads, 98u);
+}
+
+TEST(DiskStreamsTest, RepeatedPageCountsSequential) {
+  DiskManager disk;
+  for (int i = 0; i < 4; i++) disk.AllocatePage();
+  char buf[kPageSize];
+  ASSERT_TRUE(disk.ReadPage(2, buf).ok());
+  ASSERT_TRUE(disk.ReadPage(2, buf).ok());  // drive buffer still holds it
+  EXPECT_EQ(disk.stats().random_reads, 1u);
+  EXPECT_EQ(disk.stats().sequential_reads, 1u);
+}
+
+TEST(DiskStreamsTest, MoreStreamsThanTrackedDegradeToRandom) {
+  DiskManager disk;
+  for (int i = 0; i < 2000; i++) disk.AllocatePage();
+  char buf[kPageSize];
+  // 2x the tracked streams, round-robin: the LRU tracker cannot hold them
+  // all, so later rounds keep evicting and many reads go random.
+  const int nstreams = DiskManager::kReadStreams * 2;
+  for (int round = 0; round < 20; round++) {
+    for (int s = 0; s < nstreams; s++) {
+      ASSERT_TRUE(disk.ReadPage(s * 100 + round, buf).ok());
+    }
+  }
+  EXPECT_GT(disk.stats().random_reads, disk.stats().sequential_reads);
+}
+
+TEST(DiskStreamsTest, ResetStatsForgetsStreams) {
+  DiskManager disk;
+  for (int i = 0; i < 4; i++) disk.AllocatePage();
+  char buf[kPageSize];
+  ASSERT_TRUE(disk.ReadPage(0, buf).ok());
+  disk.ResetStats();
+  ASSERT_TRUE(disk.ReadPage(1, buf).ok());  // would be sequential pre-reset
+  EXPECT_EQ(disk.stats().random_reads, 1u);
+}
+
+TEST(DiskStreamsTest, TrueRandomPatternStaysRandom) {
+  DiskManager disk;
+  for (int i = 0; i < 1000; i++) disk.AllocatePage();
+  char buf[kPageSize];
+  int page = 7;
+  for (int i = 0; i < 100; i++) {
+    page = (page * 167 + 31) % 1000;
+    ASSERT_TRUE(disk.ReadPage(page, buf).ok());
+  }
+  EXPECT_GT(disk.stats().random_reads, 90u);
+}
+
+TEST(IoStatsTest, DifferenceOperator) {
+  IoStats a{.sequential_reads = 10, .random_reads = 5, .page_writes = 3};
+  IoStats b{.sequential_reads = 4, .random_reads = 1, .page_writes = 2};
+  IoStats d = a - b;
+  EXPECT_EQ(d.sequential_reads, 6u);
+  EXPECT_EQ(d.random_reads, 4u);
+  EXPECT_EQ(d.page_writes, 1u);
+  EXPECT_EQ(d.TotalReads(), 10u);
+}
+
+// ---- KeyRange construction edge cases ----
+
+TEST(KeyRangeTest, EqualityOnlyPrefixBoundsBothSides) {
+  KeyRange r = MakeKeyRange({Value::Int32(5)}, std::nullopt, true, std::nullopt,
+                            true);
+  EXPECT_FALSE(r.lo.empty());
+  EXPECT_FALSE(r.hi.empty());
+  std::string five, six;
+  keycodec::Encode(Value::Int32(5), &five);
+  keycodec::Encode(Value::Int32(6), &six);
+  EXPECT_LE(r.lo, five);
+  EXPECT_GT(r.hi, five);
+  EXPECT_LT(r.hi, six);
+}
+
+TEST(KeyRangeTest, InclusiveVsExclusiveLowerBound) {
+  KeyRange inc = MakeKeyRange({}, Value::Int32(10), true, std::nullopt, true);
+  KeyRange exc = MakeKeyRange({}, Value::Int32(10), false, std::nullopt, true);
+  std::string ten;
+  keycodec::Encode(Value::Int32(10), &ten);
+  EXPECT_LE(inc.lo, ten);   // inclusive admits key 10 (plus any suffix)
+  EXPECT_GT(exc.lo, ten);   // exclusive skips all keys extending 10
+  EXPECT_TRUE(inc.hi.empty());
+}
+
+TEST(KeyRangeTest, InclusiveUpperBoundCoversSuffixes) {
+  // hi inclusive must admit composite keys that extend the bound value
+  // (e.g. the uniquifier suffix).
+  KeyRange r = MakeKeyRange({}, std::nullopt, true, Value::Int32(10), true);
+  std::string ten_with_suffix;
+  keycodec::Encode(Value::Int32(10), &ten_with_suffix);
+  ten_with_suffix += "\x01\x02\x03";
+  EXPECT_GT(r.hi, ten_with_suffix);
+}
+
+TEST(KeyRangeTest, UnboundedIsEmptyStrings) {
+  KeyRange r = MakeKeyRange({}, std::nullopt, true, std::nullopt, true);
+  EXPECT_TRUE(r.lo.empty());
+  EXPECT_TRUE(r.hi.empty());
+}
+
+}  // namespace
+}  // namespace elephant

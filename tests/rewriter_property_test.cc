@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "benchlib/harness.h"
+#include "common/rng.h"
+#include "cstore/ctable_builder.h"
+#include "cstore/rewriter.h"
+
+namespace elephant {
+namespace {
+
+/// Randomized equivalence property: for random tables, random projections
+/// and random analytic queries, the c-table rewrite (in every variant) must
+/// return exactly the rows of the direct SQL. This is the deep invariant of
+/// §2.2 — the rewrite is a *semantic identity*, not an approximation.
+class RewriterPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RewriterPropertyTest, RewriteIsSemanticIdentity) {
+  Rng rng(GetParam());
+  Database db;
+
+  // Random table: 3-5 int columns with varying cardinalities, so different
+  // columns land in different RLE representations.
+  const int ncols = static_cast<int>(rng.Uniform(3, 5));
+  std::vector<Column> cols;
+  std::vector<int> cards;
+  std::string col_list;
+  for (int c = 0; c < ncols; c++) {
+    std::string name(1, static_cast<char>('a' + c));
+    cols.emplace_back(name, TypeId::kInt32);
+    cards.push_back(static_cast<int>(rng.Uniform(2, 40)));
+    if (c > 0) col_list += ", ";
+    col_list += name;
+  }
+  auto table = db.catalog().CreateTable("t", Schema(cols), {0});
+  ASSERT_TRUE(table.ok());
+  const int nrows = static_cast<int>(rng.Uniform(50, 800));
+  std::vector<Row> rows;
+  for (int i = 0; i < nrows; i++) {
+    Row row;
+    for (int c = 0; c < ncols; c++) {
+      row.push_back(Value::Int32(static_cast<int32_t>(rng.Uniform(0, cards[c] - 1))));
+    }
+    rows.push_back(std::move(row));
+  }
+  ASSERT_TRUE(table.value()->BulkLoadRows(std::move(rows)).ok());
+  ASSERT_TRUE(db.Analyze("t").ok());
+
+  // Projection over all columns, sort order = column order.
+  std::vector<std::string> sort_cols;
+  for (int c = 0; c < ncols; c++) {
+    sort_cols.emplace_back(1, static_cast<char>('a' + c));
+  }
+  cstore::CTableBuilder builder(&db);
+  auto meta = builder.Build(
+      ProjectionDef{"p", "SELECT " + col_list + " FROM t", sort_cols});
+  ASSERT_TRUE(meta.ok()) << meta.status().ToString();
+
+  cstore::Rewriter rewriter(meta.value());
+  // 12 random queries per seed.
+  for (int trial = 0; trial < 12; trial++) {
+    AnalyticQuery q;
+    q.name = "rand";
+    q.tables = {"t"};
+    // Random filters (0-2) on random columns.
+    const int nfilters = static_cast<int>(rng.Uniform(0, 2));
+    for (int f = 0; f < nfilters; f++) {
+      const int c = static_cast<int>(rng.Uniform(0, ncols - 1));
+      const CompareOp ops[] = {CompareOp::kEq, CompareOp::kGt, CompareOp::kLt,
+                               CompareOp::kGe, CompareOp::kLe, CompareOp::kNe};
+      q.filters.push_back(
+          {std::string(1, static_cast<char>('a' + c)),
+           ops[rng.Uniform(0, 5)],
+           Value::Int32(static_cast<int32_t>(rng.Uniform(0, cards[c] - 1)))});
+    }
+    // 1-2 group columns, distinct.
+    const int ngroups = static_cast<int>(rng.Uniform(1, 2));
+    std::vector<int> gcols;
+    while (static_cast<int>(gcols.size()) < ngroups) {
+      const int c = static_cast<int>(rng.Uniform(0, ncols - 1));
+      bool dup = false;
+      for (int g : gcols) dup |= g == c;
+      if (!dup) gcols.push_back(c);
+    }
+    for (int g : gcols) {
+      q.group_cols.emplace_back(1, static_cast<char>('a' + g));
+    }
+    // Aggregates: COUNT(*) plus a random SUM/MIN/MAX.
+    q.aggs.push_back({AggFunc::kCountStar, "", "cnt"});
+    const AggFunc fns[] = {AggFunc::kSum, AggFunc::kMin, AggFunc::kMax};
+    const int ac = static_cast<int>(rng.Uniform(0, ncols - 1));
+    q.aggs.push_back({fns[rng.Uniform(0, 2)],
+                      std::string(1, static_cast<char>('a' + ac)), "agg"});
+
+    auto direct = db.Execute(q.ToRowSql());
+    ASSERT_TRUE(direct.ok()) << q.ToRowSql() << "\n"
+                             << direct.status().ToString();
+    const uint64_t want = paper::ResultChecksum(direct.value());
+
+    cstore::RewriteOptions variants[3];
+    variants[0].range_collapse = false;          // naive chain
+    /* variants[1] = defaults (collapse on) */
+    variants[2].force_merge_join = true;         // merge scans
+    for (const auto& opts : variants) {
+      auto sql = rewriter.Rewrite(q, opts);
+      ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+      auto got = db.Execute(sql.value());
+      ASSERT_TRUE(got.ok()) << sql.value() << "\n" << got.status().ToString();
+      EXPECT_EQ(paper::ResultChecksum(got.value()), want)
+          << "original: " << q.ToRowSql() << "\nrewrite:  " << sql.value();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewriterPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+/// The same property across MV matching: a view grouped on every column can
+/// answer any filtered/grouped query over those columns.
+class MvPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MvPropertyTest, MatchedViewIsSemanticIdentity) {
+  Rng rng(GetParam());
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INT, b INT, m INT) CLUSTER BY (a)")
+                  .ok());
+  auto table = db.catalog().GetTable("t");
+  ASSERT_TRUE(table.ok());
+  std::vector<Row> rows;
+  const int n = static_cast<int>(rng.Uniform(100, 600));
+  for (int i = 0; i < n; i++) {
+    rows.push_back({Value::Int32(static_cast<int32_t>(rng.Uniform(0, 15))),
+                    Value::Int32(static_cast<int32_t>(rng.Uniform(0, 7))),
+                    Value::Int32(static_cast<int32_t>(rng.Uniform(0, 1000)))});
+  }
+  ASSERT_TRUE(table.value()->BulkLoadRows(std::move(rows)).ok());
+
+  mv::ViewManager views(&db);
+  mv::ViewDef def;
+  def.name = "v";
+  def.tables = {"t"};
+  def.group_cols = {"a", "b"};
+  def.aggs = {{AggFunc::kCountStar, "", "cnt"},
+              {AggFunc::kSum, "m", "sum_m"},
+              {AggFunc::kMin, "m", "min_m"},
+              {AggFunc::kMax, "m", "max_m"}};
+  ASSERT_TRUE(views.CreateView(def).ok());
+
+  for (int trial = 0; trial < 15; trial++) {
+    AnalyticQuery q;
+    q.tables = {"t"};
+    if (rng.Uniform(0, 1) == 0) {
+      q.filters.push_back({rng.Uniform(0, 1) == 0 ? "a" : "b",
+                           rng.Uniform(0, 1) == 0 ? CompareOp::kEq
+                                                  : CompareOp::kLe,
+                           Value::Int32(static_cast<int32_t>(rng.Uniform(0, 10)))});
+    }
+    q.group_cols = {rng.Uniform(0, 1) == 0 ? "a" : "b"};
+    const AggFunc fns[] = {AggFunc::kCountStar, AggFunc::kSum, AggFunc::kMin,
+                           AggFunc::kMax, AggFunc::kAvg};
+    const AggFunc fn = fns[rng.Uniform(0, 4)];
+    q.aggs.push_back({fn, fn == AggFunc::kCountStar ? "" : "m", "x"});
+
+    auto sql = views.TryRewrite(q);
+    ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+    auto got = db.Execute(sql.value());
+    auto want = db.Execute(q.ToRowSql());
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(got.value().rows.size(), want.value().rows.size());
+    for (size_t i = 0; i < want.value().rows.size(); i++) {
+      for (size_t c = 0; c < want.value().rows[i].size(); c++) {
+        if (fn == AggFunc::kAvg && c == 1) {
+          EXPECT_NEAR(got.value().rows[i][c].AsDouble(),
+                      want.value().rows[i][c].AsDouble(), 1e-9);
+        } else {
+          EXPECT_EQ(got.value().rows[i][c].Compare(want.value().rows[i][c]), 0)
+              << sql.value();
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MvPropertyTest,
+                         ::testing::Values(5, 15, 25, 35));
+
+}  // namespace
+}  // namespace elephant

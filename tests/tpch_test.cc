@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "tpch/tpch.h"
+
+namespace elephant {
+namespace {
+
+class TpchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    TpchConfig config;
+    config.scale_factor = 0.005;
+    TpchGenerator gen(config);
+    ASSERT_TRUE(gen.LoadInto(db_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  int64_t Count(const std::string& sql) {
+    auto r = db_->Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << "\n" << r.status().ToString();
+    return r.ok() ? r.value().rows[0][0].AsInt64() : -1;
+  }
+
+  static Database* db_;
+};
+
+Database* TpchTest::db_ = nullptr;
+
+TEST_F(TpchTest, RowCountsFollowScaleFactor) {
+  EXPECT_EQ(Count("SELECT COUNT(*) FROM region"), 5);
+  EXPECT_EQ(Count("SELECT COUNT(*) FROM nation"), 25);
+  EXPECT_EQ(Count("SELECT COUNT(*) FROM supplier"), 50);
+  EXPECT_EQ(Count("SELECT COUNT(*) FROM customer"), 750);
+  EXPECT_EQ(Count("SELECT COUNT(*) FROM orders"), 7500);
+  const int64_t lines = Count("SELECT COUNT(*) FROM lineitem");
+  EXPECT_GT(lines, 7500 * 2);   // 1..7 lines per order
+  EXPECT_LT(lines, 7500 * 6);
+}
+
+TEST_F(TpchTest, OrderDatesWithinDbgenWindow) {
+  EXPECT_EQ(Count("SELECT COUNT(*) FROM orders WHERE o_orderdate < DATE "
+                  "'1992-01-01'"),
+            0);
+  EXPECT_EQ(Count("SELECT COUNT(*) FROM orders WHERE o_orderdate > DATE "
+                  "'1998-08-02'"),
+            0);
+  // Dates spread across the whole window (roughly uniform).
+  const int64_t early = Count(
+      "SELECT COUNT(*) FROM orders WHERE o_orderdate < DATE '1995-01-01'");
+  EXPECT_GT(early, 7500 * 35 / 100);
+  EXPECT_LT(early, 7500 * 55 / 100);
+}
+
+TEST_F(TpchTest, ShipdateFollowsOrderdate) {
+  EXPECT_EQ(Count("SELECT COUNT(*) FROM lineitem, orders WHERE "
+                  "l_orderkey = o_orderkey AND l_shipdate <= o_orderdate"),
+            0);
+  // l_shipdate = o_orderdate + [1, 121].
+  EXPECT_EQ(Count("SELECT COUNT(*) FROM lineitem, orders WHERE "
+                  "l_orderkey = o_orderkey AND l_shipdate > o_orderdate + 121"),
+            0);
+}
+
+TEST_F(TpchTest, ReturnFlagRule) {
+  // 'R'/'A' only before the cutoff, 'N' only after (dbgen rule on
+  // receiptdate <= 1995-06-17).
+  EXPECT_EQ(Count("SELECT COUNT(*) FROM lineitem WHERE l_returnflag = 'N' "
+                  "AND l_receiptdate <= DATE '1995-06-17'"),
+            0);
+  EXPECT_EQ(Count("SELECT COUNT(*) FROM lineitem WHERE l_returnflag <> 'N' "
+                  "AND l_receiptdate > DATE '1995-06-17'"),
+            0);
+  // All three flags occur.
+  EXPECT_GT(Count("SELECT COUNT(*) FROM lineitem WHERE l_returnflag = 'R'"), 0);
+  EXPECT_GT(Count("SELECT COUNT(*) FROM lineitem WHERE l_returnflag = 'A'"), 0);
+  EXPECT_GT(Count("SELECT COUNT(*) FROM lineitem WHERE l_returnflag = 'N'"), 0);
+}
+
+TEST_F(TpchTest, ForeignKeysResolve) {
+  // Every lineitem joins exactly one order; every order one customer.
+  const int64_t lines = Count("SELECT COUNT(*) FROM lineitem");
+  EXPECT_EQ(Count("SELECT COUNT(*) FROM lineitem, orders WHERE "
+                  "l_orderkey = o_orderkey"),
+            lines);
+  EXPECT_EQ(Count("SELECT COUNT(*) FROM orders, customer WHERE "
+                  "o_custkey = c_custkey"),
+            7500);
+  // Supplier keys stay in range.
+  EXPECT_EQ(Count("SELECT COUNT(*) FROM lineitem WHERE l_suppkey < 1"), 0);
+  EXPECT_EQ(Count("SELECT COUNT(*) FROM lineitem WHERE l_suppkey > 50"), 0);
+}
+
+TEST_F(TpchTest, NationKeysCoverAllNations) {
+  EXPECT_EQ(Count("SELECT COUNT(*) FROM (SELECT c_nationkey, COUNT(*) AS c "
+                  "FROM customer GROUP BY c_nationkey) g"),
+            25);
+}
+
+TEST_F(TpchTest, DeterministicAcrossRuns) {
+  Database db2;
+  TpchConfig config;
+  config.scale_factor = 0.005;
+  TpchGenerator gen(config);
+  ASSERT_TRUE(gen.LoadInto(&db2).ok());
+  auto a = db_->Execute("SELECT SUM(l_extendedprice), COUNT(*) FROM lineitem");
+  auto b = db2.Execute("SELECT SUM(l_extendedprice), COUNT(*) FROM lineitem");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().rows[0][0].AsInt64(), b.value().rows[0][0].AsInt64());
+  EXPECT_EQ(a.value().rows[0][1].AsInt64(), b.value().rows[0][1].AsInt64());
+}
+
+TEST_F(TpchTest, DifferentSeedsDiffer) {
+  Database db2;
+  TpchConfig config;
+  config.scale_factor = 0.005;
+  config.seed = 999;
+  TpchGenerator gen(config);
+  ASSERT_TRUE(gen.LoadInto(&db2).ok());
+  auto a = db_->Execute("SELECT SUM(l_extendedprice) FROM lineitem");
+  auto b = db2.Execute("SELECT SUM(l_extendedprice) FROM lineitem");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value().rows[0][0].AsInt64(), b.value().rows[0][0].AsInt64());
+}
+
+TEST_F(TpchTest, StatisticsWereAnalyzed) {
+  auto t = db_->catalog().GetTable("lineitem");
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t.value()->analyzed());
+  const int sd = t.value()->schema().FindColumn("l_shipdate");
+  ASSERT_GE(sd, 0);
+  // ~2.4k distinct ship dates regardless of SF.
+  EXPECT_GT(t.value()->stats()[sd].distinct, 1500u);
+  EXPECT_LT(t.value()->stats()[sd].distinct, 2700u);
+}
+
+}  // namespace
+}  // namespace elephant
