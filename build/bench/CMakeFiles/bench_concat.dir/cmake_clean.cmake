@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_concat.dir/bench_concat.cc.o"
+  "CMakeFiles/bench_concat.dir/bench_concat.cc.o.d"
+  "bench_concat"
+  "bench_concat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_concat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mv_maintenance.dir/bench_mv_maintenance.cc.o"
+  "CMakeFiles/bench_mv_maintenance.dir/bench_mv_maintenance.cc.o.d"
+  "bench_mv_maintenance"
+  "bench_mv_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mv_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adhoc_analytics.dir/adhoc_analytics.cpp.o"
+  "CMakeFiles/adhoc_analytics.dir/adhoc_analytics.cpp.o.d"
+  "adhoc_analytics"
+  "adhoc_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adhoc_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

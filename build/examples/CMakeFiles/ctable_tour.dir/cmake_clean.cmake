@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctable_tour.dir/ctable_tour.cpp.o"
+  "CMakeFiles/ctable_tour.dir/ctable_tour.cpp.o.d"
+  "ctable_tour"
+  "ctable_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctable_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchlib/CMakeFiles/elephant_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/mv/CMakeFiles/elephant_mv.dir/DependInfo.cmake"
+  "/root/repo/build/src/cstore/CMakeFiles/elephant_cstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/elephant_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/elephant_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/elephant_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/elephant_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/elephant_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/elephant_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/elephant_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/elephant_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/elephant_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

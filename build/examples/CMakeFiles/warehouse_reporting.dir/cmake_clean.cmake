@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_reporting.dir/warehouse_reporting.cpp.o"
+  "CMakeFiles/warehouse_reporting.dir/warehouse_reporting.cpp.o.d"
+  "warehouse_reporting"
+  "warehouse_reporting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_reporting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("storage")
+subdirs("index")
+subdirs("catalog")
+subdirs("exec")
+subdirs("parser")
+subdirs("planner")
+subdirs("tpch")
+subdirs("cstore")
+subdirs("mv")
+subdirs("engine")
+subdirs("benchlib")

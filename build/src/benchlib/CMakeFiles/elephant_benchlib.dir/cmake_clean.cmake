@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elephant_benchlib.dir/harness.cc.o"
+  "CMakeFiles/elephant_benchlib.dir/harness.cc.o.d"
+  "CMakeFiles/elephant_benchlib.dir/report.cc.o"
+  "CMakeFiles/elephant_benchlib.dir/report.cc.o.d"
+  "CMakeFiles/elephant_benchlib.dir/workload.cc.o"
+  "CMakeFiles/elephant_benchlib.dir/workload.cc.o.d"
+  "libelephant_benchlib.a"
+  "libelephant_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elephant_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elephant_catalog.dir/catalog.cc.o"
+  "CMakeFiles/elephant_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/elephant_catalog.dir/table.cc.o"
+  "CMakeFiles/elephant_catalog.dir/table.cc.o.d"
+  "libelephant_catalog.a"
+  "libelephant_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elephant_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

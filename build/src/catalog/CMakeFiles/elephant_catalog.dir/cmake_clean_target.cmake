@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libelephant_catalog.a"
+)

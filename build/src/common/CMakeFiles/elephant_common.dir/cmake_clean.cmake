@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elephant_common.dir/schema.cc.o"
+  "CMakeFiles/elephant_common.dir/schema.cc.o.d"
+  "CMakeFiles/elephant_common.dir/status.cc.o"
+  "CMakeFiles/elephant_common.dir/status.cc.o.d"
+  "CMakeFiles/elephant_common.dir/types.cc.o"
+  "CMakeFiles/elephant_common.dir/types.cc.o.d"
+  "CMakeFiles/elephant_common.dir/value.cc.o"
+  "CMakeFiles/elephant_common.dir/value.cc.o.d"
+  "libelephant_common.a"
+  "libelephant_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elephant_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

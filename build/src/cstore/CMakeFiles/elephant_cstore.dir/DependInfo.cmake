@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cstore/analytic_query.cc" "src/cstore/CMakeFiles/elephant_cstore.dir/analytic_query.cc.o" "gcc" "src/cstore/CMakeFiles/elephant_cstore.dir/analytic_query.cc.o.d"
+  "/root/repo/src/cstore/colopt.cc" "src/cstore/CMakeFiles/elephant_cstore.dir/colopt.cc.o" "gcc" "src/cstore/CMakeFiles/elephant_cstore.dir/colopt.cc.o.d"
+  "/root/repo/src/cstore/compression.cc" "src/cstore/CMakeFiles/elephant_cstore.dir/compression.cc.o" "gcc" "src/cstore/CMakeFiles/elephant_cstore.dir/compression.cc.o.d"
+  "/root/repo/src/cstore/concat.cc" "src/cstore/CMakeFiles/elephant_cstore.dir/concat.cc.o" "gcc" "src/cstore/CMakeFiles/elephant_cstore.dir/concat.cc.o.d"
+  "/root/repo/src/cstore/ctable_builder.cc" "src/cstore/CMakeFiles/elephant_cstore.dir/ctable_builder.cc.o" "gcc" "src/cstore/CMakeFiles/elephant_cstore.dir/ctable_builder.cc.o.d"
+  "/root/repo/src/cstore/rewriter.cc" "src/cstore/CMakeFiles/elephant_cstore.dir/rewriter.cc.o" "gcc" "src/cstore/CMakeFiles/elephant_cstore.dir/rewriter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/elephant_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/elephant_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/elephant_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/elephant_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/elephant_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/elephant_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/elephant_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/elephant_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elephant_cstore.dir/analytic_query.cc.o"
+  "CMakeFiles/elephant_cstore.dir/analytic_query.cc.o.d"
+  "CMakeFiles/elephant_cstore.dir/colopt.cc.o"
+  "CMakeFiles/elephant_cstore.dir/colopt.cc.o.d"
+  "CMakeFiles/elephant_cstore.dir/compression.cc.o"
+  "CMakeFiles/elephant_cstore.dir/compression.cc.o.d"
+  "CMakeFiles/elephant_cstore.dir/concat.cc.o"
+  "CMakeFiles/elephant_cstore.dir/concat.cc.o.d"
+  "CMakeFiles/elephant_cstore.dir/ctable_builder.cc.o"
+  "CMakeFiles/elephant_cstore.dir/ctable_builder.cc.o.d"
+  "CMakeFiles/elephant_cstore.dir/rewriter.cc.o"
+  "CMakeFiles/elephant_cstore.dir/rewriter.cc.o.d"
+  "libelephant_cstore.a"
+  "libelephant_cstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elephant_cstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elephant_engine.dir/database.cc.o"
+  "CMakeFiles/elephant_engine.dir/database.cc.o.d"
+  "libelephant_engine.a"
+  "libelephant_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elephant_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

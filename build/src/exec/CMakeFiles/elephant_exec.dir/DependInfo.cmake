@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/agg_executor.cc" "src/exec/CMakeFiles/elephant_exec.dir/agg_executor.cc.o" "gcc" "src/exec/CMakeFiles/elephant_exec.dir/agg_executor.cc.o.d"
+  "/root/repo/src/exec/expression.cc" "src/exec/CMakeFiles/elephant_exec.dir/expression.cc.o" "gcc" "src/exec/CMakeFiles/elephant_exec.dir/expression.cc.o.d"
+  "/root/repo/src/exec/join_executor.cc" "src/exec/CMakeFiles/elephant_exec.dir/join_executor.cc.o" "gcc" "src/exec/CMakeFiles/elephant_exec.dir/join_executor.cc.o.d"
+  "/root/repo/src/exec/scan_executor.cc" "src/exec/CMakeFiles/elephant_exec.dir/scan_executor.cc.o" "gcc" "src/exec/CMakeFiles/elephant_exec.dir/scan_executor.cc.o.d"
+  "/root/repo/src/exec/simple_executors.cc" "src/exec/CMakeFiles/elephant_exec.dir/simple_executors.cc.o" "gcc" "src/exec/CMakeFiles/elephant_exec.dir/simple_executors.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/elephant_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/elephant_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/elephant_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/elephant_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elephant_exec.dir/agg_executor.cc.o"
+  "CMakeFiles/elephant_exec.dir/agg_executor.cc.o.d"
+  "CMakeFiles/elephant_exec.dir/expression.cc.o"
+  "CMakeFiles/elephant_exec.dir/expression.cc.o.d"
+  "CMakeFiles/elephant_exec.dir/join_executor.cc.o"
+  "CMakeFiles/elephant_exec.dir/join_executor.cc.o.d"
+  "CMakeFiles/elephant_exec.dir/scan_executor.cc.o"
+  "CMakeFiles/elephant_exec.dir/scan_executor.cc.o.d"
+  "CMakeFiles/elephant_exec.dir/simple_executors.cc.o"
+  "CMakeFiles/elephant_exec.dir/simple_executors.cc.o.d"
+  "libelephant_exec.a"
+  "libelephant_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elephant_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elephant_index.dir/btree.cc.o"
+  "CMakeFiles/elephant_index.dir/btree.cc.o.d"
+  "CMakeFiles/elephant_index.dir/btree_node.cc.o"
+  "CMakeFiles/elephant_index.dir/btree_node.cc.o.d"
+  "libelephant_index.a"
+  "libelephant_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elephant_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elephant_mv.dir/view.cc.o"
+  "CMakeFiles/elephant_mv.dir/view.cc.o.d"
+  "libelephant_mv.a"
+  "libelephant_mv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elephant_mv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elephant_parser.dir/lexer.cc.o"
+  "CMakeFiles/elephant_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/elephant_parser.dir/parser.cc.o"
+  "CMakeFiles/elephant_parser.dir/parser.cc.o.d"
+  "libelephant_parser.a"
+  "libelephant_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elephant_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

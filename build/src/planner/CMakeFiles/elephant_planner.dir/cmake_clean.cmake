@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elephant_planner.dir/binder.cc.o"
+  "CMakeFiles/elephant_planner.dir/binder.cc.o.d"
+  "CMakeFiles/elephant_planner.dir/planner.cc.o"
+  "CMakeFiles/elephant_planner.dir/planner.cc.o.d"
+  "libelephant_planner.a"
+  "libelephant_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elephant_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

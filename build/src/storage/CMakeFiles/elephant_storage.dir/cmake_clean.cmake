@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elephant_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/elephant_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/elephant_storage.dir/disk_manager.cc.o"
+  "CMakeFiles/elephant_storage.dir/disk_manager.cc.o.d"
+  "CMakeFiles/elephant_storage.dir/slotted_page.cc.o"
+  "CMakeFiles/elephant_storage.dir/slotted_page.cc.o.d"
+  "CMakeFiles/elephant_storage.dir/table_heap.cc.o"
+  "CMakeFiles/elephant_storage.dir/table_heap.cc.o.d"
+  "libelephant_storage.a"
+  "libelephant_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elephant_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

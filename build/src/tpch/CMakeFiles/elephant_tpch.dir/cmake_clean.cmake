@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elephant_tpch.dir/tpch.cc.o"
+  "CMakeFiles/elephant_tpch.dir/tpch.cc.o.d"
+  "libelephant_tpch.a"
+  "libelephant_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elephant_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cstore_test.dir/cstore_test.cc.o"
+  "CMakeFiles/cstore_test.dir/cstore_test.cc.o.d"
+  "cstore_test"
+  "cstore_test.pdb"
+  "cstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_e2e_test.dir/paper_e2e_test.cc.o"
+  "CMakeFiles/paper_e2e_test.dir/paper_e2e_test.cc.o.d"
+  "paper_e2e_test"
+  "paper_e2e_test.pdb"
+  "paper_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
