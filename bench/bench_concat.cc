@@ -14,6 +14,7 @@
 
 #include "benchlib/harness.h"
 #include "benchlib/report.h"
+#include "benchlib/telemetry.h"
 #include "cstore/concat.h"
 
 namespace elephant {
@@ -70,6 +71,10 @@ int Run() {
       std::snprintf(rate, sizeof(rate), "%.2fM",
                     static_cast<double>(rows) / secs / 1e6);
       t.AddRow({std::to_string(ncols), name, FormatSeconds(secs), rate});
+      BenchTelemetry::Instance().RecordMetrics(
+          {{"mode", name}, {"columns", std::to_string(ncols)}},
+          {{"seconds", secs},
+           {"rows_per_second", static_cast<double>(rows) / secs}});
       (void)checksum;
     }
   }
@@ -98,4 +103,9 @@ int Run() {
 }  // namespace paper
 }  // namespace elephant
 
-int main() { return elephant::paper::Run(); }
+int main(int argc, char** argv) {
+  elephant::paper::BenchTelemetry::Instance().Configure("concat", &argc, argv);
+  const int rc = elephant::paper::Run();
+  if (!elephant::paper::BenchTelemetry::Instance().Flush()) return 1;
+  return rc;
+}

@@ -18,6 +18,7 @@
 
 #include "benchlib/harness.h"
 #include "benchlib/report.h"
+#include "benchlib/telemetry.h"
 
 namespace elephant {
 namespace paper {
@@ -104,6 +105,8 @@ int Run() {
                      std::to_string(r.value().pages_random),
                      std::to_string(r.value().index_seeks),
                      std::to_string(r.value().rows)});
+      BenchTelemetry::Instance().RecordStrategy(
+          {{"query", p.query}, {"selectivity", sel_label}}, r.value());
       return r.value().seconds;
     };
 
@@ -174,4 +177,9 @@ int Run() {
 }  // namespace paper
 }  // namespace elephant
 
-int main() { return elephant::paper::Run(); }
+int main(int argc, char** argv) {
+  elephant::paper::BenchTelemetry::Instance().Configure("figure2", &argc, argv);
+  const int rc = elephant::paper::Run();
+  if (!elephant::paper::BenchTelemetry::Instance().Flush()) return 1;
+  return rc;
+}

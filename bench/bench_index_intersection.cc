@@ -18,6 +18,7 @@
 #include <cstdlib>
 
 #include "benchlib/report.h"
+#include "benchlib/telemetry.h"
 #include "common/rng.h"
 #include "cstore/colopt.h"
 #include "cstore/ctable_builder.h"
@@ -91,26 +92,40 @@ int Run() {
       return 1;
     }
     db.options().cold_cache = true;
-    auto r = db.Execute(sql.value());
+    auto ea = db.ExplainAnalyze(sql.value());
     db.options().cold_cache = false;
-    if (!r.ok()) {
+    if (!ea.ok()) {
       std::fprintf(stderr, "%s\n%s\n", sql.value().c_str(),
-                   r.status().ToString().c_str());
+                   ea.status().ToString().c_str());
       return 1;
     }
+    const QueryResult& r = ea.value().result;
     if (checksum == 0) {
-      checksum = r.value().rows.size();
-    } else if (checksum != r.value().rows.size()) {
+      checksum = r.rows.size();
+    } else if (checksum != r.rows.size()) {
       std::fprintf(stderr, "strategies disagree!\n");
       return 1;
     }
-    t.AddRow({name, FormatSeconds(r.value().TotalSeconds()),
-              FormatSeconds(r.value().io_seconds),
-              FormatSeconds(r.value().cpu_seconds),
-              std::to_string(r.value().io.sequential_reads),
-              std::to_string(r.value().io.random_reads),
-              std::to_string(r.value().counters.index_seeks),
-              std::to_string(r.value().rows.size())});
+    t.AddRow({name, FormatSeconds(r.TotalSeconds()),
+              FormatSeconds(r.io_seconds),
+              FormatSeconds(r.cpu_seconds),
+              std::to_string(r.io.sequential_reads),
+              std::to_string(r.io.random_reads),
+              std::to_string(r.counters.index_seeks),
+              std::to_string(r.rows.size())});
+    StrategyResult sr;
+    sr.strategy = name;
+    sr.sql = sql.value();
+    sr.seconds = r.TotalSeconds();
+    sr.io_seconds = r.io_seconds;
+    sr.cpu_seconds = r.cpu_seconds;
+    sr.pages_sequential = r.io.sequential_reads;
+    sr.pages_random = r.io.random_reads;
+    sr.index_seeks = r.counters.index_seeks;
+    sr.rows = r.rows.size();
+    sr.checksum = ResultChecksum(r);
+    if (r.plan != nullptr) sr.operators = obs::FlattenPlan(*r.plan);
+    BenchTelemetry::Instance().RecordStrategy({{"query", "intersect"}}, sr);
   }
   // The C-store baseline: any implementation must read the full c and d
   // columns (predicates are not on the sort prefix), plus the qualifying
@@ -143,4 +158,10 @@ int Run() {
 }  // namespace paper
 }  // namespace elephant
 
-int main() { return elephant::paper::Run(); }
+int main(int argc, char** argv) {
+  elephant::paper::BenchTelemetry::Instance().Configure("index_intersection",
+                                                        &argc, argv);
+  const int rc = elephant::paper::Run();
+  if (!elephant::paper::BenchTelemetry::Instance().Flush()) return 1;
+  return rc;
+}

@@ -12,6 +12,7 @@
 
 #include "benchlib/harness.h"
 #include "benchlib/report.h"
+#include "benchlib/telemetry.h"
 #include "common/rng.h"
 
 namespace elephant {
@@ -119,6 +120,13 @@ int Run() {
               FormatSeconds(std::chrono::duration<double>(t1 - t0).count()),
               FormatSeconds(std::chrono::duration<double>(t2 - t1).count()),
               FormatSeconds(recompute)});
+    BenchTelemetry::Instance().RecordMetrics(
+        {{"batch_orders", std::to_string(batch_orders)}},
+        {{"batch_lineitems", static_cast<double>(lineitems)},
+         {"append_seconds", std::chrono::duration<double>(t1 - t0).count()},
+         {"incremental_refresh_seconds",
+          std::chrono::duration<double>(t2 - t1).count()},
+         {"full_recompute_seconds", recompute}});
   }
   std::printf("\n%s\n", t.ToString().c_str());
   std::printf(
@@ -139,4 +147,10 @@ int Run() {
 }  // namespace paper
 }  // namespace elephant
 
-int main() { return elephant::paper::Run(); }
+int main(int argc, char** argv) {
+  elephant::paper::BenchTelemetry::Instance().Configure("mv_maintenance", &argc,
+                                                        argv);
+  const int rc = elephant::paper::Run();
+  if (!elephant::paper::BenchTelemetry::Instance().Flush()) return 1;
+  return rc;
+}

@@ -17,6 +17,7 @@
 
 #include "benchlib/harness.h"
 #include "benchlib/report.h"
+#include "benchlib/telemetry.h"
 
 namespace elephant {
 namespace paper {
@@ -76,6 +77,9 @@ int Run() {
                 std::to_string(r.value().pages_sequential),
                 std::to_string(r.value().pages_random),
                 std::to_string(r.value().index_seeks)});
+      BenchTelemetry::Instance().RecordStrategy(
+          {{"query", "Q3"}, {"selectivity", label}, {"variant", v.name}},
+          r.value());
     }
   }
   std::printf("%s\n", t.ToString().c_str());
@@ -102,6 +106,9 @@ int Run() {
                  FormatSeconds(r.value().io_seconds),
                  FormatSeconds(r.value().cpu_seconds),
                  std::to_string(r.value().index_seeks)});
+      BenchTelemetry::Instance().RecordStrategy(
+          {{"query", "Q6"}, {"selectivity", label}, {"variant", v.name}},
+          r.value());
     }
   }
   std::printf("%s\n", t6.ToString().c_str());
@@ -126,4 +133,10 @@ int Run() {
 }  // namespace paper
 }  // namespace elephant
 
-int main() { return elephant::paper::Run(); }
+int main(int argc, char** argv) {
+  elephant::paper::BenchTelemetry::Instance().Configure("rewrite_ablation",
+                                                        &argc, argv);
+  const int rc = elephant::paper::Run();
+  if (!elephant::paper::BenchTelemetry::Instance().Flush()) return 1;
+  return rc;
+}

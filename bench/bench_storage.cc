@@ -14,6 +14,7 @@
 
 #include "benchlib/harness.h"
 #include "benchlib/report.h"
+#include "benchlib/telemetry.h"
 #include "cstore/compression.h"
 
 namespace elephant {
@@ -55,6 +56,13 @@ int Run() {
       native_total += native;
       row_total += row;
       delta_total += row - delta_saving;
+      BenchTelemetry::Instance().RecordMetrics(
+          {{"projection", proj_name}, {"column", ct.column}},
+          {{"runs", static_cast<double>(ct.runs)},
+           {"native_rle_bytes", static_cast<double>(native)},
+           {"rowstore_ctable_bytes", static_cast<double>(row)},
+           {"delta_f_bytes", static_cast<double>(row - delta_saving)},
+           {"on_disk_pages", static_cast<double>(ct.on_disk_pages)}});
       t.AddRow({ct.column, ct.has_count ? "(f,v,c)" : "(f,v)",
                 std::to_string(ct.runs), FormatBytes(native), FormatBytes(row),
                 FormatRatio(static_cast<double>(row) /
@@ -119,4 +127,9 @@ int Run() {
 }  // namespace paper
 }  // namespace elephant
 
-int main() { return elephant::paper::Run(); }
+int main(int argc, char** argv) {
+  elephant::paper::BenchTelemetry::Instance().Configure("storage", &argc, argv);
+  const int rc = elephant::paper::Run();
+  if (!elephant::paper::BenchTelemetry::Instance().Flush()) return 1;
+  return rc;
+}

@@ -232,4 +232,29 @@ BENCHMARK(BM_HashAggregate)->Arg(200000)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace elephant
 
-BENCHMARK_MAIN();
+// Same CLI contract as the other bench binaries: `--json <path>` produces a
+// structured JSON report (here via google-benchmark's own JSON reporter).
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 0; i < argc; i++) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      args.push_back(std::string("--benchmark_out=") + argv[i + 1]);
+      args.push_back("--benchmark_out_format=json");
+      i++;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args.push_back("--benchmark_out=" + arg.substr(7));
+      args.push_back("--benchmark_out_format=json");
+    } else {
+      args.push_back(arg);
+    }
+  }
+  std::vector<char*> argv2;
+  for (std::string& a : args) argv2.push_back(a.data());
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

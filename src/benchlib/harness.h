@@ -10,6 +10,7 @@
 #include "cstore/rewriter.h"
 #include "engine/database.h"
 #include "mv/view.h"
+#include "obs/plan_stats.h"
 #include "tpch/tpch.h"
 
 namespace elephant {
@@ -29,6 +30,9 @@ struct StrategyResult {
   /// Checksum over the result rows (order-insensitive) for cross-strategy
   /// result validation — all strategies must agree.
   uint64_t checksum = 0;
+  /// Per-operator self-attributed breakdown (pre-order; empty for modeled
+  /// strategies like ColOpt). Page counts sum to pages_sequential/_random.
+  std::vector<obs::OperatorBreakdown> operators;
 };
 
 /// The full experimental rig of the paper: TPC-H data, the D1/D2/D4

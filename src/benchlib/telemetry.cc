@@ -1,0 +1,132 @@
+#include "benchlib/telemetry.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace elephant {
+namespace paper {
+
+namespace {
+
+void AppendLabels(const std::map<std::string, std::string>& labels,
+                  obs::JsonWriter* w) {
+  w->Key("labels").BeginObject();
+  for (const auto& [k, v] : labels) w->Key(k).String(v);
+  w->EndObject();
+}
+
+std::string ChecksumHex(uint64_t checksum) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(checksum));
+  return buf;
+}
+
+}  // namespace
+
+BenchTelemetry& BenchTelemetry::Instance() {
+  static BenchTelemetry instance;
+  return instance;
+}
+
+void BenchTelemetry::Configure(std::string bench_name, int* argc, char** argv) {
+  bench_name_ = std::move(bench_name);
+  for (int i = 1; i < *argc; i++) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+      path_ = argv[i + 1];
+      for (int j = i; j + 2 < *argc; j++) argv[j] = argv[j + 2];
+      *argc -= 2;
+      return;
+    }
+    constexpr const char* kPrefix = "--json=";
+    if (std::strncmp(argv[i], kPrefix, std::strlen(kPrefix)) == 0) {
+      path_ = argv[i] + std::strlen(kPrefix);
+      for (int j = i; j + 1 < *argc; j++) argv[j] = argv[j + 1];
+      *argc -= 1;
+      return;
+    }
+  }
+}
+
+void BenchTelemetry::RecordStrategy(
+    const std::map<std::string, std::string>& labels,
+    const StrategyResult& result) {
+  if (!enabled()) return;
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("type").String("strategy");
+  AppendLabels(labels, &w);
+  w.Key("strategy").String(result.strategy);
+  w.Key("sql").String(result.sql);
+  w.Key("seconds").Double(result.seconds);
+  w.Key("io_seconds").Double(result.io_seconds);
+  w.Key("cpu_seconds").Double(result.cpu_seconds);
+  w.Key("pages_sequential").UInt(result.pages_sequential);
+  w.Key("pages_random").UInt(result.pages_random);
+  w.Key("index_seeks").UInt(result.index_seeks);
+  w.Key("rows").UInt(result.rows);
+  w.Key("checksum").String(ChecksumHex(result.checksum));
+  w.Key("operators").BeginArray();
+  for (const obs::OperatorBreakdown& op : result.operators) {
+    w.BeginObject();
+    w.Key("op").String(op.op);
+    w.Key("depth").Int(op.depth);
+    w.Key("rows").UInt(op.rows);
+    w.Key("next_calls").UInt(op.next_calls);
+    w.Key("seconds").Double(op.seconds);
+    w.Key("seq_reads").UInt(op.seq_reads);
+    w.Key("rand_reads").UInt(op.rand_reads);
+    w.Key("page_writes").UInt(op.page_writes);
+    w.Key("pool_hits").UInt(op.pool_hits);
+    w.Key("pool_misses").UInt(op.pool_misses);
+    if (op.est_rows >= 0) w.Key("est_rows").Double(op.est_rows);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  records_.push_back(std::move(w).str());
+}
+
+void BenchTelemetry::RecordMetrics(
+    const std::map<std::string, std::string>& labels,
+    const std::map<std::string, double>& values) {
+  if (!enabled()) return;
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("type").String("metrics");
+  AppendLabels(labels, &w);
+  w.Key("values").BeginObject();
+  for (const auto& [k, v] : values) w.Key(k).Double(v);
+  w.EndObject();
+  w.EndObject();
+  records_.push_back(std::move(w).str());
+}
+
+bool BenchTelemetry::Flush() {
+  if (!enabled()) return true;
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "telemetry: cannot open %s\n", path_.c_str());
+    return false;
+  }
+  obs::JsonWriter head;
+  head.BeginObject();
+  head.Key("bench").String(bench_name_);
+  head.Key("schema_version").Int(1);
+  const std::string& prefix = head.str();
+  std::fputs(prefix.c_str(), f);
+  // Splice the records array into the open object by hand: the records are
+  // already serialized.
+  std::fputs(",\"records\":[", f);
+  for (size_t i = 0; i < records_.size(); i++) {
+    if (i > 0) std::fputc(',', f);
+    std::fputs(records_[i].c_str(), f);
+  }
+  std::fputs("]}", f);
+  std::fputc('\n', f);
+  const bool ok = std::fclose(f) == 0;
+  return ok;
+}
+
+}  // namespace paper
+}  // namespace elephant

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "benchlib/harness.h"
+#include "obs/json.h"
+
+namespace elephant {
+namespace paper {
+
+/// Structured telemetry sink for the bench binaries. Every bench accepts
+/// `--json <path>`; when given, one JSON document is written there at exit:
+///
+///   {
+///     "bench": "<binary name>",
+///     "schema_version": 1,
+///     "records": [
+///       {"type": "strategy", "labels": {...}, "strategy": "Row(Col)",
+///        "seconds": ..., "io_seconds": ..., "cpu_seconds": ...,
+///        "pages_sequential": ..., "pages_random": ..., "index_seeks": ...,
+///        "rows": ..., "checksum": "<hex>",
+///        "operators": [{"op": ..., "depth": ..., "rows": ...,
+///                       "seconds": ..., "seq_reads": ..., "rand_reads": ...,
+///                       "pool_misses": ..., "est_rows": ...}, ...]},
+///       {"type": "metrics", "labels": {...}, "values": {...}}
+///     ]
+///   }
+///
+/// Records accumulate in memory (benches are short); without --json the sink
+/// is a no-op. Single-threaded, like the benches.
+class BenchTelemetry {
+ public:
+  static BenchTelemetry& Instance();
+
+  /// Reads `--json <path>` from argv (consuming both tokens) and remembers
+  /// the bench name. Call first thing in main().
+  void Configure(std::string bench_name, int* argc, char** argv);
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  /// One strategy execution, with free-form dimension labels
+  /// ("query": "Q3", "selectivity": "0.1", ...).
+  void RecordStrategy(const std::map<std::string, std::string>& labels,
+                      const StrategyResult& result);
+
+  /// One free-form numeric record (storage sizes, build times, ...).
+  void RecordMetrics(const std::map<std::string, std::string>& labels,
+                     const std::map<std::string, double>& values);
+
+  /// Writes the document to `path` (no-op when disabled). Returns false on
+  /// I/O failure. Safe to call multiple times; the file is rewritten whole.
+  bool Flush();
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  std::vector<std::string> records_;  ///< pre-serialized JSON objects
+};
+
+}  // namespace paper
+}  // namespace elephant

@@ -1,11 +1,32 @@
 #include "engine/database.h"
 
 #include <chrono>
+#include <cstdio>
 
+#include "obs/json.h"
 #include "parser/parser.h"
 #include "planner/binder.h"
 
 namespace elephant {
+
+namespace {
+
+/// Packages a rendered plan as a result set: one VARCHAR "QUERY PLAN" column,
+/// one row per text line (how EXPLAIN output reaches SQL clients).
+QueryResult PlanTextResult(const std::string& text) {
+  QueryResult qr;
+  qr.schema = Schema({Column("QUERY PLAN", TypeId::kVarchar)});
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    qr.rows.push_back(Row{Value::Varchar(text.substr(start, end - start))});
+    start = end + 1;
+  }
+  return qr;
+}
+
+}  // namespace
 
 std::string QueryResult::ToString(size_t max_rows) const {
   std::string out;
@@ -29,6 +50,12 @@ std::string QueryResult::ToString(size_t max_rows) const {
     out += "\n";
   }
   out += "(" + std::to_string(rows.size()) + " rows)\n";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "time: measured cpu=%.3fms | modeled io=%.3fms | modeled "
+                "total=%.3fms\n",
+                cpu_seconds * 1e3, io_seconds * 1e3, TotalSeconds() * 1e3);
+  out += buf;
   return out;
 }
 
@@ -58,13 +85,23 @@ Result<std::string> Database::Explain(const std::string& sql,
 }
 
 Result<QueryResult> Database::ExecuteSelect(std::unique_ptr<SelectStmt> stmt,
-                                            PlanHints extra_hints) {
-  Binder binder(catalog_.get());
-  ELE_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound, binder.Bind(*stmt));
-  bound->hints = bound->hints.Merge(extra_hints);
+                                            PlanHints extra_hints,
+                                            bool instrument,
+                                            obs::Tracer* tracer) {
+  std::unique_ptr<BoundQuery> bound;
+  {
+    auto span = tracer->StartSpan("bind");
+    Binder binder(catalog_.get());
+    ELE_ASSIGN_OR_RETURN(bound, binder.Bind(*stmt));
+    bound->hints = bound->hints.Merge(extra_hints);
+  }
   ExecContext ctx(pool_.get());
-  Planner planner(&ctx);
-  ELE_ASSIGN_OR_RETURN(PlannedQuery plan, planner.Plan(std::move(bound)));
+  PlannedQuery plan;
+  {
+    auto span = tracer->StartSpan("plan");
+    Planner planner(&ctx, instrument);
+    ELE_ASSIGN_OR_RETURN(plan, planner.Plan(std::move(bound)));
+  }
 
   if (options_.cold_cache) {
     ELE_RETURN_NOT_OK(pool_->EvictAll());
@@ -74,30 +111,136 @@ Result<QueryResult> Database::ExecuteSelect(std::unique_ptr<SelectStmt> stmt,
 
   QueryResult result;
   result.schema = plan.output_schema;
-  ELE_RETURN_NOT_OK(plan.executor->Init());
-  Row row;
-  while (true) {
-    ELE_ASSIGN_OR_RETURN(bool has, plan.executor->Next(&row));
-    if (!has) break;
-    result.rows.push_back(row);
+  {
+    auto span = tracer->StartSpan("execute");
+    ELE_RETURN_NOT_OK(plan.executor->Init());
+    Row row;
+    while (true) {
+      ELE_ASSIGN_OR_RETURN(bool has, plan.executor->Next(&row));
+      if (!has) break;
+      result.rows.push_back(row);
+    }
+    plan.executor.reset();  // release pinned pages before measuring
   }
-  plan.executor.reset();  // release pinned pages before measuring
 
   const auto t1 = std::chrono::steady_clock::now();
   result.cpu_seconds = std::chrono::duration<double>(t1 - t0).count();
   result.io = disk_->stats() - io_before;
   result.io_seconds = options_.disk_model.Seconds(result.io);
   result.counters = ctx.counters();
+  result.plan = std::shared_ptr<const obs::PlanNode>(std::move(plan.plan));
+
+  metrics_.GetCounter("db.rows_returned_total")->Increment(result.rows.size());
+  metrics_.GetCounter("db.pages_read_total")->Increment(result.io.TotalReads());
+  metrics_.GetHistogram("db.query_seconds")->Observe(result.cpu_seconds);
+  metrics_.GetHistogram("db.query_modeled_seconds")->Observe(result.TotalSeconds());
   return result;
+}
+
+Result<ExplainAnalyzeResult> Database::ExplainAnalyze(const std::string& sql,
+                                                      PlanHints extra_hints) {
+  obs::Tracer tracer;
+  std::unique_ptr<SelectStmt> stmt;
+  {
+    auto span = tracer.StartSpan("parse");
+    ELE_ASSIGN_OR_RETURN(Statement parsed, ParseStatement(sql));
+    if (parsed.select == nullptr) {
+      return Status::BindError("EXPLAIN ANALYZE requires a SELECT statement");
+    }
+    stmt = std::move(parsed.select);
+  }
+  metrics_.GetCounter("db.statements_total")->Increment();
+  metrics_.GetCounter("db.statements.explain")->Increment();
+  ELE_ASSIGN_OR_RETURN(
+      QueryResult result,
+      ExecuteSelect(std::move(stmt), extra_hints, /*instrument=*/true, &tracer));
+  result.trace = std::make_shared<obs::QueryTrace>(tracer.Finish());
+
+  ExplainAnalyzeResult out;
+  out.text = obs::RenderPlanTree(*result.plan, /*with_actuals=*/true);
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("plan");
+  obs::AppendPlanJson(*result.plan, /*with_actuals=*/true, &w);
+  w.Key("rows").UInt(result.rows.size());
+  w.Key("io").BeginObject();
+  w.Key("sequential_reads").UInt(result.io.sequential_reads);
+  w.Key("random_reads").UInt(result.io.random_reads);
+  w.Key("page_writes").UInt(result.io.page_writes);
+  w.EndObject();
+  w.Key("cpu_seconds").Double(result.cpu_seconds);
+  w.Key("io_seconds").Double(result.io_seconds);
+  w.Key("total_seconds").Double(result.TotalSeconds());
+  w.Key("phases");
+  result.trace->AppendJson(&w);
+  w.EndObject();
+  out.json = std::move(w).str();
+  out.result = std::move(result);
+  return out;
 }
 
 Result<QueryResult> Database::Execute(const std::string& sql,
                                       PlanHints extra_hints) {
-  ELE_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  obs::Tracer tracer;
+  Statement stmt;
+  {
+    auto span = tracer.StartSpan("parse");
+    ELE_ASSIGN_OR_RETURN(stmt, ParseStatement(sql));
+  }
+  metrics_.GetCounter("db.statements_total")->Increment();
   switch (stmt.kind) {
-    case StatementKind::kSelect:
-      return ExecuteSelect(std::move(stmt.select), extra_hints);
+    case StatementKind::kSelect: {
+      metrics_.GetCounter("db.statements.select")->Increment();
+      ELE_ASSIGN_OR_RETURN(
+          QueryResult r,
+          ExecuteSelect(std::move(stmt.select), extra_hints,
+                        /*instrument=*/false, &tracer));
+      r.trace = std::make_shared<obs::QueryTrace>(tracer.Finish());
+      return r;
+    }
+    case StatementKind::kExplain: {
+      metrics_.GetCounter("db.statements.explain")->Increment();
+      if (!stmt.explain_analyze) {
+        Binder binder(catalog_.get());
+        ELE_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound,
+                             binder.Bind(*stmt.select));
+        bound->hints = bound->hints.Merge(extra_hints);
+        ExecContext ctx(pool_.get());
+        Planner planner(&ctx);
+        ELE_ASSIGN_OR_RETURN(PlannedQuery plan, planner.Plan(std::move(bound)));
+        QueryResult qr = PlanTextResult(plan.explain);
+        qr.plan = std::shared_ptr<const obs::PlanNode>(std::move(plan.plan));
+        qr.trace = std::make_shared<obs::QueryTrace>(tracer.Finish());
+        return qr;
+      }
+      ELE_ASSIGN_OR_RETURN(
+          QueryResult inner,
+          ExecuteSelect(std::move(stmt.select), extra_hints,
+                        /*instrument=*/true, &tracer));
+      inner.trace = std::make_shared<obs::QueryTrace>(tracer.Finish());
+      std::string text = obs::RenderPlanTree(*inner.plan, /*with_actuals=*/true);
+      char buf[192];
+      std::snprintf(buf, sizeof(buf),
+                    "Execution: rows=%zu io_seq=%llu io_rand=%llu | measured "
+                    "cpu=%.3fms | modeled io=%.3fms | modeled total=%.3fms\n",
+                    inner.rows.size(),
+                    static_cast<unsigned long long>(inner.io.sequential_reads),
+                    static_cast<unsigned long long>(inner.io.random_reads),
+                    inner.cpu_seconds * 1e3, inner.io_seconds * 1e3,
+                    inner.TotalSeconds() * 1e3);
+      text += buf;
+      text += "Phases: " + inner.trace->ToString() + "\n";
+      QueryResult qr = PlanTextResult(text);
+      qr.counters = inner.counters;
+      qr.io = inner.io;
+      qr.cpu_seconds = inner.cpu_seconds;
+      qr.io_seconds = inner.io_seconds;
+      qr.plan = inner.plan;
+      qr.trace = inner.trace;
+      return qr;
+    }
     case StatementKind::kCreateTable: {
+      metrics_.GetCounter("db.statements.create_table")->Increment();
       const CreateTableStmt& ct = *stmt.create_table;
       std::vector<Column> cols;
       for (const ColumnDef& cd : ct.columns) {
@@ -116,6 +259,7 @@ Result<QueryResult> Database::Execute(const std::string& sql,
       return QueryResult{};
     }
     case StatementKind::kCreateIndex: {
+      metrics_.GetCounter("db.statements.create_index")->Increment();
       const CreateIndexStmt& ci = *stmt.create_index;
       ELE_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(ci.table_name));
       std::vector<size_t> keys, includes;
@@ -133,6 +277,7 @@ Result<QueryResult> Database::Execute(const std::string& sql,
       return QueryResult{};
     }
     case StatementKind::kInsert: {
+      metrics_.GetCounter("db.statements.insert")->Increment();
       const InsertStmt& ins = *stmt.insert;
       ELE_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(ins.table_name));
       const Schema& schema = table->schema();

@@ -6,6 +6,9 @@
 
 #include "catalog/catalog.h"
 #include "exec/executor.h"
+#include "obs/metrics.h"
+#include "obs/plan_stats.h"
+#include "obs/trace.h"
 #include "parser/ast.h"
 #include "planner/hints.h"
 #include "planner/planner.h"
@@ -27,8 +30,23 @@ struct QueryResult {
   /// configured disk (I/O model) plus the measured CPU time.
   double TotalSeconds() const { return cpu_seconds + io_seconds; }
 
-  /// Renders rows as an aligned text table (for examples and debugging).
+  /// Phase timings (parse -> bind -> plan -> execute) of this statement.
+  std::shared_ptr<const obs::QueryTrace> trace;
+  /// Annotated plan tree; per-operator stats are filled in when the query
+  /// ran instrumented (EXPLAIN ANALYZE / ExplainAnalyze()).
+  std::shared_ptr<const obs::PlanNode> plan;
+
+  /// Renders rows as an aligned text table (for examples and debugging),
+  /// followed by a measured-vs-modeled time line.
   std::string ToString(size_t max_rows = 20) const;
+};
+
+/// Result of Database::ExplainAnalyze: the query's rows and stats plus the
+/// rendered/serialized annotated plan.
+struct ExplainAnalyzeResult {
+  QueryResult result;  ///< rows + stats; result.plan is the annotated tree
+  std::string text;    ///< plan tree with estimates and actuals per node
+  std::string json;    ///< same tree as JSON, plus query-level totals
 };
 
 /// Configuration for a Database instance.
@@ -54,12 +72,24 @@ class Database {
   const DiskModel& disk_model() const { return options_.disk_model; }
   DatabaseOptions& options() { return options_; }
 
-  /// Executes one statement (SELECT / CREATE TABLE / CREATE INDEX / INSERT).
-  /// `extra_hints` merge with any /*+ ... */ hints in the SQL text.
+  /// Executes one statement (SELECT / CREATE TABLE / CREATE INDEX / INSERT /
+  /// EXPLAIN [ANALYZE] SELECT). `extra_hints` merge with any /*+ ... */ hints
+  /// in the SQL text. EXPLAIN statements return the plan rendering as rows of
+  /// a single QUERY PLAN column.
   Result<QueryResult> Execute(const std::string& sql, PlanHints extra_hints = {});
 
-  /// Returns the physical plan for a SELECT without running it.
+  /// Returns the physical plan for a SELECT without running it, annotated
+  /// with the planner's per-node cardinality and cost estimates.
   Result<std::string> Explain(const std::string& sql, PlanHints extra_hints = {});
+
+  /// Runs a SELECT with every plan node instrumented and returns the
+  /// annotated tree (estimated vs. actual rows, per-operator wall time and
+  /// sequential/random page reads) alongside the normal result.
+  Result<ExplainAnalyzeResult> ExplainAnalyze(const std::string& sql,
+                                              PlanHints extra_hints = {});
+
+  /// Engine-lifetime metrics (statement counts, row counts, latencies).
+  obs::MetricsRegistry& metrics() { return metrics_; }
 
   /// Flushes and empties the buffer pool (next query runs cold).
   Status EvictCaches();
@@ -69,12 +99,14 @@ class Database {
 
  private:
   Result<QueryResult> ExecuteSelect(std::unique_ptr<SelectStmt> stmt,
-                                    PlanHints extra_hints);
+                                    PlanHints extra_hints, bool instrument,
+                                    obs::Tracer* tracer);
 
   DatabaseOptions options_;
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;
+  obs::MetricsRegistry metrics_;
 };
 
 }  // namespace elephant

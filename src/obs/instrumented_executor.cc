@@ -1,0 +1,62 @@
+#include "obs/instrumented_executor.h"
+
+#include <chrono>
+
+namespace elephant {
+namespace obs {
+
+namespace {
+
+/// Snapshot of the shared I/O counters a call might advance.
+struct IoSnapshot {
+  IoStats disk;
+  uint64_t pool_hits;
+  uint64_t pool_misses;
+};
+
+IoSnapshot Snap(ExecContext* ctx) {
+  IoSnapshot s;
+  s.disk = ctx->pool()->disk()->stats();
+  s.pool_hits = ctx->pool()->stats().hits;
+  s.pool_misses = ctx->pool()->stats().misses;
+  return s;
+}
+
+void Accumulate(const IoSnapshot& before, const IoSnapshot& after,
+                double seconds, OperatorStats* stats) {
+  stats->seconds += seconds;
+  const IoStats delta = after.disk - before.disk;
+  stats->io.sequential_reads += delta.sequential_reads;
+  stats->io.random_reads += delta.random_reads;
+  stats->io.page_writes += delta.page_writes;
+  stats->pool_hits += after.pool_hits - before.pool_hits;
+  stats->pool_misses += after.pool_misses - before.pool_misses;
+}
+
+}  // namespace
+
+Status InstrumentedExecutor::Init() {
+  const IoSnapshot before = Snap(ctx_);
+  const auto t0 = std::chrono::steady_clock::now();
+  Status s = child_->Init();
+  const auto t1 = std::chrono::steady_clock::now();
+  Accumulate(before, Snap(ctx_), std::chrono::duration<double>(t1 - t0).count(),
+             stats_.get());
+  stats_->init_calls++;
+  return s;
+}
+
+Result<bool> InstrumentedExecutor::Next(Row* out) {
+  const IoSnapshot before = Snap(ctx_);
+  const auto t0 = std::chrono::steady_clock::now();
+  Result<bool> has = child_->Next(out);
+  const auto t1 = std::chrono::steady_clock::now();
+  Accumulate(before, Snap(ctx_), std::chrono::duration<double>(t1 - t0).count(),
+             stats_.get());
+  stats_->next_calls++;
+  if (has.ok() && has.value()) stats_->rows++;
+  return has;
+}
+
+}  // namespace obs
+}  // namespace elephant

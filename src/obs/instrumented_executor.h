@@ -1,0 +1,34 @@
+#pragma once
+
+#include <memory>
+
+#include "exec/executor.h"
+#include "obs/plan_stats.h"
+
+namespace elephant {
+namespace obs {
+
+/// Transparent Executor decorator: forwards Init()/Next() to the wrapped
+/// operator while attributing wall time, row counts, buffer-pool hit/miss
+/// deltas, and sequential/random page-read deltas to an OperatorStats slot.
+/// The planner wraps every node of an instrumented plan, so the stats of a
+/// node are inclusive of its subtree; RenderPlanTree/FlattenPlan subtract
+/// children to report self-attributed numbers.
+class InstrumentedExecutor final : public Executor {
+ public:
+  InstrumentedExecutor(ExecContext* ctx, ExecutorPtr child,
+                       std::shared_ptr<OperatorStats> stats)
+      : ctx_(ctx), child_(std::move(child)), stats_(std::move(stats)) {}
+
+  Status Init() override;
+  Result<bool> Next(Row* out) override;
+  const Schema& OutputSchema() const override { return child_->OutputSchema(); }
+
+ private:
+  ExecContext* ctx_;
+  ExecutorPtr child_;
+  std::shared_ptr<OperatorStats> stats_;
+};
+
+}  // namespace obs
+}  // namespace elephant

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace elephant {
+namespace obs {
+
+/// Minimal streaming JSON writer. Produces compact, valid JSON with correct
+/// string escaping; used for EXPLAIN ANALYZE ToJson(), metrics snapshots, and
+/// the bench telemetry sink. Commas are inserted automatically.
+///
+///   JsonWriter w;
+///   w.BeginObject().Key("rows").UInt(12).Key("op").String("Scan").EndObject();
+///   std::string out = std::move(w).str();
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key; must be followed by exactly one value.
+  JsonWriter& Key(std::string_view name);
+
+  JsonWriter& String(std::string_view v);
+  JsonWriter& Int(int64_t v);
+  JsonWriter& UInt(uint64_t v);
+  JsonWriter& Double(double v);
+  JsonWriter& Bool(bool v);
+  JsonWriter& Null();
+
+  const std::string& str() const& { return out_; }
+  std::string str() && { return std::move(out_); }
+
+  /// Escapes `v` per RFC 8259 (quotes, backslash, control characters).
+  static std::string Escape(std::string_view v);
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// Per open container: true once the first element has been written.
+  std::vector<bool> has_element_;
+  bool after_key_ = false;
+};
+
+}  // namespace obs
+}  // namespace elephant

@@ -1,0 +1,148 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace elephant {
+namespace obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  buckets_[static_cast<size_t>(it - bounds_.begin())]++;
+  count_++;
+  sum_ += v;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); i++) {
+    if (buckets_[i] == 0) continue;
+    if (static_cast<double>(seen + buckets_[i]) >= target) {
+      if (i >= bounds_.size()) return bounds_.empty() ? 0 : bounds_.back();
+      const double lo = i == 0 ? 0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(buckets_[i]);
+      return lo + frac * (hi - lo);
+    }
+    seen += buckets_[i];
+  }
+  return bounds_.empty() ? 0 : bounds_.back();
+}
+
+std::vector<double> DefaultLatencyBuckets() {
+  std::vector<double> b;
+  for (double v = 1e-5; v < 200.0; v *= 10) {
+    b.push_back(v);
+    b.push_back(2.5 * v);
+    b.push_back(5 * v);
+  }
+  return b;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return slot.get();
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, c] : counters_) w.Key(name).UInt(c->value());
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, g] : gauges_) w.Key(name).Double(g->value());
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    w.Key(name).BeginObject();
+    w.Key("count").UInt(h->count());
+    w.Key("sum").Double(h->sum());
+    w.Key("p50").Double(h->Quantile(0.5));
+    w.Key("p99").Double(h->Quantile(0.99));
+    w.Key("buckets").BeginArray();
+    for (size_t i = 0; i < h->NumBuckets(); i++) {
+      if (h->BucketCount(i) == 0) continue;
+      w.BeginObject();
+      w.Key("le");
+      if (i < h->bounds().size()) {
+        w.Double(h->bounds()[i]);
+      } else {
+        w.String("+Inf");
+      }
+      w.Key("count").UInt(h->BucketCount(i));
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return std::move(w).str();
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::string out;
+  char buf[64];
+  for (const auto& [name, c] : counters_) {
+    out += name + " = " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(buf, sizeof(buf), "%g", g->value());
+    out += name + " = " + buf + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(buf, sizeof(buf), "count=%llu sum=%g p50=%g p99=%g",
+                  static_cast<unsigned long long>(h->count()), h->sum(),
+                  h->Quantile(0.5), h->Quantile(0.99));
+    out += name + " = " + buf + "\n";
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace obs
+}  // namespace elephant

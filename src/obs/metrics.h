@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace elephant {
+namespace obs {
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Point-in-time value (last write wins).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations with
+/// `v <= bounds[i]`; one implicit overflow bucket catches the rest.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) count; index bounds().size() is overflow.
+  uint64_t BucketCount(size_t i) const { return buckets_[i]; }
+  size_t NumBuckets() const { return buckets_.size(); }
+
+  /// Approximate quantile (q in [0,1]) assuming a uniform distribution
+  /// within each bucket. The overflow bucket reports its lower bound.
+  double Quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;    ///< ascending upper bounds
+  std::vector<uint64_t> buckets_; ///< bounds_.size() + 1 entries
+  uint64_t count_ = 0;
+  double sum_ = 0;
+};
+
+/// Exponential latency buckets from 10us to ~100s.
+std::vector<double> DefaultLatencyBuckets();
+
+/// Named metric registry. Handles are stable for the registry's lifetime;
+/// looking a name up again returns the same instrument (a histogram's bucket
+/// bounds are fixed by the first registration). Single-threaded by design,
+/// matching the engine.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> upper_bounds = DefaultLatencyBuckets());
+
+  /// Nullptr when the name is not registered (or is a different kind).
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  /// Snapshot of every instrument, keyed by name.
+  std::string ToJson() const;
+  /// Human-readable one-instrument-per-line dump.
+  std::string ToString() const;
+
+  /// Process-wide default registry.
+  static MetricsRegistry& Global();
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace elephant

@@ -1,0 +1,91 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace elephant {
+namespace obs {
+
+double QueryTrace::SecondsFor(const std::string& name) const {
+  for (const SpanRecord& s : spans) {
+    if (s.name == name) return s.seconds;
+  }
+  return 0;
+}
+
+namespace {
+std::string FormatMs(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fms", seconds * 1e3);
+  return buf;
+}
+}  // namespace
+
+std::string QueryTrace::ToString() const {
+  std::string top;
+  std::string nested;
+  for (const SpanRecord& s : spans) {
+    if (s.depth == 0) {
+      if (!top.empty()) top += " | ";
+      top += s.name + " " + FormatMs(s.seconds);
+    } else {
+      nested.append(static_cast<size_t>(s.depth) * 2, ' ');
+      nested += s.name + " " + FormatMs(s.seconds) + "\n";
+    }
+  }
+  return nested.empty() ? top : top + "\n" + nested;
+}
+
+void QueryTrace::AppendJson(JsonWriter* w) const {
+  w->BeginArray();
+  for (const SpanRecord& s : spans) {
+    w->BeginObject();
+    w->Key("name").String(s.name);
+    w->Key("depth").Int(s.depth);
+    w->Key("seconds").Double(s.seconds);
+    w->EndObject();
+  }
+  w->EndArray();
+}
+
+void Tracer::Scope::End() {
+  if (tracer_ == nullptr) return;
+  Tracer* t = tracer_;
+  tracer_ = nullptr;
+  // A Finish() call may have retired this span already.
+  if (t->epoch_ != epoch_ || !t->open_[index_]) return;
+  const auto now = std::chrono::steady_clock::now();
+  t->spans_[index_].seconds =
+      std::chrono::duration<double>(now - t->starts_[index_]).count();
+  t->open_[index_] = 0;
+  t->open_depth_--;
+}
+
+Tracer::Scope Tracer::StartSpan(std::string name) {
+  SpanRecord rec;
+  rec.name = std::move(name);
+  rec.depth = open_depth_;
+  open_depth_++;
+  spans_.push_back(std::move(rec));
+  starts_.push_back(std::chrono::steady_clock::now());
+  open_.push_back(1);
+  return Scope(this, spans_.size() - 1, epoch_);
+}
+
+QueryTrace Tracer::Finish() {
+  const auto now = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < spans_.size(); i++) {
+    if (!open_[i]) continue;
+    spans_[i].seconds = std::chrono::duration<double>(now - starts_[i]).count();
+  }
+  QueryTrace trace;
+  trace.spans = std::move(spans_);
+  spans_.clear();
+  starts_.clear();
+  open_.clear();
+  open_depth_ = 0;
+  epoch_++;
+  return trace;
+}
+
+}  // namespace obs
+}  // namespace elephant

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace elephant {
+namespace obs {
+
+/// One finished span: a named phase with its nesting depth and duration.
+/// Spans appear in start order, so a depth-annotated flat list reconstructs
+/// the tree.
+struct SpanRecord {
+  std::string name;
+  int depth = 0;
+  double seconds = 0;
+};
+
+/// The phase timings of one query, recorded by a Tracer and attached to
+/// QueryResult: parse -> bind -> plan -> execute, plus any nested phases.
+struct QueryTrace {
+  std::vector<SpanRecord> spans;
+
+  /// Seconds of the first span with this name, or 0 when absent.
+  double SecondsFor(const std::string& name) const;
+
+  /// "parse 0.01ms | bind 0.02ms | plan 0.1ms | execute 5.2ms" (top level
+  /// spans only; nested spans are indented on ToString's following lines).
+  std::string ToString() const;
+  void AppendJson(JsonWriter* w) const;
+};
+
+/// Records nested, named spans with wall-clock durations. RAII handles keep
+/// nesting honest: a span ends when its Scope is destroyed (or End()ed).
+class Tracer {
+ public:
+  class Scope {
+   public:
+    Scope() = default;
+    Scope(Tracer* tracer, size_t index, uint64_t epoch)
+        : tracer_(tracer), index_(index), epoch_(epoch) {}
+    ~Scope() { End(); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    Scope(Scope&& o) noexcept { *this = std::move(o); }
+    Scope& operator=(Scope&& o) noexcept {
+      if (this != &o) {
+        End();
+        tracer_ = o.tracer_;
+        index_ = o.index_;
+        epoch_ = o.epoch_;
+        o.tracer_ = nullptr;
+      }
+      return *this;
+    }
+
+    void End();
+
+   private:
+    Tracer* tracer_ = nullptr;
+    size_t index_ = 0;
+    uint64_t epoch_ = 0;  ///< scopes from before the last Finish() are inert
+  };
+
+  /// Opens a span nested under any still-open spans.
+  Scope StartSpan(std::string name);
+
+  /// Closes any dangling spans and returns the recorded trace.
+  QueryTrace Finish();
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+
+ private:
+  friend class Scope;
+
+  std::vector<SpanRecord> spans_;
+  std::vector<std::chrono::steady_clock::time_point> starts_;  ///< per span
+  std::vector<char> open_;  ///< per span: still waiting for End()
+  int open_depth_ = 0;
+  uint64_t epoch_ = 0;  ///< bumped by Finish(); outstanding Scopes go inert
+};
+
+}  // namespace obs
+}  // namespace elephant

@@ -115,14 +115,15 @@ struct InsertStmt {
   std::vector<std::vector<SqlExprPtr>> rows;  ///< literal expressions only
 };
 
-enum class StatementKind { kSelect, kCreateTable, kCreateIndex, kInsert };
+enum class StatementKind { kSelect, kCreateTable, kCreateIndex, kInsert, kExplain };
 
 struct Statement {
   StatementKind kind;
-  std::unique_ptr<SelectStmt> select;
+  std::unique_ptr<SelectStmt> select;  ///< also the target of kExplain
   std::unique_ptr<CreateTableStmt> create_table;
   std::unique_ptr<CreateIndexStmt> create_index;
   std::unique_ptr<InsertStmt> insert;
+  bool explain_analyze = false;  ///< kExplain: EXPLAIN ANALYZE (run the query)
 };
 
 }  // namespace elephant

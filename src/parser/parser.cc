@@ -505,7 +505,11 @@ Result<InsertStmt> Parser::ParseInsert() {
 
 Result<Statement> Parser::ParseStatement() {
   Statement stmt;
-  if (CheckKeyword("SELECT") || Peek().kind == TokenKind::kHintBlock) {
+  if (MatchKeyword("EXPLAIN")) {
+    stmt.kind = StatementKind::kExplain;
+    stmt.explain_analyze = MatchKeyword("ANALYZE");
+    ELE_ASSIGN_OR_RETURN(stmt.select, ParseSelectStmt());
+  } else if (CheckKeyword("SELECT") || Peek().kind == TokenKind::kHintBlock) {
     stmt.kind = StatementKind::kSelect;
     ELE_ASSIGN_OR_RETURN(stmt.select, ParseSelectStmt());
   } else if (MatchKeyword("CREATE")) {

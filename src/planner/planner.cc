@@ -8,18 +8,22 @@
 #include "exec/join_executor.h"
 #include "exec/scan_executor.h"
 #include "exec/simple_executors.h"
+#include "obs/instrumented_executor.h"
+#include "obs/plan_stats.h"
 
 namespace elephant {
 
 namespace {
 
-// ---------- EXPLAIN tree ----------
+// ---------- plan tree ----------
+//
+// The plan tree is the public obs::PlanNode: the planner attaches labels and
+// cardinality/cost estimates as it builds the operator tree, and (when
+// instrumenting) an OperatorStats slot per node that an
+// obs::InstrumentedExecutor wrapper fills in at run time.
 
-struct ExplainNode {
-  std::string label;
-  std::vector<std::unique_ptr<ExplainNode>> kids;
-};
-using ExplainPtr = std::unique_ptr<ExplainNode>;
+using ExplainNode = obs::PlanNode;
+using ExplainPtr = std::unique_ptr<obs::PlanNode>;
 
 ExplainPtr Note(std::string label) {
   auto n = std::make_unique<ExplainNode>();
@@ -29,34 +33,31 @@ ExplainPtr Note(std::string label) {
 
 ExplainPtr Note(std::string label, ExplainPtr kid) {
   ExplainPtr n = Note(std::move(label));
-  n->kids.push_back(std::move(kid));
+  n->children.push_back(std::move(kid));
   return n;
 }
 
 ExplainPtr Note(std::string label, ExplainPtr kid1, ExplainPtr kid2) {
   ExplainPtr n = Note(std::move(label));
-  n->kids.push_back(std::move(kid1));
-  n->kids.push_back(std::move(kid2));
+  n->children.push_back(std::move(kid1));
+  n->children.push_back(std::move(kid2));
   return n;
 }
 
-void Render(const ExplainNode& n, int depth, std::string* out) {
-  // Multi-line labels (nested sub-plan renderings) keep their own arrows;
-  // indent every line to this node's depth.
-  size_t start = 0;
-  bool first = true;
-  while (start <= n.label.size()) {
-    size_t end = n.label.find('\n', start);
-    if (end == std::string::npos) end = n.label.size();
-    out->append(static_cast<size_t>(depth) * 2, ' ');
-    if (first) out->append("-> ");
-    out->append(n.label, start, end - start);
-    out->push_back('\n');
-    first = false;
-    if (end == n.label.size()) break;
-    start = end + 1;
+/// Post-pass over the finished tree: nodes that did not receive an explicit
+/// cardinality estimate inherit their input's, and cumulative cost is
+/// bottom-up "rows touched in this subtree".
+void FillEstimates(ExplainNode* n) {
+  double child_cost = 0;
+  for (auto& kid : n->children) {
+    FillEstimates(kid.get());
+    child_cost += kid->est_cost;
   }
-  for (const auto& kid : n.kids) Render(*kid, depth + 1, out);
+  if (n->est_rows < 0 && !n->children.empty()) {
+    n->est_rows = n->children[0]->est_rows;
+  }
+  if (n->est_rows < 0) n->est_rows = 1;
+  n->est_cost = child_cost + std::max(n->est_rows, 1.0);
 }
 
 // ---------- working structures ----------
@@ -157,12 +158,29 @@ std::set<size_t> RelsOf(const Expr& e, const std::vector<size_t>& col_rel) {
 
 class PlanBuilder {
  public:
-  PlanBuilder(ExecContext* ctx, std::unique_ptr<BoundQuery> q)
-      : ctx_(ctx), q_(std::move(q)) {}
+  PlanBuilder(ExecContext* ctx, std::unique_ptr<BoundQuery> q, bool instrument)
+      : ctx_(ctx), q_(std::move(q)), instrument_(instrument) {}
 
   Result<PlannedQuery> Build();
 
  private:
+  /// Finishes a newly created plan node: records the planner's cardinality
+  /// estimate (< 0 = inherit from input) and, when instrumenting, wraps the
+  /// executor so the node's OperatorStats fill in at run time. Call exactly
+  /// once per (executor, note) creation site.
+  void WrapNode(ExecutorPtr* exec, ExplainNode* node, double est_rows = -1) {
+    if (est_rows >= 0) node->est_rows = est_rows;
+    if (!instrument_) return;
+    node->stats = std::make_shared<obs::OperatorStats>();
+    *exec = std::make_unique<obs::InstrumentedExecutor>(ctx_, std::move(*exec),
+                                                        node->stats);
+  }
+
+  /// WrapNode for the common case where the new node is the SubPlan's root.
+  void Decorate(SubPlan* plan, double est_rows = -1) {
+    WrapNode(&plan->exec, plan->note.get(), est_rows);
+  }
+
   Status AnalyzePrereqs();
   std::vector<size_t> ChooseJoinOrder() const;
   double EstimateRows(size_t r) const;
@@ -193,6 +211,7 @@ class PlanBuilder {
 
   ExecContext* ctx_;
   std::unique_ptr<BoundQuery> q_;
+  bool instrument_ = false;
 
   size_t ncols_ = 0;
   std::vector<size_t> col_rel_;              ///< input column -> relation
@@ -393,17 +412,13 @@ Result<SubPlan> PlanBuilder::AccessPath(size_t r, std::vector<int>* local_to_pla
   if (rel.derived != nullptr) {
     const bool derived_grouped = rel.derived->has_grouping;
     const bool derived_scalar = derived_grouped && rel.derived->group_by.empty();
-    Planner sub_planner(ctx_);
+    Planner sub_planner(ctx_, instrument_);
     ELE_ASSIGN_OR_RETURN(PlannedQuery sub, sub_planner.Plan(std::move(rel.derived)));
     plan.exec = std::move(sub.executor);
     plan.width = rel.schema.NumColumns();
     plan.note = Note("DerivedTable " + rel.alias);
-    {
-      std::string nested = std::move(sub.explain);
-      if (!nested.empty() && nested.back() == '\n') nested.pop_back();
-      if (nested.rfind("-> ", 0) == 0) nested.erase(0, 3);
-      plan.note->kids.push_back(Note(std::move(nested)));
-    }
+    plan.note->children.push_back(std::move(sub.plan));
+    Decorate(&plan);
     local_to_plan->assign(rel.schema.NumColumns(), 0);
     for (size_t c = 0; c < rel.schema.NumColumns(); c++) {
       (*local_to_plan)[c] = static_cast<int>(c);
@@ -420,6 +435,7 @@ Result<SubPlan> PlanBuilder::AccessPath(size_t r, std::vector<int>* local_to_pla
       plan.exec = std::make_unique<FilterExecutor>(std::move(plan.exec),
                                                    std::move(pred));
       plan.note = Note(std::move(label), std::move(plan.note));
+      Decorate(&plan, EstimateRows(r));
     }
     return plan;
   }
@@ -484,6 +500,7 @@ Result<SubPlan> PlanBuilder::AccessPath(size_t r, std::vector<int>* local_to_pla
     plan.width = rel.table->schema().NumColumns();
     plan.note = Note("ClusteredIndexScan " + rel.table->name() + " as " +
                      rel.alias + range_desc);
+    Decorate(&plan, EstimateRows(r));
     local_to_plan->assign(rel.schema.NumColumns(), 0);
     for (size_t c = 0; c < rel.schema.NumColumns(); c++) {
       (*local_to_plan)[c] = static_cast<int>(c);
@@ -502,6 +519,7 @@ Result<SubPlan> PlanBuilder::AccessPath(size_t r, std::vector<int>* local_to_pla
     plan.width = best_idx->out_schema.NumColumns();
     plan.note = Note("CoveringIndexSeek " + best_idx->name + " on " +
                      rel.table->name() + " as " + rel.alias + range_desc);
+    Decorate(&plan, EstimateRows(r));
     local_to_plan->assign(rel.schema.NumColumns(), -1);
     size_t out_pos = 0;
     for (size_t kc : best_idx->key_cols) {
@@ -551,6 +569,7 @@ Result<SubPlan> PlanBuilder::AccessPath(size_t r, std::vector<int>* local_to_pla
     plan.exec =
         std::make_unique<FilterExecutor>(std::move(plan.exec), std::move(pred));
     plan.note = Note(std::move(label), std::move(plan.note));
+    Decorate(&plan, EstimateRows(r));
   }
   return plan;
 }
@@ -577,6 +596,7 @@ Status PlanBuilder::ApplyAvailableFilters(SubPlan* plan) {
     plan->exec =
         std::make_unique<FilterExecutor>(std::move(plan->exec), std::move(pred));
     plan->note = Note(std::move(label), std::move(plan->note));
+    Decorate(plan);
   }
   return Status::OK();
 }
@@ -839,6 +859,7 @@ Status PlanBuilder::JoinNext(size_t r, SubPlan* plan) {
         ctx_, std::move(plan->exec), rel.table,
         use_clustered ? nullptr : best_idx, std::move(bounds), std::move(resid));
     plan->note = Note(std::move(join_label), std::move(outer_note));
+    Decorate(plan, outer_est_);
     plan->width = outer_width + inner_schema->NumColumns();
     return Status::OK();
   }
@@ -870,6 +891,7 @@ Status PlanBuilder::JoinNext(size_t r, SubPlan* plan) {
       keys.push_back(SortKey{sort_key->Clone(), true});
       outer_sorted = std::make_unique<SortExecutor>(ctx_, std::move(plan->exec),
                                                     std::move(keys));
+      WrapNode(&outer_sorted, outer_note.get());
     }
 
     // Inner point: the leading cluster column, in inner-plan coordinates.
@@ -887,6 +909,7 @@ Status PlanBuilder::JoinNext(size_t r, SubPlan* plan) {
       inner.note = Note("Sort (merge-join inner order)", std::move(inner.note));
       inner.exec = std::make_unique<SortExecutor>(ctx_, std::move(inner.exec),
                                                   std::move(ikeys));
+      Decorate(&inner);
     }
     ExprPtr lo = band_lo->outer->Clone();
     lo->RemapColumns(mapping_);
@@ -924,6 +947,7 @@ Status PlanBuilder::JoinNext(size_t r, SubPlan* plan) {
                           " as " + rel.alias + " (full inner scan" +
                           (already_sorted ? ", outer pre-sorted)" : ")"),
                       std::move(outer_note), std::move(inner.note));
+    Decorate(plan, outer_est_);
     plan->width = outer_width + inner.width;
     return Status::OK();
   }
@@ -965,6 +989,7 @@ Status PlanBuilder::JoinNext(size_t r, SubPlan* plan) {
       ctx_, std::move(plan->exec), std::move(inner.exec), std::move(lkeys),
       std::move(rkeys), std::move(resid));
   plan->note = Note(label, std::move(outer_note), std::move(inner.note));
+  Decorate(plan, outer_est_);
   plan->width = outer_width + inner.width;
   return Status::OK();
 }
@@ -1002,25 +1027,31 @@ Result<PlannedQuery> PlanBuilder::Build() {
       if (a.arg) a.arg->RemapColumns(mapping_);
       aggs.push_back(std::move(a));
     }
+    const double agg_est =
+        q_->group_by.empty() ? 1.0 : std::max(1.0, outer_est_ / 10.0);
     if (q_->hints.stream_agg && !q_->hints.hash_agg) {
       std::vector<SortKey> keys;
       for (const ExprPtr& g : groups) keys.push_back(SortKey{g->Clone(), true});
       ExplainPtr note = Note("Sort (group order)", std::move(plan.note));
       plan.exec = std::make_unique<SortExecutor>(ctx_, std::move(plan.exec),
                                                  std::move(keys));
+      WrapNode(&plan.exec, note.get(), outer_est_);
       plan.exec = std::make_unique<StreamAggregateExecutor>(
           ctx_, std::move(plan.exec), std::move(groups), std::move(aggs));
       plan.note = Note("StreamAggregate", std::move(note));
+      Decorate(&plan, agg_est);
     } else {
       plan.exec = std::make_unique<HashAggregateExecutor>(
           ctx_, std::move(plan.exec), std::move(groups), std::move(aggs));
       plan.note = Note("HashAggregate", std::move(plan.note));
+      Decorate(&plan, agg_est);
     }
     if (q_->having != nullptr) {
       std::string label = "Filter (HAVING) " + q_->having->ToString();
       plan.exec = std::make_unique<FilterExecutor>(std::move(plan.exec),
                                                    std::move(q_->having));
       plan.note = Note(std::move(label), std::move(plan.note));
+      Decorate(&plan);
     }
   }
 
@@ -1033,6 +1064,7 @@ Result<PlannedQuery> PlanBuilder::Build() {
   plan.exec = std::make_unique<ProjectExecutor>(std::move(plan.exec),
                                                 std::move(projs), q_->select_names);
   plan.note = Note("Project", std::move(plan.note));
+  Decorate(&plan);
   if (q_->distinct) {
     // DISTINCT = group by every output column with no aggregates.
     std::vector<ExprPtr> dgroups;
@@ -1045,6 +1077,7 @@ Result<PlannedQuery> PlanBuilder::Build() {
     plan.exec = std::make_unique<HashAggregateExecutor>(
         ctx_, std::move(plan.exec), std::move(dgroups), std::vector<AggSpec>{});
     plan.note = Note("Distinct", std::move(plan.note));
+    Decorate(&plan);
   }
 
   // ORDER BY / LIMIT.
@@ -1056,23 +1089,27 @@ Result<PlannedQuery> PlanBuilder::Build() {
     plan.exec = std::make_unique<SortExecutor>(ctx_, std::move(plan.exec),
                                                std::move(keys));
     plan.note = Note("Sort (ORDER BY)", std::move(plan.note));
+    Decorate(&plan);
   }
   if (q_->limit.has_value()) {
     plan.exec = std::make_unique<LimitExecutor>(std::move(plan.exec), *q_->limit);
     plan.note = Note("Limit " + std::to_string(*q_->limit), std::move(plan.note));
+    Decorate(&plan, static_cast<double>(*q_->limit));
   }
 
   PlannedQuery out;
   out.output_schema = q_->output_schema;
   out.executor = std::move(plan.exec);
-  Render(*plan.note, 0, &out.explain);
+  out.plan = std::move(plan.note);
+  FillEstimates(out.plan.get());
+  out.explain = obs::RenderPlanTree(*out.plan, false);
   return out;
 }
 
 }  // namespace
 
 Result<PlannedQuery> Planner::Plan(std::unique_ptr<BoundQuery> q) {
-  PlanBuilder builder(ctx_, std::move(q));
+  PlanBuilder builder(ctx_, std::move(q), instrument_);
   return builder.Build();
 }
 
