@@ -67,6 +67,17 @@ Database::Database(DatabaseOptions options) : options_(options) {
 
 Status Database::EvictCaches() { return pool_->EvictAll(); }
 
+sched::ThreadPool* Database::workers() {
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  if (workers_ == nullptr) {
+    const size_t n = options_.worker_threads > 0
+                         ? static_cast<size_t>(options_.worker_threads)
+                         : sched::ThreadPool::DefaultThreads();
+    workers_ = std::make_unique<sched::ThreadPool>(n);
+  }
+  return workers_.get();
+}
+
 Status Database::Analyze(const std::string& table) {
   ELE_ASSIGN_OR_RETURN(Table * t, catalog_->GetTable(table));
   return t->Analyze();
@@ -79,6 +90,9 @@ Result<std::string> Database::Explain(const std::string& sql,
   ELE_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound, binder.Bind(*stmt));
   bound->hints = bound->hints.Merge(extra_hints);
   ExecContext ctx(pool_.get());
+  // EXPLAIN must show the same plan Execute() would run, so a PARALLEL hint
+  // attaches the scheduler here too (the query is not executed).
+  if (bound->hints.parallel_workers >= 2) ctx.set_scheduler(workers());
   Planner planner(&ctx);
   ELE_ASSIGN_OR_RETURN(PlannedQuery plan, planner.Plan(std::move(bound)));
   return plan.explain;
@@ -96,6 +110,9 @@ Result<QueryResult> Database::ExecuteSelect(std::unique_ptr<SelectStmt> stmt,
     bound->hints = bound->hints.Merge(extra_hints);
   }
   ExecContext ctx(pool_.get());
+  // Attach the worker pool only when this query asked for parallelism, so
+  // serial-only workloads never spin up threads.
+  if (bound->hints.parallel_workers >= 2) ctx.set_scheduler(workers());
   PlannedQuery plan;
   {
     auto span = tracer->StartSpan("plan");
@@ -106,12 +123,16 @@ Result<QueryResult> Database::ExecuteSelect(std::unique_ptr<SelectStmt> stmt,
   if (options_.cold_cache) {
     ELE_RETURN_NOT_OK(pool_->EvictAll());
   }
-  const IoStats io_before = disk_->stats();
   const auto t0 = std::chrono::steady_clock::now();
 
   QueryResult result;
   result.schema = plan.output_schema;
   {
+    // Per-query I/O sink: unlike a global-counter delta, it attributes
+    // exactly this query's page traffic even when other sessions (or this
+    // query's own workers, which fold into the sink) run concurrently.
+    IoSink query_sink;
+    IoScope io_scope(&query_sink);
     auto span = tracer->StartSpan("execute");
     ELE_RETURN_NOT_OK(plan.executor->Init());
     Row row;
@@ -121,11 +142,11 @@ Result<QueryResult> Database::ExecuteSelect(std::unique_ptr<SelectStmt> stmt,
       result.rows.push_back(row);
     }
     plan.executor.reset();  // release pinned pages before measuring
+    result.io = query_sink.ToStats();
   }
 
   const auto t1 = std::chrono::steady_clock::now();
   result.cpu_seconds = std::chrono::duration<double>(t1 - t0).count();
-  result.io = disk_->stats() - io_before;
   result.io_seconds = options_.disk_model.Seconds(result.io);
   result.counters = ctx.counters();
   result.plan = std::shared_ptr<const obs::PlanNode>(std::move(plan.plan));
@@ -206,6 +227,7 @@ Result<QueryResult> Database::Execute(const std::string& sql,
                              binder.Bind(*stmt.select));
         bound->hints = bound->hints.Merge(extra_hints);
         ExecContext ctx(pool_.get());
+        if (bound->hints.parallel_workers >= 2) ctx.set_scheduler(workers());
         Planner planner(&ctx);
         ELE_ASSIGN_OR_RETURN(PlannedQuery plan, planner.Plan(std::move(bound)));
         QueryResult qr = PlanTextResult(plan.explain);

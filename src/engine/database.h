@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "parser/ast.h"
 #include "planner/hints.h"
 #include "planner/planner.h"
+#include "sched/thread_pool.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 
@@ -55,7 +57,12 @@ struct DatabaseOptions {
   DiskModel disk_model;
   /// When true (the default for benchmarks), Execute() drops the buffer pool
   /// before running so every query starts cold, like the paper's experiments.
+  /// Only valid for single-stream use: evicting while another session holds
+  /// pins fails, so keep this false when sessions run concurrently.
   bool cold_cache = false;
+  /// Intra-query worker threads backing PARALLEL plans. 0 = size the pool
+  /// from the hardware on first use (sched::ThreadPool::DefaultThreads).
+  int worker_threads = 0;
 };
 
 /// The "old elephant": an embedded row-store database. SQL in, rows out.
@@ -91,6 +98,12 @@ class Database {
   /// Engine-lifetime metrics (statement counts, row counts, latencies).
   obs::MetricsRegistry& metrics() { return metrics_; }
 
+  /// The shared intra-query worker pool (created on first use). Distinct
+  /// from any session-level statement scheduler: workers never block on
+  /// other tasks, which keeps PARALLEL queries deadlock-free even when
+  /// every session issues one at once.
+  sched::ThreadPool* workers();
+
   /// Flushes and empties the buffer pool (next query runs cold).
   Status EvictCaches();
 
@@ -107,6 +120,8 @@ class Database {
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;
   obs::MetricsRegistry metrics_;
+  std::mutex workers_mu_;
+  std::unique_ptr<sched::ThreadPool> workers_;
 };
 
 }  // namespace elephant

@@ -1,0 +1,30 @@
+#include "engine/session.h"
+
+namespace elephant {
+
+Result<std::vector<QueryResult>> SessionManager::ExecuteConcurrently(
+    const std::vector<std::string>& sqls, PlanHints hints) {
+  std::vector<Session*> sessions;
+  sessions.reserve(sqls.size());
+  for (size_t i = 0; i < sqls.size(); i++) sessions.push_back(OpenSession());
+  std::vector<std::future<Result<QueryResult>>> futures;
+  futures.reserve(sqls.size());
+  for (size_t i = 0; i < sqls.size(); i++) {
+    futures.push_back(Submit(sessions[i], sqls[i], hints));
+  }
+  std::vector<QueryResult> results;
+  results.reserve(sqls.size());
+  Status first_error = Status::OK();
+  for (auto& f : futures) {
+    Result<QueryResult> r = f.get();
+    if (r.ok()) {
+      results.push_back(std::move(r).value());
+    } else if (first_error.ok()) {
+      first_error = r.status();
+    }
+  }
+  if (!first_error.ok()) return first_error;
+  return results;
+}
+
+}  // namespace elephant

@@ -8,6 +8,10 @@
 
 namespace elephant {
 
+namespace sched {
+class ThreadPool;
+}  // namespace sched
+
 /// Counters gathered while a plan runs. `index_seeks` counts inner-side index
 /// probes of index nested-loop joins — the "context switches" the paper's
 /// optimized Q3 rewrite (Figure 4(b)) is designed to reduce.
@@ -18,7 +22,9 @@ struct ExecCounters {
   uint64_t sort_rows = 0;
 };
 
-/// Shared state for one query execution.
+/// Shared state for one query execution. When a worker pool is attached via
+/// `set_scheduler`, the planner may choose parallel (Gather-based) plans;
+/// without one every plan runs serially on the calling thread.
 class ExecContext {
  public:
   explicit ExecContext(BufferPool* pool) : pool_(pool) {}
@@ -26,9 +32,13 @@ class ExecContext {
   BufferPool* pool() const { return pool_; }
   ExecCounters& counters() { return counters_; }
 
+  sched::ThreadPool* scheduler() const { return scheduler_; }
+  void set_scheduler(sched::ThreadPool* scheduler) { scheduler_ = scheduler; }
+
  private:
   BufferPool* pool_;
   ExecCounters counters_;
+  sched::ThreadPool* scheduler_ = nullptr;
 };
 
 /// Volcano-style executor: Init() once, then Next() until it yields false.

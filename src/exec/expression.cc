@@ -185,6 +185,99 @@ Status AggState::Accumulate(const Value& v) {
   return Status::OK();
 }
 
+namespace {
+
+/// Column type of the sum slot in an AVG partial state: the accumulation
+/// domain of the argument (matches AggState::Accumulate's widening).
+TypeId AvgSumType(const AggSpec& spec) {
+  const TypeId t = spec.arg->output_type();
+  if (t == TypeId::kDouble) return TypeId::kDouble;
+  if (t == TypeId::kDecimal) return TypeId::kDecimal;
+  return TypeId::kInt64;
+}
+
+}  // namespace
+
+void AggState::AppendPartialColumns(const AggSpec& spec, std::vector<Column>* cols) {
+  const std::string base = !spec.name.empty() ? spec.name : AggFuncName(spec.fn);
+  switch (spec.fn) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      cols->emplace_back(base + "$count", TypeId::kInt64);
+      break;
+    case AggFunc::kSum:
+      cols->emplace_back(base + "$sum", spec.OutputType());
+      break;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      cols->emplace_back(base + "$acc", spec.arg->output_type(),
+                         spec.arg->output_length());
+      break;
+    case AggFunc::kAvg:
+      cols->emplace_back(base + "$sum", AvgSumType(spec));
+      cols->emplace_back(base + "$count", TypeId::kInt64);
+      break;
+  }
+}
+
+void AggState::AppendPartial(Row* out) const {
+  switch (fn_) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      out->push_back(Value::Int64(count_));
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      out->push_back(has_value_ ? acc_ : Value::Null(acc_.type()));
+      break;
+    case AggFunc::kAvg:
+      out->push_back(has_value_ ? acc_ : Value::Null(acc_.type()));
+      out->push_back(Value::Int64(count_));
+      break;
+  }
+}
+
+Status AggState::MergePartial(const Row& row, size_t pos) {
+  switch (fn_) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      count_ += row[pos].AsInt64();
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kAvg: {
+      const Value& v = row[pos];
+      if (!v.is_null()) {
+        if (!has_value_) {
+          acc_ = v;
+        } else {
+          ELE_ASSIGN_OR_RETURN(acc_, acc_.Add(v));
+        }
+        has_value_ = true;
+      }
+      if (fn_ == AggFunc::kAvg) count_ += row[pos + 1].AsInt64();
+      break;
+    }
+    case AggFunc::kMin: {
+      const Value& v = row[pos];
+      if (!v.is_null() && (!has_value_ || v.Compare(acc_) < 0)) {
+        acc_ = v;
+        has_value_ = true;
+      }
+      break;
+    }
+    case AggFunc::kMax: {
+      const Value& v = row[pos];
+      if (!v.is_null() && (!has_value_ || v.Compare(acc_) > 0)) {
+        acc_ = v;
+        has_value_ = true;
+      }
+      break;
+    }
+  }
+  return Status::OK();
+}
+
 Value AggState::Finalize() const {
   switch (fn_) {
     case AggFunc::kCountStar:

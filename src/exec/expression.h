@@ -315,6 +315,12 @@ struct AggSpec {
 };
 
 /// Incremental aggregate accumulator.
+///
+/// For parallel execution the state also has a *partial* (transfer)
+/// representation — the columns a worker emits so a final aggregate can
+/// merge per-morsel states exactly: COUNT carries its count, SUM/MIN/MAX
+/// carry the running value, and AVG carries its (sum, count) pair so the
+/// final division happens once, identically to serial execution.
 class AggState {
  public:
   explicit AggState(AggFunc fn) : fn_(fn) {}
@@ -323,6 +329,18 @@ class AggState {
   Status Accumulate(const Value& v);
   /// Number of accumulated inputs so far (for COUNT/AVG).
   Value Finalize() const;
+
+  /// Number of columns the partial representation of `fn` occupies.
+  static size_t PartialWidth(AggFunc fn) { return fn == AggFunc::kAvg ? 2 : 1; }
+
+  /// Appends the partial-representation column(s) for `spec` to `cols`.
+  static void AppendPartialColumns(const AggSpec& spec, std::vector<Column>* cols);
+
+  /// Appends this state's partial representation to `out`.
+  void AppendPartial(Row* out) const;
+
+  /// Folds a partial representation starting at `row[pos]` into this state.
+  Status MergePartial(const Row& row, size_t pos);
 
  private:
   AggFunc fn_;

@@ -449,4 +449,54 @@ Result<uint32_t> BPlusTree::Height() const {
   }
 }
 
+Result<std::vector<std::string>> BPlusTree::PartitionKeys(
+    size_t target, std::string_view lo, std::string_view hi) const {
+  std::vector<std::string> separators;
+  if (target < 2) return separators;
+  std::vector<page_id_t> level{root_};
+  while (true) {
+    // Peek at the level's first node: leaf level means no more separators.
+    {
+      ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(level[0]));
+      const bool leaf = BTreeNode(frame->data()).IsLeaf();
+      pool_->UnpinPage(level[0], false);
+      if (leaf) break;
+    }
+    std::vector<std::string> keys;
+    std::vector<page_id_t> next;
+    for (page_id_t pid : level) {
+      ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(pid));
+      BTreeNode node(frame->data());
+      const int count = node.Count();
+      for (int i = 0; i <= count; i++) next.push_back(node.ChildForIndex(i));
+      for (int i = 0; i < count; i++) keys.emplace_back(node.KeyAt(i));
+      pool_->UnpinPage(pid, false);
+    }
+    separators = std::move(keys);
+    level = std::move(next);
+    // One level of separators per descent; stop once it is fine enough.
+    if (separators.size() + 1 >= target) break;
+  }
+  // Clip to the open interval (lo, hi); keys are already in ascending order.
+  std::vector<std::string> clipped;
+  for (std::string& k : separators) {
+    const std::string_view kv(k);
+    if (!lo.empty() && kv <= lo) continue;
+    if (!hi.empty() && kv >= hi) continue;
+    if (!clipped.empty() && clipped.back() == k) continue;
+    clipped.push_back(std::move(k));
+  }
+  // Evenly subsample down to at most target - 1 split points.
+  if (clipped.size() > target - 1) {
+    std::vector<std::string> sampled;
+    sampled.reserve(target - 1);
+    const size_t n = clipped.size();
+    for (size_t j = 1; j < target; j++) {
+      sampled.push_back(std::move(clipped[j * n / target]));
+    }
+    clipped = std::move(sampled);
+  }
+  return clipped;
+}
+
 }  // namespace elephant

@@ -92,6 +92,17 @@ class BPlusTree {
   /// Tree height (1 = root is a leaf).
   Result<uint32_t> Height() const;
 
+  /// Returns up to `target - 1` separator keys that split (lo, hi) into
+  /// roughly equal key ranges, for morsel-driven parallel scans. Walks the
+  /// internal levels from the root, descending until one level carries at
+  /// least `target` separators (or the leaf level is reached), then clips to
+  /// the open interval (lo, hi) and subsamples evenly. Empty `lo`/`hi` mean
+  /// unbounded. May return fewer separators than requested (small trees or
+  /// narrow ranges); returns none when the root is a leaf.
+  Result<std::vector<std::string>> PartitionKeys(size_t target,
+                                                 std::string_view lo,
+                                                 std::string_view hi) const;
+
   /// Largest key+value payload a single cell may carry.
   static constexpr uint32_t kMaxCellPayload = 1900;
 

@@ -16,9 +16,20 @@ struct IoSnapshot {
 
 IoSnapshot Snap(ExecContext* ctx) {
   IoSnapshot s;
+  // Under an attached per-query/per-worker sink, snapshot the sink: it sees
+  // only this thread of this query, so operator deltas stay exact even when
+  // other sessions or workers drive I/O concurrently. Without a sink (bare
+  // executors in tests), fall back to the global counters as before.
+  if (const IoSink* sink = CurrentIoSink()) {
+    s.disk = sink->ToStats();
+    s.pool_hits = sink->pool_hits.load(std::memory_order_relaxed);
+    s.pool_misses = sink->pool_misses.load(std::memory_order_relaxed);
+    return s;
+  }
   s.disk = ctx->pool()->disk()->stats();
-  s.pool_hits = ctx->pool()->stats().hits;
-  s.pool_misses = ctx->pool()->stats().misses;
+  const BufferPoolStats pool = ctx->pool()->stats();
+  s.pool_hits = pool.hits;
+  s.pool_misses = pool.misses;
   return s;
 }
 

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,40 +13,60 @@
 namespace elephant {
 namespace obs {
 
-/// Monotonically increasing counter.
+/// Monotonically increasing counter. Lock-free: safe to increment from any
+/// thread (concurrent sessions all bump the same statement counters).
 class Counter {
  public:
-  void Increment(uint64_t delta = 1) { value_ += delta; }
-  uint64_t value() const { return value_; }
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
-/// Point-in-time value (last write wins).
+/// Point-in-time value (last write wins). Thread-safe; Add() uses a CAS loop
+/// since atomic double addition predates this codebase's toolchain floor.
 class Gauge {
  public:
-  void Set(double v) { value_ = v; }
-  void Add(double delta) { value_ += delta; }
-  double value() const { return value_; }
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0;
+  std::atomic<double> value_{0};
 };
 
 /// Fixed-bucket histogram. Bucket i counts observations with
 /// `v <= bounds[i]`; one implicit overflow bucket catches the rest.
+/// Observe and the readers synchronize on an internal mutex (observations
+/// are rare — once per statement — so contention is negligible).
 class Histogram {
  public:
   explicit Histogram(std::vector<double> upper_bounds);
 
   void Observe(double v);
 
-  uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
+  uint64_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+  double sum() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sum_;
+  }
   const std::vector<double>& bounds() const { return bounds_; }
   /// Per-bucket (non-cumulative) count; index bounds().size() is overflow.
-  uint64_t BucketCount(size_t i) const { return buckets_[i]; }
+  uint64_t BucketCount(size_t i) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return buckets_[i];
+  }
   size_t NumBuckets() const { return buckets_.size(); }
 
   /// Approximate quantile (q in [0,1]) assuming a uniform distribution
@@ -52,7 +74,8 @@ class Histogram {
   double Quantile(double q) const;
 
  private:
-  std::vector<double> bounds_;    ///< ascending upper bounds
+  mutable std::mutex mu_;
+  std::vector<double> bounds_;    ///< ascending upper bounds; fixed after init
   std::vector<uint64_t> buckets_; ///< bounds_.size() + 1 entries
   uint64_t count_ = 0;
   double sum_ = 0;
@@ -63,8 +86,9 @@ std::vector<double> DefaultLatencyBuckets();
 
 /// Named metric registry. Handles are stable for the registry's lifetime;
 /// looking a name up again returns the same instrument (a histogram's bucket
-/// bounds are fixed by the first registration). Single-threaded by design,
-/// matching the engine.
+/// bounds are fixed by the first registration). Thread-safe: registration
+/// and lookup take an internal mutex, and the instruments themselves are
+/// individually thread-safe, so concurrent sessions can share one registry.
 class MetricsRegistry {
  public:
   Counter* GetCounter(const std::string& name);
@@ -86,6 +110,7 @@ class MetricsRegistry {
   static MetricsRegistry& Global();
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -18,11 +18,15 @@ struct PlanHints {
   bool stream_agg = false;   ///< STREAM_AGG: sort + stream aggregation
   bool hash_agg = false;     ///< HASH_AGG: hash aggregation
 
-  /// Parses a hint block body, e.g. "FORCE_ORDER LOOP_JOIN". Unknown tokens
-  /// are ignored (hints are advisory).
+  /// PARALLEL n: run eligible single-table scans/aggregations with n workers
+  /// (morsel-driven). 0 = unset (serial); values < 2 stay serial.
+  int parallel_workers = 0;
+
+  /// Parses a hint block body, e.g. "FORCE_ORDER LOOP_JOIN" or "PARALLEL 4".
+  /// Unknown tokens are ignored (hints are advisory).
   static PlanHints Parse(const std::string& text);
 
-  /// Merges two hint sets (logical OR of every flag).
+  /// Merges two hint sets (logical OR of every flag; max of worker counts).
   PlanHints Merge(const PlanHints& other) const;
 
   std::string ToString() const;

@@ -6,6 +6,7 @@
 
 #include "exec/agg_executor.h"
 #include "exec/join_executor.h"
+#include "exec/parallel_executor.h"
 #include "exec/scan_executor.h"
 #include "exec/simple_executors.h"
 #include "obs/instrumented_executor.h"
@@ -154,6 +155,57 @@ std::set<size_t> RelsOf(const Expr& e, const std::vector<size_t>& col_rel) {
   return rels;
 }
 
+/// Immutable shared description of the per-morsel pipeline of a parallel
+/// plan. The MorselPlanFactory (called on worker threads) clones the stored
+/// prototype expressions per morsel, so workers never share mutable
+/// expression state. The stats slots are the shared plan-tree slots worker
+/// results merge into (null when not instrumenting).
+struct ParallelSpec {
+  const Table* table = nullptr;
+  ExprPtr residual;              ///< relation-local filter; may be null
+  bool aggregate = false;
+  std::vector<ExprPtr> groups;   ///< relation-local group expressions
+  std::vector<AggSpec> aggs;
+  std::shared_ptr<obs::OperatorStats> scan_slot;
+  std::shared_ptr<obs::OperatorStats> filter_slot;
+  std::shared_ptr<obs::OperatorStats> agg_slot;
+};
+
+/// Builds the factory that constructs one morsel's pipeline:
+///   [Instrumented] PartialAggregate? <- [Instrumented] Filter? <-
+///   [Instrumented] ClusteredScan(morsel range)
+MorselPlanFactory MakeMorselFactory(std::shared_ptr<const ParallelSpec> spec) {
+  return [spec](const KeyRange& morsel, ExecContext* wctx) -> Result<MorselPlan> {
+    MorselPlan mp;
+    auto attach = [&](const std::shared_ptr<obs::OperatorStats>& target) {
+      if (target == nullptr) return;
+      auto slot = std::make_shared<obs::OperatorStats>();
+      mp.exec = std::make_unique<obs::InstrumentedExecutor>(
+          wctx, std::move(mp.exec), slot);
+      mp.stats.emplace_back(std::move(slot), target);
+    };
+    mp.exec = std::make_unique<ClusteredScanExecutor>(wctx, spec->table, morsel);
+    attach(spec->scan_slot);
+    if (spec->residual != nullptr) {
+      mp.exec = std::make_unique<FilterExecutor>(std::move(mp.exec),
+                                                 spec->residual->Clone());
+      attach(spec->filter_slot);
+    }
+    if (spec->aggregate) {
+      std::vector<ExprPtr> groups;
+      groups.reserve(spec->groups.size());
+      for (const ExprPtr& g : spec->groups) groups.push_back(g->Clone());
+      std::vector<AggSpec> aggs;
+      aggs.reserve(spec->aggs.size());
+      for (const AggSpec& a : spec->aggs) aggs.push_back(a.Clone());
+      mp.exec = std::make_unique<PartialAggregateExecutor>(
+          wctx, std::move(mp.exec), std::move(groups), std::move(aggs));
+      attach(spec->agg_slot);
+    }
+    return mp;
+  };
+}
+
 // ---------- the per-query builder ----------
 
 class PlanBuilder {
@@ -190,6 +242,12 @@ class PlanBuilder {
   /// conjuncts). `local_to_plan` maps relation-local columns to positions in
   /// the produced plan's output (-1 = unavailable).
   Result<SubPlan> AccessPath(size_t r, std::vector<int>* local_to_plan);
+
+  /// Attempts a morsel-driven parallel plan (PARALLEL hint + a worker pool +
+  /// a single base-table relation). On success fills `*plan` with a
+  /// Gather-rooted tree — including the FinalAggregate when the query groups
+  /// (`*agg_done` = true) — consumes every conjunct, and sets `mapping_`.
+  Result<bool> TryBuildParallel(SubPlan* plan, bool* agg_done);
 
   /// Joins relation r into `plan`.
   Status JoinNext(size_t r, SubPlan* plan);
@@ -994,29 +1052,178 @@ Status PlanBuilder::JoinNext(size_t r, SubPlan* plan) {
   return Status::OK();
 }
 
-Result<PlannedQuery> PlanBuilder::Build() {
-  ELE_RETURN_NOT_OK(AnalyzePrereqs());
-  const std::vector<size_t> order = ChooseJoinOrder();
+Result<bool> PlanBuilder::TryBuildParallel(SubPlan* out, bool* agg_done) {
+  if (q_->hints.parallel_workers < 2) return false;
+  if (ctx_->scheduler() == nullptr) return false;
+  if (q_->relations.size() != 1) return false;
+  BoundRelation& rel = q_->relations[0];
+  if (rel.table == nullptr) return false;
+  const size_t workers = static_cast<size_t>(q_->hints.parallel_workers);
 
-  outer_est_ = EstimateRows(order[0]);
-  std::vector<int> local_map;
-  ELE_ASSIGN_OR_RETURN(SubPlan plan, AccessPath(order[0], &local_map));
-  mapping_.assign(ncols_, -1);
-  {
-    const BoundRelation& rel = q_->relations[order[0]];
-    for (size_t c = 0; c < rel.schema.NumColumns(); c++) {
-      mapping_[rel.offset + c] = local_map[c];
+  // The single relation sits at offset 0, so input positions are already
+  // table-local: no remapping needed anywhere below.
+  std::vector<ExprPtr> local_preds;
+  for (size_t i = 0; i < q_->conjuncts.size(); i++) {
+    if (consumed_[i]) continue;
+    local_preds.push_back(Localize(*q_->conjuncts[i], 0));
+    consumed_[i] = true;
+  }
+
+  // PARALLEL forces the clustered path (morsels are clustered-key ranges);
+  // a covering index might win serially, but results are identical.
+  std::vector<Sarg> sargs;
+  ExtractLiteralSargs(local_preds, &sargs);
+  BoundsMatch match = MatchBounds(rel.table->cluster_cols(), sargs);
+  KeyRange range;
+  if (match.matched_cols > 0) {
+    ELE_ASSIGN_OR_RETURN(std::vector<Value> eq_values, EvalConstExprs(match.eq));
+    std::optional<Value> lo, hi;
+    if (match.lo != nullptr) {
+      ELE_ASSIGN_OR_RETURN(Value v, match.lo->Eval(Row{}));
+      lo = std::move(v);
+    }
+    if (match.hi != nullptr) {
+      ELE_ASSIGN_OR_RETURN(Value v, match.hi->Eval(Row{}));
+      hi = std::move(v);
+    }
+    range = MakeKeyRange(eq_values, lo, match.lo_inclusive, hi, match.hi_inclusive);
+  }
+
+  auto spec = std::make_shared<ParallelSpec>();
+  spec->table = rel.table;
+  std::vector<ExprPtr> residual;
+  for (size_t i = 0; i < local_preds.size(); i++) {
+    if (match.used_conjuncts.count(i) == 0) {
+      residual.push_back(std::move(local_preds[i]));
     }
   }
-  joined_.insert(order[0]);
-  ELE_RETURN_NOT_OK(ApplyAvailableFilters(&plan));
-  for (size_t i = 1; i < order.size(); i++) {
-    ELE_RETURN_NOT_OK(JoinNext(order[i], &plan));
-    ELE_RETURN_NOT_OK(ApplyAvailableFilters(&plan));
+  spec->residual = ConjoinAll(std::move(residual));
+
+  // Split the range into morsels along internal B+-tree separator keys;
+  // oversplit ~4x the worker count so the morsel queue load-balances.
+  ELE_ASSIGN_OR_RETURN(
+      std::vector<std::string> separators,
+      rel.table->clustered().PartitionKeys(workers * 4, range.lo, range.hi));
+  std::vector<KeyRange> morsels;
+  morsels.reserve(separators.size() + 1);
+  std::string lo_key = range.lo;
+  for (std::string& sep : separators) {
+    morsels.push_back(KeyRange{lo_key, sep});
+    lo_key = std::move(sep);
+  }
+  morsels.push_back(KeyRange{std::move(lo_key), range.hi});
+
+  const double scan_est = EstimateRows(0);
+  std::string range_desc =
+      match.matched_cols > 0
+          ? " range on " + std::to_string(match.matched_cols) + " key col(s)"
+          : " (full scan)";
+
+  // Worker-side plan nodes. Their stats slots are merge targets only: the
+  // per-morsel InstrumentedExecutors built by the factory write fresh slots,
+  // and GatherExecutor folds those into these shared ones post-barrier.
+  auto slot_for = [this](ExplainNode* n) -> std::shared_ptr<obs::OperatorStats> {
+    if (!instrument_) return nullptr;
+    n->stats = std::make_shared<obs::OperatorStats>();
+    return n->stats;
+  };
+  ExplainPtr tip = Note("ParallelMorselScan " + rel.table->name() + " as " +
+                        rel.alias + range_desc + " (morsels=" +
+                        std::to_string(morsels.size()) + ")");
+  tip->est_rows = scan_est;
+  spec->scan_slot = slot_for(tip.get());
+  if (spec->residual != nullptr) {
+    tip = Note("Filter " + spec->residual->ToString(), std::move(tip));
+    tip->est_rows = scan_est;
+    spec->filter_slot = slot_for(tip.get());
   }
 
-  // Aggregation.
+  Schema worker_schema = rel.table->schema();
+  Schema final_schema;
+  std::vector<AggSpec> final_aggs;
   if (q_->has_grouping) {
+    spec->aggregate = true;
+    for (ExprPtr& g : q_->group_by) spec->groups.push_back(std::move(g));
+    for (AggSpec& a : q_->aggs) spec->aggs.push_back(std::move(a));
+    for (const AggSpec& a : spec->aggs) final_aggs.push_back(a.Clone());
+    final_schema = MakeAggOutputSchema(q_->input_schema, spec->groups, spec->aggs);
+    worker_schema = MakePartialAggSchema(spec->groups, spec->aggs);
+    tip = Note("PartialAggregate", std::move(tip));
+    spec->agg_slot = slot_for(tip.get());
+  }
+  const size_t num_groups = spec->groups.size();
+
+  SubPlan plan;
+  plan.exec = std::make_unique<GatherExecutor>(
+      ctx_, ctx_->scheduler(), workers, std::move(morsels),
+      MakeMorselFactory(spec), worker_schema);
+  plan.width = worker_schema.NumColumns();
+  plan.note =
+      Note("Gather (workers=" + std::to_string(workers) + ")", std::move(tip));
+  Decorate(&plan, scan_est);
+
+  if (spec->aggregate) {
+    const double agg_est =
+        num_groups == 0 ? 1.0 : std::max(1.0, scan_est / 10.0);
+    plan.width = final_schema.NumColumns();
+    plan.exec = std::make_unique<FinalAggregateExecutor>(
+        ctx_, std::move(plan.exec), num_groups, std::move(final_aggs),
+        std::move(final_schema));
+    plan.note = Note("FinalAggregate", std::move(plan.note));
+    Decorate(&plan, agg_est);
+    *agg_done = true;
+  } else {
+    // Morsels are emitted in clustered-key order, so the usual clustered
+    // interesting orders hold.
+    if (!rel.table->cluster_cols().empty()) {
+      plan.ordered.insert(rel.table->cluster_cols()[0]);
+      if (match.eq.size() > 0 &&
+          match.eq.size() < rel.table->cluster_cols().size()) {
+        plan.ordered.insert(rel.table->cluster_cols()[match.eq.size()]);
+      }
+    }
+  }
+
+  mapping_.assign(ncols_, -1);
+  for (size_t c = 0; c < rel.schema.NumColumns(); c++) {
+    mapping_[c] = static_cast<int>(c);
+  }
+  joined_.insert(0);
+  outer_est_ = scan_est;
+  *out = std::move(plan);
+  return true;
+}
+
+Result<PlannedQuery> PlanBuilder::Build() {
+  ELE_RETURN_NOT_OK(AnalyzePrereqs());
+
+  SubPlan plan;
+  bool parallel_agg = false;
+  ELE_ASSIGN_OR_RETURN(bool parallel, TryBuildParallel(&plan, &parallel_agg));
+  if (!parallel) {
+    const std::vector<size_t> order = ChooseJoinOrder();
+
+    outer_est_ = EstimateRows(order[0]);
+    std::vector<int> local_map;
+    ELE_ASSIGN_OR_RETURN(SubPlan first, AccessPath(order[0], &local_map));
+    plan = std::move(first);
+    mapping_.assign(ncols_, -1);
+    {
+      const BoundRelation& rel = q_->relations[order[0]];
+      for (size_t c = 0; c < rel.schema.NumColumns(); c++) {
+        mapping_[rel.offset + c] = local_map[c];
+      }
+    }
+    joined_.insert(order[0]);
+    ELE_RETURN_NOT_OK(ApplyAvailableFilters(&plan));
+    for (size_t i = 1; i < order.size(); i++) {
+      ELE_RETURN_NOT_OK(JoinNext(order[i], &plan));
+      ELE_RETURN_NOT_OK(ApplyAvailableFilters(&plan));
+    }
+  }
+
+  // Aggregation (the parallel path may already have aggregated).
+  if (q_->has_grouping && !parallel_agg) {
     std::vector<ExprPtr> groups;
     for (ExprPtr& g : q_->group_by) {
       g->RemapColumns(mapping_);
@@ -1046,13 +1253,15 @@ Result<PlannedQuery> PlanBuilder::Build() {
       plan.note = Note("HashAggregate", std::move(plan.note));
       Decorate(&plan, agg_est);
     }
-    if (q_->having != nullptr) {
-      std::string label = "Filter (HAVING) " + q_->having->ToString();
-      plan.exec = std::make_unique<FilterExecutor>(std::move(plan.exec),
-                                                   std::move(q_->having));
-      plan.note = Note(std::move(label), std::move(plan.note));
-      Decorate(&plan);
-    }
+  }
+  // HAVING binds against the aggregate output schema, which is identical for
+  // the serial and the parallel (partial/final) aggregation plans.
+  if (q_->has_grouping && q_->having != nullptr) {
+    std::string label = "Filter (HAVING) " + q_->having->ToString();
+    plan.exec = std::make_unique<FilterExecutor>(std::move(plan.exec),
+                                                 std::move(q_->having));
+    plan.note = Note(std::move(label), std::move(plan.note));
+    Decorate(&plan);
   }
 
   // Final projection.

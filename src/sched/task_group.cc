@@ -1,0 +1,35 @@
+#include "sched/task_group.h"
+
+namespace elephant {
+namespace sched {
+
+void TaskGroup::Record(const Status& s) {
+  if (s.ok()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (first_error_.ok()) first_error_ = s;
+  cancelled_.store(true, std::memory_order_relaxed);
+}
+
+void TaskGroup::Submit(std::function<Status()> fn) {
+  futures_.push_back(pool_->Async([this, fn = std::move(fn)]() {
+    if (cancelled()) return;
+    Record(fn());
+  }));
+}
+
+void TaskGroup::RunInline(const std::function<Status()>& fn) {
+  if (cancelled()) return;
+  Record(fn());
+}
+
+Status TaskGroup::Wait() {
+  for (std::future<void>& f : futures_) {
+    if (f.valid()) f.get();
+  }
+  futures_.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_error_;
+}
+
+}  // namespace sched
+}  // namespace elephant

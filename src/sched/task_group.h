@@ -1,0 +1,56 @@
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "sched/thread_pool.h"
+
+namespace elephant {
+namespace sched {
+
+/// A group of related tasks (typically the workers of one parallel query).
+/// Tasks return Status; the first failure is recorded and the whole group is
+/// cancelled, so cooperating tasks can stop early by polling `cancelled()`
+/// between units of work. Wait() blocks until every submitted task has
+/// finished (or was skipped because the group was already cancelled when it
+/// was dequeued) and returns the first error.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedules `fn` on the pool. Must not be called after Wait().
+  void Submit(std::function<Status()> fn);
+
+  /// Runs `fn` on the calling thread under the group's error protocol
+  /// (skip-when-cancelled, record-error-and-cancel). Lets a session thread
+  /// contribute a worker share without depending on a free pool thread.
+  void RunInline(const std::function<Status()>& fn);
+
+  /// Blocks until all submitted tasks complete; returns the first error
+  /// (OK when every task succeeded). Idempotent.
+  Status Wait();
+
+  /// Requests cooperative cancellation of all tasks in the group.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+ private:
+  void Record(const Status& s);
+
+  ThreadPool* pool_;
+  std::atomic<bool> cancelled_{false};
+  std::mutex mu_;
+  Status first_error_;
+  std::vector<std::future<void>> futures_;
+};
+
+}  // namespace sched
+}  // namespace elephant

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace elephant {
+namespace sched {
+
+/// A fixed-size worker thread pool with a FIFO task queue. Tasks must be
+/// finite and must not block on other tasks in the same pool (the engine
+/// keeps intra-query workers and the session scheduler in separate pools so
+/// a full pool can never deadlock on itself; a session thread additionally
+/// runs one worker share inline, so progress never depends on a free pool
+/// thread).
+///
+/// The destructor drains the queue: every task already submitted runs to
+/// completion before the threads join.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some pool thread.
+  void Submit(std::function<void()> fn);
+
+  /// Enqueues a callable and returns a future for its result (exceptions
+  /// propagate through the future).
+  template <typename F>
+  auto Async(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    Submit([task]() { (*task)(); });
+    return fut;
+  }
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Tasks completed so far (for tests and metrics).
+  uint64_t tasks_executed() const;
+
+  /// A reasonable default pool size for this machine.
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  uint64_t executed_ = 0;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace sched
+}  // namespace elephant

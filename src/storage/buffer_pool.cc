@@ -53,17 +53,27 @@ Result<size_t> BufferPool::GetVictimFrame() {
 }
 
 Result<Frame*> BufferPool::FetchPage(page_id_t page_id) {
+  std::lock_guard<std::mutex> lock(latch_);
   auto it = page_table_.find(page_id);
   if (it != page_table_.end()) {
     stats_.hits++;
+    if (IoSink* sink = CurrentIoSink()) {
+      sink->pool_hits.fetch_add(1, std::memory_order_relaxed);
+    }
     Frame& f = frames_[it->second];
     f.pin_count_++;
     Touch(it->second);
     return &f;
   }
   stats_.misses++;
+  if (IoSink* sink = CurrentIoSink()) {
+    sink->pool_misses.fetch_add(1, std::memory_order_relaxed);
+  }
   ELE_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
   Frame& f = frames_[idx];
+  // The disk read happens under the latch: simple and correct, and the miss
+  // path is rare enough (once per resident page) that it does not bottleneck
+  // parallel scans.
   ELE_RETURN_NOT_OK(disk_->ReadPage(page_id, f.data()));
   f.page_id_ = page_id;
   f.pin_count_ = 1;
@@ -74,6 +84,7 @@ Result<Frame*> BufferPool::FetchPage(page_id_t page_id) {
 }
 
 Result<Frame*> BufferPool::NewPage(page_id_t* page_id) {
+  std::lock_guard<std::mutex> lock(latch_);
   *page_id = disk_->AllocatePage();
   ELE_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
   Frame& f = frames_[idx];
@@ -87,6 +98,7 @@ Result<Frame*> BufferPool::NewPage(page_id_t* page_id) {
 }
 
 void BufferPool::UnpinPage(page_id_t page_id, bool dirty) {
+  std::lock_guard<std::mutex> lock(latch_);
   auto it = page_table_.find(page_id);
   if (it == page_table_.end()) return;
   Frame& f = frames_[it->second];
@@ -95,6 +107,7 @@ void BufferPool::UnpinPage(page_id_t page_id, bool dirty) {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(latch_);
   for (size_t i = 0; i < frames_.size(); i++) {
     ELE_RETURN_NOT_OK(FlushFrame(i));
   }
@@ -102,7 +115,10 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::EvictAll() {
-  ELE_RETURN_NOT_OK(FlushAll());
+  std::lock_guard<std::mutex> lock(latch_);
+  for (size_t i = 0; i < frames_.size(); i++) {
+    ELE_RETURN_NOT_OK(FlushFrame(i));
+  }
   for (size_t i = 0; i < frames_.size(); i++) {
     Frame& f = frames_[i];
     if (f.page_id_ == kInvalidPageId) continue;

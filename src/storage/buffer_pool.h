@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -35,8 +36,15 @@ struct BufferPoolStats {
 
 /// A fixed-capacity LRU buffer pool over a DiskManager. All page access in
 /// the engine flows through here, so "cold cache" experiments are obtained by
-/// calling `EvictAll()` before a run. The engine is single-threaded by
-/// design (the paper's experiments are single-stream), so no latching.
+/// calling `EvictAll()` before a run.
+///
+/// Thread-safe: one latch guards the page table, the replacement state and
+/// the frame metadata (pin counts, dirty bits), and is held across the disk
+/// read that services a miss. `frames_` is sized once in the constructor and
+/// never reallocates, so Frame pointers handed to callers stay valid; a
+/// pinned frame can never be evicted, so callers may read a pinned frame's
+/// data without the latch. The latch is taken once per page (not per row),
+/// which keeps contention low for scan-heavy workloads.
 class BufferPool {
  public:
   BufferPool(DiskManager* disk, uint32_t capacity_pages = kDefaultBufferPoolPages);
@@ -60,18 +68,29 @@ class BufferPool {
   /// Flushes and drops every frame — the cold-cache knob for benchmarks.
   Status EvictAll();
 
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats{}; }
+  /// Snapshot of the hit/miss counters (copied under the latch).
+  BufferPoolStats stats() const {
+    std::lock_guard<std::mutex> lock(latch_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(latch_);
+    stats_ = BufferPoolStats{};
+  }
 
   DiskManager* disk() { return disk_; }
   uint32_t capacity() const { return capacity_; }
 
  private:
   /// Returns a free frame, evicting the LRU unpinned page if needed.
+  /// Caller holds latch_.
   Result<size_t> GetVictimFrame();
+  /// Caller holds latch_.
   Status FlushFrame(size_t frame_idx);
+  /// Caller holds latch_.
   void Touch(size_t frame_idx);
 
+  mutable std::mutex latch_;
   DiskManager* disk_;
   uint32_t capacity_;
   std::vector<Frame> frames_;

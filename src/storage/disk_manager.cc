@@ -4,48 +4,80 @@
 
 namespace elephant {
 
+namespace {
+thread_local IoSink* t_current_sink = nullptr;
+}  // namespace
+
+IoSink* CurrentIoSink() { return t_current_sink; }
+
+IoScope::IoScope(IoSink* sink) : prev_(t_current_sink) { t_current_sink = sink; }
+
+IoScope::~IoScope() { t_current_sink = prev_; }
+
 page_id_t DiskManager::AllocatePage() {
   auto page = std::make_unique<char[]>(kPageSize);
   std::memset(page.get(), 0, kPageSize);
+  std::lock_guard<std::mutex> lock(mu_);
   pages_.push_back(std::move(page));
   return static_cast<page_id_t>(pages_.size() - 1);
 }
 
 Status DiskManager::ReadPage(page_id_t page_id, char* dest) {
-  if (page_id < 0 || static_cast<size_t>(page_id) >= pages_.size()) {
-    return Status::OutOfRange("read of unallocated page " + std::to_string(page_id));
-  }
-  clock_++;
-  int hit = -1;
-  int lru = 0;
-  for (int i = 0; i < kReadStreams; i++) {
-    // A stream continues when the new page extends it (same page counts
-    // too: a re-read the cache dropped but the drive buffer still holds).
-    if (page_id == streams_[i].last_page + 1 || page_id == streams_[i].last_page) {
-      hit = i;
-      break;
+  bool sequential;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (page_id < 0 || static_cast<size_t>(page_id) >= pages_.size()) {
+      return Status::OutOfRange("read of unallocated page " +
+                                std::to_string(page_id));
     }
-    if (streams_[i].last_used < streams_[lru].last_used) lru = i;
+    clock_++;
+    int hit = -1;
+    int lru = 0;
+    for (int i = 0; i < kReadStreams; i++) {
+      // A stream continues when the new page extends it (same page counts
+      // too: a re-read the cache dropped but the drive buffer still holds).
+      if (page_id == streams_[i].last_page + 1 || page_id == streams_[i].last_page) {
+        hit = i;
+        break;
+      }
+      if (streams_[i].last_used < streams_[lru].last_used) lru = i;
+    }
+    sequential = hit >= 0;
+    if (sequential) {
+      stats_.sequential_reads++;
+      streams_[hit].last_page = page_id;
+      streams_[hit].last_used = clock_;
+    } else {
+      stats_.random_reads++;
+      streams_[lru].last_page = page_id;
+      streams_[lru].last_used = clock_;
+    }
+    std::memcpy(dest, pages_[page_id].get(), kPageSize);
   }
-  if (hit >= 0) {
-    stats_.sequential_reads++;
-    streams_[hit].last_page = page_id;
-    streams_[hit].last_used = clock_;
-  } else {
-    stats_.random_reads++;
-    streams_[lru].last_page = page_id;
-    streams_[lru].last_used = clock_;
+  if (IoSink* sink = CurrentIoSink()) {
+    // Attribute with the classification the (serialized) drive chose.
+    if (sequential) {
+      sink->sequential_reads.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      sink->random_reads.fetch_add(1, std::memory_order_relaxed);
+    }
   }
-  std::memcpy(dest, pages_[page_id].get(), kPageSize);
   return Status::OK();
 }
 
 Status DiskManager::WritePage(page_id_t page_id, const char* src) {
-  if (page_id < 0 || static_cast<size_t>(page_id) >= pages_.size()) {
-    return Status::OutOfRange("write of unallocated page " + std::to_string(page_id));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (page_id < 0 || static_cast<size_t>(page_id) >= pages_.size()) {
+      return Status::OutOfRange("write of unallocated page " +
+                                std::to_string(page_id));
+    }
+    stats_.page_writes++;
+    std::memcpy(pages_[page_id].get(), src, kPageSize);
   }
-  stats_.page_writes++;
-  std::memcpy(pages_[page_id].get(), src, kPageSize);
+  if (IoSink* sink = CurrentIoSink()) {
+    sink->page_writes.fetch_add(1, std::memory_order_relaxed);
+  }
   return Status::OK();
 }
 

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,6 +53,65 @@ struct DiskModel {
   }
 };
 
+/// Per-query (or per-worker) I/O attribution sink. The disk manager and the
+/// buffer pool record every page access into the sink attached to the
+/// current thread (see IoScope) in addition to their global counters, so a
+/// query's I/O can be totalled exactly even while other sessions run
+/// concurrently — the global-counter delta the engine used when it was
+/// single-threaded would blend all sessions together.
+///
+/// Counters are atomic so worker sinks can be folded into a query sink while
+/// the owning thread still reads it.
+struct IoSink {
+  std::atomic<uint64_t> sequential_reads{0};
+  std::atomic<uint64_t> random_reads{0};
+  std::atomic<uint64_t> page_writes{0};
+  std::atomic<uint64_t> pool_hits{0};
+  std::atomic<uint64_t> pool_misses{0};
+
+  IoStats ToStats() const {
+    IoStats s;
+    s.sequential_reads = sequential_reads.load(std::memory_order_relaxed);
+    s.random_reads = random_reads.load(std::memory_order_relaxed);
+    s.page_writes = page_writes.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  /// Adds this sink's counts into `other` (used when a worker finishes and
+  /// its traffic is folded into the query-level sink).
+  void AddTo(IoSink* other) const {
+    other->sequential_reads.fetch_add(
+        sequential_reads.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    other->random_reads.fetch_add(random_reads.load(std::memory_order_relaxed),
+                                  std::memory_order_relaxed);
+    other->page_writes.fetch_add(page_writes.load(std::memory_order_relaxed),
+                                 std::memory_order_relaxed);
+    other->pool_hits.fetch_add(pool_hits.load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+    other->pool_misses.fetch_add(pool_misses.load(std::memory_order_relaxed),
+                                 std::memory_order_relaxed);
+  }
+};
+
+/// The sink attached to the calling thread (nullptr when none).
+IoSink* CurrentIoSink();
+
+/// RAII scope that attaches `sink` to the current thread, restoring the
+/// previous attachment on destruction (scopes nest: a worker's sink shadows
+/// the session's query sink while the worker runs on that thread).
+class IoScope {
+ public:
+  explicit IoScope(IoSink* sink);
+  ~IoScope();
+
+  IoScope(const IoScope&) = delete;
+  IoScope& operator=(const IoScope&) = delete;
+
+ private:
+  IoSink* prev_;
+};
+
 /// An in-memory simulated disk. Pages live in RAM, but every read/write is
 /// accounted for and classified sequential vs. random so that a DiskModel can
 /// report the time a real spinning disk would have taken. This stands in for
@@ -62,6 +123,13 @@ struct DiskModel {
 /// observation that index-nested-loop probes over c-tables arrive in
 /// strictly ascending page order and therefore do NOT pay a seek per probe,
 /// even though a naive cost model assumes they would.
+///
+/// Thread-safe: a single mutex guards the page directory, the stream
+/// classifier and the global counters, so per-read classification and
+/// accounting stay exact (serialized, like a real drive head) no matter how
+/// many sessions or workers issue I/O concurrently. Per-query totals are
+/// exact via IoSink; the sequential/random *split* of interleaved streams
+/// depends on arrival order, exactly as it would on hardware.
 class DiskManager {
  public:
   DiskManager() = default;
@@ -82,10 +150,18 @@ class DiskManager {
   Status WritePage(page_id_t page_id, const char* src);
 
   /// Number of allocated pages.
-  uint32_t NumPages() const { return static_cast<uint32_t>(pages_.size()); }
+  uint32_t NumPages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<uint32_t>(pages_.size());
+  }
 
-  const IoStats& stats() const { return stats_; }
+  /// Snapshot of the global counters (copied under the lock).
+  IoStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
   void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
     stats_ = IoStats{};
     for (int i = 0; i < kReadStreams; i++) streams_[i] = StreamPos{};
     clock_ = 0;
@@ -97,6 +173,7 @@ class DiskManager {
     uint64_t last_used = 0;
   };
 
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<char[]>> pages_;
   IoStats stats_;
   StreamPos streams_[kReadStreams];
