@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Pre-PR gate: configure + build + lint + test across the presets that prove
+# different things:
+#
+#   default   correctness (full suite, incl. the lint/lint_selftest tests)
+#   analyze   Clang -Wthread-safety -Werror whole-tree lock-discipline proof
+#   sanitize  ASan + UBSan
+#
+# The analyze preset needs clang++; when it is not installed the preset is
+# skipped with a loud notice (the annotations compile as no-ops under GCC, so
+# the default build still exercises the same code).
+#
+# Usage: scripts/check.sh [preset ...]   (default: default analyze sanitize)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PRESETS=("$@")
+if [ ${#PRESETS[@]} -eq 0 ]; then
+  PRESETS=(default analyze sanitize)
+fi
+
+for preset in "${PRESETS[@]}"; do
+  if [ "$preset" = analyze ] && ! command -v clang++ >/dev/null 2>&1; then
+    echo "=== [$preset] SKIPPED: clang++ not installed =========================="
+    echo "    Thread-safety annotations were NOT statically verified."
+    echo "    Install clang and re-run: scripts/check.sh analyze"
+    continue
+  fi
+  echo "=== [$preset] configure ==============================================="
+  cmake --preset "$preset"
+  echo "=== [$preset] build ==================================================="
+  cmake --build --preset "$preset" -j "$(nproc)"
+  echo "=== [$preset] lint ===================================================="
+  python3 scripts/elephant_lint.py
+  echo "=== [$preset] test ===================================================="
+  ctest --preset "$preset" -j "$(nproc)"
+done
+
+echo "=== check.sh: all requested presets passed ============================"

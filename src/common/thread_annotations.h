@@ -1,0 +1,122 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// Clang thread-safety analysis (-Wthread-safety) macros plus the annotated
+// Mutex / MutexLock / CondVar wrappers every mutex in this engine must use
+// (enforced by scripts/elephant_lint.py: bare std::mutex is banned outside
+// this header). Under GCC the attributes expand to nothing, so the default
+// build is unaffected; the `analyze` preset compiles with Clang and
+// -Wthread-safety -Werror, turning locking-discipline mistakes into compile
+// errors. The macro set mirrors the canonical Clang documentation names.
+
+#if defined(__clang__) && !defined(SWIG)
+#define ELE_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define ELE_THREAD_ANNOTATION_(x)
+#endif
+
+/// Declares a class to be a capability (lockable) type.
+#define CAPABILITY(x) ELE_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SCOPED_CAPABILITY ELE_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member may only be accessed while holding the given capability.
+#define GUARDED_BY(x) ELE_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member: the pointed-to data is protected by the capability.
+#define PT_GUARDED_BY(x) ELE_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock prevention).
+#define ACQUIRED_BEFORE(...) ELE_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) ELE_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// The function may only be called while holding the given capabilities.
+#define REQUIRES(...) \
+  ELE_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  ELE_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires / releases the given capabilities.
+#define ACQUIRE(...) ELE_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  ELE_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) ELE_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  ELE_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability when it returns `ret`.
+#define TRY_ACQUIRE(ret, ...) \
+  ELE_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+
+/// The function must NOT be called while holding the given capabilities.
+#define EXCLUDES(...) ELE_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at runtime) that the calling thread holds the capability.
+#define ASSERT_CAPABILITY(x) ELE_THREAD_ANNOTATION_(assert_capability(x))
+
+/// The function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) ELE_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables analysis of the annotated function's body.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  ELE_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace elephant {
+
+/// An annotated exclusive mutex. Thin wrapper over std::mutex that carries
+/// the `capability` attribute so Clang can check the locking discipline of
+/// everything GUARDED_BY it. Exposes both CamelCase engine spellings and the
+/// std BasicLockable interface (lock/unlock), so a CondVar can block on it.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // BasicLockable interface (std interop; same capability semantics).
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex, annotated as a scoped capability so the analysis
+/// knows the mutex is held for exactly the guard's lifetime.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex. Wait() atomically releases the
+/// mutex while blocked and reacquires it before returning; callers must
+/// re-check their predicate in a loop (spurious wakeups). The body is
+/// excluded from analysis (the release/reacquire happens inside the
+/// std::condition_variable_any template), but the REQUIRES contract is
+/// still enforced at every call site.
+class CondVar {
+ public:
+  void Wait(Mutex& mu) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS { cv_.wait(mu); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace elephant

@@ -68,7 +68,7 @@ Database::Database(DatabaseOptions options) : options_(options) {
 Status Database::EvictCaches() { return pool_->EvictAll(); }
 
 sched::ThreadPool* Database::workers() {
-  std::lock_guard<std::mutex> lock(workers_mu_);
+  MutexLock lock(workers_mu_);
   if (workers_ == nullptr) {
     const size_t n = options_.worker_threads > 0
                          ? static_cast<size_t>(options_.worker_threads)
@@ -143,6 +143,11 @@ Result<QueryResult> Database::ExecuteSelect(std::unique_ptr<SelectStmt> stmt,
     }
     plan.executor.reset();  // release pinned pages before measuring
     result.io = query_sink.ToStats();
+  }
+  if (options_.check_pin_invariants) {
+    // Query-end invariant: with the executor tree destroyed, every pin it
+    // took must have been released (single-stream only; see DatabaseOptions).
+    ELE_RETURN_NOT_OK(pool_->CheckNoPinsHeld());
   }
 
   const auto t1 = std::chrono::steady_clock::now();

@@ -1,11 +1,11 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/thread_annotations.h"
 #include "exec/executor.h"
 #include "obs/metrics.h"
 #include "obs/plan_stats.h"
@@ -63,6 +63,12 @@ struct DatabaseOptions {
   /// Intra-query worker threads backing PARALLEL plans. 0 = size the pool
   /// from the hardware on first use (sched::ThreadPool::DefaultThreads).
   int worker_threads = 0;
+  /// When true, every SELECT verifies at query end that its executors
+  /// released all buffer-pool pins (BufferPool::CheckNoPinsHeld) and fails
+  /// the statement with an Internal error on a leak. The check reads the
+  /// *global* pin count, so it is only valid for single-stream use — a
+  /// concurrent session mid-scan legitimately holds pins. Tests enable it.
+  bool check_pin_invariants = false;
 };
 
 /// The "old elephant": an embedded row-store database. SQL in, rows out.
@@ -120,8 +126,8 @@ class Database {
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;
   obs::MetricsRegistry metrics_;
-  std::mutex workers_mu_;
-  std::unique_ptr<sched::ThreadPool> workers_;
+  Mutex workers_mu_;
+  std::unique_ptr<sched::ThreadPool> workers_ GUARDED_BY(workers_mu_);
 };
 
 }  // namespace elephant

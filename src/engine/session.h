@@ -2,10 +2,10 @@
 
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "engine/database.h"
 #include "sched/thread_pool.h"
 
@@ -65,7 +65,7 @@ class SessionManager {
   /// Opens a new session; the returned pointer stays valid for the manager's
   /// lifetime.
   Session* OpenSession() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     sessions_.push_back(std::make_unique<Session>(
         db_, static_cast<int>(sessions_.size())));
     return sessions_.back().get();
@@ -88,7 +88,7 @@ class SessionManager {
       const std::vector<std::string>& sqls, PlanHints hints = {});
 
   size_t num_sessions() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return sessions_.size();
   }
 
@@ -97,8 +97,8 @@ class SessionManager {
  private:
   Database* db_;
   sched::ThreadPool pool_;
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Session>> sessions_;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Session>> sessions_ GUARDED_BY(mu_);
 };
 
 }  // namespace elephant

@@ -21,10 +21,10 @@ std::string ChildValue(page_id_t pid) {
 
 Result<BPlusTree> BPlusTree::Create(BufferPool* pool) {
   page_id_t pid;
-  ELE_ASSIGN_OR_RETURN(Frame * frame, pool->NewPage(&pid));
-  BTreeNode node(frame->data());
+  ELE_ASSIGN_OR_RETURN(PageGuard guard, pool->NewPageGuarded(&pid));
+  BTreeNode node(guard.data());
   node.Init(BTreeNode::kLeaf);
-  pool->UnpinPage(pid, true);
+  guard.MarkDirty();
   return BPlusTree(pool, pid);
 }
 
@@ -32,15 +32,11 @@ Result<page_id_t> BPlusTree::FindLeaf(
     std::string_view key, std::vector<std::pair<page_id_t, int>>* path) const {
   page_id_t pid = root_;
   while (true) {
-    ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(pid));
-    BTreeNode node(frame->data());
-    if (node.IsLeaf()) {
-      pool_->UnpinPage(pid, false);
-      return pid;
-    }
+    ELE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPageGuarded(pid));
+    BTreeNode node(guard.data());
+    if (node.IsLeaf()) return pid;
     int idx = node.LowerBound(key);  // strict <: equal keys route left
     page_id_t child = node.ChildForIndex(idx);
-    pool_->UnpinPage(pid, false);
     if (path != nullptr) path->emplace_back(pid, idx);
     pid = child;
   }
@@ -48,11 +44,10 @@ Result<page_id_t> BPlusTree::FindLeaf(
 
 Status BPlusTree::SplitNode(page_id_t pid, std::string* separator,
                             page_id_t* new_pid, int* split_index) {
-  ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(pid));
-  BTreeNode node(frame->data());
+  ELE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPageGuarded(pid));
+  BTreeNode node(guard.data());
   const int count = node.Count();
   if (count < 2) {
-    pool_->UnpinPage(pid, false);
     return Status::Internal("split of node with <2 cells");
   }
   // Choose split index m so the left half holds ~half of the live bytes.
@@ -67,12 +62,10 @@ Status BPlusTree::SplitNode(page_id_t pid, std::string* separator,
   if (m >= count) m = count - 1;
 
   page_id_t right_pid;
-  auto right_frame = pool_->NewPage(&right_pid);
-  if (!right_frame.ok()) {
-    pool_->UnpinPage(pid, false);
-    return right_frame.status();
-  }
-  BTreeNode right(right_frame.value()->data());
+  // On allocation failure, `guard` unpins the left node automatically (the
+  // manual error-path cleanup this function used to carry).
+  ELE_ASSIGN_OR_RETURN(PageGuard right_guard, pool_->NewPageGuarded(&right_pid));
+  BTreeNode right(right_guard.data());
 
   if (node.IsLeaf()) {
     right.Init(BTreeNode::kLeaf);
@@ -95,8 +88,8 @@ Status BPlusTree::SplitNode(page_id_t pid, std::string* separator,
     node.PutU16(1, static_cast<uint16_t>(m));
     node.Compact();
   }
-  pool_->UnpinPage(right_pid, true);
-  pool_->UnpinPage(pid, true);
+  right_guard.MarkDirty();
+  guard.MarkDirty();
   *new_pid = right_pid;
   *split_index = m;
   return Status::OK();
@@ -108,29 +101,31 @@ Status BPlusTree::InsertIntoParent(std::vector<std::pair<page_id_t, int>>& path,
     if (path.empty()) {
       // Root split: create a new internal root.
       page_id_t new_root;
-      ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->NewPage(&new_root));
-      BTreeNode node(frame->data());
+      ELE_ASSIGN_OR_RETURN(PageGuard guard, pool_->NewPageGuarded(&new_root));
+      BTreeNode node(guard.data());
       node.Init(BTreeNode::kInternal);
       node.SetLink(root_);
       node.InsertCell(0, separator, ChildValue(new_child));
-      pool_->UnpinPage(new_root, true);
+      guard.MarkDirty();
       root_ = new_root;
       return Status::OK();
     }
     auto [pid, child_idx] = path.back();
     path.pop_back();
-    ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(pid));
-    BTreeNode node(frame->data());
-    const std::string child_value = ChildValue(new_child);
-    const uint32_t need = BTreeNode::CellBytes(separator.size(), child_value.size());
-    if (need <= node.ContiguousFree() || need <= node.TotalFree()) {
-      if (need > node.ContiguousFree()) node.Compact();
-      node.InsertCell(child_idx, separator, child_value);
-      pool_->UnpinPage(pid, true);
-      return Status::OK();
-    }
-    pool_->UnpinPage(pid, false);
-    // Parent overfull: split it, insert into the proper half by *position*
+    {
+      ELE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPageGuarded(pid));
+      BTreeNode node(guard.data());
+      const std::string child_value = ChildValue(new_child);
+      const uint32_t need =
+          BTreeNode::CellBytes(separator.size(), child_value.size());
+      if (need <= node.ContiguousFree() || need <= node.TotalFree()) {
+        if (need > node.ContiguousFree()) node.Compact();
+        node.InsertCell(child_idx, separator, child_value);
+        guard.MarkDirty();
+        return Status::OK();
+      }
+    }  // parent overfull: drop the pin before splitting it
+    // Split the parent, insert into the proper half by *position*
     // (duplicate-safe), and continue propagating its separator upward.
     std::string parent_sep;
     page_id_t parent_right;
@@ -141,14 +136,15 @@ Status BPlusTree::InsertIntoParent(std::vector<std::pair<page_id_t, int>>& path,
     // to pre-split cell m+1+i).
     page_id_t target = child_idx <= m ? pid : parent_right;
     int idx = child_idx <= m ? child_idx : child_idx - m - 1;
-    ELE_ASSIGN_OR_RETURN(Frame * tframe, pool_->FetchPage(target));
-    BTreeNode tnode(tframe->data());
+    const std::string child_value = ChildValue(new_child);
+    ELE_ASSIGN_OR_RETURN(PageGuard tguard, pool_->FetchPageGuarded(target));
+    BTreeNode tnode(tguard.data());
     if (BTreeNode::CellBytes(separator.size(), child_value.size()) >
         tnode.ContiguousFree()) {
       tnode.Compact();
     }
     tnode.InsertCell(idx, separator, child_value);
-    pool_->UnpinPage(target, true);
+    tguard.MarkDirty();
     separator = std::move(parent_sep);
     new_child = parent_right;
   }
@@ -160,23 +156,25 @@ Status BPlusTree::Insert(std::string_view key, std::string_view value) {
   }
   std::vector<std::pair<page_id_t, int>> path;
   ELE_ASSIGN_OR_RETURN(page_id_t leaf_pid, FindLeaf(key, &path));
-  ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(leaf_pid));
-  BTreeNode leaf(frame->data());
   const uint32_t need = BTreeNode::CellBytes(key.size(), value.size());
-  int pos = leaf.LowerBound(key);
-  if (need <= leaf.ContiguousFree()) {
-    leaf.InsertCell(pos, key, value);
-    pool_->UnpinPage(leaf_pid, true);
-    return Status::OK();
-  }
-  if (need <= leaf.TotalFree()) {
-    leaf.Compact();
-    leaf.InsertCell(pos, key, value);
-    pool_->UnpinPage(leaf_pid, true);
-    return Status::OK();
-  }
-  pool_->UnpinPage(leaf_pid, false);
-  // Leaf overfull: split, insert into the proper half by pre-split position
+  int pos;
+  {
+    ELE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPageGuarded(leaf_pid));
+    BTreeNode leaf(guard.data());
+    pos = leaf.LowerBound(key);
+    if (need <= leaf.ContiguousFree()) {
+      leaf.InsertCell(pos, key, value);
+      guard.MarkDirty();
+      return Status::OK();
+    }
+    if (need <= leaf.TotalFree()) {
+      leaf.Compact();
+      leaf.InsertCell(pos, key, value);
+      guard.MarkDirty();
+      return Status::OK();
+    }
+  }  // leaf overfull: drop the pin before splitting
+  // Split, insert into the proper half by pre-split position
   // (duplicate-safe), fix ancestors. Leaf split keeps cells [0,m) left and
   // moves [m,count) right.
   std::string separator;
@@ -185,11 +183,13 @@ Status BPlusTree::Insert(std::string_view key, std::string_view value) {
   ELE_RETURN_NOT_OK(SplitNode(leaf_pid, &separator, &right_pid, &m));
   page_id_t target = pos <= m ? leaf_pid : right_pid;
   int idx = pos <= m ? pos : pos - m;
-  ELE_ASSIGN_OR_RETURN(Frame * tframe, pool_->FetchPage(target));
-  BTreeNode tnode(tframe->data());
-  if (need > tnode.ContiguousFree()) tnode.Compact();
-  tnode.InsertCell(idx, key, value);
-  pool_->UnpinPage(target, true);
+  {
+    ELE_ASSIGN_OR_RETURN(PageGuard tguard, pool_->FetchPageGuarded(target));
+    BTreeNode tnode(tguard.data());
+    if (need > tnode.ContiguousFree()) tnode.Compact();
+    tnode.InsertCell(idx, key, value);
+    tguard.MarkDirty();
+  }
   return InsertIntoParent(path, std::move(separator), right_pid);
 }
 
@@ -203,58 +203,54 @@ struct ExactPos {
 
 }  // namespace
 
-static Result<ExactPos> LocateExact(BufferPool* pool, const BPlusTree& tree,
-                                    std::string_view key, page_id_t start_leaf) {
+static Result<ExactPos> LocateExact(BufferPool* pool, std::string_view key,
+                                    page_id_t start_leaf) {
   page_id_t pid = start_leaf;
   while (pid != kInvalidPageId) {
-    ELE_ASSIGN_OR_RETURN(Frame * frame, pool->FetchPage(pid));
-    BTreeNode node(frame->data());
+    ELE_ASSIGN_OR_RETURN(PageGuard guard, pool->FetchPageGuarded(pid));
+    BTreeNode node(guard.data());
     int pos = node.LowerBound(key);
     if (pos < node.Count()) {
-      bool match = node.KeyAt(pos) == key;
-      pool->UnpinPage(pid, false);
-      if (match) return ExactPos{pid, pos};
+      if (node.KeyAt(pos) == key) return ExactPos{pid, pos};
       return Status::NotFound("key not in btree");
     }
-    page_id_t next = node.Link();
-    pool->UnpinPage(pid, false);
-    pid = next;  // duplicates/edge: first >= key may start on the next leaf
+    pid = node.Link();  // duplicates/edge: first >= key may start on next leaf
   }
   return Status::NotFound("key not in btree");
 }
 
 Result<std::string> BPlusTree::Get(std::string_view key) const {
   ELE_ASSIGN_OR_RETURN(page_id_t leaf_pid, FindLeaf(key, nullptr));
-  ELE_ASSIGN_OR_RETURN(ExactPos at, LocateExact(pool_, *this, key, leaf_pid));
-  ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(at.leaf));
-  BTreeNode node(frame->data());
-  std::string out(node.ValueAt(at.pos));
-  pool_->UnpinPage(at.leaf, false);
-  return out;
+  ELE_ASSIGN_OR_RETURN(ExactPos at, LocateExact(pool_, key, leaf_pid));
+  ELE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPageGuarded(at.leaf));
+  BTreeNode node(guard.data());
+  return std::string(node.ValueAt(at.pos));
 }
 
 Status BPlusTree::Delete(std::string_view key) {
   ELE_ASSIGN_OR_RETURN(page_id_t leaf_pid, FindLeaf(key, nullptr));
-  ELE_ASSIGN_OR_RETURN(ExactPos at, LocateExact(pool_, *this, key, leaf_pid));
-  ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(at.leaf));
-  BTreeNode node(frame->data());
+  ELE_ASSIGN_OR_RETURN(ExactPos at, LocateExact(pool_, key, leaf_pid));
+  ELE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPageGuarded(at.leaf));
+  BTreeNode node(guard.data());
   node.RemoveCell(at.pos);
-  pool_->UnpinPage(at.leaf, true);
+  guard.MarkDirty();
   return Status::OK();
 }
 
 Status BPlusTree::Update(std::string_view key, std::string_view value) {
   ELE_ASSIGN_OR_RETURN(page_id_t leaf_pid, FindLeaf(key, nullptr));
-  ELE_ASSIGN_OR_RETURN(ExactPos at, LocateExact(pool_, *this, key, leaf_pid));
-  ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(at.leaf));
-  BTreeNode node(frame->data());
-  if (node.ValueAt(at.pos).size() == value.size()) {
-    node.SetValueInPlace(at.pos, value);
-    pool_->UnpinPage(at.leaf, true);
-    return Status::OK();
-  }
-  node.RemoveCell(at.pos);
-  pool_->UnpinPage(at.leaf, true);
+  ELE_ASSIGN_OR_RETURN(ExactPos at, LocateExact(pool_, key, leaf_pid));
+  {
+    ELE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPageGuarded(at.leaf));
+    BTreeNode node(guard.data());
+    if (node.ValueAt(at.pos).size() == value.size()) {
+      node.SetValueInPlace(at.pos, value);
+      guard.MarkDirty();
+      return Status::OK();
+    }
+    node.RemoveCell(at.pos);
+    guard.MarkDirty();
+  }  // drop the pin before re-inserting (Insert may split this leaf)
   return Insert(key, value);
 }
 
@@ -278,8 +274,7 @@ Status BPlusTree::Iterator::AdvanceLeaf() {
       valid_ = false;
       return Status::OK();
     }
-    ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(next));
-    guard_ = PageGuard(pool_, next, frame);
+    ELE_ASSIGN_OR_RETURN(guard_, pool_->FetchPageGuarded(next));
     leaf_ = next;
     pos_ = 0;
     BTreeNode nnode(guard_.data());
@@ -301,32 +296,30 @@ Result<BPlusTree::Iterator> BPlusTree::SeekToFirst() const {
   // Descend along leftmost children.
   page_id_t pid = root_;
   while (true) {
-    ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(pid));
-    BTreeNode node(frame->data());
+    ELE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPageGuarded(pid));
+    BTreeNode node(guard.data());
     if (node.IsLeaf()) {
       Iterator it;
       it.pool_ = pool_;
-      it.guard_ = PageGuard(pool_, pid, frame);
+      it.guard_ = std::move(guard);
       it.leaf_ = pid;
       it.pos_ = 0;
       ELE_RETURN_NOT_OK(it.LoadCell());
       return it;
     }
-    page_id_t child = node.Link();
-    pool_->UnpinPage(pid, false);
-    pid = child;
+    pid = node.Link();
   }
 }
 
 Result<BPlusTree::Iterator> BPlusTree::Seek(std::string_view key) const {
   ELE_ASSIGN_OR_RETURN(page_id_t leaf_pid, FindLeaf(key, nullptr));
-  ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(leaf_pid));
+  ELE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPageGuarded(leaf_pid));
   Iterator it;
   it.pool_ = pool_;
-  it.guard_ = PageGuard(pool_, leaf_pid, frame);
   it.leaf_ = leaf_pid;
-  BTreeNode node(frame->data());
+  BTreeNode node(guard.data());
   it.pos_ = node.LowerBound(key);
+  it.guard_ = std::move(guard);
   ELE_RETURN_NOT_OK(it.LoadCell());
   return it;
 }
@@ -336,44 +329,49 @@ Result<BPlusTree> BPlusTree::BulkLoad(BufferPool* pool, const KvStream& stream,
   const uint32_t budget = static_cast<uint32_t>(
       (kPageSize - BTreeNode::kHeaderBytes) * fill_fraction);
 
-  // Level 0: pack leaves. Collect (first key, pid) per leaf.
+  // Level 0: pack leaves. Collect (first key, pid) per leaf. `cur_guard`
+  // holds the pin on the leaf being filled; every early return (oversized
+  // payload, allocation failure, link-fixup failure) releases it — the old
+  // manual unpins leaked the pin on the two failure paths below it.
   std::vector<std::pair<std::string, page_id_t>> level;
   page_id_t cur_pid = kInvalidPageId;
   page_id_t prev_pid = kInvalidPageId;
-  Frame* cur_frame = nullptr;
+  PageGuard cur_guard;
   uint32_t used = 0;
   std::string key, value;
   while (stream(&key, &value)) {
     if (key.size() + value.size() > kMaxCellPayload) {
-      if (cur_frame != nullptr) pool->UnpinPage(cur_pid, true);
       return Status::InvalidArgument("btree entry exceeds max payload");
     }
     const uint32_t need = BTreeNode::CellBytes(key.size(), value.size());
-    if (cur_frame == nullptr || used + need > budget) {
-      if (cur_frame != nullptr) {
-        pool->UnpinPage(cur_pid, true);
+    if (!cur_guard.valid() || used + need > budget) {
+      if (cur_guard.valid()) {
+        cur_guard.MarkDirty();
+        cur_guard.Release();
         prev_pid = cur_pid;
       }
       page_id_t pid;
-      ELE_ASSIGN_OR_RETURN(Frame * frame, pool->NewPage(&pid));
-      BTreeNode node(frame->data());
+      ELE_ASSIGN_OR_RETURN(PageGuard guard, pool->NewPageGuarded(&pid));
+      BTreeNode node(guard.data());
       node.Init(BTreeNode::kLeaf);
+      guard.MarkDirty();
       if (prev_pid != kInvalidPageId) {
-        ELE_ASSIGN_OR_RETURN(Frame * pframe, pool->FetchPage(prev_pid));
-        BTreeNode(pframe->data()).SetLink(pid);
-        pool->UnpinPage(prev_pid, true);
+        ELE_ASSIGN_OR_RETURN(PageGuard pguard, pool->FetchPageGuarded(prev_pid));
+        BTreeNode(pguard.data()).SetLink(pid);
+        pguard.MarkDirty();
       }
       cur_pid = pid;
-      cur_frame = frame;
+      cur_guard = std::move(guard);
       used = 0;
       level.emplace_back(key, pid);
     }
-    BTreeNode node(cur_frame->data());
+    BTreeNode node(cur_guard.data());
     node.InsertCell(node.Count(), key, value);
     used += need;
   }
-  if (cur_frame != nullptr) {
-    pool->UnpinPage(cur_pid, true);
+  if (cur_guard.valid()) {
+    cur_guard.MarkDirty();
+    cur_guard.Release();
   } else {
     // Empty input: an empty tree.
     return Create(pool);
@@ -385,10 +383,11 @@ Result<BPlusTree> BPlusTree::BulkLoad(BufferPool* pool, const KvStream& stream,
     size_t i = 0;
     while (i < level.size()) {
       page_id_t pid;
-      ELE_ASSIGN_OR_RETURN(Frame * frame, pool->NewPage(&pid));
-      BTreeNode node(frame->data());
+      ELE_ASSIGN_OR_RETURN(PageGuard guard, pool->NewPageGuarded(&pid));
+      BTreeNode node(guard.data());
       node.Init(BTreeNode::kInternal);
       node.SetLink(level[i].second);
+      guard.MarkDirty();
       next_level.emplace_back(level[i].first, pid);
       i++;
       uint32_t node_used = 0;
@@ -399,7 +398,6 @@ Result<BPlusTree> BPlusTree::BulkLoad(BufferPool* pool, const KvStream& stream,
         node_used += need;
         i++;
       }
-      pool->UnpinPage(pid, true);
     }
     level = std::move(next_level);
   }
@@ -423,13 +421,12 @@ Result<uint64_t> BPlusTree::CountPages() const {
     page_id_t pid = queue.front();
     queue.pop_front();
     n++;
-    ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(pid));
-    BTreeNode node(frame->data());
+    ELE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPageGuarded(pid));
+    BTreeNode node(guard.data());
     if (!node.IsLeaf()) {
       queue.push_back(node.Link());
       for (int i = 0; i < node.Count(); i++) queue.push_back(node.ChildCellAt(i));
     }
-    pool_->UnpinPage(pid, false);
   }
   return n;
 }
@@ -438,14 +435,11 @@ Result<uint32_t> BPlusTree::Height() const {
   uint32_t h = 1;
   page_id_t pid = root_;
   while (true) {
-    ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(pid));
-    BTreeNode node(frame->data());
-    bool leaf = node.IsLeaf();
-    page_id_t child = leaf ? kInvalidPageId : node.Link();
-    pool_->UnpinPage(pid, false);
-    if (leaf) return h;
+    ELE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPageGuarded(pid));
+    BTreeNode node(guard.data());
+    if (node.IsLeaf()) return h;
     h++;
-    pid = child;
+    pid = node.Link();
   }
 }
 
@@ -457,20 +451,17 @@ Result<std::vector<std::string>> BPlusTree::PartitionKeys(
   while (true) {
     // Peek at the level's first node: leaf level means no more separators.
     {
-      ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(level[0]));
-      const bool leaf = BTreeNode(frame->data()).IsLeaf();
-      pool_->UnpinPage(level[0], false);
-      if (leaf) break;
+      ELE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPageGuarded(level[0]));
+      if (BTreeNode(guard.data()).IsLeaf()) break;
     }
     std::vector<std::string> keys;
     std::vector<page_id_t> next;
     for (page_id_t pid : level) {
-      ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(pid));
-      BTreeNode node(frame->data());
+      ELE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPageGuarded(pid));
+      BTreeNode node(guard.data());
       const int count = node.Count();
       for (int i = 0; i <= count; i++) next.push_back(node.ChildForIndex(i));
       for (int i = 0; i < count; i++) keys.emplace_back(node.KeyAt(i));
-      pool_->UnpinPage(pid, false);
     }
     separators = std::move(keys);
     level = std::move(next);

@@ -14,14 +14,14 @@ Histogram::Histogram(std::vector<double> upper_bounds)
 
 void Histogram::Observe(double v) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   buckets_[static_cast<size_t>(it - bounds_.begin())]++;
   count_++;
   sum_ += v;
 }
 
 double Histogram::Quantile(double q) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(count_);
@@ -52,14 +52,14 @@ std::vector<double> DefaultLatencyBuckets() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -67,32 +67,32 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> upper_bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(upper_bounds));
   return slot.get();
 }
 
 const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : it->second.get();
 }
 
 const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   JsonWriter w;
   w.BeginObject();
   w.Key("counters").BeginObject();
@@ -130,7 +130,7 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 std::string MetricsRegistry::ToString() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   char buf[64];
   for (const auto& [name, c] : counters_) {

@@ -4,10 +4,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/json.h"
 
 namespace elephant {
@@ -54,17 +54,17 @@ class Histogram {
   void Observe(double v);
 
   uint64_t count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return count_;
   }
   double sum() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return sum_;
   }
   const std::vector<double>& bounds() const { return bounds_; }
   /// Per-bucket (non-cumulative) count; index bounds().size() is overflow.
   uint64_t BucketCount(size_t i) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return buckets_[i];
   }
   size_t NumBuckets() const { return buckets_.size(); }
@@ -74,11 +74,12 @@ class Histogram {
   double Quantile(double q) const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<double> bounds_;    ///< ascending upper bounds; fixed after init
-  std::vector<uint64_t> buckets_; ///< bounds_.size() + 1 entries
-  uint64_t count_ = 0;
-  double sum_ = 0;
+  mutable Mutex mu_;
+  std::vector<double> bounds_;  ///< ascending upper bounds; immutable after
+                                ///< the constructor, so reads skip the lock
+  std::vector<uint64_t> buckets_ GUARDED_BY(mu_);  ///< bounds_.size() + 1 entries
+  uint64_t count_ GUARDED_BY(mu_) = 0;
+  double sum_ GUARDED_BY(mu_) = 0;
 };
 
 /// Exponential latency buckets from 10us to ~100s.
@@ -110,10 +111,10 @@ class MetricsRegistry {
   static MetricsRegistry& Global();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -5,7 +5,7 @@ namespace sched {
 
 void TaskGroup::Record(const Status& s) {
   if (s.ok()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (first_error_.ok()) first_error_ = s;
   cancelled_.store(true, std::memory_order_relaxed);
 }
@@ -27,7 +27,7 @@ Status TaskGroup::Wait() {
     if (f.valid()) f.get();
   }
   futures_.clear();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return first_error_;
 }
 

@@ -3,10 +3,10 @@
 #include <atomic>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "sched/thread_pool.h"
 
 namespace elephant {
@@ -47,8 +47,10 @@ class TaskGroup {
 
   ThreadPool* pool_;
   std::atomic<bool> cancelled_{false};
-  std::mutex mu_;
-  Status first_error_;
+  Mutex mu_;
+  Status first_error_ GUARDED_BY(mu_);
+  /// Touched only by the owning thread (Submit/Wait are single-caller by
+  /// contract), never by pool workers, so it needs no guard.
   std::vector<std::future<void>> futures_;
 };
 

@@ -15,23 +15,23 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(fn));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 uint64_t ThreadPool::tasks_executed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return executed_;
 }
 
@@ -41,22 +41,19 @@ size_t ThreadPool::DefaultThreads() {
 }
 
 void ThreadPool::WorkerLoop() {
+  mu_.Lock();
   while (true) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
-      // Drain remaining tasks even when stopping, so futures never dangle.
-      if (queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
-    }
+    while (!stop_ && queue_.empty()) cv_.Wait(mu_);
+    // Drain remaining tasks even when stopping, so futures never dangle.
+    if (queue_.empty()) break;
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    mu_.Unlock();
     task();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      executed_++;
-    }
+    mu_.Lock();
+    executed_++;
   }
+  mu_.Unlock();
 }
 
 }  // namespace sched

@@ -1,13 +1,13 @@
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace elephant {
 namespace sched {
@@ -54,11 +54,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
-  uint64_t executed_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
+  uint64_t executed_ GUARDED_BY(mu_) = 0;
+  /// Written only in the constructor and joined in the destructor; never
+  /// touched by the workers themselves, so it needs no guard.
   std::vector<std::thread> threads_;
 };
 

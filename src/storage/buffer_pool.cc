@@ -1,11 +1,15 @@
 #include "storage/buffer_pool.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 namespace elephant {
 
 BufferPool::BufferPool(DiskManager* disk, uint32_t capacity_pages)
     : disk_(disk), capacity_(capacity_pages) {
+  MutexLock lock(latch_);
   frames_.resize(capacity_);
   free_frames_.reserve(capacity_);
   for (uint32_t i = 0; i < capacity_; i++) {
@@ -52,8 +56,18 @@ Result<size_t> BufferPool::GetVictimFrame() {
   return Status::ResourceExhausted("buffer pool: all frames pinned");
 }
 
+Result<PageGuard> BufferPool::FetchPageGuarded(page_id_t page_id) {
+  ELE_ASSIGN_OR_RETURN(Frame * frame, FetchPage(page_id));
+  return PageGuard(this, page_id, frame);
+}
+
+Result<PageGuard> BufferPool::NewPageGuarded(page_id_t* page_id) {
+  ELE_ASSIGN_OR_RETURN(Frame * frame, NewPage(page_id));
+  return PageGuard(this, *page_id, frame);
+}
+
 Result<Frame*> BufferPool::FetchPage(page_id_t page_id) {
-  std::lock_guard<std::mutex> lock(latch_);
+  MutexLock lock(latch_);
   auto it = page_table_.find(page_id);
   if (it != page_table_.end()) {
     stats_.hits++;
@@ -84,7 +98,7 @@ Result<Frame*> BufferPool::FetchPage(page_id_t page_id) {
 }
 
 Result<Frame*> BufferPool::NewPage(page_id_t* page_id) {
-  std::lock_guard<std::mutex> lock(latch_);
+  MutexLock lock(latch_);
   *page_id = disk_->AllocatePage();
   ELE_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
   Frame& f = frames_[idx];
@@ -98,16 +112,57 @@ Result<Frame*> BufferPool::NewPage(page_id_t* page_id) {
 }
 
 void BufferPool::UnpinPage(page_id_t page_id, bool dirty) {
-  std::lock_guard<std::mutex> lock(latch_);
+  MutexLock lock(latch_);
   auto it = page_table_.find(page_id);
-  if (it == page_table_.end()) return;
+  if (it == page_table_.end()) {
+    // A pinned page can never be evicted, so unpinning a non-resident page
+    // means the pin was already released (or never taken): a protocol bug.
+    stats_.pin_protocol_errors++;
+    return;
+  }
   Frame& f = frames_[it->second];
-  if (f.pin_count_ > 0) f.pin_count_--;
+  if (f.pin_count_ > 0) {
+    f.pin_count_--;
+  } else {
+    stats_.pin_protocol_errors++;  // double unpin
+  }
   if (dirty) f.dirty_ = true;
 }
 
+size_t BufferPool::PinnedFrames() const {
+  MutexLock lock(latch_);
+  size_t n = 0;
+  for (const Frame& f : frames_) {
+    if (f.pin_count_ > 0) n++;
+  }
+  return n;
+}
+
+Status BufferPool::CheckNoPinsHeld() const {
+  MutexLock lock(latch_);
+  std::string leaked;
+  for (const Frame& f : frames_) {
+    if (f.pin_count_ > 0) {
+      if (!leaked.empty()) leaked += ", ";
+      leaked += "page " + std::to_string(f.page_id_) + " (pins=" +
+                std::to_string(f.pin_count_) + ")";
+    }
+  }
+  if (leaked.empty()) return Status::OK();
+  return Status::Internal("pin leak: " + leaked);
+}
+
+void BufferPool::AssertNoPinsHeld() const {
+  Status s = CheckNoPinsHeld();
+  if (!s.ok()) {
+    std::fprintf(stderr, "BufferPool::AssertNoPinsHeld failed: %s\n",
+                 s.ToString().c_str());
+    std::abort();
+  }
+}
+
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(latch_);
+  MutexLock lock(latch_);
   for (size_t i = 0; i < frames_.size(); i++) {
     ELE_RETURN_NOT_OK(FlushFrame(i));
   }
@@ -115,7 +170,7 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::EvictAll() {
-  std::lock_guard<std::mutex> lock(latch_);
+  MutexLock lock(latch_);
   for (size_t i = 0; i < frames_.size(); i++) {
     ELE_RETURN_NOT_OK(FlushFrame(i));
   }

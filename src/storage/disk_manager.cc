@@ -17,7 +17,7 @@ IoScope::~IoScope() { t_current_sink = prev_; }
 page_id_t DiskManager::AllocatePage() {
   auto page = std::make_unique<char[]>(kPageSize);
   std::memset(page.get(), 0, kPageSize);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   pages_.push_back(std::move(page));
   return static_cast<page_id_t>(pages_.size() - 1);
 }
@@ -25,7 +25,7 @@ page_id_t DiskManager::AllocatePage() {
 Status DiskManager::ReadPage(page_id_t page_id, char* dest) {
   bool sequential;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (page_id < 0 || static_cast<size_t>(page_id) >= pages_.size()) {
       return Status::OutOfRange("read of unallocated page " +
                                 std::to_string(page_id));
@@ -67,7 +67,7 @@ Status DiskManager::ReadPage(page_id_t page_id, char* dest) {
 
 Status DiskManager::WritePage(page_id_t page_id, const char* src) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (page_id < 0 || static_cast<size_t>(page_id) >= pages_.size()) {
       return Status::OutOfRange("write of unallocated page " +
                                 std::to_string(page_id));

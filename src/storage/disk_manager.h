@@ -3,12 +3,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/config.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace elephant {
 
@@ -151,17 +151,17 @@ class DiskManager {
 
   /// Number of allocated pages.
   uint32_t NumPages() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return static_cast<uint32_t>(pages_.size());
   }
 
   /// Snapshot of the global counters (copied under the lock).
   IoStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return stats_;
   }
   void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_ = IoStats{};
     for (int i = 0; i < kReadStreams; i++) streams_[i] = StreamPos{};
     clock_ = 0;
@@ -173,11 +173,11 @@ class DiskManager {
     uint64_t last_used = 0;
   };
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<char[]>> pages_;
-  IoStats stats_;
-  StreamPos streams_[kReadStreams];
-  uint64_t clock_ = 0;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<char[]>> pages_ GUARDED_BY(mu_);
+  IoStats stats_ GUARDED_BY(mu_);
+  StreamPos streams_[kReadStreams] GUARDED_BY(mu_);
+  uint64_t clock_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace elephant

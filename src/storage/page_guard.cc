@@ -1,0 +1,20 @@
+#include "storage/page_guard.h"
+
+#include "storage/buffer_pool.h"
+
+namespace elephant {
+
+char* PageGuard::data() { return frame_->data(); }
+
+const char* PageGuard::data() const { return frame_->data(); }
+
+void PageGuard::Release() {
+  if (pool_ != nullptr && frame_ != nullptr) {
+    pool_->UnpinPage(page_id_, dirty_);
+  }
+  pool_ = nullptr;
+  frame_ = nullptr;
+  dirty_ = false;
+}
+
+}  // namespace elephant

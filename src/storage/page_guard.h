@@ -1,0 +1,69 @@
+#pragma once
+
+#include <utility>
+
+#include "common/config.h"
+
+namespace elephant {
+
+class BufferPool;
+class Frame;
+
+/// Move-only RAII pin holder: releases its pin on destruction (exactly once),
+/// propagating dirtiness recorded via MarkDirty(). This is the ONLY way
+/// engine code outside the buffer pool may hold a page: bare FetchPage /
+/// UnpinPage pairs are banned by scripts/elephant_lint.py, so a pin leak —
+/// which would silently freeze a frame and corrupt the paper's page-level
+/// I/O accounting — is impossible by construction.
+///
+/// Obtain one with BufferPool::FetchPageGuarded / NewPageGuarded.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  /// Adopts an already-pinned frame (buffer-pool internal; engine code never
+  /// constructs a guard from a raw frame).
+  PageGuard(BufferPool* pool, page_id_t page_id, Frame* frame)
+      : pool_(pool), page_id_(page_id), frame_(frame) {}
+  ~PageGuard() { Release(); }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+  PageGuard& operator=(PageGuard&& o) noexcept {
+    if (this != &o) {
+      Release();
+      pool_ = o.pool_;
+      page_id_ = o.page_id_;
+      frame_ = o.frame_;
+      dirty_ = o.dirty_;
+      o.pool_ = nullptr;
+      o.frame_ = nullptr;
+      o.dirty_ = false;
+    }
+    return *this;
+  }
+
+  /// True while this guard holds a pin.
+  bool valid() const { return frame_ != nullptr; }
+  page_id_t page_id() const { return page_id_; }
+
+  /// The frame's raw kPageSize bytes. Only call while valid().
+  char* data();
+  const char* data() const;
+
+  /// Records that the page was modified; the frame is marked dirty when the
+  /// pin is released (write-back happens on eviction or FlushAll).
+  void MarkDirty() { dirty_ = true; }
+  bool dirty() const { return dirty_; }
+
+  /// Releases the pin early (idempotent; the destructor is then a no-op).
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  page_id_t page_id_ = kInvalidPageId;
+  Frame* frame_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace elephant

@@ -4,10 +4,10 @@ namespace elephant {
 
 Result<TableHeap> TableHeap::Create(BufferPool* pool) {
   page_id_t pid;
-  ELE_ASSIGN_OR_RETURN(Frame * frame, pool->NewPage(&pid));
-  SlottedPage page(frame->data());
+  ELE_ASSIGN_OR_RETURN(PageGuard guard, pool->NewPageGuarded(&pid));
+  SlottedPage page(guard.data());
   page.Init();
-  pool->UnpinPage(pid, /*dirty=*/true);
+  guard.MarkDirty();
   return TableHeap(pool, pid, pid);
 }
 
@@ -15,45 +15,42 @@ Result<Rid> TableHeap::Insert(std::string_view record) {
   if (record.size() > kPageSize / 2) {
     return Status::InvalidArgument("tuple larger than half a page");
   }
-  ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(last_page_));
-  SlottedPage page(frame->data());
+  ELE_ASSIGN_OR_RETURN(PageGuard tail, pool_->FetchPageGuarded(last_page_));
+  SlottedPage page(tail.data());
   auto slot = page.Insert(record);
   if (slot.ok()) {
-    pool_->UnpinPage(last_page_, /*dirty=*/true);
+    tail.MarkDirty();
     return Rid{last_page_, slot.value()};
   }
-  // Tail page full: chain a new page.
+  // Tail page full: chain a new page. On NewPage failure the tail guard
+  // releases its (clean) pin automatically.
   page_id_t new_pid;
-  auto new_frame = pool_->NewPage(&new_pid);
-  if (!new_frame.ok()) {
-    pool_->UnpinPage(last_page_, false);
-    return new_frame.status();
-  }
-  SlottedPage new_page(new_frame.value()->data());
+  ELE_ASSIGN_OR_RETURN(PageGuard fresh, pool_->NewPageGuarded(&new_pid));
+  SlottedPage new_page(fresh.data());
   new_page.Init();
   page.SetNextPageId(new_pid);
-  pool_->UnpinPage(last_page_, /*dirty=*/true);
+  tail.MarkDirty();
+  tail.Release();
   last_page_ = new_pid;
   auto slot2 = new_page.Insert(record);
-  pool_->UnpinPage(new_pid, /*dirty=*/true);
+  fresh.MarkDirty();
   if (!slot2.ok()) return slot2.status();
   return Rid{new_pid, slot2.value()};
 }
 
 Status TableHeap::Get(const Rid& rid, std::string* out) const {
-  ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(rid.page_id));
-  SlottedPage page(frame->data());
+  ELE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPageGuarded(rid.page_id));
+  SlottedPage page(guard.data());
   auto rec = page.Get(rid.slot);
   if (rec.ok()) out->assign(rec.value().data(), rec.value().size());
-  pool_->UnpinPage(rid.page_id, false);
   return rec.status();
 }
 
 Status TableHeap::Delete(const Rid& rid) {
-  ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(rid.page_id));
-  SlottedPage page(frame->data());
+  ELE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPageGuarded(rid.page_id));
+  SlottedPage page(guard.data());
   Status s = page.Delete(rid.slot);
-  pool_->UnpinPage(rid.page_id, s.ok());
+  if (s.ok()) guard.MarkDirty();
   return s;
 }
 
@@ -68,8 +65,8 @@ TableHeap::Iterator::Iterator(BufferPool* pool, page_id_t page_id)
 
 Status TableHeap::Iterator::SeekToLive() {
   while (page_ != kInvalidPageId) {
-    ELE_ASSIGN_OR_RETURN(Frame * frame, pool_->FetchPage(page_));
-    SlottedPage sp(frame->data());
+    ELE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPageGuarded(page_));
+    SlottedPage sp(guard.data());
     const uint16_t count = sp.SlotCount();
     while (slot_ < count) {
       auto rec = sp.Get(slot_);
@@ -77,14 +74,11 @@ Status TableHeap::Iterator::SeekToLive() {
         record_.assign(rec.value().data(), rec.value().size());
         rid_ = Rid{page_, slot_};
         valid_ = true;
-        pool_->UnpinPage(page_, false);
         return Status::OK();
       }
       slot_++;
     }
-    page_id_t next = sp.NextPageId();
-    pool_->UnpinPage(page_, false);
-    page_ = next;
+    page_ = sp.NextPageId();
     slot_ = 0;
   }
   valid_ = false;

@@ -228,6 +228,46 @@ TEST(BTreeTest, BulkLoadEmptyStream) {
   EXPECT_EQ(tree.value().CountEntries().value(), 0u);
 }
 
+// Regression: BulkLoad used to leak the pinned current leaf when a pool
+// fetch/alloc failed mid-load (e.g. fixing up the previous leaf's link).
+// With a capacity-1 pool the leaf switch needs two frames at once, so the
+// load must fail — and must leave zero pins behind.
+TEST(BTreeTest, BulkLoadFailureLeaksNoPins) {
+  DiskManager disk;
+  BufferPool pool(&disk, 1);
+  int i = 0;
+  auto stream = [&](std::string* k, std::string* v) {
+    if (i >= 8) return false;
+    *k = IntKey(i);
+    *v = std::string(1000, 'v');  // ~1KB per entry: spans multiple leaves
+    i++;
+    return true;
+  };
+  auto tree = BPlusTree::BulkLoad(&pool, stream);
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(pool.PinnedFrames(), 0u);
+  // The pool must still be fully usable afterwards.
+  page_id_t pid;
+  EXPECT_TRUE(pool.NewPageGuarded(&pid).ok());
+}
+
+// Same invariant on the oversized-payload error return: the partially
+// filled leaf's pin is released by its guard.
+TEST(BTreeTest, BulkLoadOversizedEntryLeaksNoPins) {
+  TreeFixture f;
+  int i = 0;
+  auto stream = [&](std::string* k, std::string* v) {
+    if (i >= 2) return false;
+    *k = IntKey(i);
+    *v = i == 0 ? "ok" : std::string(BPlusTree::kMaxCellPayload + 1, 'x');
+    i++;
+    return true;
+  };
+  auto tree = BPlusTree::BulkLoad(&f.pool, stream);
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(f.pool.PinnedFrames(), 0u);
+}
+
 TEST(BTreeTest, BulkLoadedScanIsSequentialIo) {
   TreeFixture f;
   const int n = 100000;

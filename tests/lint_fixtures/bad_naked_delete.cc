@@ -1,0 +1,12 @@
+// Fixture: a manual delete expression must be flagged.
+namespace elephant {
+
+struct Node {
+  int v;
+};
+
+void FreeNode(Node* n) {
+  delete n;  // finding
+}
+
+}  // namespace elephant

@@ -1,0 +1,14 @@
+// Fixture: a raw owning allocation must be flagged.
+namespace elephant {
+
+struct Node {
+  int v;
+};
+
+Node* MakeNode(int v) {
+  Node* n = new Node();  // finding
+  n->v = v;
+  return n;
+}
+
+}  // namespace elephant

@@ -1,0 +1,10 @@
+// Fixture: mutable namespace-scope state must be flagged.
+#include <cstdint>
+
+namespace elephant {
+
+uint64_t g_query_counter = 0;  // finding
+
+constexpr int kPageShift = 12;  // fine: constexpr
+
+}  // namespace elephant

@@ -1,0 +1,18 @@
+// Fixture: raw std:: synchronization primitives must be flagged.
+#include <mutex>
+
+namespace elephant {
+
+class Counter {
+ public:
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mu_);  // finding
+    n_++;
+  }
+
+ private:
+  std::mutex mu_;  // finding
+  int n_ = 0;
+};
+
+}  // namespace elephant

@@ -1,0 +1,13 @@
+// Fixture: manual pin management outside the buffer pool must be flagged.
+#include "storage/buffer_pool.h"
+
+namespace elephant {
+
+Status TouchPage(BufferPool* pool, page_id_t pid) {
+  ELE_ASSIGN_OR_RETURN(Frame * frame, pool->FetchPage(pid));  // finding
+  frame->data()[0] = 1;
+  pool->UnpinPage(pid, true);  // finding
+  return Status::OK();
+}
+
+}  // namespace elephant

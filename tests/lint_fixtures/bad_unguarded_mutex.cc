@@ -1,0 +1,18 @@
+// Fixture: a Mutex member with no GUARDED_BY anywhere in the file.
+#include "common/thread_annotations.h"
+
+namespace elephant {
+
+class Registry {
+ public:
+  int Get() {
+    MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable Mutex mu_;  // finding: nothing is GUARDED_BY(mu_)
+  int value_ = 0;
+};
+
+}  // namespace elephant

@@ -10,7 +10,12 @@ namespace {
 class SqlE2eTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    db_ = std::make_unique<Database>();
+    // Single-stream suite: verify the query-end pin invariant after every
+    // statement, both through the Status path (check_pin_invariants) and
+    // the aborting assert in Exec().
+    DatabaseOptions options;
+    options.check_pin_invariants = true;
+    db_ = std::make_unique<Database>(options);
     Exec("CREATE TABLE emp (id INT, dept INT, salary DECIMAL, name VARCHAR, "
          "hired DATE) CLUSTER BY (id)");
     Exec("CREATE TABLE dept (id INT, dname VARCHAR, budget DECIMAL) "
@@ -30,6 +35,7 @@ class SqlE2eTest : public ::testing::Test {
   QueryResult Exec(const std::string& sql) {
     auto r = db_->Execute(sql);
     EXPECT_TRUE(r.ok()) << sql << "\n" << r.status().ToString();
+    db_->pool().AssertNoPinsHeld();  // query-end pin invariant, every stmt
     return r.ok() ? std::move(r).value() : QueryResult{};
   }
 
@@ -255,7 +261,9 @@ namespace {
 class SqlExtensionsTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    db_ = std::make_unique<Database>();
+    DatabaseOptions options;
+    options.check_pin_invariants = true;
+    db_ = std::make_unique<Database>(options);
     Exec("CREATE TABLE s (g INT, v INT) CLUSTER BY (g)");
     for (int i = 0; i < 30; i++) {
       Exec("INSERT INTO s VALUES (" + std::to_string(i % 5) + ", " +
@@ -265,6 +273,7 @@ class SqlExtensionsTest : public ::testing::Test {
   QueryResult Exec(const std::string& sql) {
     auto r = db_->Execute(sql);
     EXPECT_TRUE(r.ok()) << sql << "\n" << r.status().ToString();
+    db_->pool().AssertNoPinsHeld();  // query-end pin invariant, every stmt
     return r.ok() ? std::move(r).value() : QueryResult{};
   }
   std::unique_ptr<Database> db_;
