@@ -5,22 +5,46 @@
 #   default   correctness (full suite, incl. the lint/lint_selftest tests)
 #   analyze   Clang -Wthread-safety -Werror whole-tree lock-discipline proof
 #   sanitize  ASan + UBSan
+#   telemetry run a traced multi-session PARALLEL workload on the default
+#             build and validate both export formats (Chrome trace JSON +
+#             Prometheus text) with scripts/telemetry_check.py, plus the
+#             bench-regression self-tests
 #
 # The analyze preset needs clang++; when it is not installed the preset is
 # skipped with a loud notice (the annotations compile as no-ops under GCC, so
 # the default build still exercises the same code).
 #
-# Usage: scripts/check.sh [preset ...]   (default: default analyze sanitize)
+# Usage: scripts/check.sh [preset ...]
+#        (default: default analyze sanitize telemetry)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 PRESETS=("$@")
 if [ ${#PRESETS[@]} -eq 0 ]; then
-  PRESETS=(default analyze sanitize)
+  PRESETS=(default analyze sanitize telemetry)
 fi
 
 for preset in "${PRESETS[@]}"; do
+  if [ "$preset" = telemetry ]; then
+    echo "=== [$preset] build ==================================================="
+    cmake --preset default
+    cmake --build --preset default -j "$(nproc)" --target bench_parallel
+    echo "=== [$preset] traced workload ========================================="
+    trace_dir="build/telemetry_check"
+    mkdir -p "$trace_dir"
+    ELEPHANT_SF=0.005 ./build/bench/bench_parallel \
+      --trace "$trace_dir/trace.json" \
+      --metrics "$trace_dir/metrics.prom" >/dev/null
+    echo "=== [$preset] validate exports ========================================"
+    python3 scripts/telemetry_check.py \
+      --trace "$trace_dir/trace.json" --min-worker-threads 2 \
+      --metrics "$trace_dir/metrics.prom"
+    echo "=== [$preset] bench-regression self-tests ============================="
+    python3 scripts/bench_regress.py figure2 --self-test
+    python3 scripts/bench_regress.py parallel --self-test
+    continue
+  fi
   if [ "$preset" = analyze ] && ! command -v clang++ >/dev/null 2>&1; then
     echo "=== [$preset] SKIPPED: clang++ not installed =========================="
     echo "    Thread-safety annotations were NOT statically verified."

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Validate the engine's telemetry export formats.
+
+Checks a Chrome-trace (``trace_event``) JSON file produced by
+``obs::TraceLog`` and/or a Prometheus text-exposition dump produced by
+``Database::ExportMetrics()``. Used by ``scripts/check.sh telemetry`` after
+running a traced workload, and handy standalone:
+
+    python3 scripts/telemetry_check.py --trace trace.json --min-worker-threads 2
+    python3 scripts/telemetry_check.py --metrics metrics.prom
+
+Exits non-zero with one line per violation.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?P<labels>\{[^}]*\})? "
+    r"(?P<value>[^ ]+)$"
+)
+
+
+def check_trace(path, min_worker_threads):
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return ["trace: %s" % e]
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["trace: no traceEvents array"]
+
+    # Chrome-trace B/E events are stack-scoped per thread track.
+    stacks = {}  # (pid, tid) -> [name, ...]
+    worker_tids = set()
+    span_begins = 0
+    span_ends = 0
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        where = "trace: event %d (%s)" % (i, ev.get("name"))
+        if ph not in ("B", "E", "i", "M"):
+            errors.append("%s: unknown phase %r" % (where, ph))
+            continue
+        if "pid" not in ev or "tid" not in ev:
+            errors.append("%s: missing pid/tid" % where)
+            continue
+        key = (ev["pid"], ev["tid"])
+        if ph == "M":
+            if ev.get("name") not in ("process_name", "thread_name"):
+                errors.append("%s: unexpected metadata" % where)
+            continue
+        if "ts" not in ev:
+            errors.append("%s: missing ts" % where)
+        if ph == "B":
+            span_begins += 1
+            stacks.setdefault(key, []).append(ev.get("name"))
+            if ev.get("name") in ("task", "morsel"):
+                worker_tids.add(ev["tid"])
+        elif ph == "E":
+            span_ends += 1
+            stack = stacks.setdefault(key, [])
+            if not stack:
+                errors.append("%s: 'E' with no open span on track %s" %
+                              (where, key))
+            else:
+                stack.pop()
+        elif ph == "i":
+            if ev.get("s") != "t":
+                errors.append("%s: instant without thread scope" % where)
+
+    for key, stack in stacks.items():
+        if stack:
+            errors.append("trace: track %s left %d span(s) open: %s" %
+                          (key, len(stack), stack))
+    if span_begins != span_ends:
+        errors.append("trace: %d begins vs %d ends" % (span_begins, span_ends))
+    if span_begins == 0:
+        errors.append("trace: no spans recorded")
+    if len(worker_tids) < min_worker_threads:
+        errors.append(
+            "trace: worker spans (task/morsel) cover %d thread(s), need >= %d"
+            % (len(worker_tids), min_worker_threads))
+    return errors
+
+
+def check_metrics(path):
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        return ["metrics: %s" % e]
+    if not text.endswith("\n"):
+        errors.append("metrics: missing trailing newline")
+
+    typed = {}  # family -> type
+    series = set()
+    histograms = {}  # family -> [(le, count)]
+    hist_counts = {}  # family -> value of _count
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            continue
+        where = "metrics: line %d" % lineno
+        if line.startswith("#"):
+            m = re.match(r"^# TYPE ([^ ]+) (counter|gauge|histogram)$", line)
+            if m:
+                if m.group(1) in typed:
+                    errors.append("%s: duplicate TYPE for %s" %
+                                  (where, m.group(1)))
+                typed[m.group(1)] = m.group(2)
+            elif not line.startswith("# HELP "):
+                errors.append("%s: unrecognized comment %r" % (where, line))
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append("%s: malformed sample %r" % (where, line))
+            continue
+        samples += 1
+        name = m.group("name")
+        if not name.startswith("elephant_"):
+            errors.append("%s: %s missing elephant_ prefix" % (where, name))
+        family = name
+        if family not in typed:
+            for suffix in ("_bucket", "_sum", "_count"):
+                base = name[: -len(suffix)] if name.endswith(suffix) else None
+                if base and typed.get(base) == "histogram":
+                    family = base
+                    break
+        if family not in typed:
+            errors.append("%s: sample %s has no TYPE line" % (where, name))
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            errors.append("%s: bad value %r" % (where, m.group("value")))
+            continue
+        sid = name + (m.group("labels") or "")
+        if sid in series:
+            errors.append("%s: duplicate series %s" % (where, sid))
+        series.add(sid)
+        if typed.get(family) == "histogram" and name.endswith("_bucket"):
+            le = re.search(r'le="([^"]+)"', m.group("labels") or "")
+            if le is None:
+                errors.append("%s: bucket without le label" % where)
+            else:
+                bound = float("inf") if le.group(1) == "+Inf" \
+                    else float(le.group(1))
+                histograms.setdefault(family, []).append((bound, value))
+        if typed.get(family) == "histogram" and name.endswith("_count"):
+            hist_counts[family] = value
+
+    for family, buckets in histograms.items():
+        bounds = [b for b, _ in buckets]
+        counts = [c for _, c in buckets]
+        if bounds != sorted(bounds):
+            errors.append("metrics: %s buckets out of order" % family)
+        if counts != sorted(counts):
+            errors.append("metrics: %s buckets not cumulative" % family)
+        if not bounds or bounds[-1] != float("inf"):
+            errors.append("metrics: %s missing +Inf bucket" % family)
+        elif family in hist_counts and counts[-1] != hist_counts[family]:
+            errors.append("metrics: %s +Inf bucket %g != count %g" %
+                          (family, counts[-1], hist_counts[family]))
+    if samples == 0:
+        errors.append("metrics: no samples")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", help="Chrome-trace JSON file to validate")
+    parser.add_argument("--metrics",
+                        help="Prometheus text-exposition file to validate")
+    parser.add_argument("--min-worker-threads", type=int, default=0,
+                        help="require worker spans on at least N threads")
+    args = parser.parse_args()
+    if not args.trace and not args.metrics:
+        parser.error("nothing to check: pass --trace and/or --metrics")
+
+    errors = []
+    if args.trace:
+        errors += check_trace(args.trace, args.min_worker_threads)
+    if args.metrics:
+        errors += check_metrics(args.metrics)
+    for e in errors:
+        print(e, file=sys.stderr)
+    if not errors:
+        checked = [p for p in (args.trace, args.metrics) if p]
+        print("telemetry_check: OK (%s)" % ", ".join(checked))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

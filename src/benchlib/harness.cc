@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "benchlib/telemetry.h"
+
 namespace elephant {
 namespace paper {
 
@@ -41,6 +43,14 @@ PaperBench::PaperBench(Options options) : options_(options) {
   db_options.buffer_pool_pages = options_.buffer_pool_pages;
   db_ = std::make_unique<Database>(db_options);
   views_ = std::make_unique<mv::ViewManager>(db_.get());
+}
+
+PaperBench::~PaperBench() {
+  // The harness outlives main()'s Flush() call in no bench, so the metrics
+  // scrape has to happen here, while the Database is still alive.
+  if (db_ != nullptr) {
+    BenchTelemetry::Instance().WriteMetricsText(db_->ExportMetrics());
+  }
 }
 
 Status PaperBench::Setup() {
@@ -98,6 +108,7 @@ Result<StrategyResult> PaperBench::RunSql(const std::string& strategy,
   // result. The wrappers add a little measured CPU per Next() call; the
   // paper's metric is modeled disk time, which is unaffected.
   db_->options().cold_cache = true;
+  const auto heat_before = db_->heatmap().Snapshot();
   auto qr = db_->ExplainAnalyze(sql);
   db_->options().cold_cache = false;
   if (!qr.ok()) return qr.status();
@@ -114,6 +125,7 @@ Result<StrategyResult> PaperBench::RunSql(const std::string& strategy,
   out.rows = result.rows.size();
   out.checksum = ResultChecksum(result);
   if (result.plan != nullptr) out.operators = obs::FlattenPlan(*result.plan);
+  out.heatmap = obs::HeatmapDelta(heat_before, db_->heatmap().Snapshot());
   return out;
 }
 

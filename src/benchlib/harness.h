@@ -10,6 +10,7 @@
 #include "cstore/rewriter.h"
 #include "engine/database.h"
 #include "mv/view.h"
+#include "obs/heatmap.h"
 #include "obs/plan_stats.h"
 #include "tpch/tpch.h"
 
@@ -33,6 +34,10 @@ struct StrategyResult {
   /// Per-operator self-attributed breakdown (pre-order; empty for modeled
   /// strategies like ColOpt). Page counts sum to pages_sequential/_random.
   std::vector<obs::OperatorBreakdown> operators;
+  /// Per-object page-access delta for this execution (table/index/c-table →
+  /// hits, faults, reads, writes), from the engine's AccessHeatmap. Empty
+  /// for modeled strategies.
+  std::map<std::string, obs::ObjectIoStats> heatmap;
 };
 
 /// The full experimental rig of the paper: TPC-H data, the D1/D2/D4
@@ -49,6 +54,10 @@ class PaperBench {
   };
 
   explicit PaperBench(Options options);
+
+  /// Dumps the engine's Prometheus metrics to the path given by the bench's
+  /// `--metrics` flag (if any) before the Database goes away.
+  ~PaperBench();
 
   /// Loads TPC-H and builds projections/views. Call once.
   Status Setup();

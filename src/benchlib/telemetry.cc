@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/trace_log.h"
+
 namespace elephant {
 namespace paper {
 
@@ -29,23 +31,43 @@ BenchTelemetry& BenchTelemetry::Instance() {
   return instance;
 }
 
+namespace {
+
+/// Extracts `--<flag> <path>` or `--<flag>=<path>` from argv (consuming the
+/// tokens), storing the path in `*out`. Returns how many tokens argv shrank
+/// by at position i (0 when no match).
+int ExtractPathFlag(const char* flag, int i, int* argc, char** argv,
+                    std::string* out) {
+  if (std::strcmp(argv[i], flag) == 0 && i + 1 < *argc) {
+    *out = argv[i + 1];
+    for (int j = i; j + 2 < *argc; j++) argv[j] = argv[j + 2];
+    *argc -= 2;
+    return 2;
+  }
+  const std::string prefix = std::string(flag) + "=";
+  if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+    *out = argv[i] + prefix.size();
+    for (int j = i; j + 1 < *argc; j++) argv[j] = argv[j + 1];
+    *argc -= 1;
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
 void BenchTelemetry::Configure(std::string bench_name, int* argc, char** argv) {
   bench_name_ = std::move(bench_name);
-  for (int i = 1; i < *argc; i++) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
-      path_ = argv[i + 1];
-      for (int j = i; j + 2 < *argc; j++) argv[j] = argv[j + 2];
-      *argc -= 2;
-      return;
+  int i = 1;
+  while (i < *argc) {
+    if (ExtractPathFlag("--json", i, argc, argv, &path_) > 0) continue;
+    if (ExtractPathFlag("--trace", i, argc, argv, &trace_path_) > 0) continue;
+    if (ExtractPathFlag("--metrics", i, argc, argv, &metrics_path_) > 0) {
+      continue;
     }
-    constexpr const char* kPrefix = "--json=";
-    if (std::strncmp(argv[i], kPrefix, std::strlen(kPrefix)) == 0) {
-      path_ = argv[i] + std::strlen(kPrefix);
-      for (int j = i; j + 1 < *argc; j++) argv[j] = argv[j + 1];
-      *argc -= 1;
-      return;
-    }
+    i++;
   }
+  if (!trace_path_.empty()) obs::TraceLog::Global().Enable();
 }
 
 void BenchTelemetry::RecordStrategy(
@@ -83,6 +105,17 @@ void BenchTelemetry::RecordStrategy(
     w.EndObject();
   }
   w.EndArray();
+  w.Key("heatmap").BeginObject();
+  for (const auto& [object, io] : result.heatmap) {
+    w.Key(object).BeginObject();
+    w.Key("pool_hits").UInt(io.pool_hits);
+    w.Key("pool_faults").UInt(io.pool_faults);
+    w.Key("sequential_reads").UInt(io.sequential_reads);
+    w.Key("random_reads").UInt(io.random_reads);
+    w.Key("page_writes").UInt(io.page_writes);
+    w.EndObject();
+  }
+  w.EndObject();
   w.EndObject();
   records_.push_back(std::move(w).str());
 }
@@ -102,8 +135,26 @@ void BenchTelemetry::RecordMetrics(
   records_.push_back(std::move(w).str());
 }
 
+bool BenchTelemetry::WriteMetricsText(const std::string& text) {
+  if (metrics_path_.empty()) return true;
+  std::FILE* f = std::fopen(metrics_path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "telemetry: cannot open %s\n", metrics_path_.c_str());
+    return false;
+  }
+  std::fputs(text.c_str(), f);
+  return std::fclose(f) == 0;
+}
+
 bool BenchTelemetry::Flush() {
-  if (!enabled()) return true;
+  bool ok = true;
+  if (!trace_path_.empty() &&
+      !obs::TraceLog::Global().WriteFile(trace_path_)) {
+    std::fprintf(stderr, "telemetry: cannot write trace %s\n",
+                 trace_path_.c_str());
+    ok = false;
+  }
+  if (!enabled()) return ok;
   std::FILE* f = std::fopen(path_.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "telemetry: cannot open %s\n", path_.c_str());
@@ -112,7 +163,7 @@ bool BenchTelemetry::Flush() {
   obs::JsonWriter head;
   head.BeginObject();
   head.Key("bench").String(bench_name_);
-  head.Key("schema_version").Int(1);
+  head.Key("schema_version").Int(2);
   const std::string& prefix = head.str();
   std::fputs(prefix.c_str(), f);
   // Splice the records array into the open object by hand: the records are
@@ -124,8 +175,7 @@ bool BenchTelemetry::Flush() {
   }
   std::fputs("]}", f);
   std::fputc('\n', f);
-  const bool ok = std::fclose(f) == 0;
-  return ok;
+  return (std::fclose(f) == 0) && ok;
 }
 
 }  // namespace paper

@@ -15,7 +15,7 @@ namespace paper {
 ///
 ///   {
 ///     "bench": "<binary name>",
-///     "schema_version": 1,
+///     "schema_version": 2,
 ///     "records": [
 ///       {"type": "strategy", "labels": {...}, "strategy": "Row(Col)",
 ///        "seconds": ..., "io_seconds": ..., "cpu_seconds": ...,
@@ -23,10 +23,19 @@ namespace paper {
 ///        "rows": ..., "checksum": "<hex>",
 ///        "operators": [{"op": ..., "depth": ..., "rows": ...,
 ///                       "seconds": ..., "seq_reads": ..., "rand_reads": ...,
-///                       "pool_misses": ..., "est_rows": ...}, ...]},
+///                       "pool_misses": ..., "est_rows": ...}, ...],
+///        "heatmap": {"table:lineitem": {"pool_hits": ..., "pool_faults": ...,
+///                    "sequential_reads": ..., "random_reads": ...,
+///                    "page_writes": ...}, ...}},
 ///       {"type": "metrics", "labels": {...}, "values": {...}}
 ///     ]
 ///   }
+///
+/// Two more flags ride along for the engine-lifetime telemetry:
+///   `--trace <path>`    enable the process-wide obs::TraceLog and write a
+///                       Chrome trace_event JSON there at Flush().
+///   `--metrics <path>`  dump the engine's Prometheus text exposition there
+///                       when the bench's PaperBench is torn down.
 ///
 /// Records accumulate in memory (benches are short); without --json the sink
 /// is a no-op. Single-threaded, like the benches.
@@ -34,12 +43,16 @@ class BenchTelemetry {
  public:
   static BenchTelemetry& Instance();
 
-  /// Reads `--json <path>` from argv (consuming both tokens) and remembers
-  /// the bench name. Call first thing in main().
+  /// Reads `--json <path>`, `--trace <path>` and `--metrics <path>` from
+  /// argv (consuming the tokens; `--flag=<path>` also accepted) and
+  /// remembers the bench name. Enables the global TraceLog when --trace is
+  /// present. Call first thing in main().
   void Configure(std::string bench_name, int* argc, char** argv);
 
   bool enabled() const { return !path_.empty(); }
   const std::string& path() const { return path_; }
+  const std::string& trace_path() const { return trace_path_; }
+  const std::string& metrics_path() const { return metrics_path_; }
 
   /// One strategy execution, with free-form dimension labels
   /// ("query": "Q3", "selectivity": "0.1", ...).
@@ -50,13 +63,21 @@ class BenchTelemetry {
   void RecordMetrics(const std::map<std::string, std::string>& labels,
                      const std::map<std::string, double>& values);
 
-  /// Writes the document to `path` (no-op when disabled). Returns false on
-  /// I/O failure. Safe to call multiple times; the file is rewritten whole.
+  /// Writes the engine metrics text (Prometheus exposition) captured by the
+  /// bench harness at teardown. PaperBench calls this from its destructor;
+  /// no-op unless --metrics was given.
+  bool WriteMetricsText(const std::string& text);
+
+  /// Writes the document to `path` (no-op when disabled) and, when --trace
+  /// was given, the Chrome trace to `trace_path`. Returns false on I/O
+  /// failure. Safe to call multiple times; the files are rewritten whole.
   bool Flush();
 
  private:
   std::string bench_name_;
   std::string path_;
+  std::string trace_path_;
+  std::string metrics_path_;
   std::vector<std::string> records_;  ///< pre-serialized JSON objects
 };
 

@@ -40,6 +40,7 @@ Result<std::unique_ptr<Table>> Table::Create(BufferPool* pool, std::string name,
                 unique_cluster));
   ELE_ASSIGN_OR_RETURN(BPlusTree tree, BPlusTree::Create(pool));
   table->clustered_ = std::make_unique<BPlusTree>(tree);
+  table->clustered_->SetAccessLabel(&table->access_label_);
   return table;
 }
 
@@ -88,6 +89,7 @@ Status Table::Insert(const Row& row) {
 }
 
 Status Table::BulkLoadRows(std::vector<Row>&& rows) {
+  obs::AccessScope access(&access_label_);
   if (row_count_ != 0) {
     return Status::InvalidArgument("bulk load into non-empty table " + name_);
   }
@@ -116,6 +118,7 @@ Status Table::BulkLoadRows(std::vector<Row>&& rows) {
   };
   ELE_ASSIGN_OR_RETURN(BPlusTree tree, BPlusTree::BulkLoad(pool_, stream));
   *clustered_ = tree;
+  clustered_->SetAccessLabel(&access_label_);
   row_count_ = entries.size();
   return Status::OK();
 }
@@ -155,6 +158,7 @@ Status Table::CreateSecondaryIndex(const std::string& index_name,
   }
   auto idx = std::make_unique<SecondaryIndex>();
   idx->name = index_name;
+  idx->access_label = "index:" + name_ + "." + index_name;
   idx->key_cols = std::move(key_cols);
   idx->include_cols = std::move(include_cols);
   std::vector<Column> out_cols, inc_cols;
@@ -191,8 +195,10 @@ Status Table::CreateSecondaryIndex(const std::string& index_name,
     i++;
     return true;
   };
+  obs::AccessScope access(&idx->access_label);
   ELE_ASSIGN_OR_RETURN(BPlusTree tree, BPlusTree::BulkLoad(pool_, stream));
   idx->tree = std::make_unique<BPlusTree>(tree);
+  idx->tree->SetAccessLabel(&idx->access_label);
   secondary_.push_back(std::move(idx));
   return Status::OK();
 }

@@ -25,6 +25,7 @@ struct ColumnStats {
 /// enough to answer covered queries without touching the base table.
 struct SecondaryIndex {
   std::string name;
+  std::string access_label;  ///< "index:<table>.<name>"; the tree points here
   std::vector<size_t> key_cols;      ///< base-schema positions of key columns
   std::vector<size_t> include_cols;  ///< base-schema positions of included columns
   Schema out_schema;                 ///< key cols then include cols
@@ -127,6 +128,7 @@ class Table {
         std::vector<size_t> cluster_cols, bool unique_cluster)
       : pool_(pool),
         name_(std::move(name)),
+        access_label_("table:" + name_),
         schema_(std::move(schema)),
         cluster_cols_(std::move(cluster_cols)),
         unique_cluster_(unique_cluster) {}
@@ -139,6 +141,9 @@ class Table {
 
   BufferPool* pool_;
   std::string name_;
+  /// Heatmap attribution label ("table:<name>"); the clustered tree (and its
+  /// iterators) hold a pointer to this string, so it lives with the table.
+  std::string access_label_;
   Schema schema_;
   std::vector<size_t> cluster_cols_;
   bool unique_cluster_ = false;

@@ -2,8 +2,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <optional>
 
 #include "obs/json.h"
+#include "obs/prometheus.h"
+#include "obs/trace_log.h"
 #include "parser/parser.h"
 #include "planner/binder.h"
 
@@ -60,9 +63,56 @@ std::string QueryResult::ToString(size_t max_rows) const {
 }
 
 Database::Database(DatabaseOptions options) : options_(options) {
-  disk_ = std::make_unique<DiskManager>();
-  pool_ = std::make_unique<BufferPool>(disk_.get(), options_.buffer_pool_pages);
+  disk_ = std::make_unique<DiskManager>(&heatmap_);
+  pool_ = std::make_unique<BufferPool>(disk_.get(), options_.buffer_pool_pages,
+                                       &heatmap_);
   catalog_ = std::make_unique<Catalog>(pool_.get());
+}
+
+std::string Database::ExportMetrics() {
+  // Point-in-time gauges are sampled at export (scrape) time; counters and
+  // histograms accumulate continuously as statements run.
+  metrics_.GetGauge("db.pool.capacity_pages")
+      ->Set(static_cast<double>(pool_->capacity()));
+  metrics_.GetGauge("db.pool.resident_pages")
+      ->Set(static_cast<double>(pool_->ResidentPages()));
+  metrics_.GetGauge("db.pool.pinned_frames")
+      ->Set(static_cast<double>(pool_->PinnedFrames()));
+  const BufferPoolStats pool_stats = pool_->stats();
+  metrics_.GetCounter("db.pool.hits_total")
+      ->Increment(pool_stats.hits -
+                  metrics_.GetCounter("db.pool.hits_total")->value());
+  metrics_.GetCounter("db.pool.misses_total")
+      ->Increment(pool_stats.misses -
+                  metrics_.GetCounter("db.pool.misses_total")->value());
+  const IoStats io = disk_->stats();
+  metrics_.GetCounter("db.disk.sequential_reads_total")
+      ->Increment(io.sequential_reads -
+                  metrics_.GetCounter("db.disk.sequential_reads_total")->value());
+  metrics_.GetCounter("db.disk.random_reads_total")
+      ->Increment(io.random_reads -
+                  metrics_.GetCounter("db.disk.random_reads_total")->value());
+  metrics_.GetCounter("db.disk.page_writes_total")
+      ->Increment(io.page_writes -
+                  metrics_.GetCounter("db.disk.page_writes_total")->value());
+  {
+    MutexLock lock(workers_mu_);
+    if (workers_ != nullptr) {
+      metrics_.GetGauge("db.workers.queue_depth")
+          ->Set(static_cast<double>(workers_->QueueDepth()));
+      metrics_.GetGauge("db.workers.active_tasks")
+          ->Set(static_cast<double>(workers_->ActiveTasks()));
+      metrics_.GetGauge("db.workers.busy_seconds")->Set(workers_->BusySeconds());
+      const double uptime = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - created_at_)
+                                .count();
+      const double capacity =
+          uptime * static_cast<double>(workers_->num_threads());
+      metrics_.GetGauge("db.workers.utilization")
+          ->Set(capacity > 0 ? workers_->BusySeconds() / capacity : 0);
+    }
+  }
+  return obs::ToPrometheusText(metrics_);
 }
 
 Status Database::EvictCaches() { return pool_->EvictAll(); }
@@ -98,13 +148,15 @@ Result<std::string> Database::Explain(const std::string& sql,
   return plan.explain;
 }
 
-Result<QueryResult> Database::ExecuteSelect(std::unique_ptr<SelectStmt> stmt,
+Result<QueryResult> Database::ExecuteSelect(const std::string& sql,
+                                            std::unique_ptr<SelectStmt> stmt,
                                             PlanHints extra_hints,
                                             bool instrument,
                                             obs::Tracer* tracer) {
   std::unique_ptr<BoundQuery> bound;
   {
     auto span = tracer->StartSpan("bind");
+    obs::TraceSpan tspan("bind", "engine");
     Binder binder(catalog_.get());
     ELE_ASSIGN_OR_RETURN(bound, binder.Bind(*stmt));
     bound->hints = bound->hints.Merge(extra_hints);
@@ -116,6 +168,7 @@ Result<QueryResult> Database::ExecuteSelect(std::unique_ptr<SelectStmt> stmt,
   PlannedQuery plan;
   {
     auto span = tracer->StartSpan("plan");
+    obs::TraceSpan tspan("plan", "engine");
     Planner planner(&ctx, instrument);
     ELE_ASSIGN_OR_RETURN(plan, planner.Plan(std::move(bound)));
   }
@@ -134,6 +187,7 @@ Result<QueryResult> Database::ExecuteSelect(std::unique_ptr<SelectStmt> stmt,
     IoSink query_sink;
     IoScope io_scope(&query_sink);
     auto span = tracer->StartSpan("execute");
+    obs::TraceSpan tspan("execute", "engine");
     ELE_RETURN_NOT_OK(plan.executor->Init());
     Row row;
     while (true) {
@@ -160,11 +214,26 @@ Result<QueryResult> Database::ExecuteSelect(std::unique_ptr<SelectStmt> stmt,
   metrics_.GetCounter("db.pages_read_total")->Increment(result.io.TotalReads());
   metrics_.GetHistogram("db.query_seconds")->Observe(result.cpu_seconds);
   metrics_.GetHistogram("db.query_modeled_seconds")->Observe(result.TotalSeconds());
+  if (query_log_.enabled()) {
+    obs::QueryLogEntry entry;
+    entry.sql = sql;
+    entry.plan_hash = obs::Fnv1a64(plan.explain);
+    entry.latency_seconds = result.cpu_seconds;
+    entry.io_seconds = result.io_seconds;
+    entry.io = result.io;
+    entry.rows = result.rows.size();
+    entry.session_id = obs::CurrentSessionId();
+    query_log_.Record(entry);
+  }
   return result;
 }
 
 Result<ExplainAnalyzeResult> Database::ExplainAnalyze(const std::string& sql,
                                                       PlanHints extra_hints) {
+  std::optional<obs::TraceSpan> statement_span;
+  if (obs::TraceLog::Global().enabled()) {
+    statement_span.emplace("statement", "engine", obs::TraceArgs{{"sql", sql}});
+  }
   obs::Tracer tracer;
   std::unique_ptr<SelectStmt> stmt;
   {
@@ -179,7 +248,8 @@ Result<ExplainAnalyzeResult> Database::ExplainAnalyze(const std::string& sql,
   metrics_.GetCounter("db.statements.explain")->Increment();
   ELE_ASSIGN_OR_RETURN(
       QueryResult result,
-      ExecuteSelect(std::move(stmt), extra_hints, /*instrument=*/true, &tracer));
+      ExecuteSelect(sql, std::move(stmt), extra_hints, /*instrument=*/true,
+                    &tracer));
   result.trace = std::make_shared<obs::QueryTrace>(tracer.Finish());
 
   ExplainAnalyzeResult out;
@@ -207,10 +277,17 @@ Result<ExplainAnalyzeResult> Database::ExplainAnalyze(const std::string& sql,
 
 Result<QueryResult> Database::Execute(const std::string& sql,
                                       PlanHints extra_hints) {
+  // Root span of the statement: everything this statement does — parse,
+  // bind, plan, execute, worker tasks, page faults — nests under it.
+  std::optional<obs::TraceSpan> statement_span;
+  if (obs::TraceLog::Global().enabled()) {
+    statement_span.emplace("statement", "engine", obs::TraceArgs{{"sql", sql}});
+  }
   obs::Tracer tracer;
   Statement stmt;
   {
     auto span = tracer.StartSpan("parse");
+    obs::TraceSpan tspan("parse", "engine");
     ELE_ASSIGN_OR_RETURN(stmt, ParseStatement(sql));
   }
   metrics_.GetCounter("db.statements_total")->Increment();
@@ -219,7 +296,7 @@ Result<QueryResult> Database::Execute(const std::string& sql,
       metrics_.GetCounter("db.statements.select")->Increment();
       ELE_ASSIGN_OR_RETURN(
           QueryResult r,
-          ExecuteSelect(std::move(stmt.select), extra_hints,
+          ExecuteSelect(sql, std::move(stmt.select), extra_hints,
                         /*instrument=*/false, &tracer));
       r.trace = std::make_shared<obs::QueryTrace>(tracer.Finish());
       return r;
@@ -242,7 +319,7 @@ Result<QueryResult> Database::Execute(const std::string& sql,
       }
       ELE_ASSIGN_OR_RETURN(
           QueryResult inner,
-          ExecuteSelect(std::move(stmt.select), extra_hints,
+          ExecuteSelect(sql, std::move(stmt.select), extra_hints,
                         /*instrument=*/true, &tracer));
       inner.trace = std::make_shared<obs::QueryTrace>(tracer.Finish());
       std::string text = obs::RenderPlanTree(*inner.plan, /*with_actuals=*/true);

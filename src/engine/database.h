@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -7,8 +8,10 @@
 #include "catalog/catalog.h"
 #include "common/thread_annotations.h"
 #include "exec/executor.h"
+#include "obs/heatmap.h"
 #include "obs/metrics.h"
 #include "obs/plan_stats.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 #include "parser/ast.h"
 #include "planner/hints.h"
@@ -104,6 +107,33 @@ class Database {
   /// Engine-lifetime metrics (statement counts, row counts, latencies).
   obs::MetricsRegistry& metrics() { return metrics_; }
 
+  /// Engine-lifetime per-object page-access heatmap, fed by the disk manager
+  /// and buffer pool; per-object totals sum exactly to disk().stats().
+  obs::AccessHeatmap& heatmap() { return heatmap_; }
+
+  /// Heatmap snapshot as JSON, with I/O modeled by the configured disk.
+  std::string ExportHeatmapJson() const {
+    return heatmap_.ToJson(options_.disk_model);
+  }
+  /// Heatmap as an aligned text table sorted by modeled I/O time.
+  std::string ExportHeatmapText() const {
+    return heatmap_.ToString(options_.disk_model);
+  }
+
+  /// Refreshes the point-in-time gauges (pool occupancy, pinned frames,
+  /// worker queue depth/utilization) and serializes every metric in the
+  /// Prometheus text exposition format.
+  std::string ExportMetrics();
+
+  /// Starts the slow-query/audit log: statements whose measured latency
+  /// meets `threshold_seconds` are appended to `path` as JSONL (statement,
+  /// plan hash, latency, I/O stats, session id). 0 audits everything.
+  bool EnableSlowQueryLog(const std::string& path, double threshold_seconds) {
+    return query_log_.Open(path, threshold_seconds);
+  }
+  void DisableSlowQueryLog() { query_log_.Close(); }
+  obs::QueryLog& query_log() { return query_log_; }
+
   /// The shared intra-query worker pool (created on first use). Distinct
   /// from any session-level statement scheduler: workers never block on
   /// other tasks, which keeps PARALLEL queries deadlock-free even when
@@ -117,15 +147,22 @@ class Database {
   Status Analyze(const std::string& table);
 
  private:
-  Result<QueryResult> ExecuteSelect(std::unique_ptr<SelectStmt> stmt,
+  Result<QueryResult> ExecuteSelect(const std::string& sql,
+                                    std::unique_ptr<SelectStmt> stmt,
                                     PlanHints extra_hints, bool instrument,
                                     obs::Tracer* tracer);
 
   DatabaseOptions options_;
+  /// Declared before disk_/pool_ (which hold pointers into it) so it is
+  /// destroyed after them.
+  obs::AccessHeatmap heatmap_;
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;
   obs::MetricsRegistry metrics_;
+  obs::QueryLog query_log_;
+  const std::chrono::steady_clock::time_point created_at_ =
+      std::chrono::steady_clock::now();
   Mutex workers_mu_;
   std::unique_ptr<sched::ThreadPool> workers_ GUARDED_BY(workers_mu_);
 };

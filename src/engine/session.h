@@ -7,6 +7,7 @@
 
 #include "common/thread_annotations.h"
 #include "engine/database.h"
+#include "obs/trace_log.h"
 #include "sched/thread_pool.h"
 
 namespace elephant {
@@ -31,9 +32,14 @@ class Session {
   /// executes (e.g. set PARALLEL once for the whole session).
   PlanHints& default_hints() { return default_hints_; }
 
-  /// Executes one statement on the calling thread.
+  /// Executes one statement on the calling thread. The session id is
+  /// attached to the thread for the statement's duration, so telemetry
+  /// (trace process tracks, the slow-query log) attributes everything the
+  /// statement does — including worker tasks, which inherit the id through
+  /// TaskGroup — to this session.
   Result<QueryResult> Execute(const std::string& sql, PlanHints hints = {}) {
     statements_++;
+    obs::SessionIdScope session_scope(id_);
     Result<QueryResult> r = db_->Execute(sql, default_hints_.Merge(hints));
     if (!r.ok()) last_error_ = r.status().ToString();
     return r;
@@ -60,7 +66,8 @@ class SessionManager {
   explicit SessionManager(Database* db, size_t session_threads = 0)
       : db_(db),
         pool_(session_threads > 0 ? session_threads
-                                  : sched::ThreadPool::DefaultThreads()) {}
+                                  : sched::ThreadPool::DefaultThreads(),
+              "session") {}
 
   /// Opens a new session; the returned pointer stays valid for the manager's
   /// lifetime.
@@ -76,9 +83,17 @@ class SessionManager {
   /// should not overlap (a session is single-threaded by contract).
   std::future<Result<QueryResult>> Submit(Session* session, std::string sql,
                                           PlanHints hints = {}) {
-    return pool_.Async([session, sql = std::move(sql), hints] {
-      return session->Execute(sql, hints);
+    auto fut = pool_.Async([this, session, sql = std::move(sql), hints] {
+      auto result = session->Execute(sql, hints);
+      db_->metrics()
+          .GetGauge("db.scheduler.queue_depth")
+          ->Set(static_cast<double>(pool_.QueueDepth()));
+      return result;
     });
+    db_->metrics()
+        .GetGauge("db.scheduler.queue_depth")
+        ->Set(static_cast<double>(pool_.QueueDepth()));
+    return fut;
   }
 
   /// Runs one statement per entry concurrently — each on its own session —

@@ -1,8 +1,10 @@
 #include "exec/parallel_executor.h"
 
 #include <atomic>
+#include <optional>
 #include <unordered_map>
 
+#include "obs/trace_log.h"
 #include "sched/task_group.h"
 
 namespace elephant {
@@ -74,6 +76,12 @@ Status GatherExecutor::Init() {
     while (!group.cancelled()) {
       const size_t i = next_morsel.fetch_add(1, std::memory_order_relaxed);
       if (i >= morsels_.size()) break;
+      // One span per morsel (gated: the args build costs a string when on).
+      std::optional<obs::TraceSpan> morsel_span;
+      if (obs::TraceLog::Global().enabled()) {
+        morsel_span.emplace("morsel", "exec",
+                            obs::TraceArgs{{"morsel", std::to_string(i)}});
+      }
       auto plan = factory_(morsels_[i], &worker_ctx);
       if (!plan.ok()) return plan.status();
       MorselPlan mp = std::move(plan).value();

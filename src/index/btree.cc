@@ -151,6 +151,7 @@ Status BPlusTree::InsertIntoParent(std::vector<std::pair<page_id_t, int>>& path,
 }
 
 Status BPlusTree::Insert(std::string_view key, std::string_view value) {
+  obs::AccessScope access(access_label_);
   if (key.size() + value.size() > kMaxCellPayload) {
     return Status::InvalidArgument("btree entry exceeds max payload");
   }
@@ -220,6 +221,7 @@ static Result<ExactPos> LocateExact(BufferPool* pool, std::string_view key,
 }
 
 Result<std::string> BPlusTree::Get(std::string_view key) const {
+  obs::AccessScope access(access_label_);
   ELE_ASSIGN_OR_RETURN(page_id_t leaf_pid, FindLeaf(key, nullptr));
   ELE_ASSIGN_OR_RETURN(ExactPos at, LocateExact(pool_, key, leaf_pid));
   ELE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPageGuarded(at.leaf));
@@ -228,6 +230,7 @@ Result<std::string> BPlusTree::Get(std::string_view key) const {
 }
 
 Status BPlusTree::Delete(std::string_view key) {
+  obs::AccessScope access(access_label_);
   ELE_ASSIGN_OR_RETURN(page_id_t leaf_pid, FindLeaf(key, nullptr));
   ELE_ASSIGN_OR_RETURN(ExactPos at, LocateExact(pool_, key, leaf_pid));
   ELE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPageGuarded(at.leaf));
@@ -238,6 +241,7 @@ Status BPlusTree::Delete(std::string_view key) {
 }
 
 Status BPlusTree::Update(std::string_view key, std::string_view value) {
+  obs::AccessScope access(access_label_);
   ELE_ASSIGN_OR_RETURN(page_id_t leaf_pid, FindLeaf(key, nullptr));
   ELE_ASSIGN_OR_RETURN(ExactPos at, LocateExact(pool_, key, leaf_pid));
   {
@@ -288,11 +292,13 @@ Status BPlusTree::Iterator::AdvanceLeaf() {
 }
 
 Status BPlusTree::Iterator::Next() {
+  obs::AccessScope access(access_label_);
   pos_++;
   return LoadCell();
 }
 
 Result<BPlusTree::Iterator> BPlusTree::SeekToFirst() const {
+  obs::AccessScope access(access_label_);
   // Descend along leftmost children.
   page_id_t pid = root_;
   while (true) {
@@ -301,6 +307,7 @@ Result<BPlusTree::Iterator> BPlusTree::SeekToFirst() const {
     if (node.IsLeaf()) {
       Iterator it;
       it.pool_ = pool_;
+      it.access_label_ = access_label_;
       it.guard_ = std::move(guard);
       it.leaf_ = pid;
       it.pos_ = 0;
@@ -312,10 +319,12 @@ Result<BPlusTree::Iterator> BPlusTree::SeekToFirst() const {
 }
 
 Result<BPlusTree::Iterator> BPlusTree::Seek(std::string_view key) const {
+  obs::AccessScope access(access_label_);
   ELE_ASSIGN_OR_RETURN(page_id_t leaf_pid, FindLeaf(key, nullptr));
   ELE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPageGuarded(leaf_pid));
   Iterator it;
   it.pool_ = pool_;
+  it.access_label_ = access_label_;
   it.leaf_ = leaf_pid;
   BTreeNode node(guard.data());
   it.pos_ = node.LowerBound(key);
@@ -405,6 +414,7 @@ Result<BPlusTree> BPlusTree::BulkLoad(BufferPool* pool, const KvStream& stream,
 }
 
 Result<uint64_t> BPlusTree::CountEntries() const {
+  obs::AccessScope access(access_label_);
   uint64_t n = 0;
   ELE_ASSIGN_OR_RETURN(Iterator it, SeekToFirst());
   while (it.Valid()) {
@@ -415,6 +425,7 @@ Result<uint64_t> BPlusTree::CountEntries() const {
 }
 
 Result<uint64_t> BPlusTree::CountPages() const {
+  obs::AccessScope access(access_label_);
   uint64_t n = 0;
   std::deque<page_id_t> queue{root_};
   while (!queue.empty()) {
@@ -432,6 +443,7 @@ Result<uint64_t> BPlusTree::CountPages() const {
 }
 
 Result<uint32_t> BPlusTree::Height() const {
+  obs::AccessScope access(access_label_);
   uint32_t h = 1;
   page_id_t pid = root_;
   while (true) {
@@ -445,6 +457,7 @@ Result<uint32_t> BPlusTree::Height() const {
 
 Result<std::vector<std::string>> BPlusTree::PartitionKeys(
     size_t target, std::string_view lo, std::string_view hi) const {
+  obs::AccessScope access(access_label_);
   std::vector<std::string> separators;
   if (target < 2) return separators;
   std::vector<page_id_t> level{root_};

@@ -7,6 +7,7 @@
 
 #include "common/config.h"
 #include "common/status.h"
+#include "obs/heatmap.h"
 #include "storage/buffer_pool.h"
 
 namespace elephant {
@@ -73,6 +74,10 @@ class BPlusTree {
     bool valid_ = false;
     std::string_view key_;
     std::string_view value_;
+    /// Copied from the owning tree: iterators do lazy I/O (leaf faults
+    /// happen inside Next, far from the Seek call), so the attribution
+    /// label travels with the iterator.
+    const std::string* access_label_ = nullptr;
   };
 
   /// Iterator positioned at the first entry (end iterator if empty).
@@ -106,6 +111,16 @@ class BPlusTree {
   /// Largest key+value payload a single cell may carry.
   static constexpr uint32_t kMaxCellPayload = 1900;
 
+  /// Attaches a heatmap attribution label ("table:lineitem",
+  /// "index:orders.o_custkey") to this tree: every public operation — and
+  /// every iterator obtained from it — installs the label as an AccessScope,
+  /// so page traffic lands on the owning object in the heatmap even when
+  /// iterators fault pages long after the Seek that created them. `label`
+  /// must outlive the tree (the catalog owns it); nullptr (the default)
+  /// leaves the caller's scope in effect.
+  void SetAccessLabel(const std::string* label) { access_label_ = label; }
+  const std::string* access_label() const { return access_label_; }
+
  private:
   /// Descends to the leaf that should contain `key` (lower-bound routing),
   /// recording the path of (page id, child index) pairs when `path` != null.
@@ -127,6 +142,7 @@ class BPlusTree {
 
   BufferPool* pool_ = nullptr;
   page_id_t root_ = kInvalidPageId;
+  const std::string* access_label_ = nullptr;  ///< owned by the catalog
 };
 
 }  // namespace elephant

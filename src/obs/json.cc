@@ -1,5 +1,6 @@
 #include "obs/json.h"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 
@@ -122,6 +123,196 @@ JsonWriter& JsonWriter::Null() {
   BeforeValue();
   out_ += "null";
   return *this;
+}
+
+namespace {
+
+/// Recursive-descent RFC 8259 parser that only tracks position.
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view doc) : doc_(doc) {}
+
+  bool Validate(std::string* error) {
+    SkipWhitespace();
+    if (!ParseValue()) {
+      if (error != nullptr) *error = error_;
+      return false;
+    }
+    SkipWhitespace();
+    if (pos_ != doc_.size()) {
+      Fail("trailing data after document");
+      if (error != nullptr) *error = error_;
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  bool Fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  bool AtEnd() const { return pos_ >= doc_.size(); }
+  char Peek() const { return doc_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      pos_++;
+    }
+  }
+
+  bool Expect(char c) {
+    if (AtEnd() || Peek() != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    pos_++;
+    return true;
+  }
+
+  bool ParseLiteral(std::string_view word) {
+    if (doc_.substr(pos_, word.size()) != word) {
+      return Fail("invalid literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool ParseString() {
+    if (!Expect('"')) return false;
+    while (true) {
+      if (AtEnd()) return Fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(doc_[pos_]);
+      if (c == '"') {
+        pos_++;
+        return true;
+      }
+      if (c < 0x20) return Fail("unescaped control character in string");
+      if (c == '\\') {
+        pos_++;
+        if (AtEnd()) return Fail("unterminated escape");
+        const char e = doc_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; i++) {
+            pos_++;
+            if (AtEnd() || !std::isxdigit(static_cast<unsigned char>(doc_[pos_]))) {
+              return Fail("invalid \\u escape");
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return Fail("invalid escape character");
+        }
+      }
+      pos_++;
+    }
+  }
+
+  bool ParseDigits() {
+    if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Fail("expected digit");
+    }
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) pos_++;
+    return true;
+  }
+
+  bool ParseNumber() {
+    if (!AtEnd() && Peek() == '-') pos_++;
+    if (AtEnd()) return Fail("truncated number");
+    if (Peek() == '0') {
+      pos_++;
+    } else if (!ParseDigits()) {
+      return false;
+    }
+    if (!AtEnd() && Peek() == '.') {
+      pos_++;
+      if (!ParseDigits()) return false;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      pos_++;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) pos_++;
+      if (!ParseDigits()) return false;
+    }
+    return true;
+  }
+
+  bool ParseObject() {
+    if (!Expect('{')) return false;
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      pos_++;
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (!ParseString()) return false;
+      SkipWhitespace();
+      if (!Expect(':')) return false;
+      SkipWhitespace();
+      if (!ParseValue()) return false;
+      SkipWhitespace();
+      if (AtEnd()) return Fail("unterminated object");
+      if (Peek() == ',') {
+        pos_++;
+        continue;
+      }
+      return Expect('}');
+    }
+  }
+
+  bool ParseArray() {
+    if (!Expect('[')) return false;
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      pos_++;
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (!ParseValue()) return false;
+      SkipWhitespace();
+      if (AtEnd()) return Fail("unterminated array");
+      if (Peek() == ',') {
+        pos_++;
+        continue;
+      }
+      return Expect(']');
+    }
+  }
+
+  bool ParseValue() {
+    if (AtEnd()) return Fail("unexpected end of document");
+    if (++depth_ > kMaxDepth) return Fail("nesting too deep");
+    bool ok;
+    switch (Peek()) {
+      case '{': ok = ParseObject(); break;
+      case '[': ok = ParseArray(); break;
+      case '"': ok = ParseString(); break;
+      case 't': ok = ParseLiteral("true"); break;
+      case 'f': ok = ParseLiteral("false"); break;
+      case 'n': ok = ParseLiteral("null"); break;
+      default: ok = ParseNumber(); break;
+    }
+    depth_--;
+    return ok;
+  }
+
+  std::string_view doc_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+bool ValidateJson(std::string_view doc, std::string* error) {
+  return JsonValidator(doc).Validate(error);
 }
 
 }  // namespace obs

@@ -47,5 +47,12 @@ class JsonWriter {
   bool after_key_ = false;
 };
 
+/// Strict RFC 8259 well-formedness check over a complete document. On
+/// failure returns false and, when `error` is non-null, describes the first
+/// problem with its byte offset. Used by tests and the bench telemetry sink
+/// to prove exported documents (traces, metrics, heatmaps) parse before they
+/// are handed to external tools.
+bool ValidateJson(std::string_view doc, std::string* error = nullptr);
+
 }  // namespace obs
 }  // namespace elephant

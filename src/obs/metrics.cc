@@ -41,6 +41,16 @@ double Histogram::Quantile(double q) const {
   return bounds_.empty() ? 0 : bounds_.back();
 }
 
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  MutexLock lock(mu_);
+  snap.buckets = buckets_;
+  snap.count = count_;
+  snap.sum = sum_;
+  return snap;
+}
+
 std::vector<double> DefaultLatencyBuckets() {
   std::vector<double> b;
   for (double v = 1e-5; v < 200.0; v *= 10) {
@@ -89,6 +99,28 @@ const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
   MutexLock lock(mu_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::CounterValues() const {
+  MutexLock lock(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c->value();
+  return out;
+}
+
+std::map<std::string, double> MetricsRegistry::GaugeValues() const {
+  MutexLock lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, g] : gauges_) out[name] = g->value();
+  return out;
+}
+
+std::map<std::string, HistogramSnapshot> MetricsRegistry::HistogramValues()
+    const {
+  MutexLock lock(mu_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, h] : histograms_) out[name] = h->Snapshot();
+  return out;
 }
 
 std::string MetricsRegistry::ToJson() const {

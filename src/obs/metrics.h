@@ -43,6 +43,15 @@ class Gauge {
   std::atomic<double> value_{0};
 };
 
+/// Consistent copy of one histogram's state (one lock acquisition, unlike
+/// reading count/sum/BucketCount piecemeal).
+struct HistogramSnapshot {
+  std::vector<double> bounds;     ///< ascending upper bounds
+  std::vector<uint64_t> buckets;  ///< bounds.size() + 1 (overflow last)
+  uint64_t count = 0;
+  double sum = 0;
+};
+
 /// Fixed-bucket histogram. Bucket i counts observations with
 /// `v <= bounds[i]`; one implicit overflow bucket catches the rest.
 /// Observe and the readers synchronize on an internal mutex (observations
@@ -73,6 +82,8 @@ class Histogram {
   /// within each bucket. The overflow bucket reports its lower bound.
   double Quantile(double q) const;
 
+  HistogramSnapshot Snapshot() const;
+
  private:
   mutable Mutex mu_;
   std::vector<double> bounds_;  ///< ascending upper bounds; immutable after
@@ -101,6 +112,13 @@ class MetricsRegistry {
   const Counter* FindCounter(const std::string& name) const;
   const Gauge* FindGauge(const std::string& name) const;
   const Histogram* FindHistogram(const std::string& name) const;
+
+  /// Current values of every instrument of one kind, keyed by name —
+  /// consistent snapshots for exporters (the Prometheus serializer walks
+  /// these rather than holding the registry lock while formatting).
+  std::map<std::string, uint64_t> CounterValues() const;
+  std::map<std::string, double> GaugeValues() const;
+  std::map<std::string, HistogramSnapshot> HistogramValues() const;
 
   /// Snapshot of every instrument, keyed by name.
   std::string ToJson() const;

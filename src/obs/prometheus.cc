@@ -1,0 +1,79 @@
+#include "obs/prometheus.h"
+
+#include <cstdio>
+#include <set>
+
+namespace elephant {
+namespace obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// True when the family name has not been emitted before (sanitization can
+/// collide — "a.b" and "a_b" — and Prometheus rejects duplicate families, so
+/// the second one is dropped rather than producing invalid output).
+bool ClaimFamily(const std::string& name, std::set<std::string>* emitted) {
+  return emitted->insert(name).second;
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "elephant_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string ToPrometheusText(const MetricsRegistry& registry) {
+  std::string out;
+  std::set<std::string> emitted;
+
+  constexpr const char* kTotal = "_total";
+  for (const auto& [name, value] : registry.CounterValues()) {
+    // Counters are conventionally suffixed `_total`; don't double it up for
+    // registry names that already follow the convention.
+    std::string fam = PrometheusName(name);
+    const size_t n = fam.size();
+    if (n < 6 || fam.compare(n - 6, 6, kTotal) != 0) fam += kTotal;
+    if (!ClaimFamily(fam, &emitted)) continue;
+    out += "# TYPE " + fam + " counter\n";
+    out += fam + " " + std::to_string(value) + "\n";
+  }
+
+  for (const auto& [name, value] : registry.GaugeValues()) {
+    const std::string fam = PrometheusName(name);
+    if (!ClaimFamily(fam, &emitted)) continue;
+    out += "# TYPE " + fam + " gauge\n";
+    out += fam + " " + FormatDouble(value) + "\n";
+  }
+
+  for (const auto& [name, snap] : registry.HistogramValues()) {
+    const std::string fam = PrometheusName(name);
+    if (!ClaimFamily(fam, &emitted)) continue;
+    out += "# TYPE " + fam + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < snap.bounds.size(); i++) {
+      cumulative += snap.buckets[i];
+      out += fam + "_bucket{le=\"" + FormatDouble(snap.bounds[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += fam + "_bucket{le=\"+Inf\"} " + std::to_string(snap.count) + "\n";
+    out += fam + "_sum " + FormatDouble(snap.sum) + "\n";
+    out += fam + "_count " + std::to_string(snap.count) + "\n";
+  }
+
+  return out;
+}
+
+}  // namespace obs
+}  // namespace elephant

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace elephant {
+namespace obs {
+
+/// Rewrites an internal metric name ("db.pool.hits") into a legal Prometheus
+/// metric name ("elephant_db_pool_hits"): the "elephant_" prefix is added
+/// and every character outside [a-zA-Z0-9_:] becomes '_'.
+std::string PrometheusName(const std::string& name);
+
+/// Serializes a registry snapshot in the Prometheus text exposition format
+/// (version 0.0.4): one `# TYPE` line per metric family, counters as
+/// `_total`, histograms as cumulative `_bucket{le="..."}` series ending in
+/// le="+Inf" plus `_sum`/`_count`. Families are emitted in sorted order with
+/// no duplicate series, so the output passes a conformance check.
+std::string ToPrometheusText(const MetricsRegistry& registry);
+
+}  // namespace obs
+}  // namespace elephant

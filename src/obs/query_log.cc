@@ -1,0 +1,76 @@
+#include "obs/query_log.h"
+
+#include "obs/json.h"
+
+namespace elephant {
+namespace obs {
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 14695981039346656037ull;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+QueryLog::~QueryLog() { Close(); }
+
+bool QueryLog::Open(const std::string& path, double threshold_seconds) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  MutexLock lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = f;
+  threshold_seconds_ = threshold_seconds;
+  entries_written_ = 0;
+  enabled_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void QueryLog::Close() {
+  MutexLock lock(mu_);
+  enabled_.store(false, std::memory_order_relaxed);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+double QueryLog::threshold_seconds() const {
+  MutexLock lock(mu_);
+  return threshold_seconds_;
+}
+
+void QueryLog::Record(const QueryLogEntry& entry) {
+  if (!enabled()) return;
+  if (entry.latency_seconds < threshold_seconds()) return;
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("sql").String(entry.sql);
+  w.Key("plan_hash").UInt(entry.plan_hash);
+  w.Key("latency_ms").Double(entry.latency_seconds * 1e3);
+  w.Key("io_ms").Double(entry.io_seconds * 1e3);
+  w.Key("sequential_reads").UInt(entry.io.sequential_reads);
+  w.Key("random_reads").UInt(entry.io.random_reads);
+  w.Key("page_writes").UInt(entry.io.page_writes);
+  w.Key("rows").UInt(entry.rows);
+  w.Key("session_id").Int(entry.session_id);
+  w.EndObject();
+  const std::string line = std::move(w).str();
+
+  MutexLock lock(mu_);
+  if (file_ == nullptr || entry.latency_seconds < threshold_seconds_) return;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);  // tail-able while the engine runs
+  entries_written_++;
+}
+
+uint64_t QueryLog::EntriesWritten() const {
+  MutexLock lock(mu_);
+  return entries_written_;
+}
+
+}  // namespace obs
+}  // namespace elephant

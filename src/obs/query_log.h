@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "common/thread_annotations.h"
+#include "storage/disk_manager.h"
+
+namespace elephant {
+namespace obs {
+
+/// FNV-1a 64-bit hash; used to fingerprint plans so the slow-query log can
+/// group entries by plan shape without storing the whole plan tree.
+uint64_t Fnv1a64(std::string_view data);
+
+/// One finished statement as the audit log sees it.
+struct QueryLogEntry {
+  std::string sql;
+  uint64_t plan_hash = 0;        ///< Fnv1a64 of the rendered plan tree
+  double latency_seconds = 0;    ///< wall-clock execution time
+  double io_seconds = 0;         ///< modeled disk time
+  IoStats io;                    ///< physical page traffic
+  uint64_t rows = 0;
+  int session_id = -1;           ///< -1 = outside any session
+};
+
+/// Threshold-gated slow-query/audit log: statements whose wall-clock latency
+/// meets the threshold are appended to a JSONL file (one self-contained JSON
+/// object per line — statement, plan hash, latency, modeled I/O, session id)
+/// the moment they finish, so the file is tail-able during a run. A
+/// threshold of 0 audits every statement.
+///
+/// Disabled until Open() succeeds; Record() is a single relaxed atomic load
+/// when disabled. Thread-safe: concurrent sessions append whole lines under
+/// an internal mutex.
+class QueryLog {
+ public:
+  QueryLog() = default;
+  ~QueryLog();
+  QueryLog(const QueryLog&) = delete;
+  QueryLog& operator=(const QueryLog&) = delete;
+
+  /// Starts logging statements with latency >= threshold to `path`
+  /// (truncates any existing file). False when the file cannot be opened.
+  bool Open(const std::string& path, double threshold_seconds);
+  void Close();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  double threshold_seconds() const;
+
+  /// Appends `entry` when the log is open and the latency meets the
+  /// threshold.
+  void Record(const QueryLogEntry& entry);
+
+  /// Number of entries appended since Open() (for tests).
+  uint64_t EntriesWritten() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable Mutex mu_;
+  std::FILE* file_ GUARDED_BY(mu_) = nullptr;
+  double threshold_seconds_ GUARDED_BY(mu_) = 0;
+  uint64_t entries_written_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace obs
+}  // namespace elephant

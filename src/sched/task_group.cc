@@ -1,5 +1,7 @@
 #include "sched/task_group.h"
 
+#include "obs/trace_log.h"
+
 namespace elephant {
 namespace sched {
 
@@ -11,10 +13,20 @@ void TaskGroup::Record(const Status& s) {
 }
 
 void TaskGroup::Submit(std::function<Status()> fn) {
-  futures_.push_back(pool_->Async([this, fn = std::move(fn)]() {
-    if (cancelled()) return;
-    Record(fn());
-  }));
+  // Capture the submitting thread's trace context: the task runs on a pool
+  // thread whose thread-locals know nothing of the owning query, so the
+  // parent span id and session id travel with the closure. Spans the task
+  // opens then nest under the query's span instead of floating parentless.
+  const uint64_t parent_span = obs::CurrentSpanId();
+  const int session_id = obs::CurrentSessionId();
+  futures_.push_back(
+      pool_->Async([this, parent_span, session_id, fn = std::move(fn)]() {
+        if (cancelled()) return;
+        obs::SessionIdScope session_scope(session_id);
+        obs::TraceParentScope parent_scope(parent_span);
+        obs::TraceSpan span("task", "sched");
+        Record(fn());
+      }));
 }
 
 void TaskGroup::RunInline(const std::function<Status()>& fn) {

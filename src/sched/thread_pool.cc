@@ -1,15 +1,19 @@
 #include "sched/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/trace_log.h"
 
 namespace elephant {
 namespace sched {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, std::string name)
+    : name_(std::move(name)) {
   if (num_threads == 0) num_threads = 1;
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; i++) {
-    threads_.emplace_back([this]() { WorkerLoop(); });
+    threads_.emplace_back([this, i]() { WorkerLoop(i); });
   }
 }
 
@@ -35,12 +39,29 @@ uint64_t ThreadPool::tasks_executed() const {
   return executed_;
 }
 
+size_t ThreadPool::QueueDepth() const {
+  MutexLock lock(mu_);
+  return queue_.size();
+}
+
+size_t ThreadPool::ActiveTasks() const {
+  MutexLock lock(mu_);
+  return active_;
+}
+
+double ThreadPool::BusySeconds() const {
+  MutexLock lock(mu_);
+  return busy_seconds_;
+}
+
 size_t ThreadPool::DefaultThreads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return std::clamp<size_t>(hw == 0 ? 4 : hw, 2, 16);
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  obs::TraceLog::Global().SetCurrentThreadName(
+      name_ + "-" + std::to_string(worker_index));
   mu_.Lock();
   while (true) {
     while (!stop_ && queue_.empty()) cv_.Wait(mu_);
@@ -48,9 +69,16 @@ void ThreadPool::WorkerLoop() {
     if (queue_.empty()) break;
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();
+    active_++;
     mu_.Unlock();
+    const auto start = std::chrono::steady_clock::now();
     task();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
     mu_.Lock();
+    active_--;
+    busy_seconds_ += seconds;
     executed_++;
   }
   mu_.Unlock();

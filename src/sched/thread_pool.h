@@ -3,6 +3,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -23,7 +24,9 @@ namespace sched {
 /// completion before the threads join.
 class ThreadPool {
  public:
-  explicit ThreadPool(size_t num_threads);
+  /// `name` labels the pool's threads on telemetry tracks ("<name>-<i>")
+  /// and its gauges in metrics exports.
+  explicit ThreadPool(size_t num_threads, std::string name = "worker");
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -44,21 +47,36 @@ class ThreadPool {
   }
 
   size_t num_threads() const { return threads_.size(); }
+  const std::string& name() const { return name_; }
 
   /// Tasks completed so far (for tests and metrics).
   uint64_t tasks_executed() const;
+
+  /// Tasks waiting in the queue right now (scheduler backlog gauge).
+  size_t QueueDepth() const;
+
+  /// Tasks currently executing on pool threads.
+  size_t ActiveTasks() const;
+
+  /// Total seconds pool threads have spent inside tasks since construction.
+  /// Utilization over the pool's lifetime = BusySeconds() / (uptime *
+  /// num_threads()); exporters compute it at scrape time.
+  double BusySeconds() const;
 
   /// A reasonable default pool size for this machine.
   static size_t DefaultThreads();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
+  const std::string name_;
   mutable Mutex mu_;
   CondVar cv_;
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   bool stop_ GUARDED_BY(mu_) = false;
   uint64_t executed_ GUARDED_BY(mu_) = 0;
+  size_t active_ GUARDED_BY(mu_) = 0;
+  double busy_seconds_ GUARDED_BY(mu_) = 0;
   /// Written only in the constructor and joined in the destructor; never
   /// touched by the workers themselves, so it needs no guard.
   std::vector<std::thread> threads_;

@@ -3,12 +3,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
+
+#include "obs/heatmap.h"
+#include "obs/trace_log.h"
 
 namespace elephant {
 
-BufferPool::BufferPool(DiskManager* disk, uint32_t capacity_pages)
-    : disk_(disk), capacity_(capacity_pages) {
+BufferPool::BufferPool(DiskManager* disk, uint32_t capacity_pages,
+                       obs::AccessHeatmap* heatmap)
+    : disk_(disk), capacity_(capacity_pages), heatmap_(heatmap) {
   MutexLock lock(latch_);
   frames_.resize(capacity_);
   free_frames_.reserve(capacity_);
@@ -71,6 +76,7 @@ Result<Frame*> BufferPool::FetchPage(page_id_t page_id) {
   auto it = page_table_.find(page_id);
   if (it != page_table_.end()) {
     stats_.hits++;
+    if (heatmap_ != nullptr) heatmap_->RecordHit(obs::CurrentAccessLabel());
     if (IoSink* sink = CurrentIoSink()) {
       sink->pool_hits.fetch_add(1, std::memory_order_relaxed);
     }
@@ -80,8 +86,17 @@ Result<Frame*> BufferPool::FetchPage(page_id_t page_id) {
     return &f;
   }
   stats_.misses++;
+  if (heatmap_ != nullptr) heatmap_->RecordFault(obs::CurrentAccessLabel());
   if (IoSink* sink = CurrentIoSink()) {
     sink->pool_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Span covers victim selection + the servicing disk read; gated so the
+  // args vector is only built when tracing is on.
+  std::optional<obs::TraceSpan> fault_span;
+  if (obs::TraceLog::Global().enabled()) {
+    fault_span.emplace("page_fault", "pool",
+                       obs::TraceArgs{{"page", std::to_string(page_id)},
+                                      {"object", obs::CurrentAccessLabel()}});
   }
   ELE_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
   Frame& f = frames_[idx];

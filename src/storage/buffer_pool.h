@@ -53,7 +53,12 @@ struct BufferPoolStats {
 /// discipline is annotated for Clang -Wthread-safety (`analyze` preset).
 class BufferPool {
  public:
-  BufferPool(DiskManager* disk, uint32_t capacity_pages = kDefaultBufferPoolPages);
+  /// A non-null `heatmap` additionally receives every hit/fault, attributed
+  /// to the calling thread's AccessScope label under the pool latch (so the
+  /// per-object totals sum exactly to stats() — pass the same heatmap the
+  /// DiskManager uses and one object's hits+faults+reads stay consistent).
+  BufferPool(DiskManager* disk, uint32_t capacity_pages = kDefaultBufferPoolPages,
+             obs::AccessHeatmap* heatmap = nullptr);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -89,6 +94,12 @@ class BufferPool {
   /// Number of frames currently pinned (invariant checks and tests).
   size_t PinnedFrames() const;
 
+  /// Number of frames holding a page right now (occupancy gauge).
+  size_t ResidentPages() const {
+    MutexLock lock(latch_);
+    return page_table_.size();
+  }
+
   /// OK when no frame is pinned; otherwise an Internal error listing every
   /// pinned page and its pin count. The query-end invariant: once a
   /// statement's executors are destroyed, every pin they took must be gone.
@@ -121,6 +132,7 @@ class BufferPool {
   mutable Mutex latch_;
   DiskManager* const disk_;
   const uint32_t capacity_;
+  obs::AccessHeatmap* const heatmap_;
   /// Frame *metadata* (page id, pin count, dirty bit) is guarded; the page
   /// bytes of a pinned frame may be read without the latch (see class doc).
   std::vector<Frame> frames_ GUARDED_BY(latch_);

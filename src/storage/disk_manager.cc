@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "obs/heatmap.h"
+#include "obs/trace_log.h"
+
 namespace elephant {
 
 namespace {
@@ -52,7 +55,18 @@ Status DiskManager::ReadPage(page_id_t page_id, char* dest) {
       streams_[lru].last_page = page_id;
       streams_[lru].last_used = clock_;
     }
+    // Inside the critical section so the per-object heatmap totals track the
+    // global counters exactly at every instant (test-enforced equality).
+    if (heatmap_ != nullptr) {
+      heatmap_->RecordRead(obs::CurrentAccessLabel(), sequential);
+    }
     std::memcpy(dest, pages_[page_id].get(), kPageSize);
+  }
+  if (!sequential && obs::TraceLog::Global().enabled()) {
+    obs::TraceLog::Global().Instant(
+        "disk.seek", "io",
+        {{"page", std::to_string(page_id)},
+         {"object", obs::CurrentAccessLabel()}});
   }
   if (IoSink* sink = CurrentIoSink()) {
     // Attribute with the classification the (serialized) drive chose.
@@ -73,6 +87,9 @@ Status DiskManager::WritePage(page_id_t page_id, const char* src) {
                                 std::to_string(page_id));
     }
     stats_.page_writes++;
+    if (heatmap_ != nullptr) {
+      heatmap_->RecordWrite(obs::CurrentAccessLabel());
+    }
     std::memcpy(pages_[page_id].get(), src, kPageSize);
   }
   if (IoSink* sink = CurrentIoSink()) {

@@ -12,6 +12,10 @@
 
 namespace elephant {
 
+namespace obs {
+class AccessHeatmap;  // heatmap.h includes this header; see src/obs
+}  // namespace obs
+
 /// Counters describing physical I/O traffic observed at the disk layer.
 struct IoStats {
   uint64_t sequential_reads = 0;  ///< page reads contiguous with the previous read
@@ -132,7 +136,12 @@ class IoScope {
 /// depends on arrival order, exactly as it would on hardware.
 class DiskManager {
  public:
-  DiskManager() = default;
+  /// When `heatmap` is non-null, every read/write is additionally recorded
+  /// there — attributed to the calling thread's AccessScope label, under the
+  /// same critical section that bumps the global counters, so per-object
+  /// totals sum exactly to stats().
+  explicit DiskManager(obs::AccessHeatmap* heatmap = nullptr)
+      : heatmap_(heatmap) {}
 
   /// Number of concurrent sequential streams the classifier tracks.
   static constexpr int kReadStreams = 8;
@@ -173,6 +182,7 @@ class DiskManager {
     uint64_t last_used = 0;
   };
 
+  obs::AccessHeatmap* const heatmap_;
   mutable Mutex mu_;
   std::vector<std::unique_ptr<char[]>> pages_ GUARDED_BY(mu_);
   IoStats stats_ GUARDED_BY(mu_);
