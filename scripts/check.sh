@@ -59,6 +59,10 @@ for preset in "${PRESETS[@]}"; do
   python3 scripts/elephant_lint.py
   echo "=== [$preset] test ===================================================="
   ctest --preset "$preset" -j "$(nproc)"
+  if [ "$preset" = default ] || [ "$preset" = sanitize ]; then
+    echo "=== [$preset] storage label (read-ahead / eviction) ==================="
+    ctest --preset "$preset" -L storage --output-on-failure
+  fi
 done
 
 echo "=== check.sh: all requested presets passed ============================"

@@ -20,6 +20,12 @@ arguments depend on:
   naked-delete      any `delete` expression (ownership is RAII-only).
   nonconst-global   mutable namespace-scope variables (hidden shared state
                     that concurrent sessions would race on).
+  unchecked-narrowing
+                    raw `static_cast<int32_t>` in common/value.cc. Value
+                    arithmetic once wrapped silently at the INT32/DATE
+                    boundary; every narrowing there must flow through the
+                    range-checked NarrowToInt32 helper (which carries the
+                    one lint:allow).
 
 Suppress a finding with a trailing or preceding-line comment:
 
@@ -62,7 +68,16 @@ RULES = (
     "naked-new",
     "naked-delete",
     "nonconst-global",
+    "unchecked-narrowing",
 )
+
+# The one file the unchecked-narrowing rule polices: the Value arithmetic
+# that silently wrapped at the INT32/DATE boundary before NarrowToInt32.
+NARROWING_SCOPED = {
+    os.path.join("common", "value.cc"),
+}
+
+NARROWING_RE = re.compile(r"\bstatic_cast\s*<\s*(?:std\s*::\s*)?int32_t\s*>")
 
 RAW_PAGE_API_RE = re.compile(
     r"\b(?:FetchPage|NewPage)\s*\((?!\s*\))"  # call with args (decl-ish ok too)
@@ -252,6 +267,14 @@ def lint_file(path, rel, text):
                        "raw std:: synchronization primitive; use the "
                        "annotated Mutex/MutexLock/CondVar from "
                        "common/thread_annotations.h")
+
+    # --- unchecked-narrowing (value.cc only; fixtures lint as bare names) ---
+    if rel in NARROWING_SCOPED or os.sep not in rel:
+        for lineno, ln in enumerate(lines, 1):
+            if NARROWING_RE.search(ln):
+                report(lineno, "unchecked-narrowing",
+                       "raw static_cast<int32_t> in value arithmetic; narrow "
+                       "through the range-checked NarrowToInt32 helper")
 
     # --- unguarded-mutex ---
     mutex_names = []

@@ -238,18 +238,19 @@ Value Table::RowIterator::CurrentColumn(size_t col) const {
   return tuple::GetValue(*schema_, v.data(), v.size(), col);
 }
 
-Result<Table::RowIterator> Table::ScanAll() const {
-  ELE_ASSIGN_OR_RETURN(BPlusTree::Iterator it, clustered_->SeekToFirst());
+Result<Table::RowIterator> Table::ScanAll(AccessIntent intent) const {
+  ELE_ASSIGN_OR_RETURN(BPlusTree::Iterator it, clustered_->SeekToFirst(intent));
   return RowIterator(&schema_, std::move(it), "");
 }
 
 Result<Table::RowIterator> Table::ScanRange(const std::string& lo,
-                                            const std::string& hi) const {
+                                            const std::string& hi,
+                                            AccessIntent intent) const {
   BPlusTree::Iterator it;
   if (lo.empty()) {
-    ELE_ASSIGN_OR_RETURN(it, clustered_->SeekToFirst());
+    ELE_ASSIGN_OR_RETURN(it, clustered_->SeekToFirst(intent));
   } else {
-    ELE_ASSIGN_OR_RETURN(it, clustered_->Seek(lo));
+    ELE_ASSIGN_OR_RETURN(it, clustered_->Seek(lo, intent));
   }
   return RowIterator(&schema_, std::move(it), hi);
 }

@@ -119,9 +119,16 @@ class Table {
     std::string hi_;  ///< exclusive upper bound on encoded keys ("" = none)
   };
 
-  Result<RowIterator> ScanAll() const;
+  /// Full-table scans walk every leaf in order, so they default to
+  /// kSequentialScan: ring residency plus disk read-ahead.
+  Result<RowIterator> ScanAll(
+      AccessIntent intent = AccessIntent::kSequentialScan) const;
   /// Rows whose encoded clustering key is in [lo, hi) — "" bounds are open.
-  Result<RowIterator> ScanRange(const std::string& lo, const std::string& hi) const;
+  /// Range width is the caller's knowledge, so `intent` defaults to point
+  /// access; the planner passes kSequentialScan for unselective ranges.
+  Result<RowIterator> ScanRange(
+      const std::string& lo, const std::string& hi,
+      AccessIntent intent = AccessIntent::kPointLookup) const;
 
  private:
   Table(BufferPool* pool, std::string name, Schema schema,

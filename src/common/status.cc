@@ -12,6 +12,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kNotSupported: return "NotSupported";
     case StatusCode::kOutOfRange: return "OutOfRange";
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kParseError: return "ParseError";
     case StatusCode::kBindError: return "BindError";

@@ -18,6 +18,7 @@ enum class StatusCode {
   kNotSupported,
   kOutOfRange,
   kResourceExhausted,
+  kFailedPrecondition,
   kInternal,
   kParseError,
   kBindError,
@@ -66,6 +67,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -91,6 +95,9 @@ class Status {
   std::string ToString() const;
 
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
   bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
 
 namespace elephant {
 
@@ -115,6 +116,20 @@ int64_t ToIntegralDomain(const Value& v, TypeId target) {
   return v.AsInt64();
 }
 
+/// Narrows an arithmetic result to the INT32 domain, failing instead of
+/// silently wrapping. Every narrowing in this file must go through here;
+/// `what` names the operation for the error message.
+Result<int32_t> NarrowToInt32(int64_t v, const char* what) {
+  if (v < std::numeric_limits<int32_t>::min() ||
+      v > std::numeric_limits<int32_t>::max()) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " out of INT32 range: " + std::to_string(v));
+  }
+  // The range check above makes this the checked helper the lint rule
+  // points everything else at. lint:allow(unchecked-narrowing)
+  return static_cast<int32_t>(v);
+}
+
 }  // namespace
 
 Result<Value> Value::Add(const Value& o) const {
@@ -125,7 +140,9 @@ Result<Value> Value::Add(const Value& o) const {
     if (d.type_ == TypeId::kDate && n.type_ != TypeId::kDate &&
         (n.type_ == TypeId::kInt32 || n.type_ == TypeId::kInt64)) {
       if (is_null_ || o.is_null_) return Value::Null(TypeId::kDate);
-      return Value::Date(static_cast<int32_t>(d.ival_ + n.ival_));
+      ELE_ASSIGN_OR_RETURN(int32_t days,
+                           NarrowToInt32(d.ival_ + n.ival_, "DATE + integer"));
+      return Value::Date(days);
     }
     return Status::InvalidArgument("unsupported DATE addition");
   }
@@ -136,7 +153,8 @@ Result<Value> Value::Add(const Value& o) const {
   int64_t r = ToIntegralDomain(*this, t) + ToIntegralDomain(o, t);
   if (t == TypeId::kDecimal) return Value::Decimal(r);
   if (t == TypeId::kInt64) return Value::Int64(r);
-  return Value::Int32(static_cast<int32_t>(r));
+  ELE_ASSIGN_OR_RETURN(int32_t narrow, NarrowToInt32(r, "INT32 addition"));
+  return Value::Int32(narrow);
 }
 
 Result<Value> Value::Subtract(const Value& o) const {
@@ -144,11 +162,15 @@ Result<Value> Value::Subtract(const Value& o) const {
   if (type_ == TypeId::kDate) {
     if (o.type_ == TypeId::kDate) {
       if (is_null_ || o.is_null_) return Value::Null(TypeId::kInt32);
-      return Value::Int32(static_cast<int32_t>(ival_ - o.ival_));
+      ELE_ASSIGN_OR_RETURN(int32_t days,
+                           NarrowToInt32(ival_ - o.ival_, "DATE - DATE"));
+      return Value::Int32(days);
     }
     if (o.type_ == TypeId::kInt32 || o.type_ == TypeId::kInt64) {
       if (is_null_ || o.is_null_) return Value::Null(TypeId::kDate);
-      return Value::Date(static_cast<int32_t>(ival_ - o.ival_));
+      ELE_ASSIGN_OR_RETURN(int32_t days,
+                           NarrowToInt32(ival_ - o.ival_, "DATE - integer"));
+      return Value::Date(days);
     }
     return Status::InvalidArgument("unsupported DATE subtraction");
   }
@@ -162,7 +184,8 @@ Result<Value> Value::Subtract(const Value& o) const {
   int64_t r = ToIntegralDomain(*this, t) - ToIntegralDomain(o, t);
   if (t == TypeId::kDecimal) return Value::Decimal(r);
   if (t == TypeId::kInt64) return Value::Int64(r);
-  return Value::Int32(static_cast<int32_t>(r));
+  ELE_ASSIGN_OR_RETURN(int32_t narrow, NarrowToInt32(r, "INT32 subtraction"));
+  return Value::Int32(narrow);
 }
 
 Result<Value> Value::Multiply(const Value& o) const {
@@ -177,7 +200,9 @@ Result<Value> Value::Multiply(const Value& o) const {
   }
   int64_t r = AsInt64() * o.AsInt64();
   if (t == TypeId::kInt64) return Value::Int64(r);
-  return Value::Int32(static_cast<int32_t>(r));
+  ELE_ASSIGN_OR_RETURN(int32_t narrow,
+                       NarrowToInt32(r, "INT32 multiplication"));
+  return Value::Int32(narrow);
 }
 
 Result<Value> Value::Divide(const Value& o) const {
@@ -197,7 +222,9 @@ Result<Value> Value::Divide(const Value& o) const {
   }
   int64_t r = AsInt64() / o.AsInt64();
   if (t == TypeId::kInt64) return Value::Int64(r);
-  return Value::Int32(static_cast<int32_t>(r));
+  // INT32_MIN / -1 is the one narrowing division: |result| > INT32_MAX.
+  ELE_ASSIGN_OR_RETURN(int32_t narrow, NarrowToInt32(r, "INT32 division"));
+  return Value::Int32(narrow);
 }
 
 Result<Value> Value::CastTo(TypeId target) const {
@@ -208,11 +235,16 @@ Result<Value> Value::CastTo(TypeId target) const {
       if (type_ == TypeId::kInt32 || type_ == TypeId::kDate) return Value::Int64(ival_);
       break;
     case TypeId::kInt32:
-      if (type_ == TypeId::kInt64) return Value::Int32(static_cast<int32_t>(ival_));
+      if (type_ == TypeId::kInt64) {
+        ELE_ASSIGN_OR_RETURN(int32_t narrow,
+                             NarrowToInt32(ival_, "CAST to INT32"));
+        return Value::Int32(narrow);
+      }
       break;
     case TypeId::kDate:
       if (type_ == TypeId::kInt32 || type_ == TypeId::kInt64) {
-        return Value::Date(static_cast<int32_t>(ival_));
+        ELE_ASSIGN_OR_RETURN(int32_t days, NarrowToInt32(ival_, "CAST to DATE"));
+        return Value::Date(days);
       }
       if (type_ == TypeId::kVarchar || type_ == TypeId::kChar) {
         ELE_ASSIGN_OR_RETURN(int32_t d, date::Parse(str_));
@@ -248,7 +280,10 @@ std::string Value::ToString() const {
     case TypeId::kBoolean: return ival_ ? "true" : "false";
     case TypeId::kInt32:
     case TypeId::kInt64: return std::to_string(ival_);
-    case TypeId::kDate: return date::ToString(static_cast<int32_t>(ival_));
+    case TypeId::kDate:
+      // A DATE payload was stored through Value::Date(int32_t), so it is in
+      // range by construction. lint:allow(unchecked-narrowing)
+      return date::ToString(static_cast<int32_t>(ival_));
     case TypeId::kDecimal: return decimal::ToString(ival_);
     case TypeId::kDouble: {
       char buf[32];

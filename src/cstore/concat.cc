@@ -37,7 +37,22 @@ Status ColumnConcatenator::Open(int64_t first_id, int64_t last_id) {
     // f >= first_id always lands exactly on the covering run.
     const std::string lo =
         cursor.table->EncodeClusterPrefix({Value::Int32(static_cast<int32_t>(first_id))});
-    ELE_ASSIGN_OR_RETURN(Table::RowIterator it, cursor.table->ScanRange(lo, ""));
+    // Each cursor walks its c-table forward to last_id: a sequential sweep
+    // per column. As in the planner, the sweep runs under sequential intent
+    // only when the c-table is large relative to the pool (>= 1/4 of
+    // capacity); small c-tables stay in the young region so warm repeated
+    // concatenations do not recycle their own pages.
+    const double bytes_per_row =
+        cursor.table->schema().FixedSectionSize() + 24.0;
+    const double est_pages =
+        static_cast<double>(cursor.table->row_count()) * bytes_per_row /
+        kPageSize;
+    const AccessIntent intent =
+        est_pages * 4.0 >= static_cast<double>(db_->pool().capacity())
+            ? AccessIntent::kSequentialScan
+            : AccessIntent::kPointLookup;
+    ELE_ASSIGN_OR_RETURN(Table::RowIterator it,
+                         cursor.table->ScanRange(lo, "", intent));
     cursor.it = std::make_unique<Table::RowIterator>(std::move(it));
     if (!cursor.it->Valid()) {
       return Status::OutOfRange("first_id past the end of c-table " +

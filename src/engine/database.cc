@@ -64,6 +64,8 @@ std::string QueryResult::ToString(size_t max_rows) const {
 
 Database::Database(DatabaseOptions options) : options_(options) {
   disk_ = std::make_unique<DiskManager>(&heatmap_);
+  disk_->ConfigureReadahead(options_.readahead_enabled,
+                            options_.readahead_window_pages);
   pool_ = std::make_unique<BufferPool>(disk_.get(), options_.buffer_pool_pages,
                                        &heatmap_);
   catalog_ = std::make_unique<Catalog>(pool_.get());
@@ -95,6 +97,28 @@ std::string Database::ExportMetrics() {
   metrics_.GetCounter("db.disk.page_writes_total")
       ->Increment(io.page_writes -
                   metrics_.GetCounter("db.disk.page_writes_total")->value());
+  metrics_.GetCounter("db.disk.readahead_windows_total")
+      ->Increment(
+          io.readahead.windows_issued -
+          metrics_.GetCounter("db.disk.readahead_windows_total")->value());
+  metrics_.GetCounter("db.disk.pages_prefetched_total")
+      ->Increment(
+          io.readahead.pages_prefetched -
+          metrics_.GetCounter("db.disk.pages_prefetched_total")->value());
+  metrics_.GetCounter("db.disk.prefetch_hits_total")
+      ->Increment(io.readahead.prefetch_hits -
+                  metrics_.GetCounter("db.disk.prefetch_hits_total")->value());
+  metrics_.GetCounter("db.disk.prefetch_wasted_total")
+      ->Increment(io.readahead.prefetch_wasted -
+                  metrics_.GetCounter("db.disk.prefetch_wasted_total")->value());
+  metrics_.GetCounter("db.pool.scan_ring_inserts_total")
+      ->Increment(
+          pool_stats.scan_ring_inserts -
+          metrics_.GetCounter("db.pool.scan_ring_inserts_total")->value());
+  metrics_.GetCounter("db.pool.scan_ring_promotions_total")
+      ->Increment(
+          pool_stats.scan_ring_promotions -
+          metrics_.GetCounter("db.pool.scan_ring_promotions_total")->value());
   {
     MutexLock lock(workers_mu_);
     if (workers_ != nullptr) {
@@ -263,6 +287,12 @@ Result<ExplainAnalyzeResult> Database::ExplainAnalyze(const std::string& sql,
   w.Key("sequential_reads").UInt(result.io.sequential_reads);
   w.Key("random_reads").UInt(result.io.random_reads);
   w.Key("page_writes").UInt(result.io.page_writes);
+  w.Key("readahead").BeginObject();
+  w.Key("windows_issued").UInt(result.io.readahead.windows_issued);
+  w.Key("pages_prefetched").UInt(result.io.readahead.pages_prefetched);
+  w.Key("prefetch_hits").UInt(result.io.readahead.prefetch_hits);
+  w.Key("prefetch_wasted").UInt(result.io.readahead.prefetch_wasted);
+  w.EndObject();
   w.EndObject();
   w.Key("cpu_seconds").Double(result.cpu_seconds);
   w.Key("io_seconds").Double(result.io_seconds);
@@ -323,13 +353,16 @@ Result<QueryResult> Database::Execute(const std::string& sql,
                         /*instrument=*/true, &tracer));
       inner.trace = std::make_shared<obs::QueryTrace>(tracer.Finish());
       std::string text = obs::RenderPlanTree(*inner.plan, /*with_actuals=*/true);
-      char buf[192];
+      char buf[256];
       std::snprintf(buf, sizeof(buf),
-                    "Execution: rows=%zu io_seq=%llu io_rand=%llu | measured "
-                    "cpu=%.3fms | modeled io=%.3fms | modeled total=%.3fms\n",
+                    "Execution: rows=%zu io_seq=%llu io_rand=%llu "
+                    "prefetch_hits=%llu | measured cpu=%.3fms | modeled "
+                    "io=%.3fms | modeled total=%.3fms\n",
                     inner.rows.size(),
                     static_cast<unsigned long long>(inner.io.sequential_reads),
                     static_cast<unsigned long long>(inner.io.random_reads),
+                    static_cast<unsigned long long>(
+                        inner.io.readahead.prefetch_hits),
                     inner.cpu_seconds * 1e3, inner.io_seconds * 1e3,
                     inner.TotalSeconds() * 1e3);
       text += buf;

@@ -58,6 +58,12 @@ struct ExplainAnalyzeResult {
 struct DatabaseOptions {
   uint32_t buffer_pool_pages = kDefaultBufferPoolPages;
   DiskModel disk_model;
+  /// Disk read-ahead: sequential streams prefetch a forward window of pages,
+  /// so reads landing inside the window are charged transfer time only
+  /// (no per-request overhead). Off = every read pays full request cost.
+  bool readahead_enabled = true;
+  /// Pages per read-ahead window (0 disables read-ahead as well).
+  uint32_t readahead_window_pages = DiskManager::kDefaultReadaheadPages;
   /// When true (the default for benchmarks), Execute() drops the buffer pool
   /// before running so every query starts cold, like the paper's experiments.
   /// Only valid for single-stream use: evicting while another session holds

@@ -31,7 +31,7 @@ KeyRange MakeKeyRange(const std::vector<Value>& eq_values,
 
 Status ClusteredScanExecutor::Init() {
   ELE_ASSIGN_OR_RETURN(Table::RowIterator it,
-                       table_->ScanRange(range_.lo, range_.hi));
+                       table_->ScanRange(range_.lo, range_.hi, intent_));
   it_.emplace(std::move(it));
   return Status::OK();
 }
@@ -47,9 +47,9 @@ Result<bool> ClusteredScanExecutor::Next(Row* out) {
 Status SecondaryIndexScanExecutor::Init() {
   BPlusTree::Iterator it;
   if (range_.lo.empty()) {
-    ELE_ASSIGN_OR_RETURN(it, index_->tree->SeekToFirst());
+    ELE_ASSIGN_OR_RETURN(it, index_->tree->SeekToFirst(intent_));
   } else {
-    ELE_ASSIGN_OR_RETURN(it, index_->tree->Seek(range_.lo));
+    ELE_ASSIGN_OR_RETURN(it, index_->tree->Seek(range_.lo, intent_));
   }
   it_.emplace(std::move(it));
   return Status::OK();

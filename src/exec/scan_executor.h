@@ -27,8 +27,13 @@ KeyRange MakeKeyRange(const std::vector<Value>& eq_values,
 /// touch only the qualifying leaves (sequential I/O on bulk-loaded tables).
 class ClusteredScanExecutor final : public Executor {
  public:
-  ClusteredScanExecutor(ExecContext* ctx, const Table* table, KeyRange range = {})
-      : ctx_(ctx), table_(table), range_(std::move(range)) {}
+  /// `intent` is the planner's access-pattern hint: full scans (and wide
+  /// ranges) pass AccessIntent::kSequentialScan so the leaves they drag in
+  /// recycle through the buffer pool's scan ring and prime the disk
+  /// read-ahead window; selective ranges keep the default point intent.
+  ClusteredScanExecutor(ExecContext* ctx, const Table* table, KeyRange range = {},
+                        AccessIntent intent = AccessIntent::kPointLookup)
+      : ctx_(ctx), table_(table), range_(std::move(range)), intent_(intent) {}
 
   Status Init() override;
   Result<bool> Next(Row* out) override;
@@ -38,6 +43,7 @@ class ClusteredScanExecutor final : public Executor {
   ExecContext* ctx_;
   const Table* table_;
   KeyRange range_;
+  AccessIntent intent_;
   std::optional<Table::RowIterator> it_;
 };
 
@@ -45,9 +51,16 @@ class ClusteredScanExecutor final : public Executor {
 /// index key columns followed by include columns (SecondaryIndex::out_schema).
 class SecondaryIndexScanExecutor final : public Executor {
  public:
+  /// `intent` as in ClusteredScanExecutor: kSequentialScan for full-index
+  /// sweeps, point intent for selective probes.
   SecondaryIndexScanExecutor(ExecContext* ctx, const Table* table,
-                             const SecondaryIndex* index, KeyRange range = {})
-      : ctx_(ctx), table_(table), index_(index), range_(std::move(range)) {}
+                             const SecondaryIndex* index, KeyRange range = {},
+                             AccessIntent intent = AccessIntent::kPointLookup)
+      : ctx_(ctx),
+        table_(table),
+        index_(index),
+        range_(std::move(range)),
+        intent_(intent) {}
 
   Status Init() override;
   Result<bool> Next(Row* out) override;
@@ -58,6 +71,7 @@ class SecondaryIndexScanExecutor final : public Executor {
   const Table* table_;
   const SecondaryIndex* index_;
   KeyRange range_;
+  AccessIntent intent_;
   std::optional<BPlusTree::Iterator> it_;
 };
 

@@ -278,7 +278,7 @@ Status BPlusTree::Iterator::AdvanceLeaf() {
       valid_ = false;
       return Status::OK();
     }
-    ELE_ASSIGN_OR_RETURN(guard_, pool_->FetchPageGuarded(next));
+    ELE_ASSIGN_OR_RETURN(guard_, pool_->FetchPageGuarded(next, intent_));
     leaf_ = next;
     pos_ = 0;
     BTreeNode nnode(guard_.data());
@@ -297,9 +297,11 @@ Status BPlusTree::Iterator::Next() {
   return LoadCell();
 }
 
-Result<BPlusTree::Iterator> BPlusTree::SeekToFirst() const {
+Result<BPlusTree::Iterator> BPlusTree::SeekToFirst(AccessIntent intent) const {
   obs::AccessScope access(access_label_);
-  // Descend along leftmost children.
+  // Descend along leftmost children. The descent itself is point I/O even
+  // for a scan: inner pages are the hot working set a scan must not evict,
+  // so only the leaf-chain walk (AdvanceLeaf) carries the caller's intent.
   page_id_t pid = root_;
   while (true) {
     ELE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPageGuarded(pid));
@@ -308,6 +310,7 @@ Result<BPlusTree::Iterator> BPlusTree::SeekToFirst() const {
       Iterator it;
       it.pool_ = pool_;
       it.access_label_ = access_label_;
+      it.intent_ = intent;
       it.guard_ = std::move(guard);
       it.leaf_ = pid;
       it.pos_ = 0;
@@ -318,13 +321,15 @@ Result<BPlusTree::Iterator> BPlusTree::SeekToFirst() const {
   }
 }
 
-Result<BPlusTree::Iterator> BPlusTree::Seek(std::string_view key) const {
+Result<BPlusTree::Iterator> BPlusTree::Seek(std::string_view key,
+                                            AccessIntent intent) const {
   obs::AccessScope access(access_label_);
   ELE_ASSIGN_OR_RETURN(page_id_t leaf_pid, FindLeaf(key, nullptr));
   ELE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPageGuarded(leaf_pid));
   Iterator it;
   it.pool_ = pool_;
   it.access_label_ = access_label_;
+  it.intent_ = intent;
   it.leaf_ = leaf_pid;
   BTreeNode node(guard.data());
   it.pos_ = node.LowerBound(key);
@@ -360,12 +365,18 @@ Result<BPlusTree> BPlusTree::BulkLoad(BufferPool* pool, const KvStream& stream,
         prev_pid = cur_pid;
       }
       page_id_t pid;
-      ELE_ASSIGN_OR_RETURN(PageGuard guard, pool->NewPageGuarded(&pid));
+      // Bulk-load pages are written once, front to back: scan-ring residency
+      // keeps a large build from flushing the young region.
+      ELE_ASSIGN_OR_RETURN(
+          PageGuard guard,
+          pool->NewPageGuarded(&pid, AccessIntent::kSequentialScan));
       BTreeNode node(guard.data());
       node.Init(BTreeNode::kLeaf);
       guard.MarkDirty();
       if (prev_pid != kInvalidPageId) {
-        ELE_ASSIGN_OR_RETURN(PageGuard pguard, pool->FetchPageGuarded(prev_pid));
+        ELE_ASSIGN_OR_RETURN(
+            PageGuard pguard,
+            pool->FetchPageGuarded(prev_pid, AccessIntent::kSequentialScan));
         BTreeNode(pguard.data()).SetLink(pid);
         pguard.MarkDirty();
       }
@@ -392,7 +403,9 @@ Result<BPlusTree> BPlusTree::BulkLoad(BufferPool* pool, const KvStream& stream,
     size_t i = 0;
     while (i < level.size()) {
       page_id_t pid;
-      ELE_ASSIGN_OR_RETURN(PageGuard guard, pool->NewPageGuarded(&pid));
+      ELE_ASSIGN_OR_RETURN(
+          PageGuard guard,
+          pool->NewPageGuarded(&pid, AccessIntent::kSequentialScan));
       BTreeNode node(guard.data());
       node.Init(BTreeNode::kInternal);
       node.SetLink(level[i].second);
@@ -416,7 +429,7 @@ Result<BPlusTree> BPlusTree::BulkLoad(BufferPool* pool, const KvStream& stream,
 Result<uint64_t> BPlusTree::CountEntries() const {
   obs::AccessScope access(access_label_);
   uint64_t n = 0;
-  ELE_ASSIGN_OR_RETURN(Iterator it, SeekToFirst());
+  ELE_ASSIGN_OR_RETURN(Iterator it, SeekToFirst(AccessIntent::kSequentialScan));
   while (it.Valid()) {
     n++;
     ELE_RETURN_NOT_OK(it.Next());

@@ -78,13 +78,24 @@ class BPlusTree {
     /// happen inside Next, far from the Seek call), so the attribution
     /// label travels with the iterator.
     const std::string* access_label_ = nullptr;
+    /// Like the label, the access intent travels with the iterator: a
+    /// range-scan iterator faults each next leaf under kSequentialScan so
+    /// the chain walk uses the scan ring and the disk read-ahead window,
+    /// while the descent that positioned it stays kPointLookup.
+    AccessIntent intent_ = AccessIntent::kPointLookup;
   };
 
   /// Iterator positioned at the first entry (end iterator if empty).
-  Result<Iterator> SeekToFirst() const;
+  /// `intent` applies to the leaf-chain pages the iterator touches (the
+  /// descent to the first leaf is always point I/O: inner pages are the hot
+  /// working set a scan must not displace).
+  Result<Iterator> SeekToFirst(
+      AccessIntent intent = AccessIntent::kPointLookup) const;
 
-  /// Iterator positioned at the first entry with key >= `key`.
-  Result<Iterator> Seek(std::string_view key) const;
+  /// Iterator positioned at the first entry with key >= `key`. `intent` as
+  /// in SeekToFirst.
+  Result<Iterator> Seek(std::string_view key,
+                        AccessIntent intent = AccessIntent::kPointLookup) const;
 
   page_id_t root() const { return root_; }
 

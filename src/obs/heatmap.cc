@@ -20,6 +20,7 @@ void AppendObjectJson(const ObjectIoStats& s, const DiskModel& model,
   w->Key("pool_faults").UInt(s.pool_faults);
   w->Key("sequential_reads").UInt(s.sequential_reads);
   w->Key("random_reads").UInt(s.random_reads);
+  w->Key("prefetch_hits").UInt(s.prefetch_hits);
   w->Key("page_writes").UInt(s.page_writes);
   w->Key("io_ms").Double(s.ModeledReadSeconds(model) * 1e3);
   w->EndObject();
@@ -52,11 +53,13 @@ void AccessHeatmap::RecordFault(const std::string& label) {
   objects_[label].pool_faults++;
 }
 
-void AccessHeatmap::RecordRead(const std::string& label, bool sequential) {
+void AccessHeatmap::RecordRead(const std::string& label, bool sequential,
+                               bool prefetch_hit) {
   MutexLock lock(mu_);
   ObjectIoStats& s = objects_[label];
   if (sequential) {
     s.sequential_reads++;
+    if (prefetch_hit) s.prefetch_hits++;
   } else {
     s.random_reads++;
   }
@@ -158,6 +161,7 @@ std::map<std::string, ObjectIoStats> HeatmapDelta(
       d.pool_faults -= b.pool_faults;
       d.sequential_reads -= b.sequential_reads;
       d.random_reads -= b.random_reads;
+      d.prefetch_hits -= b.prefetch_hits;
       d.page_writes -= b.page_writes;
     }
     if (d.pool_hits == 0 && d.pool_faults == 0 && d.sequential_reads == 0 &&

@@ -17,6 +17,7 @@ struct ObjectIoStats {
   uint64_t pool_faults = 0;       ///< buffer-pool misses (each causes a read)
   uint64_t sequential_reads = 0;  ///< disk reads contiguous with a stream
   uint64_t random_reads = 0;      ///< disk reads paying a head seek
+  uint64_t prefetch_hits = 0;     ///< sequential reads served from read-ahead
   uint64_t page_writes = 0;
 
   uint64_t TotalReads() const { return sequential_reads + random_reads; }
@@ -27,6 +28,7 @@ struct ObjectIoStats {
     IoStats s;
     s.sequential_reads = sequential_reads;
     s.random_reads = random_reads;
+    s.readahead.prefetch_hits = prefetch_hits;
     return model.Seconds(s);
   }
 
@@ -35,6 +37,7 @@ struct ObjectIoStats {
     pool_faults += o.pool_faults;
     sequential_reads += o.sequential_reads;
     random_reads += o.random_reads;
+    prefetch_hits += o.prefetch_hits;
     page_writes += o.page_writes;
   }
 };
@@ -77,7 +80,8 @@ class AccessHeatmap {
  public:
   void RecordHit(const std::string& label);
   void RecordFault(const std::string& label);
-  void RecordRead(const std::string& label, bool sequential);
+  void RecordRead(const std::string& label, bool sequential,
+                  bool prefetch_hit = false);
   void RecordWrite(const std::string& label);
 
   /// Copy of the per-object counters, keyed by label.

@@ -192,11 +192,12 @@ Result<ExprPtr> Binder::BindScalar(const SqlExpr& expr, const BoundQuery& q) {
     }
     case SqlExprKind::kFuncCall:
       return Status::BindError("aggregate " + expr.func +
-                               " not allowed in this context");
+                               " not allowed in this context: " +
+                               expr.ToString());
     case SqlExprKind::kStar:
       return Status::BindError("'*' not allowed in this context");
   }
-  return Status::BindError("unsupported expression");
+  return Status::BindError("unsupported expression " + expr.ToString());
 }
 
 Result<ExprPtr> Binder::BindProjection(const SqlExpr& expr, BoundQuery* q,

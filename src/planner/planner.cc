@@ -162,6 +162,9 @@ std::set<size_t> RelsOf(const Expr& e, const std::vector<size_t>& col_rel) {
 /// results merge into (null when not instrumenting).
 struct ParallelSpec {
   const Table* table = nullptr;
+  /// Storage hint every morsel scan runs under (PlanBuilder::ScanIntent of
+  /// the scanned table: the morsels jointly cover one table-wide scan).
+  AccessIntent scan_intent = AccessIntent::kPointLookup;
   ExprPtr residual;              ///< relation-local filter; may be null
   bool aggregate = false;
   std::vector<ExprPtr> groups;   ///< relation-local group expressions
@@ -184,7 +187,8 @@ MorselPlanFactory MakeMorselFactory(std::shared_ptr<const ParallelSpec> spec) {
           wctx, std::move(mp.exec), slot);
       mp.stats.emplace_back(std::move(slot), target);
     };
-    mp.exec = std::make_unique<ClusteredScanExecutor>(wctx, spec->table, morsel);
+    mp.exec = std::make_unique<ClusteredScanExecutor>(wctx, spec->table, morsel,
+                                                      spec->scan_intent);
     attach(spec->scan_slot);
     if (spec->residual != nullptr) {
       mp.exec = std::make_unique<FilterExecutor>(std::move(mp.exec),
@@ -237,6 +241,13 @@ class PlanBuilder {
   std::vector<size_t> ChooseJoinOrder() const;
   double EstimateRows(size_t r) const;
   double EstimateConjunctSelectivity(size_t r, const Expr& pred) const;
+  /// Storage access hint for a full scan of `table`: kSequentialScan when
+  /// the scan is large relative to the buffer pool (>= 1/4 of capacity,
+  /// PostgreSQL's bulk-read threshold), so it recycles through the scan ring
+  /// instead of flushing the young region. Smaller tables keep point intent:
+  /// they fit comfortably, and evicting their own pages ring-style would
+  /// make warm repeated scans needlessly cold.
+  AccessIntent ScanIntent(const Table* table) const;
 
   /// Plans the access path for relation r (consumes its single-relation
   /// conjuncts). `local_to_plan` maps relation-local columns to positions in
@@ -362,6 +373,15 @@ double PlanBuilder::EstimateRows(size_t r) const {
     }
   }
   return std::max(rows, 1.0);
+}
+
+AccessIntent PlanBuilder::ScanIntent(const Table* table) const {
+  const double bytes_per_row = table->schema().FixedSectionSize() + 24.0;
+  const double est_pages = std::max(
+      1.0, static_cast<double>(table->row_count()) * bytes_per_row / kPageSize);
+  return est_pages * 4.0 >= static_cast<double>(ctx_->pool()->capacity())
+             ? AccessIntent::kSequentialScan
+             : AccessIntent::kPointLookup;
 }
 
 std::vector<size_t> PlanBuilder::ChooseJoinOrder() const {
@@ -553,8 +573,16 @@ Result<SubPlan> PlanBuilder::AccessPath(size_t r, std::vector<int>* local_to_pla
       match.matched_cols > 0
           ? " range on " + std::to_string(match.matched_cols) + " key col(s)"
           : " (full scan)";
+  // Access-pattern hint for the storage layer: an unbounded scan of a table
+  // large relative to the pool runs under sequential intent (scan-ring
+  // replacement + disk read-ahead). Keyed ranges are assumed selective and
+  // keep point intent, preserving classic LRU behaviour for index workloads.
+  const AccessIntent intent = match.matched_cols > 0
+                                  ? AccessIntent::kPointLookup
+                                  : ScanIntent(rel.table);
   if (use_clustered || best_idx == nullptr) {
-    plan.exec = std::make_unique<ClusteredScanExecutor>(ctx_, rel.table, range);
+    plan.exec =
+        std::make_unique<ClusteredScanExecutor>(ctx_, rel.table, range, intent);
     plan.width = rel.table->schema().NumColumns();
     plan.note = Note("ClusteredIndexScan " + rel.table->name() + " as " +
                      rel.alias + range_desc);
@@ -572,8 +600,8 @@ Result<SubPlan> PlanBuilder::AccessPath(size_t r, std::vector<int>* local_to_pla
       }
     }
   } else {
-    plan.exec = std::make_unique<SecondaryIndexScanExecutor>(ctx_, rel.table,
-                                                             best_idx, range);
+    plan.exec = std::make_unique<SecondaryIndexScanExecutor>(
+        ctx_, rel.table, best_idx, range, intent);
     plan.width = best_idx->out_schema.NumColumns();
     plan.note = Note("CoveringIndexSeek " + best_idx->name + " on " +
                      rel.table->name() + " as " + rel.alias + range_desc);
@@ -1091,6 +1119,8 @@ Result<bool> PlanBuilder::TryBuildParallel(SubPlan* out, bool* agg_done) {
 
   auto spec = std::make_shared<ParallelSpec>();
   spec->table = rel.table;
+  spec->scan_intent =
+      match.matched_cols > 0 ? AccessIntent::kPointLookup : ScanIntent(rel.table);
   std::vector<ExprPtr> residual;
   for (size_t i = 0; i < local_preds.size(); i++) {
     if (match.used_conjuncts.count(i) == 0) {

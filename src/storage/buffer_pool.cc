@@ -23,11 +23,29 @@ BufferPool::BufferPool(DiskManager* disk, uint32_t capacity_pages,
   }
 }
 
+void BufferPool::RemoveFromReplacer(size_t frame_idx) {
+  auto it = list_pos_.find(frame_idx);
+  if (it == list_pos_.end()) return;
+  if (frames_[frame_idx].in_scan_ring_) {
+    scan_ring_.erase(it->second);
+  } else {
+    lru_.erase(it->second);
+  }
+  list_pos_.erase(it);
+}
+
 void BufferPool::Touch(size_t frame_idx) {
-  auto it = lru_pos_.find(frame_idx);
-  if (it != lru_pos_.end()) lru_.erase(it->second);
+  RemoveFromReplacer(frame_idx);
+  frames_[frame_idx].in_scan_ring_ = false;
   lru_.push_front(frame_idx);
-  lru_pos_[frame_idx] = lru_.begin();
+  list_pos_[frame_idx] = lru_.begin();
+}
+
+void BufferPool::TouchRing(size_t frame_idx) {
+  RemoveFromReplacer(frame_idx);
+  frames_[frame_idx].in_scan_ring_ = true;
+  scan_ring_.push_front(frame_idx);
+  list_pos_[frame_idx] = scan_ring_.begin();
 }
 
 Status BufferPool::FlushFrame(size_t i) {
@@ -45,33 +63,41 @@ Result<size_t> BufferPool::GetVictimFrame() {
     free_frames_.pop_back();
     return idx;
   }
-  // Evict the least-recently-used unpinned frame.
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-    size_t idx = *it;
-    if (frames_[idx].pin_count_ == 0) {
-      ELE_RETURN_NOT_OK(FlushFrame(idx));
-      page_table_.erase(frames_[idx].page_id_);
-      lru_.erase(lru_pos_[idx]);
-      lru_pos_.erase(idx);
-      frames_[idx].page_id_ = kInvalidPageId;
-      stats_.evictions++;
-      return idx;
+  // The scan ring recycles before the young region ever loses a page: evict
+  // its least-recent unpinned frame first, then fall back to the young-LRU
+  // tail. With no sequential traffic the ring is empty and this is exactly
+  // the old pure-LRU victim scan.
+  for (std::list<size_t>* region : {&scan_ring_, &lru_}) {
+    for (auto it = region->rbegin(); it != region->rend(); ++it) {
+      size_t idx = *it;
+      if (frames_[idx].pin_count_ == 0) {
+        ELE_RETURN_NOT_OK(FlushFrame(idx));
+        page_table_.erase(frames_[idx].page_id_);
+        region->erase(std::next(it).base());
+        list_pos_.erase(idx);
+        frames_[idx].page_id_ = kInvalidPageId;
+        frames_[idx].in_scan_ring_ = false;
+        stats_.evictions++;
+        return idx;
+      }
     }
   }
   return Status::ResourceExhausted("buffer pool: all frames pinned");
 }
 
-Result<PageGuard> BufferPool::FetchPageGuarded(page_id_t page_id) {
-  ELE_ASSIGN_OR_RETURN(Frame * frame, FetchPage(page_id));
+Result<PageGuard> BufferPool::FetchPageGuarded(page_id_t page_id,
+                                               AccessIntent intent) {
+  ELE_ASSIGN_OR_RETURN(Frame * frame, FetchPage(page_id, intent));
   return PageGuard(this, page_id, frame);
 }
 
-Result<PageGuard> BufferPool::NewPageGuarded(page_id_t* page_id) {
-  ELE_ASSIGN_OR_RETURN(Frame * frame, NewPage(page_id));
+Result<PageGuard> BufferPool::NewPageGuarded(page_id_t* page_id,
+                                             AccessIntent intent) {
+  ELE_ASSIGN_OR_RETURN(Frame * frame, NewPage(page_id, intent));
   return PageGuard(this, *page_id, frame);
 }
 
-Result<Frame*> BufferPool::FetchPage(page_id_t page_id) {
+Result<Frame*> BufferPool::FetchPage(page_id_t page_id, AccessIntent intent) {
   MutexLock lock(latch_);
   auto it = page_table_.find(page_id);
   if (it != page_table_.end()) {
@@ -82,7 +108,20 @@ Result<Frame*> BufferPool::FetchPage(page_id_t page_id) {
     }
     Frame& f = frames_[it->second];
     f.pin_count_++;
-    Touch(it->second);
+    if (f.in_scan_ring_) {
+      if (intent == AccessIntent::kPointLookup) {
+        // Reuse beyond the scan that brought it in: graduate to the young
+        // region so the page competes as a normal hot page.
+        stats_.scan_ring_promotions++;
+        Touch(it->second);
+      } else {
+        TouchRing(it->second);
+      }
+    } else {
+      // Young pages stay young: a scan crossing an already-hot page must not
+      // demote it (that would let the scan damage the working set after all).
+      Touch(it->second);
+    }
     return &f;
   }
   stats_.misses++;
@@ -103,16 +142,21 @@ Result<Frame*> BufferPool::FetchPage(page_id_t page_id) {
   // The disk read happens under the latch: simple and correct, and the miss
   // path is rare enough (once per resident page) that it does not bottleneck
   // parallel scans.
-  ELE_RETURN_NOT_OK(disk_->ReadPage(page_id, f.data()));
+  ELE_RETURN_NOT_OK(disk_->ReadPage(page_id, f.data(), intent));
   f.page_id_ = page_id;
   f.pin_count_ = 1;
   f.dirty_ = false;
   page_table_[page_id] = idx;
-  Touch(idx);
+  if (intent == AccessIntent::kSequentialScan) {
+    stats_.scan_ring_inserts++;
+    TouchRing(idx);
+  } else {
+    Touch(idx);
+  }
   return &f;
 }
 
-Result<Frame*> BufferPool::NewPage(page_id_t* page_id) {
+Result<Frame*> BufferPool::NewPage(page_id_t* page_id, AccessIntent intent) {
   MutexLock lock(latch_);
   *page_id = disk_->AllocatePage();
   ELE_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
@@ -122,7 +166,12 @@ Result<Frame*> BufferPool::NewPage(page_id_t* page_id) {
   f.pin_count_ = 1;
   f.dirty_ = true;
   page_table_[*page_id] = idx;
-  Touch(idx);
+  if (intent == AccessIntent::kSequentialScan) {
+    stats_.scan_ring_inserts++;
+    TouchRing(idx);
+  } else {
+    Touch(idx);
+  }
   return &f;
 }
 
@@ -189,21 +238,28 @@ Status BufferPool::EvictAll() {
   for (size_t i = 0; i < frames_.size(); i++) {
     ELE_RETURN_NOT_OK(FlushFrame(i));
   }
+  // Drop every unpinned frame even when some are pinned: the pool stays
+  // consistent either way, and the caller learns exactly which pages kept
+  // their residency.
+  std::string pinned;
   for (size_t i = 0; i < frames_.size(); i++) {
     Frame& f = frames_[i];
     if (f.page_id_ == kInvalidPageId) continue;
     if (f.pin_count_ != 0) {
-      return Status::Internal("EvictAll with pinned page " +
-                              std::to_string(f.page_id_));
+      if (!pinned.empty()) pinned += ", ";
+      pinned += "page " + std::to_string(f.page_id_) + " (pins=" +
+                std::to_string(f.pin_count_) + ")";
+      continue;
     }
     page_table_.erase(f.page_id_);
-    auto it = lru_pos_.find(i);
-    if (it != lru_pos_.end()) {
-      lru_.erase(it->second);
-      lru_pos_.erase(it);
-    }
+    RemoveFromReplacer(i);
     f.page_id_ = kInvalidPageId;
+    f.in_scan_ring_ = false;
     free_frames_.push_back(i);
+  }
+  if (!pinned.empty()) {
+    return Status::FailedPrecondition("EvictAll left pinned pages resident: " +
+                                      pinned);
   }
   return Status::OK();
 }

@@ -26,6 +26,7 @@ class Frame {
   page_id_t page_id_ = kInvalidPageId;
   int pin_count_ = 0;
   bool dirty_ = false;
+  bool in_scan_ring_ = false;  ///< replacement region (see BufferPool docs)
 };
 
 /// Buffer-pool hit/miss counters (cache behaviour, distinct from disk I/O).
@@ -33,15 +34,32 @@ struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
+  /// Misses fetched under AccessIntent::kSequentialScan, which entered the
+  /// scan ring instead of the young LRU region.
+  uint64_t scan_ring_inserts = 0;
+  /// Point-lookup hits on scan-ring pages that promoted the page into the
+  /// young region (proof of reuse beyond the scan).
+  uint64_t scan_ring_promotions = 0;
   /// Unpin of a non-resident page or of a frame whose pin count is already
   /// zero — always a caller bug (double unpin / unpin-after-evict). Kept as
   /// a counter so tests can assert the pin protocol was never violated.
   uint64_t pin_protocol_errors = 0;
 };
 
-/// A fixed-capacity LRU buffer pool over a DiskManager. All page access in
-/// the engine flows through here, so "cold cache" experiments are obtained by
-/// calling `EvictAll()` before a run.
+/// A fixed-capacity scan-resistant buffer pool over a DiskManager. All page
+/// access in the engine flows through here, so "cold cache" experiments are
+/// obtained by calling `EvictAll()` before a run.
+///
+/// Replacement is two-region. Pages fetched with the default
+/// AccessIntent::kPointLookup live in the *young* region, an exact LRU —
+/// point-lookup-only workloads see byte-identical eviction behaviour to a
+/// plain LRU pool. Pages faulted in under AccessIntent::kSequentialScan
+/// enter the *scan ring* instead, and victims are always taken from the
+/// ring before the young region, so one large sequential scan recycles its
+/// own ring pages and cannot flush a hot B+-tree working set (PostgreSQL's
+/// bulk-read ring buffer, MySQL's midpoint insertion). A point-lookup hit on
+/// a ring page promotes it into the young region (it has proven reuse); a
+/// sequential hit keeps it in the ring.
 ///
 /// Thread-safe: one latch guards the page table, the replacement state and
 /// the frame metadata (pin counts, dirty bits), and is held across the disk
@@ -65,22 +83,28 @@ class BufferPool {
 
   /// Pins the page and wraps the pin in a guard that releases it on scope
   /// exit. The only fetch API engine code outside this class may use
-  /// (enforced by the `raw-page-api` lint rule).
-  Result<PageGuard> FetchPageGuarded(page_id_t page_id);
+  /// (enforced by the `raw-page-api` lint rule). `intent` selects the
+  /// replacement region on a miss and flows to the disk read-ahead.
+  Result<PageGuard> FetchPageGuarded(
+      page_id_t page_id, AccessIntent intent = AccessIntent::kPointLookup);
 
   /// Allocates a new page on disk and returns a guard over its (zeroed,
-  /// already dirty) frame.
-  Result<PageGuard> NewPageGuarded(page_id_t* page_id);
+  /// already dirty) frame. Bulk-load paths pass kSequentialScan so freshly
+  /// built structures do not flush the young region.
+  Result<PageGuard> NewPageGuarded(
+      page_id_t* page_id, AccessIntent intent = AccessIntent::kPointLookup);
 
   /// Pins the page in memory, reading it from disk on a miss.
   /// Caller must Unpin() exactly once per fetch. Prefer FetchPageGuarded:
   /// outside this class and PageGuard, the raw pair is banned by the linter
   /// (it exists for the pool's own tests).
-  Result<Frame*> FetchPage(page_id_t page_id);
+  Result<Frame*> FetchPage(page_id_t page_id,
+                           AccessIntent intent = AccessIntent::kPointLookup);
 
   /// Allocates a new page on disk and pins its (zeroed, dirty) frame.
   /// Same caveat as FetchPage: engine code uses NewPageGuarded.
-  Result<Frame*> NewPage(page_id_t* page_id);
+  Result<Frame*> NewPage(page_id_t* page_id,
+                         AccessIntent intent = AccessIntent::kPointLookup);
 
   /// Releases one pin; `dirty` marks the frame as modified.
   void UnpinPage(page_id_t page_id, bool dirty);
@@ -88,7 +112,11 @@ class BufferPool {
   /// Writes back all dirty frames.
   Status FlushAll();
 
-  /// Flushes and drops every frame — the cold-cache knob for benchmarks.
+  /// Flushes and drops every unpinned frame — the cold-cache knob for
+  /// benchmarks. When pinned frames remain resident (a caller still holds a
+  /// guard), every unpinned frame is still evicted, bookkeeping stays
+  /// consistent, and a FailedPrecondition listing the pinned pages is
+  /// returned.
   Status EvictAll();
 
   /// Number of frames currently pinned (invariant checks and tests).
@@ -98,6 +126,18 @@ class BufferPool {
   size_t ResidentPages() const {
     MutexLock lock(latch_);
     return page_table_.size();
+  }
+
+  /// True when `page_id` is resident (tests of replacement behaviour).
+  bool IsResident(page_id_t page_id) const {
+    MutexLock lock(latch_);
+    return page_table_.count(page_id) != 0;
+  }
+
+  /// Number of resident pages currently in the scan ring (tests/gauges).
+  size_t ScanRingPages() const {
+    MutexLock lock(latch_);
+    return scan_ring_.size();
   }
 
   /// OK when no frame is pinned; otherwise an Internal error listing every
@@ -124,10 +164,19 @@ class BufferPool {
   uint32_t capacity() const { return capacity_; }
 
  private:
-  /// Returns a free frame, evicting the LRU unpinned page if needed.
+  /// Returns a free frame, evicting from the scan ring first, then the
+  /// young-LRU tail. Pinned frames are skipped; all-pinned pools fail with
+  /// ResourceExhausted and untouched bookkeeping.
   Result<size_t> GetVictimFrame() REQUIRES(latch_);
   Status FlushFrame(size_t frame_idx) REQUIRES(latch_);
+  /// Moves the frame to the front of the young region (exact LRU touch),
+  /// pulling it out of the scan ring if it was there.
   void Touch(size_t frame_idx) REQUIRES(latch_);
+  /// Moves the frame to the front of the scan ring, pulling it out of the
+  /// young region if it was there.
+  void TouchRing(size_t frame_idx) REQUIRES(latch_);
+  /// Removes the frame from whichever replacement list holds it.
+  void RemoveFromReplacer(size_t frame_idx) REQUIRES(latch_);
 
   mutable Mutex latch_;
   DiskManager* const disk_;
@@ -137,9 +186,14 @@ class BufferPool {
   /// bytes of a pinned frame may be read without the latch (see class doc).
   std::vector<Frame> frames_ GUARDED_BY(latch_);
   std::unordered_map<page_id_t, size_t> page_table_ GUARDED_BY(latch_);
-  // LRU: front = most recent. Entries are frame indices of resident pages.
+  // Young region LRU: front = most recent. Entries are frame indices of
+  // resident point-access pages.
   std::list<size_t> lru_ GUARDED_BY(latch_);
-  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_
+  // Scan ring: front = most recent sequential page. Victimized before lru_.
+  std::list<size_t> scan_ring_ GUARDED_BY(latch_);
+  // Position of every resident frame in its list (which list a frame is on
+  // is recorded in Frame::in_scan_ring_).
+  std::unordered_map<size_t, std::list<size_t>::iterator> list_pos_
       GUARDED_BY(latch_);
   std::vector<size_t> free_frames_ GUARDED_BY(latch_);
   BufferPoolStats stats_ GUARDED_BY(latch_);

@@ -25,8 +25,29 @@ page_id_t DiskManager::AllocatePage() {
   return static_cast<page_id_t>(pages_.size() - 1);
 }
 
-Status DiskManager::ReadPage(page_id_t page_id, char* dest) {
+void DiskManager::MaybeExtendWindow(StreamPos* s, uint64_t* windows_issued,
+                                    uint64_t* pages_prefetched) {
+  if (!readahead_enabled_) return;
+  if (s->buffered_until < s->last_page) s->buffered_until = s->last_page;
+  const page_id_t staged_ahead = s->buffered_until - s->last_page;
+  if (staged_ahead >= static_cast<page_id_t>(readahead_pages_ / 2) &&
+      staged_ahead > 0) {
+    return;  // more than half a window still staged; no transfer yet
+  }
+  const page_id_t extent_end = static_cast<page_id_t>(pages_.size()) - 1;
+  page_id_t want = s->last_page + static_cast<page_id_t>(readahead_pages_);
+  if (want > extent_end) want = extent_end;
+  if (want <= s->buffered_until) return;  // at the end of the extent
+  *windows_issued += 1;
+  *pages_prefetched += static_cast<uint64_t>(want - s->buffered_until);
+  s->buffered_until = want;
+}
+
+Status DiskManager::ReadPage(page_id_t page_id, char* dest,
+                             AccessIntent intent) {
   bool sequential;
+  bool prefetch_hit = false;
+  ReadaheadStats ra_delta;
   {
     MutexLock lock(mu_);
     if (page_id < 0 || static_cast<size_t>(page_id) >= pages_.size()) {
@@ -38,8 +59,13 @@ Status DiskManager::ReadPage(page_id_t page_id, char* dest) {
     int lru = 0;
     for (int i = 0; i < kReadStreams; i++) {
       // A stream continues when the new page extends it (same page counts
-      // too: a re-read the cache dropped but the drive buffer still holds).
-      if (page_id == streams_[i].last_page + 1 || page_id == streams_[i].last_page) {
+      // too: a re-read the cache dropped but the drive buffer still holds),
+      // or when the page is anywhere inside the stream's staged prefetch
+      // window — forward skips over staged pages stay on-stream.
+      if (page_id == streams_[i].last_page + 1 ||
+          page_id == streams_[i].last_page ||
+          (page_id > streams_[i].last_page &&
+           page_id <= streams_[i].buffered_until)) {
         hit = i;
         break;
       }
@@ -47,18 +73,46 @@ Status DiskManager::ReadPage(page_id_t page_id, char* dest) {
     }
     sequential = hit >= 0;
     if (sequential) {
+      StreamPos& s = streams_[hit];
+      if (page_id > s.last_page && page_id <= s.buffered_until) {
+        // Served from the prefetch window; staged pages the stream skipped
+        // over were transferred for nothing.
+        prefetch_hit = true;
+        ra_delta.prefetch_hits++;
+        ra_delta.prefetch_wasted +=
+            static_cast<uint64_t>(page_id - s.last_page - 1);
+      }
       stats_.sequential_reads++;
-      streams_[hit].last_page = page_id;
-      streams_[hit].last_used = clock_;
+      s.last_page = page_id;
+      s.last_used = clock_;
+      MaybeExtendWindow(&s, &ra_delta.windows_issued,
+                        &ra_delta.pages_prefetched);
     } else {
       stats_.random_reads++;
-      streams_[lru].last_page = page_id;
-      streams_[lru].last_used = clock_;
+      StreamPos& s = streams_[lru];
+      // Whatever the recycled stream had staged will never be consumed.
+      if (s.buffered_until > s.last_page) {
+        ra_delta.prefetch_wasted +=
+            static_cast<uint64_t>(s.buffered_until - s.last_page);
+      }
+      s.last_page = page_id;
+      s.buffered_until = page_id;
+      s.last_used = clock_;
+      if (intent == AccessIntent::kSequentialScan) {
+        // The plan says a scan starts here: stage the window right away so
+        // the next demanded pages stream from the drive buffer.
+        MaybeExtendWindow(&s, &ra_delta.windows_issued,
+                          &ra_delta.pages_prefetched);
+      }
     }
+    stats_.readahead.windows_issued += ra_delta.windows_issued;
+    stats_.readahead.pages_prefetched += ra_delta.pages_prefetched;
+    stats_.readahead.prefetch_hits += ra_delta.prefetch_hits;
+    stats_.readahead.prefetch_wasted += ra_delta.prefetch_wasted;
     // Inside the critical section so the per-object heatmap totals track the
     // global counters exactly at every instant (test-enforced equality).
     if (heatmap_ != nullptr) {
-      heatmap_->RecordRead(obs::CurrentAccessLabel(), sequential);
+      heatmap_->RecordRead(obs::CurrentAccessLabel(), sequential, prefetch_hit);
     }
     std::memcpy(dest, pages_[page_id].get(), kPageSize);
   }
@@ -75,6 +129,22 @@ Status DiskManager::ReadPage(page_id_t page_id, char* dest) {
     } else {
       sink->random_reads.fetch_add(1, std::memory_order_relaxed);
     }
+    if (ra_delta.windows_issued != 0) {
+      sink->readahead_windows.fetch_add(ra_delta.windows_issued,
+                                        std::memory_order_relaxed);
+    }
+    if (ra_delta.pages_prefetched != 0) {
+      sink->pages_prefetched.fetch_add(ra_delta.pages_prefetched,
+                                       std::memory_order_relaxed);
+    }
+    if (ra_delta.prefetch_hits != 0) {
+      sink->prefetch_hits.fetch_add(ra_delta.prefetch_hits,
+                                    std::memory_order_relaxed);
+    }
+    if (ra_delta.prefetch_wasted != 0) {
+      sink->prefetch_wasted.fetch_add(ra_delta.prefetch_wasted,
+                                      std::memory_order_relaxed);
+    }
   }
   return Status::OK();
 }
@@ -90,6 +160,9 @@ Status DiskManager::WritePage(page_id_t page_id, const char* src) {
     if (heatmap_ != nullptr) {
       heatmap_->RecordWrite(obs::CurrentAccessLabel());
     }
+    // Writes go straight to the backing store; a staged prefetch window over
+    // the written page stays coherent because the window is bookkeeping only
+    // (reads always copy from pages_).
     std::memcpy(pages_[page_id].get(), src, kPageSize);
   }
   if (IoSink* sink = CurrentIoSink()) {

@@ -65,7 +65,11 @@ TableHeap::Iterator::Iterator(BufferPool* pool, page_id_t page_id)
 
 Status TableHeap::Iterator::SeekToLive() {
   while (page_ != kInvalidPageId) {
-    ELE_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPageGuarded(page_));
+    // The iterator walks the full page chain in allocation order: a
+    // sequential sweep, so it uses the scan ring / read-ahead path.
+    ELE_ASSIGN_OR_RETURN(
+        PageGuard guard,
+        pool_->FetchPageGuarded(page_, AccessIntent::kSequentialScan));
     SlottedPage sp(guard.data());
     const uint16_t count = sp.SlotCount();
     while (slot_ < count) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/rng.h"
 #include "common/schema.h"
 #include "common/status.h"
@@ -95,6 +97,58 @@ TEST(ValueTest, Arithmetic) {
 TEST(ValueTest, ArithmeticWithNullYieldsNull) {
   Value r = Value::Int32(3).Add(Value::Null(TypeId::kInt32)).value();
   EXPECT_TRUE(r.is_null());
+}
+
+TEST(ValueTest, Int32OverflowIsAnErrorNotWraparound) {
+  const int32_t kMax = std::numeric_limits<int32_t>::max();
+  const int32_t kMin = std::numeric_limits<int32_t>::min();
+  // Exactly at the boundary: fine.
+  EXPECT_EQ(Value::Int32(kMax - 1).Add(Value::Int32(1)).value().AsInt32(), kMax);
+  EXPECT_EQ(Value::Int32(kMin + 1).Subtract(Value::Int32(1)).value().AsInt32(),
+            kMin);
+  // One past the boundary: InvalidArgument, not a wrapped negative/positive.
+  auto add = Value::Int32(kMax).Add(Value::Int32(1));
+  ASSERT_FALSE(add.ok());
+  EXPECT_EQ(add.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(add.status().ToString().find("INT32"), std::string::npos);
+  EXPECT_FALSE(Value::Int32(kMin).Subtract(Value::Int32(1)).ok());
+  EXPECT_FALSE(Value::Int32(kMax).Multiply(Value::Int32(2)).ok());
+  // The one narrowing division: INT32_MIN / -1.
+  EXPECT_FALSE(Value::Int32(kMin).Divide(Value::Int32(-1)).ok());
+  EXPECT_EQ(Value::Int32(kMin).Divide(Value::Int32(1)).value().AsInt32(), kMin);
+  // Promotion to INT64 keeps wide results representable.
+  EXPECT_EQ(Value::Int32(kMax).Add(Value::Int64(1)).value().AsInt64(),
+            static_cast<int64_t>(kMax) + 1);
+}
+
+TEST(ValueTest, DateArithmeticRangeChecked) {
+  const int32_t kMax = std::numeric_limits<int32_t>::max();
+  const Value d = Value::Date(date::FromYMD(1998, 9, 1));
+  // Ordinary day math still works, in both directions and widths.
+  EXPECT_EQ(d.Add(Value::Int32(30)).value().AsInt32(),
+            date::FromYMD(1998, 10, 1));
+  EXPECT_EQ(d.Subtract(Value::Int64(31)).value().AsInt32(),
+            date::FromYMD(1998, 8, 1));
+  EXPECT_EQ(Value::Date(date::FromYMD(1998, 9, 2))
+                .Subtract(Value::Date(date::FromYMD(1998, 9, 1)))
+                .value()
+                .AsInt32(),
+            1);
+  // DATE +/- INT64 past the INT32 day domain fails instead of wrapping to a
+  // bogus in-range date.
+  EXPECT_FALSE(d.Add(Value::Int64(static_cast<int64_t>(kMax))).ok());
+  EXPECT_FALSE(d.Subtract(Value::Int64(static_cast<int64_t>(1) << 40)).ok());
+  EXPECT_FALSE(Value::Date(kMax).Add(Value::Int32(1)).ok());
+}
+
+TEST(ValueTest, NarrowingCastsRangeChecked) {
+  const int64_t kTooBig = static_cast<int64_t>(1) << 40;
+  EXPECT_EQ(Value::Int64(7).CastTo(TypeId::kInt32).value().AsInt32(), 7);
+  auto cast = Value::Int64(kTooBig).CastTo(TypeId::kInt32);
+  ASSERT_FALSE(cast.ok());
+  EXPECT_EQ(cast.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(Value::Int64(kTooBig).CastTo(TypeId::kDate).ok());
+  EXPECT_EQ(Value::Int64(10957).CastTo(TypeId::kDate).value().AsInt32(), 10957);
 }
 
 TEST(ValueTest, CastLossless) {

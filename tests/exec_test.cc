@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "catalog/catalog.h"
 #include "exec/agg_executor.h"
 #include "exec/join_executor.h"
@@ -287,6 +289,88 @@ TEST_F(ExecFixture, BandMergeJoinEqualsInljResult) {
     EXPECT_GE(point, band * 10);
     EXPECT_LE(point, band * 10 + 9);
   }
+}
+
+/// Runs inner.k BETWEEN lo(outer) AND hi(outer) through both
+/// BandMergeJoinExecutor and IndexNestedLoopJoinExecutor and expects the
+/// outputs to be byte-identical, row for row.
+void ExpectBandMergeMatchesInlj(ExecContext* ctx, Table* ranges, Table* points,
+                                const std::function<ExprPtr()>& lo,
+                                const std::function<ExprPtr()>& hi) {
+  auto so_merge = std::make_unique<ClusteredScanExecutor>(ctx, ranges);
+  auto si_merge = std::make_unique<ClusteredScanExecutor>(ctx, points);
+  BandMergeJoinExecutor merge(ctx, std::move(so_merge), std::move(si_merge),
+                              lo(), hi(), Col(0, TypeId::kInt32), nullptr);
+  auto merge_rows = ExecuteToVector(&merge);
+  ASSERT_TRUE(merge_rows.ok()) << merge_rows.status().ToString();
+
+  auto so_inlj = std::make_unique<ClusteredScanExecutor>(ctx, ranges);
+  InljBounds bounds;
+  bounds.lo = lo();
+  bounds.hi = hi();
+  IndexNestedLoopJoinExecutor inlj(ctx, std::move(so_inlj), points, nullptr,
+                                   std::move(bounds), nullptr);
+  auto inlj_rows = ExecuteToVector(&inlj);
+  ASSERT_TRUE(inlj_rows.ok()) << inlj_rows.status().ToString();
+
+  ASSERT_EQ(merge_rows.value().size(), inlj_rows.value().size());
+  for (size_t i = 0; i < merge_rows.value().size(); i++) {
+    const Row& m = merge_rows.value()[i];
+    const Row& n = inlj_rows.value()[i];
+    ASSERT_EQ(m.size(), n.size());
+    for (size_t c = 0; c < m.size(); c++) {
+      EXPECT_EQ(m[c].ToString(), n[c].ToString())
+          << "row " << i << " col " << c;
+    }
+  }
+}
+
+TEST_F(ExecFixture, BandMergeJoinEmptyInnerMatchesInlj) {
+  Table* ranges = MakeTable("ranges", 5, 5);
+  Table* points = MakeTable("points", 0, 1);  // empty inner input
+  ExpectBandMergeMatchesInlj(
+      &ctx, ranges, points,
+      [] { return Arith(ArithOp::kMul, Col(0, TypeId::kInt32), Lit(Value::Int32(10))); },
+      [] {
+        return Arith(ArithOp::kAdd,
+                     Arith(ArithOp::kMul, Col(0, TypeId::kInt32), Lit(Value::Int32(10))),
+                     Lit(Value::Int32(9)));
+      });
+}
+
+TEST_F(ExecFixture, BandMergeJoinDegenerateBandsMatchInlj) {
+  // Bands of width 1 (f == f + c - 1, a run of length one): lo(outer) ==
+  // hi(outer) == outer.k * 3, so each band covers exactly one inner key and
+  // consecutive bands leave gaps the merge must skip over.
+  Table* ranges = MakeTable("ranges", 10, 10);
+  Table* points = MakeTable("points", 30, 30);
+  ExpectBandMergeMatchesInlj(
+      &ctx, ranges, points,
+      [] { return Arith(ArithOp::kMul, Col(0, TypeId::kInt32), Lit(Value::Int32(3))); },
+      [] { return Arith(ArithOp::kMul, Col(0, TypeId::kInt32), Lit(Value::Int32(3))); });
+}
+
+TEST_F(ExecFixture, BandMergeJoinSingleRowRunsMatchInlj) {
+  // One inner row per band (single-row RLE runs): bands [10i, 10i+9] each
+  // contain exactly the point k = 10i + 5.
+  Table* ranges = MakeTable("ranges", 10, 10);
+  Schema s({Column("k", TypeId::kInt32), Column("grp", TypeId::kInt32),
+            Column("amount", TypeId::kDecimal)});
+  auto t = catalog.CreateTable("points", s, {0});
+  ASSERT_TRUE(t.ok());
+  std::vector<Row> rows;
+  for (int i = 0; i < 10; i++) {
+    rows.push_back({Value::Int32(i * 10 + 5), Value::Int32(i), Value::Decimal(i)});
+  }
+  ASSERT_TRUE(t.value()->BulkLoadRows(std::move(rows)).ok());
+  ExpectBandMergeMatchesInlj(
+      &ctx, ranges, t.value(),
+      [] { return Arith(ArithOp::kMul, Col(0, TypeId::kInt32), Lit(Value::Int32(10))); },
+      [] {
+        return Arith(ArithOp::kAdd,
+                     Arith(ArithOp::kMul, Col(0, TypeId::kInt32), Lit(Value::Int32(10))),
+                     Lit(Value::Int32(9)));
+      });
 }
 
 TEST_F(ExecFixture, JoinResidualPredicateApplies) {

@@ -93,6 +93,7 @@ TEST_F(ExplainAnalyzeTest, ExplainAnalyzeStatementShowsActualsAndPhases) {
   EXPECT_NE(plan.find("io_seq="), std::string::npos) << plan;
   EXPECT_NE(plan.find("io_rand="), std::string::npos) << plan;
   EXPECT_NE(plan.find("Execution: rows=20"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("prefetch_hits="), std::string::npos) << plan;
   EXPECT_NE(plan.find("Phases:"), std::string::npos) << plan;
   EXPECT_NE(plan.find("HashJoin"), std::string::npos) << plan;
 }
@@ -116,6 +117,9 @@ TEST_F(ExplainAnalyzeTest, ApiReturnsRowsAndAnnotatedTree) {
   EXPECT_NE(r.value().json.find("\"actual\":"), std::string::npos);
   EXPECT_NE(r.value().json.find("\"phases\":"), std::string::npos);
   EXPECT_NE(r.value().json.find("\"io\":"), std::string::npos);
+  // The io block nests the disk read-ahead counters.
+  EXPECT_NE(r.value().json.find("\"readahead\":"), std::string::npos);
+  EXPECT_NE(r.value().json.find("\"prefetch_hits\":"), std::string::npos);
 }
 
 /// The golden invariant: with a cold cache, the per-operator self-attributed

@@ -1,0 +1,11 @@
+// Fixture: silent INT32 narrowing in value arithmetic must be flagged.
+#include <cstdint>
+
+namespace elephant {
+
+int32_t AddDays(int64_t date_days, int64_t delta) {
+  // Wraps past the INT32 day domain instead of failing.
+  return static_cast<int32_t>(date_days + delta);  // finding
+}
+
+}  // namespace elephant
