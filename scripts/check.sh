@@ -6,9 +6,10 @@
 #   analyze   Clang -Wthread-safety -Werror whole-tree lock-discipline proof
 #   sanitize  ASan + UBSan
 #   telemetry run a traced multi-session PARALLEL workload on the default
-#             build and validate both export formats (Chrome trace JSON +
-#             Prometheus text) with scripts/telemetry_check.py, plus the
-#             bench-regression self-tests
+#             build and validate the export formats (Chrome trace JSON,
+#             Prometheus text, stat-statements JSON) with
+#             scripts/telemetry_check.py, plus the bench-regression
+#             self-tests
 #
 # The analyze preset needs clang++; when it is not installed the preset is
 # skipped with a loud notice (the annotations compile as no-ops under GCC, so
@@ -35,11 +36,13 @@ for preset in "${PRESETS[@]}"; do
     mkdir -p "$trace_dir"
     ELEPHANT_SF=0.005 ./build/bench/bench_parallel \
       --trace "$trace_dir/trace.json" \
-      --metrics "$trace_dir/metrics.prom" >/dev/null
+      --metrics "$trace_dir/metrics.prom" \
+      --stat-statements "$trace_dir/stat_statements.json" >/dev/null
     echo "=== [$preset] validate exports ========================================"
     python3 scripts/telemetry_check.py \
       --trace "$trace_dir/trace.json" --min-worker-threads 2 \
-      --metrics "$trace_dir/metrics.prom"
+      --metrics "$trace_dir/metrics.prom" \
+      --stat-statements "$trace_dir/stat_statements.json"
     echo "=== [$preset] bench-regression self-tests ============================="
     python3 scripts/bench_regress.py figure2 --self-test
     python3 scripts/bench_regress.py parallel --self-test
@@ -62,6 +65,8 @@ for preset in "${PRESETS[@]}"; do
   if [ "$preset" = default ] || [ "$preset" = sanitize ]; then
     echo "=== [$preset] storage label (read-ahead / eviction) ==================="
     ctest --preset "$preset" -L storage --output-on-failure
+    echo "=== [$preset] obs label (telemetry / stat tables) ====================="
+    ctest --preset "$preset" -L obs --output-on-failure
   fi
 done
 

@@ -26,6 +26,14 @@ arguments depend on:
                     boundary; every narrowing there must flow through the
                     range-checked NarrowToInt32 helper (which carries the
                     one lint:allow).
+  stat-statements-mutation
+                    StatStatements / stat_statements references outside
+                    src/obs/ (the registry) and src/engine/ (the one
+                    recording site). The registry's counters reconcile
+                    exactly with the global I/O counters only because
+                    nothing else feeds or resets it; executors and
+                    strategies must read it through SQL
+                    (elephant_stat_statements) instead.
 
 Suppress a finding with a trailing or preceding-line comment:
 
@@ -69,7 +77,14 @@ RULES = (
     "naked-delete",
     "nonconst-global",
     "unchecked-narrowing",
+    "stat-statements-mutation",
 )
+
+# Directories (top-level under src/) allowed to touch the statement registry:
+# obs/ implements it, engine/ records into it and serves the virtual tables.
+STAT_STATEMENTS_ALLOWED_DIRS = {"obs", "engine"}
+
+STAT_STATEMENTS_RE = re.compile(r"\b(?:StatStatements|stat_statements_?)\b")
 
 # The one file the unchecked-narrowing rule polices: the Value arithmetic
 # that silently wrapped at the INT32/DATE boundary before NarrowToInt32.
@@ -275,6 +290,17 @@ def lint_file(path, rel, text):
                 report(lineno, "unchecked-narrowing",
                        "raw static_cast<int32_t> in value arithmetic; narrow "
                        "through the range-checked NarrowToInt32 helper")
+
+    # --- stat-statements-mutation (fixtures lint as bare names) ---
+    top_dir = rel.split(os.sep, 1)[0] if os.sep in rel else None
+    if top_dir not in STAT_STATEMENTS_ALLOWED_DIRS:
+        for lineno, ln in enumerate(lines, 1):
+            if STAT_STATEMENTS_RE.search(ln):
+                report(lineno, "stat-statements-mutation",
+                       "StatStatements registry referenced outside src/obs/ "
+                       "and src/engine/; only the engine records into it — "
+                       "read it through the elephant_stat_statements virtual "
+                       "table instead")
 
     # --- unguarded-mutex ---
     mutex_names = []

@@ -8,6 +8,7 @@ running a traced workload, and handy standalone:
 
     python3 scripts/telemetry_check.py --trace trace.json --min-worker-threads 2
     python3 scripts/telemetry_check.py --metrics metrics.prom
+    python3 scripts/telemetry_check.py --stat-statements stat_statements.json
 
 Exits non-zero with one line per violation.
 """
@@ -172,26 +173,162 @@ def check_metrics(path):
     return errors
 
 
+IO_KEYS = ("sequential_reads", "random_reads", "page_writes")
+READAHEAD_KEYS = ("windows_issued", "pages_prefetched", "prefetch_hits",
+                  "prefetch_wasted")
+STATEMENT_KEYS = (
+    "fingerprint", "plan_hash", "query", "calls", "rows",
+    "instrumented_calls", "total_seconds", "mean_seconds", "min_seconds",
+    "max_seconds", "p95_seconds", "total_io_seconds", "residual_seconds",
+    "io", "latency_buckets", "operator_classes",
+)
+HEX_HASH_RE = re.compile(r"^[0-9a-f]{16}$")
+
+
+def _check_io_object(io, where, errors):
+    for key in IO_KEYS:
+        if not isinstance(io.get(key), int) or io.get(key, -1) < 0:
+            errors.append("%s: io.%s not a non-negative integer" % (where, key))
+    ra = io.get("readahead")
+    if not isinstance(ra, dict):
+        errors.append("%s: io.readahead missing" % where)
+        return
+    for key in READAHEAD_KEYS:
+        if not isinstance(ra.get(key), int) or ra.get(key, -1) < 0:
+            errors.append("%s: io.readahead.%s not a non-negative integer" %
+                          (where, key))
+
+
+def check_stat_statements(path):
+    """Schema + reconciliation checks on Database::ExportStatStatements()."""
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return ["stat_statements: %s" % e]
+
+    if not isinstance(doc.get("capacity"), int) or doc["capacity"] <= 0:
+        errors.append("stat_statements: capacity must be a positive integer")
+    if not isinstance(doc.get("evicted_entries"), int) \
+            or doc["evicted_entries"] < 0:
+        errors.append("stat_statements: evicted_entries must be >= 0")
+    bounds = doc.get("latency_bounds")
+    if not isinstance(bounds, list) or bounds != sorted(bounds):
+        errors.append("stat_statements: latency_bounds missing or unsorted")
+    statements = doc.get("statements")
+    if not isinstance(statements, list):
+        return errors + ["stat_statements: no statements array"]
+    if doc.get("entries") != len(statements):
+        errors.append("stat_statements: entries %r != %d statements" %
+                      (doc.get("entries"), len(statements)))
+    if len(statements) > doc.get("capacity", 0):
+        errors.append("stat_statements: more statements than capacity")
+
+    sums = {"calls": 0, "rows": 0, "total_seconds": 0.0,
+            "total_io_seconds": 0.0}
+    io_sums = {key: 0 for key in IO_KEYS}
+    ra_sums = {key: 0 for key in READAHEAD_KEYS}
+    seen_keys = set()
+    for i, entry in enumerate(statements):
+        where = "stat_statements: statement %d" % i
+        missing = [k for k in STATEMENT_KEYS if k not in entry]
+        if missing:
+            errors.append("%s: missing keys %s" % (where, missing))
+            continue
+        for key in ("fingerprint", "plan_hash"):
+            if not HEX_HASH_RE.match(str(entry[key])):
+                errors.append("%s: %s is not a 16-digit hex hash" %
+                              (where, key))
+        ident = (entry["fingerprint"], entry["plan_hash"])
+        if ident in seen_keys:
+            errors.append("%s: duplicate fingerprint x plan_hash %s" %
+                          (where, ident))
+        seen_keys.add(ident)
+        if entry["calls"] < 1:
+            errors.append("%s: calls must be >= 1" % where)
+        if entry["instrumented_calls"] > entry["calls"]:
+            errors.append("%s: instrumented_calls > calls" % where)
+        if sum(entry["latency_buckets"]) != entry["calls"]:
+            errors.append("%s: latency_buckets sum %d != calls %d" %
+                          (where, sum(entry["latency_buckets"]),
+                           entry["calls"]))
+        if isinstance(bounds, list) \
+                and len(entry["latency_buckets"]) != len(bounds) + 1:
+            errors.append("%s: %d latency_buckets for %d bounds" %
+                          (where, len(entry["latency_buckets"]), len(bounds)))
+        if not entry["min_seconds"] <= entry["mean_seconds"] \
+                <= entry["max_seconds"]:
+            errors.append("%s: min/mean/max out of order" % where)
+        _check_io_object(entry["io"], where, errors)
+        for name, cls in entry["operator_classes"].items():
+            if entry["instrumented_calls"] == 0:
+                errors.append("%s: operator class %s without instrumented "
+                              "calls" % (where, name))
+            if cls.get("operators", 0) < 1:
+                errors.append("%s: operator class %s with no operators" %
+                              (where, name))
+        for key in sums:
+            sums[key] += entry[key]
+        for key in IO_KEYS:
+            io_sums[key] += entry["io"].get(key, 0)
+        for key in READAHEAD_KEYS:
+            ra_sums[key] += entry["io"].get("readahead", {}).get(key, 0)
+
+    # The totals block must reconcile exactly with the per-statement rows
+    # (counters exactly; seconds to float round-off).
+    totals = doc.get("totals")
+    if not isinstance(totals, dict):
+        return errors + ["stat_statements: no totals object"]
+    for key in ("calls", "rows"):
+        if totals.get(key) != sums[key]:
+            errors.append("stat_statements: totals.%s %r != statement sum %d" %
+                          (key, totals.get(key), sums[key]))
+    for key in ("total_seconds", "total_io_seconds"):
+        if abs(totals.get(key, 0) - sums[key]) > 1e-9 + 1e-9 * sums[key]:
+            errors.append("stat_statements: totals.%s %r != statement sum %r" %
+                          (key, totals.get(key), sums[key]))
+    total_io = totals.get("io", {})
+    for key in IO_KEYS:
+        if total_io.get(key) != io_sums[key]:
+            errors.append("stat_statements: totals.io.%s %r != statement "
+                          "sum %d" % (key, total_io.get(key), io_sums[key]))
+    for key in READAHEAD_KEYS:
+        if total_io.get("readahead", {}).get(key) != ra_sums[key]:
+            errors.append(
+                "stat_statements: totals.io.readahead.%s %r != statement "
+                "sum %d" % (key, total_io.get("readahead", {}).get(key),
+                            ra_sums[key]))
+    return errors
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trace", help="Chrome-trace JSON file to validate")
     parser.add_argument("--metrics",
                         help="Prometheus text-exposition file to validate")
+    parser.add_argument("--stat-statements",
+                        help="ExportStatStatements() JSON file to validate")
     parser.add_argument("--min-worker-threads", type=int, default=0,
                         help="require worker spans on at least N threads")
     args = parser.parse_args()
-    if not args.trace and not args.metrics:
-        parser.error("nothing to check: pass --trace and/or --metrics")
+    if not args.trace and not args.metrics and not args.stat_statements:
+        parser.error(
+            "nothing to check: pass --trace, --metrics, and/or "
+            "--stat-statements")
 
     errors = []
     if args.trace:
         errors += check_trace(args.trace, args.min_worker_threads)
     if args.metrics:
         errors += check_metrics(args.metrics)
+    if args.stat_statements:
+        errors += check_stat_statements(args.stat_statements)
     for e in errors:
         print(e, file=sys.stderr)
     if not errors:
-        checked = [p for p in (args.trace, args.metrics) if p]
+        checked = [p for p in (args.trace, args.metrics,
+                               args.stat_statements) if p]
         print("telemetry_check: OK (%s)" % ", ".join(checked))
     return 1 if errors else 0
 

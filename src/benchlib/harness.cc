@@ -50,6 +50,8 @@ PaperBench::~PaperBench() {
   // scrape has to happen here, while the Database is still alive.
   if (db_ != nullptr) {
     BenchTelemetry::Instance().WriteMetricsText(db_->ExportMetrics());
+    BenchTelemetry::Instance().WriteStatStatementsJson(
+        db_->ExportStatStatements());
   }
 }
 

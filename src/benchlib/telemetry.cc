@@ -65,6 +65,10 @@ void BenchTelemetry::Configure(std::string bench_name, int* argc, char** argv) {
     if (ExtractPathFlag("--metrics", i, argc, argv, &metrics_path_) > 0) {
       continue;
     }
+    if (ExtractPathFlag("--stat-statements", i, argc, argv,
+                        &stat_statements_path_) > 0) {
+      continue;
+    }
     i++;
   }
   if (!trace_path_.empty()) obs::TraceLog::Global().Enable();
@@ -143,6 +147,19 @@ bool BenchTelemetry::WriteMetricsText(const std::string& text) {
     return false;
   }
   std::fputs(text.c_str(), f);
+  return std::fclose(f) == 0;
+}
+
+bool BenchTelemetry::WriteStatStatementsJson(const std::string& json) {
+  if (stat_statements_path_.empty()) return true;
+  std::FILE* f = std::fopen(stat_statements_path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "telemetry: cannot open %s\n",
+                 stat_statements_path_.c_str());
+    return false;
+  }
+  std::fputs(json.c_str(), f);
+  std::fputc('\n', f);
   return std::fclose(f) == 0;
 }
 

@@ -31,11 +31,13 @@ namespace paper {
 ///     ]
 ///   }
 ///
-/// Two more flags ride along for the engine-lifetime telemetry:
+/// Three more flags ride along for the engine-lifetime telemetry:
 ///   `--trace <path>`    enable the process-wide obs::TraceLog and write a
 ///                       Chrome trace_event JSON there at Flush().
 ///   `--metrics <path>`  dump the engine's Prometheus text exposition there
 ///                       when the bench's PaperBench is torn down.
+///   `--stat-statements <path>`  dump Database::ExportStatStatements() JSON
+///                       there at the same teardown point.
 ///
 /// Records accumulate in memory (benches are short); without --json the sink
 /// is a no-op. Single-threaded, like the benches.
@@ -43,16 +45,20 @@ class BenchTelemetry {
  public:
   static BenchTelemetry& Instance();
 
-  /// Reads `--json <path>`, `--trace <path>` and `--metrics <path>` from
-  /// argv (consuming the tokens; `--flag=<path>` also accepted) and
-  /// remembers the bench name. Enables the global TraceLog when --trace is
-  /// present. Call first thing in main().
+  /// Reads `--json <path>`, `--trace <path>`, `--metrics <path>` and
+  /// `--stat-statements <path>` from argv (consuming the tokens;
+  /// `--flag=<path>` also accepted) and remembers the bench name. Enables
+  /// the global TraceLog when --trace is present. Call first thing in
+  /// main().
   void Configure(std::string bench_name, int* argc, char** argv);
 
   bool enabled() const { return !path_.empty(); }
   const std::string& path() const { return path_; }
   const std::string& trace_path() const { return trace_path_; }
   const std::string& metrics_path() const { return metrics_path_; }
+  const std::string& stat_statements_path() const {
+    return stat_statements_path_;
+  }
 
   /// One strategy execution, with free-form dimension labels
   /// ("query": "Q3", "selectivity": "0.1", ...).
@@ -68,6 +74,11 @@ class BenchTelemetry {
   /// no-op unless --metrics was given.
   bool WriteMetricsText(const std::string& text);
 
+  /// Writes the statement-registry JSON (Database::ExportStatStatements())
+  /// captured at the same teardown point; no-op unless --stat-statements
+  /// was given.
+  bool WriteStatStatementsJson(const std::string& json);
+
   /// Writes the document to `path` (no-op when disabled) and, when --trace
   /// was given, the Chrome trace to `trace_path`. Returns false on I/O
   /// failure. Safe to call multiple times; the files are rewritten whole.
@@ -78,6 +89,7 @@ class BenchTelemetry {
   std::string path_;
   std::string trace_path_;
   std::string metrics_path_;
+  std::string stat_statements_path_;
   std::vector<std::string> records_;  ///< pre-serialized JSON objects
 };
 

@@ -11,10 +11,20 @@ std::string Catalog::Normalize(const std::string& name) {
   return out;
 }
 
+bool Catalog::IsReservedName(const std::string& name) {
+  const std::string key = Normalize(name);
+  const std::string prefix = kVirtualPrefix;
+  return key.compare(0, prefix.size(), prefix) == 0;
+}
+
 Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema,
                                     std::vector<size_t> cluster_cols,
                                     bool unique_cluster) {
   const std::string key = Normalize(name);
+  if (IsReservedName(name)) {
+    return Status::BindError("table name \"" + name +
+                             "\" is reserved for virtual system tables");
+  }
   if (tables_.count(key) != 0) {
     return Status::AlreadyExists("table " + name);
   }
@@ -47,6 +57,38 @@ std::vector<std::string> Catalog::TableNames() const {
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [key, table] : tables_) names.push_back(table->name());
+  return names;
+}
+
+Status Catalog::RegisterVirtualTable(
+    std::string name, Schema schema,
+    std::function<Result<std::vector<Row>>()> provider) {
+  if (!IsReservedName(name)) {
+    return Status::InvalidArgument("virtual table " + name +
+                                   " must use the " +
+                                   std::string(kVirtualPrefix) + " prefix");
+  }
+  const std::string key = Normalize(name);
+  if (virtual_tables_.count(key) != 0) {
+    return Status::AlreadyExists("virtual table " + name);
+  }
+  auto vt = std::make_unique<VirtualTable>();
+  vt->name = std::move(name);
+  vt->schema = std::move(schema);
+  vt->provider = std::move(provider);
+  virtual_tables_[key] = std::move(vt);
+  return Status::OK();
+}
+
+const VirtualTable* Catalog::GetVirtualTable(const std::string& name) const {
+  auto it = virtual_tables_.find(Normalize(name));
+  return it == virtual_tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Catalog::VirtualTableNames() const {
+  std::vector<std::string> names;
+  names.reserve(virtual_tables_.size());
+  for (const auto& [key, vt] : virtual_tables_) names.push_back(vt->name);
   return names;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -11,12 +12,29 @@
 
 namespace elephant {
 
+/// A virtual (system) table: a fixed schema whose rows are computed at scan
+/// time from live engine state instead of stored pages. The engine registers
+/// its `elephant_stat_*` introspection tables this way; the binder resolves
+/// them like base tables and the planner serves them through a
+/// VirtualTableScanExecutor. Providers must be thread-safe (concurrent
+/// sessions may scan the same virtual table) and must not touch the buffer
+/// pool, so virtual scans perform no page I/O by construction.
+struct VirtualTable {
+  std::string name;
+  Schema schema;
+  std::function<Result<std::vector<Row>>()> provider;
+};
+
 /// The system catalog: owns every table (base tables, c-tables, materialized
 /// views all live here as regular tables — the whole point of the paper is
 /// that they are *just tables* to the engine).
 class Catalog {
  public:
   explicit Catalog(BufferPool* pool) : pool_(pool) {}
+
+  /// Name prefix reserved for virtual system tables; CreateTable rejects it.
+  static constexpr const char* kVirtualPrefix = "elephant_stat_";
+  static bool IsReservedName(const std::string& name);
 
   /// Creates a table clustered on `cluster_cols` (empty = clustered on the
   /// internal sequence only, i.e. insertion order).
@@ -32,6 +50,15 @@ class Catalog {
 
   std::vector<std::string> TableNames() const;
 
+  /// Registers a virtual system table (name must carry kVirtualPrefix).
+  Status RegisterVirtualTable(std::string name, Schema schema,
+                              std::function<Result<std::vector<Row>>()> provider);
+
+  /// The virtual table with the given (case-insensitive) name, or nullptr.
+  const VirtualTable* GetVirtualTable(const std::string& name) const;
+
+  std::vector<std::string> VirtualTableNames() const;
+
   BufferPool* pool() const { return pool_; }
 
  private:
@@ -39,6 +66,7 @@ class Catalog {
 
   BufferPool* pool_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, std::unique_ptr<VirtualTable>> virtual_tables_;
 };
 
 }  // namespace elephant

@@ -69,6 +69,197 @@ Database::Database(DatabaseOptions options) : options_(options) {
   pool_ = std::make_unique<BufferPool>(disk_.get(), options_.buffer_pool_pages,
                                        &heatmap_);
   catalog_ = std::make_unique<Catalog>(pool_.get());
+  RegisterSystemTables();
+}
+
+void Database::RegisterSystemTables() {
+  using obs::HexHash;
+  const auto i64 = [](uint64_t v) {
+    return Value::Int64(static_cast<int64_t>(v));
+  };
+
+  // elephant_stat_statements: one row per fingerprint × plan-hash family.
+  {
+    Schema schema({
+        Column("query", TypeId::kVarchar),
+        Column("fingerprint", TypeId::kVarchar),
+        Column("plan_hash", TypeId::kVarchar),
+        Column("calls", TypeId::kInt64),
+        Column("rows", TypeId::kInt64),
+        Column("instrumented_calls", TypeId::kInt64),
+        Column("total_seconds", TypeId::kDouble),
+        Column("mean_seconds", TypeId::kDouble),
+        Column("min_seconds", TypeId::kDouble),
+        Column("max_seconds", TypeId::kDouble),
+        Column("p95_seconds", TypeId::kDouble),
+        Column("total_io_seconds", TypeId::kDouble),
+        Column("residual_seconds", TypeId::kDouble),
+        Column("io_sequential_reads", TypeId::kInt64),
+        Column("io_random_reads", TypeId::kInt64),
+        Column("io_page_writes", TypeId::kInt64),
+        Column("io_readahead_windows", TypeId::kInt64),
+        Column("io_pages_prefetched", TypeId::kInt64),
+        Column("io_prefetch_hits", TypeId::kInt64),
+        Column("io_prefetch_wasted", TypeId::kInt64),
+    });
+    catalog_->RegisterVirtualTable(
+            "elephant_stat_statements", std::move(schema),
+            [this, i64]() -> Result<std::vector<Row>> {
+              std::vector<Row> rows;
+              for (const obs::StatementStats& e : stat_statements_.Snapshot()) {
+                rows.push_back(Row{
+                    Value::Varchar(e.query),
+                    Value::Varchar(HexHash(e.fingerprint)),
+                    Value::Varchar(HexHash(e.plan_hash)),
+                    i64(e.calls),
+                    i64(e.rows),
+                    i64(e.instrumented_calls),
+                    Value::Double(e.total_seconds),
+                    Value::Double(e.MeanSeconds()),
+                    Value::Double(e.min_seconds),
+                    Value::Double(e.max_seconds),
+                    Value::Double(e.QuantileSeconds(0.95)),
+                    Value::Double(e.total_io_seconds),
+                    Value::Double(e.ResidualSeconds()),
+                    i64(e.io.sequential_reads),
+                    i64(e.io.random_reads),
+                    i64(e.io.page_writes),
+                    i64(e.io.readahead.windows_issued),
+                    i64(e.io.readahead.pages_prefetched),
+                    i64(e.io.readahead.prefetch_hits),
+                    i64(e.io.readahead.prefetch_wasted),
+                });
+              }
+              return rows;
+            });
+  }
+
+  // elephant_stat_buffer_pool: one row of pool occupancy + counters.
+  {
+    Schema schema({
+        Column("capacity_pages", TypeId::kInt64),
+        Column("resident_pages", TypeId::kInt64),
+        Column("pinned_frames", TypeId::kInt64),
+        Column("hits", TypeId::kInt64),
+        Column("misses", TypeId::kInt64),
+        Column("evictions", TypeId::kInt64),
+        Column("scan_ring_inserts", TypeId::kInt64),
+        Column("scan_ring_promotions", TypeId::kInt64),
+        Column("pin_protocol_errors", TypeId::kInt64),
+    });
+    catalog_->RegisterVirtualTable(
+            "elephant_stat_buffer_pool", std::move(schema),
+            [this, i64]() -> Result<std::vector<Row>> {
+              const BufferPoolStats s = pool_->stats();
+              return std::vector<Row>{Row{
+                  i64(pool_->capacity()),
+                  i64(pool_->ResidentPages()),
+                  i64(pool_->PinnedFrames()),
+                  i64(s.hits),
+                  i64(s.misses),
+                  i64(s.evictions),
+                  i64(s.scan_ring_inserts),
+                  i64(s.scan_ring_promotions),
+                  i64(s.pin_protocol_errors),
+              }};
+            });
+  }
+
+  // elephant_stat_io: one row of engine-global disk counters.
+  {
+    Schema schema({
+        Column("sequential_reads", TypeId::kInt64),
+        Column("random_reads", TypeId::kInt64),
+        Column("page_writes", TypeId::kInt64),
+        Column("readahead_windows", TypeId::kInt64),
+        Column("pages_prefetched", TypeId::kInt64),
+        Column("prefetch_hits", TypeId::kInt64),
+        Column("prefetch_wasted", TypeId::kInt64),
+        Column("modeled_seconds", TypeId::kDouble),
+    });
+    catalog_->RegisterVirtualTable(
+            "elephant_stat_io", std::move(schema),
+            [this, i64]() -> Result<std::vector<Row>> {
+              const IoStats io = disk_->stats();
+              return std::vector<Row>{Row{
+                  i64(io.sequential_reads),
+                  i64(io.random_reads),
+                  i64(io.page_writes),
+                  i64(io.readahead.windows_issued),
+                  i64(io.readahead.pages_prefetched),
+                  i64(io.readahead.prefetch_hits),
+                  i64(io.readahead.prefetch_wasted),
+                  Value::Double(options_.disk_model.Seconds(io)),
+              }};
+            });
+  }
+
+  // elephant_stat_heatmap: one row per storage object.
+  {
+    Schema schema({
+        Column("object", TypeId::kVarchar),
+        Column("pool_hits", TypeId::kInt64),
+        Column("pool_faults", TypeId::kInt64),
+        Column("sequential_reads", TypeId::kInt64),
+        Column("random_reads", TypeId::kInt64),
+        Column("prefetch_hits", TypeId::kInt64),
+        Column("page_writes", TypeId::kInt64),
+        Column("modeled_read_seconds", TypeId::kDouble),
+    });
+    catalog_->RegisterVirtualTable(
+            "elephant_stat_heatmap", std::move(schema),
+            [this, i64]() -> Result<std::vector<Row>> {
+              std::vector<Row> rows;
+              for (const auto& [object, io] : heatmap_.Snapshot()) {
+                rows.push_back(Row{
+                    Value::Varchar(object),
+                    i64(io.pool_hits),
+                    i64(io.pool_faults),
+                    i64(io.sequential_reads),
+                    i64(io.random_reads),
+                    i64(io.prefetch_hits),
+                    i64(io.page_writes),
+                    Value::Double(io.ModeledReadSeconds(options_.disk_model)),
+                });
+              }
+              return rows;
+            });
+  }
+
+  // elephant_stat_scheduler: one row; zeros until the worker pool spins up.
+  {
+    Schema schema({
+        Column("worker_threads", TypeId::kInt64),
+        Column("queue_depth", TypeId::kInt64),
+        Column("active_tasks", TypeId::kInt64),
+        Column("busy_seconds", TypeId::kDouble),
+        Column("utilization", TypeId::kDouble),
+    });
+    catalog_->RegisterVirtualTable(
+            "elephant_stat_scheduler", std::move(schema),
+            [this, i64]() -> Result<std::vector<Row>> {
+              MutexLock lock(workers_mu_);
+              if (workers_ == nullptr) {
+                return std::vector<Row>{Row{i64(0), i64(0), i64(0),
+                                            Value::Double(0),
+                                            Value::Double(0)}};
+              }
+              const double uptime =
+                  std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - created_at_)
+                      .count();
+              const double capacity =
+                  uptime * static_cast<double>(workers_->num_threads());
+              return std::vector<Row>{Row{
+                  i64(workers_->num_threads()),
+                  i64(workers_->QueueDepth()),
+                  i64(workers_->ActiveTasks()),
+                  Value::Double(workers_->BusySeconds()),
+                  Value::Double(capacity > 0 ? workers_->BusySeconds() / capacity
+                                             : 0),
+              }};
+            });
+  }
 }
 
 std::string Database::ExportMetrics() {
@@ -119,6 +310,17 @@ std::string Database::ExportMetrics() {
       ->Increment(
           pool_stats.scan_ring_promotions -
           metrics_.GetCounter("db.pool.scan_ring_promotions_total")->value());
+  // Spans the bounded trace buffer had to drop (balanced-drop policy):
+  // silent loss would make a truncated trace look complete.
+  metrics_.GetCounter("trace.dropped_spans_total")
+      ->Increment(obs::TraceLog::Global().DroppedCount() -
+                  metrics_.GetCounter("trace.dropped_spans_total")->value());
+  metrics_.GetGauge("db.stat_statements.entries")
+      ->Set(static_cast<double>(stat_statements_.size()));
+  metrics_.GetCounter("db.stat_statements.evicted_total")
+      ->Increment(
+          stat_statements_.evicted_entries() -
+          metrics_.GetCounter("db.stat_statements.evicted_total")->value());
   {
     MutexLock lock(workers_mu_);
     if (workers_ != nullptr) {
@@ -136,7 +338,10 @@ std::string Database::ExportMetrics() {
           ->Set(capacity > 0 ? workers_->BusySeconds() / capacity : 0);
     }
   }
-  return obs::ToPrometheusText(metrics_);
+  // Registry families first, then the top statement families by modeled I/O
+  // (labeled series the plain registry cannot express).
+  return obs::ToPrometheusText(metrics_) +
+         stat_statements_.ToPrometheusTopN(5);
 }
 
 Status Database::EvictCaches() { return pool_->EvictAll(); }
@@ -185,6 +390,11 @@ Result<QueryResult> Database::ExecuteSelect(const std::string& sql,
     ELE_ASSIGN_OR_RETURN(bound, binder.Bind(*stmt));
     bound->hints = bound->hints.Merge(extra_hints);
   }
+  // Captured before Plan() consumes the bound query: statements that read
+  // any elephant_stat_* virtual table must not land in the registry, or the
+  // act of observing the statistics would perturb them (and stat queries of
+  // stat queries would recurse forever in spirit).
+  const bool reads_virtual = bound->uses_virtual;
   ExecContext ctx(pool_.get());
   // Attach the worker pool only when this query asked for parallelism, so
   // serial-only workloads never spin up threads.
@@ -238,10 +448,38 @@ Result<QueryResult> Database::ExecuteSelect(const std::string& sql,
   metrics_.GetCounter("db.pages_read_total")->Increment(result.io.TotalReads());
   metrics_.GetHistogram("db.query_seconds")->Observe(result.cpu_seconds);
   metrics_.GetHistogram("db.query_modeled_seconds")->Observe(result.TotalSeconds());
+  const uint64_t plan_hash = obs::PlanShapeHash(plan.explain);
+  if (!reads_virtual) {
+    obs::StatementSample sample;
+    sample.sql = sql;
+    sample.plan_hash = plan_hash;
+    sample.rows = result.rows.size();
+    sample.latency_seconds = result.cpu_seconds;
+    sample.io_seconds = result.io_seconds;
+    sample.io = result.io;
+    if (instrument && result.plan != nullptr) {
+      // Per-operator-class residuals exist only on instrumented runs: the
+      // self-attributed wall seconds come from the InstrumentedExecutor
+      // wrappers, and the modeled side prices the operator's own page reads
+      // through the same disk model the planner costs with.
+      for (const obs::OperatorBreakdown& b : obs::FlattenPlan(*result.plan)) {
+        IoStats op_io;
+        op_io.sequential_reads = b.seq_reads;
+        op_io.random_reads = b.rand_reads;
+        obs::OperatorResidual residual;
+        residual.op_class = obs::OperatorClassOf(b.op);
+        residual.modeled_io_seconds = options_.disk_model.Seconds(op_io);
+        residual.measured_seconds = b.seconds;
+        sample.residuals.push_back(std::move(residual));
+      }
+    }
+    stat_statements_.Record(sample);
+  }
   if (query_log_.enabled()) {
     obs::QueryLogEntry entry;
     entry.sql = sql;
-    entry.plan_hash = obs::Fnv1a64(plan.explain);
+    entry.plan_hash = plan_hash;
+    entry.sql_fingerprint = obs::FingerprintSql(sql);
     entry.latency_seconds = result.cpu_seconds;
     entry.io_seconds = result.io_seconds;
     entry.io = result.io;
@@ -280,6 +518,12 @@ Result<ExplainAnalyzeResult> Database::ExplainAnalyze(const std::string& sql,
   out.text = obs::RenderPlanTree(*result.plan, /*with_actuals=*/true);
   obs::JsonWriter w;
   w.BeginObject();
+  // Statement-shape fingerprint plus plan hash, so EXPLAIN ANALYZE output
+  // joins against the slow-query log and elephant_stat_statements.
+  w.Key("sql_fingerprint").String(obs::HexHash(obs::FingerprintSql(sql)));
+  w.Key("plan_hash")
+      .String(obs::HexHash(obs::PlanShapeHash(
+          obs::RenderPlanTree(*result.plan, /*with_actuals=*/false))));
   w.Key("plan");
   obs::AppendPlanJson(*result.plan, /*with_actuals=*/true, &w);
   w.Key("rows").UInt(result.rows.size());
@@ -416,6 +660,11 @@ Result<QueryResult> Database::Execute(const std::string& sql,
     case StatementKind::kInsert: {
       metrics_.GetCounter("db.statements.insert")->Increment();
       const InsertStmt& ins = *stmt.insert;
+      if (catalog_->GetVirtualTable(ins.table_name) != nullptr ||
+          Catalog::IsReservedName(ins.table_name)) {
+        return Status::BindError("cannot INSERT into virtual system table \"" +
+                                 ins.table_name + "\"");
+      }
       ELE_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(ins.table_name));
       const Schema& schema = table->schema();
       for (const auto& row_exprs : ins.rows) {

@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "obs/plan_stats.h"
 #include "obs/query_log.h"
+#include "obs/stat_statements.h"
 #include "obs/trace.h"
 #include "parser/ast.h"
 #include "planner/hints.h"
@@ -113,6 +114,16 @@ class Database {
   /// Engine-lifetime metrics (statement counts, row counts, latencies).
   obs::MetricsRegistry& metrics() { return metrics_; }
 
+  /// Cumulative per-statement statistics (the engine's pg_stat_statements),
+  /// keyed by SQL fingerprint × plan hash. Also queryable through SQL as the
+  /// `elephant_stat_statements` virtual table. Queries that read any
+  /// `elephant_stat_*` table are not recorded (no self-instrumentation).
+  obs::StatStatements& stat_statements() { return stat_statements_; }
+
+  /// The statement registry as one validated JSON document (entries, per
+  /// operator-class residuals, totals for reconciliation).
+  std::string ExportStatStatements() const { return stat_statements_.ToJson(); }
+
   /// Engine-lifetime per-object page-access heatmap, fed by the disk manager
   /// and buffer pool; per-object totals sum exactly to disk().stats().
   obs::AccessHeatmap& heatmap() { return heatmap_; }
@@ -158,6 +169,10 @@ class Database {
                                     PlanHints extra_hints, bool instrument,
                                     obs::Tracer* tracer);
 
+  /// Registers the `elephant_stat_*` virtual system tables in the catalog
+  /// (providers capture `this`; the catalog dies before the engine state).
+  void RegisterSystemTables();
+
   DatabaseOptions options_;
   /// Declared before disk_/pool_ (which hold pointers into it) so it is
   /// destroyed after them.
@@ -166,6 +181,7 @@ class Database {
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;
   obs::MetricsRegistry metrics_;
+  obs::StatStatements stat_statements_;
   obs::QueryLog query_log_;
   const std::chrono::steady_clock::time_point created_at_ =
       std::chrono::steady_clock::now();

@@ -49,6 +49,7 @@ void QueryLog::Record(const QueryLogEntry& entry) {
   w.BeginObject();
   w.Key("sql").String(entry.sql);
   w.Key("plan_hash").UInt(entry.plan_hash);
+  w.Key("sql_fingerprint").UInt(entry.sql_fingerprint);
   w.Key("latency_ms").Double(entry.latency_seconds * 1e3);
   w.Key("io_ms").Double(entry.io_seconds * 1e3);
   w.Key("sequential_reads").UInt(entry.io.sequential_reads);

@@ -18,7 +18,11 @@ uint64_t Fnv1a64(std::string_view data);
 /// One finished statement as the audit log sees it.
 struct QueryLogEntry {
   std::string sql;
-  uint64_t plan_hash = 0;        ///< Fnv1a64 of the rendered plan tree
+  uint64_t plan_hash = 0;        ///< obs::PlanShapeHash of the rendered plan
+  /// obs::FingerprintSql(sql): groups entries by statement *shape*, stable
+  /// across plan changes (the same family re-plans as data grows), and the
+  /// join key against elephant_stat_statements and EXPLAIN ANALYZE output.
+  uint64_t sql_fingerprint = 0;
   double latency_seconds = 0;    ///< wall-clock execution time
   double io_seconds = 0;         ///< modeled disk time
   IoStats io;                    ///< physical page traffic

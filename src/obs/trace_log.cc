@@ -66,6 +66,16 @@ void TraceLog::Clear() {
   dropped_ = 0;
 }
 
+void TraceLog::SetCapacity(size_t capacity) {
+  MutexLock lock(mu_);
+  capacity_ = capacity > 0 ? capacity : 1;
+}
+
+size_t TraceLog::capacity() const {
+  MutexLock lock(mu_);
+  return capacity_;
+}
+
 bool TraceLog::Emit(TraceEvent ev) {
   if (!enabled()) return false;
   if (ev.ts_us == 0) ev.ts_us = NowMicros();
@@ -73,7 +83,7 @@ bool TraceLog::Emit(TraceEvent ev) {
   if (ev.pid == 0) ev.pid = CurrentSessionId() + 1;
   MutexLock lock(mu_);
   // Admit 'E' past the cap so every recorded 'B' stays matched.
-  if (events_.size() >= kMaxEvents && ev.ph != 'E') {
+  if (events_.size() >= capacity_ && ev.ph != 'E') {
     dropped_++;
     return false;
   }

@@ -58,6 +58,12 @@ class TraceLog {
   /// Drops all buffered events (thread names are kept).
   void Clear();
 
+  /// Shrinks (or restores) the event-buffer cap. Production code leaves the
+  /// default kMaxEvents; tests shrink it so the balanced-drop path can be
+  /// exercised without buffering a million events. 0 is clamped to 1.
+  void SetCapacity(size_t capacity);
+  size_t capacity() const;
+
   /// Appends one event, filling in ts/tid (and pid from the session scope)
   /// when the caller left them zero. Returns false when the event was
   /// dropped (log disabled or buffer full).
@@ -102,6 +108,7 @@ class TraceLog {
       std::chrono::steady_clock::now();
   mutable Mutex mu_;
   std::vector<TraceEvent> events_ GUARDED_BY(mu_);
+  size_t capacity_ GUARDED_BY(mu_) = kMaxEvents;
   size_t dropped_ GUARDED_BY(mu_) = 0;
   std::map<uint32_t, std::string> thread_names_ GUARDED_BY(mu_);
 };

@@ -273,6 +273,17 @@ Result<std::unique_ptr<BoundQuery>> Binder::Bind(const SelectStmt& stmt) {
     if (ref.derived != nullptr) {
       ELE_ASSIGN_OR_RETURN(rel.derived, Bind(*ref.derived));
       rel.schema = rel.derived->output_schema;
+      q->uses_virtual |= rel.derived->uses_virtual;
+    } else if (const VirtualTable* vt =
+                   catalog_->GetVirtualTable(ref.table_name)) {
+      rel.vtable = vt;
+      rel.schema = vt->schema;
+      q->uses_virtual = true;
+    } else if (Catalog::IsReservedName(ref.table_name)) {
+      // A reserved name that resolved to nothing: report it as the virtual
+      // table it pretends to be, not as a missing base table.
+      return Status::BindError("unknown virtual system table \"" +
+                               ref.table_name + "\"");
     } else {
       ELE_ASSIGN_OR_RETURN(rel.table, catalog_->GetTable(ref.table_name));
       rel.schema = rel.table->schema();

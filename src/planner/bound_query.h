@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "catalog/catalog.h"
 #include "catalog/table.h"
 #include "exec/expression.h"
 #include "planner/hints.h"
@@ -13,13 +14,14 @@ namespace elephant {
 
 struct BoundQuery;
 
-/// One FROM-list entry after binding: a base table or a derived table, plus
-/// its output schema and its column offset within the query's concatenated
-/// input schema.
+/// One FROM-list entry after binding: a base table, a derived table, or a
+/// virtual system table, plus its output schema and its column offset within
+/// the query's concatenated input schema.
 struct BoundRelation {
   std::string alias;
-  Table* table = nullptr;                ///< base table (null for derived)
-  std::unique_ptr<BoundQuery> derived;   ///< derived table (null for base)
+  Table* table = nullptr;                ///< base table (null otherwise)
+  std::unique_ptr<BoundQuery> derived;   ///< derived table (null otherwise)
+  const VirtualTable* vtable = nullptr;  ///< virtual system table
   Schema schema;
   size_t offset = 0;
 };
@@ -57,6 +59,11 @@ struct BoundQuery {
   std::optional<uint64_t> limit;
 
   PlanHints hints;
+
+  /// True when any FROM entry (including inside derived tables) is a virtual
+  /// system table. The engine uses it to keep `elephant_stat_*` queries out
+  /// of the statement registry (no self-instrumentation recursion).
+  bool uses_virtual = false;
 };
 
 }  // namespace elephant

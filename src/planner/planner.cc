@@ -9,6 +9,7 @@
 #include "exec/parallel_executor.h"
 #include "exec/scan_executor.h"
 #include "exec/simple_executors.h"
+#include "exec/virtual_scan_executor.h"
 #include "obs/instrumented_executor.h"
 #include "obs/plan_stats.h"
 
@@ -487,6 +488,29 @@ Result<SubPlan> PlanBuilder::AccessPath(size_t r, std::vector<int>* local_to_pla
   }
 
   SubPlan plan;
+  if (rel.vtable != nullptr) {
+    // Virtual system table: a provider-backed snapshot scan. No indexes, no
+    // key ranges — predicates stay as a Filter on top, and TryBuildParallel
+    // already declines relations without a base table, so these always run
+    // serially on the calling thread.
+    plan.exec = std::make_unique<VirtualTableScanExecutor>(ctx_, rel.vtable);
+    plan.width = rel.schema.NumColumns();
+    plan.note = Note("VirtualTableScan " + rel.vtable->name + " as " + rel.alias);
+    Decorate(&plan, EstimateRows(r));
+    local_to_plan->assign(rel.schema.NumColumns(), 0);
+    for (size_t c = 0; c < rel.schema.NumColumns(); c++) {
+      (*local_to_plan)[c] = static_cast<int>(c);
+    }
+    if (!local_preds.empty()) {
+      ExprPtr pred = ConjoinAll(std::move(local_preds));
+      std::string label = "Filter " + pred->ToString();
+      plan.exec = std::make_unique<FilterExecutor>(std::move(plan.exec),
+                                                   std::move(pred));
+      plan.note = Note(std::move(label), std::move(plan.note));
+      Decorate(&plan, EstimateRows(r));
+    }
+    return plan;
+  }
   if (rel.derived != nullptr) {
     const bool derived_grouped = rel.derived->has_grouping;
     const bool derived_scalar = derived_grouped && rel.derived->group_by.empty();

@@ -1,0 +1,14 @@
+// Fixture for the stat-statements-mutation rule: code outside src/obs/ and
+// src/engine/ reaching into the statement registry. Executors and strategies
+// must read the registry through the elephant_stat_statements virtual table;
+// recording and resetting belong to the engine alone, or the registry's
+// counters stop reconciling with the global I/O counters.
+#include "obs/stat_statements.h"
+
+namespace elephant {
+
+void DropRegistryMidQuery(obs::StatStatements* registry) {
+  registry->Reset();
+}
+
+}  // namespace elephant
