@@ -3,6 +3,9 @@
 //
 //   ./build/examples/sql_shell            # empty database
 //   ./build/examples/sql_shell --tpch 0.01   # preloaded TPC-H
+//   ./build/examples/sql_shell --wal      # transactional write path
+//                                         # (BEGIN/COMMIT/ROLLBACK,
+//                                         # UPDATE/DELETE, CHECKPOINT)
 //
 // Meta-commands:
 //   \tables            list catalog tables
@@ -23,7 +26,11 @@
 using namespace elephant;
 
 int main(int argc, char** argv) {
-  Database db;
+  DatabaseOptions options;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--wal") == 0) options.wal_enabled = true;
+  }
+  Database db(options);
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--tpch") == 0 && i + 1 < argc) {
       TpchConfig config;

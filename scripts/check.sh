@@ -10,23 +10,36 @@
 #             Prometheus text, stat-statements JSON) with
 #             scripts/telemetry_check.py, plus the bench-regression
 #             self-tests
+#   recovery  the crash-recovery matrix (tools/crash_matrix): crash the
+#             simulated machine at every durable op of a DML workload, plus
+#             torn-WAL-flush and dropped-fsync modes, and verify recovery
+#             restores exactly the committed prefix (base table, MV, and
+#             c-tables checked against a shadow oracle)
 #
 # The analyze preset needs clang++; when it is not installed the preset is
 # skipped with a loud notice (the annotations compile as no-ops under GCC, so
 # the default build still exercises the same code).
 #
 # Usage: scripts/check.sh [preset ...]
-#        (default: default analyze sanitize telemetry)
+#        (default: default analyze sanitize telemetry recovery)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 PRESETS=("$@")
 if [ ${#PRESETS[@]} -eq 0 ]; then
-  PRESETS=(default analyze sanitize telemetry)
+  PRESETS=(default analyze sanitize telemetry recovery)
 fi
 
 for preset in "${PRESETS[@]}"; do
+  if [ "$preset" = recovery ]; then
+    echo "=== [$preset] build ==================================================="
+    cmake --preset default
+    cmake --build --preset default -j "$(nproc)" --target crash_matrix
+    echo "=== [$preset] crash matrix ============================================"
+    ./build/tools/crash_matrix
+    continue
+  fi
   if [ "$preset" = telemetry ]; then
     echo "=== [$preset] build ==================================================="
     cmake --preset default
@@ -67,6 +80,8 @@ for preset in "${PRESETS[@]}"; do
     ctest --preset "$preset" -L storage --output-on-failure
     echo "=== [$preset] obs label (telemetry / stat tables) ====================="
     ctest --preset "$preset" -L obs --output-on-failure
+    echo "=== [$preset] txn label (transactions / recovery) ====================="
+    ctest --preset "$preset" -L txn --output-on-failure
   fi
 done
 

@@ -34,6 +34,14 @@ arguments depend on:
                     nothing else feeds or resets it; executors and
                     strategies must read it through SQL
                     (elephant_stat_statements) instead.
+  wal-protocol      LogRecord construction / page-LSN mutation outside
+                    src/wal/ and src/txn/ (plus storage/slotted_page, which
+                    defines the LSN field). ARIES correctness rests on every
+                    page mutation being logged before the page LSN advances;
+                    code that forges records or stamps LSNs elsewhere
+                    silently breaks redo idempotence and the WAL rule.
+                    Everything else mutates heaps through the wal:: helpers
+                    (InsertTxn / DeleteRowTxn / UpdateRowTxn).
 
 Suppress a finding with a trailing or preceding-line comment:
 
@@ -78,6 +86,7 @@ RULES = (
     "nonconst-global",
     "unchecked-narrowing",
     "stat-statements-mutation",
+    "wal-protocol",
 )
 
 # Directories (top-level under src/) allowed to touch the statement registry:
@@ -85,6 +94,16 @@ RULES = (
 STAT_STATEMENTS_ALLOWED_DIRS = {"obs", "engine"}
 
 STAT_STATEMENTS_RE = re.compile(r"\b(?:StatStatements|stat_statements_?)\b")
+
+# The WAL protocol surface: record construction and page-LSN stamping live
+# in the wal/ and txn/ layers; slotted_page defines the LSN accessors.
+WAL_PROTOCOL_ALLOWED_DIRS = {"wal", "txn"}
+WAL_PROTOCOL_ALLOWED = {
+    os.path.join("storage", "slotted_page.h"),
+    os.path.join("storage", "slotted_page.cc"),
+}
+
+WAL_PROTOCOL_RE = re.compile(r"\bLogRecord\b|\bSetPageLsn\s*\(")
 
 # The one file the unchecked-narrowing rule polices: the Value arithmetic
 # that silently wrapped at the INT32/DATE boundary before NarrowToInt32.
@@ -301,6 +320,17 @@ def lint_file(path, rel, text):
                        "and src/engine/; only the engine records into it — "
                        "read it through the elephant_stat_statements virtual "
                        "table instead")
+
+    # --- wal-protocol (fixtures lint as bare names) ---
+    if (top_dir not in WAL_PROTOCOL_ALLOWED_DIRS
+            and rel not in WAL_PROTOCOL_ALLOWED):
+        for lineno, ln in enumerate(lines, 1):
+            if WAL_PROTOCOL_RE.search(ln):
+                report(lineno, "wal-protocol",
+                       "LogRecord construction / SetPageLsn outside src/wal/ "
+                       "and src/txn/; mutate heaps through the wal:: helpers "
+                       "(InsertTxn/DeleteRowTxn/UpdateRowTxn) so every page "
+                       "change is logged before its LSN advances")
 
     # --- unguarded-mutex ---
     mutex_names = []

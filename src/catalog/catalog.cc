@@ -1,8 +1,54 @@
 #include "catalog/catalog.h"
 
+#include <algorithm>
 #include <cctype>
 
 namespace elephant {
+
+namespace {
+
+// Little-endian primitives for the catalog blob.
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; i++) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+void PutStr(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+class BlobReader {
+ public:
+  explicit BlobReader(std::string_view data) : data_(data) {}
+
+  Result<uint32_t> U32() {
+    if (pos_ + 4 > data_.size()) return Status::Corruption("catalog blob truncated");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; i++) {
+      v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  Result<std::string> Str() {
+    ELE_ASSIGN_OR_RETURN(uint32_t len, U32());
+    if (pos_ + len > data_.size()) return Status::Corruption("catalog blob truncated");
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+  Result<uint8_t> U8() {
+    if (pos_ >= data_.size()) return Status::Corruption("catalog blob truncated");
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+constexpr uint32_t kCatalogMagic = 0x45434154;  // "ECAT"
+
+}  // namespace
 
 std::string Catalog::Normalize(const std::string& name) {
   std::string out;
@@ -19,7 +65,7 @@ bool Catalog::IsReservedName(const std::string& name) {
 
 Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema,
                                     std::vector<size_t> cluster_cols,
-                                    bool unique_cluster) {
+                                    bool unique_cluster, bool derived) {
   const std::string key = Normalize(name);
   if (IsReservedName(name)) {
     return Status::BindError("table name \"" + name +
@@ -31,9 +77,20 @@ Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema,
   ELE_ASSIGN_OR_RETURN(std::unique_ptr<Table> table,
                        Table::Create(pool_, name, std::move(schema),
                                      std::move(cluster_cols), unique_cluster));
+  if (wal_storage_ && !derived) {
+    ELE_ASSIGN_OR_RETURN(TableHeap heap, TableHeap::Create(pool_));
+    table->AttachHeap(std::make_unique<TableHeap>(heap), next_table_id_++);
+  }
   Table* raw = table.get();
   tables_[key] = std::move(table);
   return raw;
+}
+
+Result<Table*> Catalog::GetTableById(uint32_t id) const {
+  for (const auto& [key, table] : tables_) {
+    if (table->heap() != nullptr && table->table_id() == id) return table.get();
+  }
+  return Status::NotFound("no table with WAL id " + std::to_string(id));
 }
 
 Result<Table*> Catalog::GetTable(const std::string& name) const {
@@ -47,9 +104,80 @@ bool Catalog::HasTable(const std::string& name) const {
 }
 
 Status Catalog::DropTable(const std::string& name) {
-  if (tables_.erase(Normalize(name)) == 0) {
+  const std::string key = Normalize(name);
+  if (tables_.erase(key) == 0) {
     return Status::NotFound("table " + name);
   }
+  derived_.erase(key);
+  for (auto& [dname, d] : derived_) {
+    d.bases.erase(std::remove(d.bases.begin(), d.bases.end(), key),
+                  d.bases.end());
+  }
+  return Status::OK();
+}
+
+Status Catalog::RegisterDerivedTable(const std::string& derived,
+                                     std::vector<std::string> bases) {
+  const std::string key = Normalize(derived);
+  if (tables_.count(key) == 0) {
+    return Status::NotFound("derived table " + derived);
+  }
+  DerivedTable d;
+  d.name = key;
+  for (const std::string& b : bases) {
+    if (tables_.count(Normalize(b)) == 0) {
+      return Status::NotFound("base table " + b + " of derived table " + derived);
+    }
+    d.bases.push_back(Normalize(b));
+  }
+  // Re-registration (the post-recovery attach path) must not clear an
+  // existing staleness mark: the contents may still be stale.
+  auto it = derived_.find(key);
+  if (it != derived_.end()) d.stale = it->second.stale;
+  derived_[key] = std::move(d);
+  return Status::OK();
+}
+
+bool Catalog::IsDerived(const std::string& name) const {
+  return derived_.count(Normalize(name)) != 0;
+}
+
+void Catalog::SetDerivedRebuild(const std::string& derived,
+                                std::function<Status()> rebuild) {
+  auto it = derived_.find(Normalize(derived));
+  if (it != derived_.end()) it->second.rebuild = std::move(rebuild);
+}
+
+void Catalog::MarkDependentsStale(const std::string& base) {
+  const std::string key = Normalize(base);
+  for (auto& [dname, d] : derived_) {
+    for (const std::string& b : d.bases) {
+      if (b == key) {
+        d.stale = true;
+        break;
+      }
+    }
+  }
+}
+
+void Catalog::MarkAllDerivedStale() {
+  for (auto& [dname, d] : derived_) d.stale = true;
+}
+
+bool Catalog::IsStale(const std::string& name) const {
+  auto it = derived_.find(Normalize(name));
+  return it != derived_.end() && it->second.stale;
+}
+
+Status Catalog::RebuildIfStale(const std::string& name) {
+  auto it = derived_.find(Normalize(name));
+  if (it == derived_.end() || !it->second.stale) return Status::OK();
+  if (!it->second.rebuild) {
+    return Status::FailedPrecondition("derived table " + name +
+                                      " is stale but has no rebuild hook");
+  }
+  ELE_RETURN_NOT_OK(it->second.rebuild());
+  it->second.stale = false;
   return Status::OK();
 }
 
@@ -77,6 +205,132 @@ Status Catalog::RegisterVirtualTable(
   vt->schema = std::move(schema);
   vt->provider = std::move(provider);
   virtual_tables_[key] = std::move(vt);
+  return Status::OK();
+}
+
+void Catalog::SerializeTo(std::string* out) const {
+  PutU32(out, kCatalogMagic);
+  PutU32(out, static_cast<uint32_t>(tables_.size()));
+  for (const auto& [key, table] : tables_) {
+    PutStr(out, table->name());
+    out->push_back(table->heap() != nullptr ? 1 : 0);
+    PutU32(out, table->table_id());
+    PutU32(out, table->heap() != nullptr
+                    ? static_cast<uint32_t>(table->heap()->first_page())
+                    : 0);
+    PutU32(out, table->heap() != nullptr
+                    ? static_cast<uint32_t>(table->heap()->last_page())
+                    : 0);
+    const Schema& schema = table->schema();
+    PutU32(out, static_cast<uint32_t>(schema.NumColumns()));
+    for (const Column& c : schema.columns()) {
+      PutStr(out, c.name);
+      out->push_back(static_cast<char>(c.type));
+      PutU32(out, c.length);
+      out->push_back(c.nullable ? 1 : 0);
+    }
+    PutU32(out, static_cast<uint32_t>(table->cluster_cols().size()));
+    for (size_t c : table->cluster_cols()) PutU32(out, static_cast<uint32_t>(c));
+    out->push_back(table->unique_cluster() ? 1 : 0);
+    PutU32(out, static_cast<uint32_t>(table->secondary_indexes().size()));
+    for (const auto& idx : table->secondary_indexes()) {
+      PutStr(out, idx->name);
+      PutU32(out, static_cast<uint32_t>(idx->key_cols.size()));
+      for (size_t c : idx->key_cols) PutU32(out, static_cast<uint32_t>(c));
+      PutU32(out, static_cast<uint32_t>(idx->include_cols.size()));
+      for (size_t c : idx->include_cols) PutU32(out, static_cast<uint32_t>(c));
+    }
+  }
+  PutU32(out, static_cast<uint32_t>(derived_.size()));
+  for (const auto& [dname, d] : derived_) {
+    PutStr(out, d.name);
+    PutU32(out, static_cast<uint32_t>(d.bases.size()));
+    for (const std::string& b : d.bases) PutStr(out, b);
+  }
+}
+
+Status Catalog::DeserializeFrom(std::string_view in) {
+  BlobReader r(in);
+  ELE_ASSIGN_OR_RETURN(uint32_t magic, r.U32());
+  if (magic != kCatalogMagic) return Status::Corruption("bad catalog magic");
+  ELE_ASSIGN_OR_RETURN(uint32_t n_tables, r.U32());
+  tables_.clear();
+  derived_.clear();
+  next_table_id_ = 1;
+  for (uint32_t t = 0; t < n_tables; t++) {
+    ELE_ASSIGN_OR_RETURN(std::string name, r.Str());
+    ELE_ASSIGN_OR_RETURN(uint8_t has_heap, r.U8());
+    ELE_ASSIGN_OR_RETURN(uint32_t table_id, r.U32());
+    ELE_ASSIGN_OR_RETURN(uint32_t heap_first, r.U32());
+    ELE_ASSIGN_OR_RETURN(uint32_t heap_last, r.U32());
+    ELE_ASSIGN_OR_RETURN(uint32_t n_cols, r.U32());
+    std::vector<Column> cols;
+    cols.reserve(n_cols);
+    for (uint32_t c = 0; c < n_cols; c++) {
+      Column col;
+      ELE_ASSIGN_OR_RETURN(col.name, r.Str());
+      ELE_ASSIGN_OR_RETURN(uint8_t type, r.U8());
+      col.type = static_cast<TypeId>(type);
+      ELE_ASSIGN_OR_RETURN(col.length, r.U32());
+      ELE_ASSIGN_OR_RETURN(uint8_t nullable, r.U8());
+      col.nullable = nullable != 0;
+      cols.push_back(std::move(col));
+    }
+    ELE_ASSIGN_OR_RETURN(uint32_t n_cluster, r.U32());
+    std::vector<size_t> cluster_cols;
+    for (uint32_t c = 0; c < n_cluster; c++) {
+      ELE_ASSIGN_OR_RETURN(uint32_t col, r.U32());
+      cluster_cols.push_back(col);
+    }
+    ELE_ASSIGN_OR_RETURN(uint8_t unique_cluster, r.U8());
+    ELE_ASSIGN_OR_RETURN(
+        std::unique_ptr<Table> table,
+        Table::Create(pool_, name, Schema(std::move(cols)),
+                      std::move(cluster_cols), unique_cluster != 0));
+    if (has_heap != 0) {
+      auto heap = std::make_unique<TableHeap>(
+          pool_, static_cast<page_id_t>(heap_first),
+          static_cast<page_id_t>(heap_last));
+      // Redo may have chained pages past the checkpointed tail.
+      ELE_RETURN_NOT_OK(heap->RefreshLastPage());
+      table->AttachHeap(std::move(heap), table_id);
+      next_table_id_ = std::max(next_table_id_, table_id + 1);
+      ELE_RETURN_NOT_OK(table->RebuildFromHeap());
+    }
+    ELE_ASSIGN_OR_RETURN(uint32_t n_secondary, r.U32());
+    for (uint32_t s = 0; s < n_secondary; s++) {
+      ELE_ASSIGN_OR_RETURN(std::string idx_name, r.Str());
+      ELE_ASSIGN_OR_RETURN(uint32_t n_key, r.U32());
+      std::vector<size_t> key_cols;
+      for (uint32_t k = 0; k < n_key; k++) {
+        ELE_ASSIGN_OR_RETURN(uint32_t col, r.U32());
+        key_cols.push_back(col);
+      }
+      ELE_ASSIGN_OR_RETURN(uint32_t n_include, r.U32());
+      std::vector<size_t> include_cols;
+      for (uint32_t k = 0; k < n_include; k++) {
+        ELE_ASSIGN_OR_RETURN(uint32_t col, r.U32());
+        include_cols.push_back(col);
+      }
+      ELE_RETURN_NOT_OK(table->CreateSecondaryIndex(idx_name, std::move(key_cols),
+                                                    std::move(include_cols)));
+    }
+    tables_[Normalize(name)] = std::move(table);
+  }
+  ELE_ASSIGN_OR_RETURN(uint32_t n_derived, r.U32());
+  for (uint32_t d = 0; d < n_derived; d++) {
+    DerivedTable dt;
+    ELE_ASSIGN_OR_RETURN(dt.name, r.Str());
+    ELE_ASSIGN_OR_RETURN(uint32_t n_bases, r.U32());
+    for (uint32_t b = 0; b < n_bases; b++) {
+      ELE_ASSIGN_OR_RETURN(std::string base, r.Str());
+      dt.bases.push_back(std::move(base));
+    }
+    // Derived contents are never recovered, only recomputed: the owner
+    // re-attaches the rebuild hook, and the first read repopulates.
+    dt.stale = true;
+    derived_[dt.name] = std::move(dt);
+  }
   return Status::OK();
 }
 

@@ -25,6 +25,17 @@ struct VirtualTable {
   std::function<Result<std::vector<Row>>()> provider;
 };
 
+/// A derived table (materialized view or c-table projection): its contents
+/// are a pure function of base tables, so the WAL never logs its pages.
+/// Instead a base-table write marks every dependent stale, and the engine
+/// rebuilds a stale derived table (via `rebuild`) before the next read.
+struct DerivedTable {
+  std::string name;                 ///< normalized derived-table name
+  std::vector<std::string> bases;   ///< normalized base tables it depends on
+  bool stale = false;
+  std::function<Status()> rebuild;  ///< re-attached by the owner after reopen
+};
+
 /// The system catalog: owns every table (base tables, c-tables, materialized
 /// views all live here as regular tables — the whole point of the paper is
 /// that they are *just tables* to the engine).
@@ -36,11 +47,58 @@ class Catalog {
   static constexpr const char* kVirtualPrefix = "elephant_stat_";
   static bool IsReservedName(const std::string& name);
 
+  /// WAL mode: every base table created from here on gets a durable
+  /// TableHeap plus a stable numeric id for its log records.
+  void EnableWalStorage() { wal_storage_ = true; }
+  bool wal_storage() const { return wal_storage_; }
+
   /// Creates a table clustered on `cluster_cols` (empty = clustered on the
-  /// internal sequence only, i.e. insertion order).
+  /// internal sequence only, i.e. insertion order). `derived` suppresses the
+  /// WAL heap: derived tables (MVs, c-tables) are rebuilt from their bases
+  /// rather than logged — register them with RegisterDerivedTable.
   Result<Table*> CreateTable(const std::string& name, Schema schema,
                              std::vector<size_t> cluster_cols = {},
-                             bool unique_cluster = false);
+                             bool unique_cluster = false,
+                             bool derived = false);
+
+  /// The table whose WAL id is `id` (NotFound when unknown).
+  Result<Table*> GetTableById(uint32_t id) const;
+
+  // --- Derived-table staleness registry -----------------------------------
+
+  /// Declares `derived` a function of `bases` (all must be catalog tables).
+  Status RegisterDerivedTable(const std::string& derived,
+                              std::vector<std::string> bases);
+  bool IsDerived(const std::string& name) const;
+  /// Attaches (or replaces) the rebuild callback for a derived table.
+  void SetDerivedRebuild(const std::string& derived,
+                         std::function<Status()> rebuild);
+  /// Marks every derived table depending on `base` stale (called on each
+  /// transactional write to a base table).
+  void MarkDependentsStale(const std::string& base);
+  /// Marks all derived tables stale (the reopen path: derived contents are
+  /// not recovered, only recomputed).
+  void MarkAllDerivedStale();
+  bool IsStale(const std::string& name) const;
+  /// Rebuilds `name` if it is a stale derived table with a rebuild callback
+  /// (no-op otherwise). The engine calls this before planning a read.
+  Status RebuildIfStale(const std::string& name);
+  const std::map<std::string, DerivedTable>& derived_tables() const {
+    return derived_;
+  }
+
+  // --- Persistence (WAL mode) ---------------------------------------------
+
+  /// Serializes every table definition — schema, clustering, WAL id, heap
+  /// chain head/tail, secondary-index definitions — plus the derived-table
+  /// registry. Written into the meta page at each checkpoint.
+  void SerializeTo(std::string* out) const;
+
+  /// Rebuilds the catalog from a SerializeTo blob: recreates each table,
+  /// re-adopts its heap (recomputing the chain tail), rebuilds the volatile
+  /// structures from heap contents, re-creates secondary indexes, and marks
+  /// every derived table stale. Call after WAL recovery has run.
+  Status DeserializeFrom(std::string_view in);
 
   /// Looks a table up by (case-insensitive) name.
   Result<Table*> GetTable(const std::string& name) const;
@@ -67,6 +125,9 @@ class Catalog {
   BufferPool* pool_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::string, std::unique_ptr<VirtualTable>> virtual_tables_;
+  std::map<std::string, DerivedTable> derived_;
+  bool wal_storage_ = false;
+  uint32_t next_table_id_ = 1;
 };
 
 }  // namespace elephant

@@ -2,14 +2,46 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/schema.h"
 #include "common/status.h"
 #include "index/btree.h"
 #include "storage/buffer_pool.h"
+#include "storage/table_heap.h"
 
 namespace elephant {
+
+namespace wal {
+class LogManager;
+}
+
+class Table;
+
+/// One volatile-side undo step, recorded by the Txn write methods. ROLLBACK
+/// replays these in reverse to restore the in-memory structures (clustered
+/// tree, secondary indexes, rid map, row count); the durable heap side is
+/// undone separately by walking the transaction's WAL chain backwards.
+struct UndoEntry {
+  enum class Kind { kInsert, kDelete, kUpdate };
+  Kind kind;
+  Table* table;
+  std::string ckey;  ///< encoded clustering key of the affected row
+  Rid rid;           ///< heap address the row had before this op took effect
+  Row before;        ///< kDelete/kUpdate: the row image to restore
+  Row after;         ///< kInsert/kUpdate: the row image to remove
+};
+
+/// Logging context a transaction threads through every Txn write method.
+/// `last_lsn` is the head of the transaction's WAL chain; `undo` collects
+/// volatile undo steps in op order.
+struct TxnWriteContext {
+  wal::LogManager* log = nullptr;
+  txn_id_t txn_id = kInvalidTxnId;
+  lsn_t* last_lsn = nullptr;
+  std::vector<UndoEntry>* undo = nullptr;
+};
 
 /// Per-column statistics gathered by Table::Analyze, consumed by the planner.
 struct ColumnStats {
@@ -52,6 +84,7 @@ class Table {
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
   const std::vector<size_t>& cluster_cols() const { return cluster_cols_; }
+  bool unique_cluster() const { return unique_cluster_; }
   uint64_t row_count() const { return row_count_; }
   BufferPool* pool() const { return pool_; }
   const BPlusTree& clustered() const { return *clustered_; }
@@ -64,10 +97,68 @@ class Table {
   /// leaves. Consumes `rows`.
   Status BulkLoadRows(std::vector<Row>&& rows);
 
+  /// Replaces the table's entire contents: fresh clustered tree, bulk-load
+  /// of `rows`, secondary indexes rebuilt. The rebuild path for stale
+  /// derived tables (MVs, c-tables); not valid for WAL-heap tables, whose
+  /// contents are owned by the log.
+  Status ReloadRows(std::vector<Row>&& rows);
+
   /// Deletes all rows whose cluster-column values equal `cluster_values`
   /// (prefix match). Returns the number of rows removed. Secondary indexes
   /// are maintained.
   Result<uint64_t> DeleteByClusterPrefix(const std::vector<Value>& cluster_values);
+
+  // --- WAL-mode durable storage -------------------------------------------
+  //
+  // In WAL mode every table also owns a TableHeap: the heap is the durable,
+  // log-protected store, while the clustered tree, secondary indexes and rid
+  // map are volatile accelerators rebuilt from the heap on reopen. Heap
+  // records pack the clustering key in front of the serialized row so the
+  // tree can be reconstructed without re-deriving sequence numbers.
+
+  /// Adopts `heap` as this table's durable store. `table_id` is the stable
+  /// numeric id WAL records carry for this table.
+  void AttachHeap(std::unique_ptr<TableHeap> heap, uint32_t table_id);
+  TableHeap* heap() const { return heap_.get(); }
+  uint32_t table_id() const { return table_id_; }
+
+  /// Rebuilds the clustered tree, all secondary indexes, the rid map, the
+  /// row count and the sequence counter from the heap contents (the reopen
+  /// path after crash recovery). Requires an attached heap.
+  Status RebuildFromHeap();
+
+  /// Packs / unpacks a heap record: [u16 cklen][ckey][serialized row].
+  static std::string PackHeapRecord(const std::string& ckey,
+                                    const std::string& payload);
+  static Status UnpackHeapRecord(std::string_view record, std::string* ckey,
+                                 std::string* payload);
+
+  /// Transactional insert: WAL-logs a heap append, then maintains the
+  /// volatile structures and records an undo entry. Requires an attached
+  /// heap (WAL mode only).
+  Status InsertTxn(const Row& row, const TxnWriteContext& ctx);
+
+  /// Transactional delete of the row with encoded clustering key `ckey`
+  /// (callers pass the deserialized row so secondary entries can be
+  /// recomputed without a heap read).
+  Status DeleteRowTxn(const std::string& ckey, const Row& row,
+                      const TxnWriteContext& ctx);
+
+  /// Transactional in-place update keeping the same clustering key (cluster
+  /// columns unchanged — the engine decomposes key-changing updates into
+  /// delete + insert). Tries a logged in-place heap rewrite; falls back to
+  /// logged delete + append when the new image no longer fits the slot.
+  Status UpdateRowTxn(const std::string& ckey, const Row& before,
+                      const Row& after, const TxnWriteContext& ctx);
+
+  /// Reverses one undo entry against the volatile structures (tree,
+  /// secondaries, rid map, row count). The heap is NOT touched — the WAL
+  /// chain walk handles the durable side.
+  Status UndoVolatile(const UndoEntry& e);
+
+  /// Heap address of the row with the given clustering key (kInvalidPageId
+  /// page when unknown / non-WAL mode).
+  Rid RidFor(const std::string& ckey) const;
 
   /// Creates a covering secondary index over the current contents
   /// (bulk-built). Maintained by subsequent Insert calls.
@@ -106,6 +197,9 @@ class Table {
     Status Current(Row* out) const;
     /// Reads one column of the current row without full deserialization.
     Value CurrentColumn(size_t col) const;
+    /// The encoded clustering key at the current position (what the Txn
+    /// write methods take to address a row).
+    std::string_view EncodedKey() const { return it_.key(); }
 
    private:
     friend class Table;
@@ -145,6 +239,11 @@ class Table {
   Status MakeSecondaryEntry(const SecondaryIndex& idx, const Row& row,
                             const std::string& ckey, std::string* key,
                             std::string* value) const;
+  /// (Re)builds `idx->tree` from a full clustered scan (bulk load).
+  Status BuildSecondaryFromScan(SecondaryIndex* idx);
+  /// Inserts/removes the row's entries in every secondary index.
+  Status SecondaryInsert(const Row& row, const std::string& ckey);
+  Status SecondaryDelete(const Row& row, const std::string& ckey);
 
   BufferPool* pool_;
   std::string name_;
@@ -159,6 +258,11 @@ class Table {
   uint64_t row_count_ = 0;
   uint64_t next_seq_ = 0;
   std::vector<ColumnStats> stats_;
+  /// WAL mode only: the durable heap, this table's WAL id, and the
+  /// clustering-key → heap-address map the Txn write methods maintain.
+  std::unique_ptr<TableHeap> heap_;
+  uint32_t table_id_ = 0;
+  std::unordered_map<std::string, Rid> rid_map_;
 };
 
 /// Decodes the payload of a secondary-index entry.

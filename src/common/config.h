@@ -25,4 +25,16 @@ struct Rid {
 /// Default buffer pool capacity in pages (64 MiB at 8 KiB pages).
 constexpr uint32_t kDefaultBufferPoolPages = 8192;
 
+/// Log sequence number. An LSN is the byte offset of the END of a log record
+/// in the append-only WAL, so `durable_bytes >= lsn` means the record is on
+/// stable storage. kInvalidLsn (0) means "no log record" — real records
+/// always end past offset zero.
+using lsn_t = uint64_t;
+constexpr lsn_t kInvalidLsn = 0;
+
+/// Transaction identifier. kInvalidTxnId marks "no transaction" (e.g. log
+/// records produced by recovery itself).
+using txn_id_t = uint64_t;
+constexpr txn_id_t kInvalidTxnId = 0;
+
 }  // namespace elephant

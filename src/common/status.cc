@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kBindError: return "BindError";
     case StatusCode::kPlanError: return "PlanError";
     case StatusCode::kExecError: return "ExecError";
+    case StatusCode::kIoError: return "IoError";
+    case StatusCode::kAborted: return "Aborted";
   }
   return "Unknown";
 }

@@ -24,6 +24,8 @@ enum class StatusCode {
   kBindError,
   kPlanError,
   kExecError,
+  kIoError,
+  kAborted,
 };
 
 /// Returns a human-readable name for a status code (e.g. "InvalidArgument").
@@ -85,6 +87,12 @@ class Status {
   static Status ExecError(std::string msg) {
     return Status(StatusCode::kExecError, std::move(msg));
   }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -100,6 +108,8 @@ class Status {
   }
   bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
 
  private:
   StatusCode code_;

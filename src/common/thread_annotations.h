@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -112,6 +113,13 @@ class SCOPED_CAPABILITY MutexLock {
 class CondVar {
  public:
   void Wait(Mutex& mu) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS { cv_.wait(mu); }
+  /// Timed wait: returns false when `seconds` elapsed without a notify
+  /// (callers still re-check their predicate either way). Used by the lock
+  /// manager to resolve deadlocks by timeout.
+  bool WaitFor(Mutex& mu, double seconds) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_for(mu, std::chrono::duration<double>(seconds)) ==
+           std::cv_status::no_timeout;
+  }
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }
 

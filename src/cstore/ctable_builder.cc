@@ -4,9 +4,99 @@
 #include <cctype>
 
 #include "cstore/compression.h"
+#include "parser/parser.h"
 
 namespace elephant {
 namespace cstore {
+
+namespace {
+
+/// Runs the projection query and sorts its rows by the named sort columns;
+/// fills `sort_idx` with their positions in the output schema. Shared by the
+/// initial build and the stale-rebuild callback so both produce the same
+/// virtual-id assignment.
+Result<QueryResult> MaterializeSorted(Database* db, const std::string& query,
+                                      const std::string& projection,
+                                      const std::vector<std::string>& sort_cols,
+                                      std::vector<size_t>* sort_idx) {
+  ELE_ASSIGN_OR_RETURN(QueryResult result, db->Execute(query));
+  const Schema& schema = result.schema;
+  sort_idx->clear();
+  for (const std::string& name : sort_cols) {
+    const int idx = schema.FindColumn(name);
+    if (idx < 0) {
+      return Status::InvalidArgument("sort column " + name +
+                                     " not produced by projection query");
+    }
+    sort_idx->push_back(static_cast<size_t>(idx));
+  }
+  if (sort_idx->size() != schema.NumColumns()) {
+    return Status::InvalidArgument(
+        "projection " + projection +
+        " must list every projected column in its sort order (footnote 4)");
+  }
+  std::sort(result.rows.begin(), result.rows.end(),
+            [sort_idx](const Row& a, const Row& b) {
+              for (size_t c : *sort_idx) {
+                const int cmp = a[c].Compare(b[c]);
+                if (cmp != 0) return cmp < 0;
+              }
+              return false;
+            });
+  return result;
+}
+
+/// Recomputes one c-table's (f, v[, c]) rows from the sorted projection.
+/// The representation (with or without the count column) is fixed by the
+/// c-table's schema at build time, so rebuilds keep it.
+std::vector<Row> CTableRows(const std::vector<Row>& rows, size_t col,
+                            const std::vector<size_t>& prefix,
+                            bool has_count) {
+  std::vector<Row> out;
+  if (has_count) {
+    std::vector<compression::Run> runs =
+        compression::RleRuns(rows, col, prefix);
+    out.reserve(runs.size());
+    int32_t f = 0;
+    for (const compression::Run& run : runs) {
+      out.push_back({Value::Int32(f), run.value,
+                     Value::Int32(static_cast<int32_t>(run.count))});
+      f += static_cast<int32_t>(run.count);
+    }
+  } else {
+    out.reserve(rows.size());
+    for (size_t i = 0; i < rows.size(); i++) {
+      out.push_back({Value::Int32(static_cast<int32_t>(i)), rows[i][col]});
+    }
+  }
+  return out;
+}
+
+/// The stale-rebuild callback for one c-table. Self-contained on purpose:
+/// the builder is often a temporary, so the hook captures the database and
+/// the projection definition, not the builder.
+std::function<Status()> MakeRebuildHook(Database* db, std::string query,
+                                        std::string projection,
+                                        std::vector<std::string> sort_cols,
+                                        size_t pos, bool has_count,
+                                        std::string table_name) {
+  return [db, query = std::move(query), projection = std::move(projection),
+          sort_cols = std::move(sort_cols), pos, has_count,
+          name = std::move(table_name)]() -> Status {
+    std::vector<size_t> idx;
+    ELE_ASSIGN_OR_RETURN(
+        QueryResult fresh,
+        MaterializeSorted(db, query, projection, sort_cols, &idx));
+    const size_t col = idx[pos];
+    std::vector<size_t> prefix(idx.begin(), idx.begin() + pos);
+    ELE_ASSIGN_OR_RETURN(Table * t, db->catalog().GetTable(name));
+    ELE_RETURN_NOT_OK(
+        t->ReloadRows(CTableRows(fresh.rows, col, prefix, has_count)));
+    return t->Analyze();
+  };
+}
+
+}  // namespace
 
 std::string CTableBuilder::CTableName(const std::string& projection,
                                       const std::string& column) {
@@ -16,37 +106,21 @@ std::string CTableBuilder::CTableName(const std::string& projection,
 }
 
 Result<ProjectionMeta> CTableBuilder::Build(const ProjectionDef& def) {
-  // 1. Materialize the projection's rows.
-  ELE_ASSIGN_OR_RETURN(QueryResult result, db_->Execute(def.query));
-  const Schema& schema = result.schema;
-
-  // Resolve sort columns against the projection output; the paper's
-  // assumption (footnote 4) is that they cover every projected column.
+  // 1./2. Materialize the projection's rows, resolve sort columns (footnote
+  // 4: they must cover every projected column), sort, and assign virtual ids
+  // implicitly (row position after sorting).
   std::vector<size_t> sort_idx;
-  for (const std::string& name : def.sort_cols) {
-    const int idx = schema.FindColumn(name);
-    if (idx < 0) {
-      return Status::InvalidArgument("sort column " + name +
-                                     " not produced by projection query");
-    }
-    sort_idx.push_back(static_cast<size_t>(idx));
-  }
-  if (sort_idx.size() != schema.NumColumns()) {
-    return Status::InvalidArgument(
-        "projection " + def.name +
-        " must list every projected column in its sort order (footnote 4)");
-  }
-
-  // 2. Sort by the sort columns and assign virtual ids implicitly
-  //    (row position after sorting).
+  ELE_ASSIGN_OR_RETURN(
+      QueryResult result,
+      MaterializeSorted(db_, def.query, def.name, def.sort_cols, &sort_idx));
+  const Schema& schema = result.schema;
   std::vector<Row>& rows = result.rows;
-  std::sort(rows.begin(), rows.end(), [&sort_idx](const Row& a, const Row& b) {
-    for (size_t c : sort_idx) {
-      const int cmp = a[c].Compare(b[c]);
-      if (cmp != 0) return cmp < 0;
-    }
-    return false;
-  });
+
+  // The projection's base tables, for staleness tracking: a write to any of
+  // them invalidates every c-table built here.
+  ELE_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sel, ParseSelect(def.query));
+  std::vector<std::string> bases;
+  CollectTableNames(*sel, &bases);
 
   ProjectionMeta meta;
   meta.name = def.name;
@@ -89,23 +163,11 @@ Result<ProjectionMeta> CTableBuilder::Build(const ProjectionDef& def) {
     if (has_count) cols.emplace_back("c", TypeId::kInt32, 0, /*null_ok=*/false);
     ELE_ASSIGN_OR_RETURN(Table * table,
                          db_->catalog().CreateTable(ct.table_name, Schema(cols),
-                                                    {0}, /*unique_cluster=*/true));
+                                                    {0}, /*unique_cluster=*/true,
+                                                    /*derived=*/true));
 
-    std::vector<Row> ct_rows;
-    ct_rows.reserve(ct.runs);
-    if (has_count) {
-      int32_t f = 0;
-      for (const compression::Run& run : runs) {
-        ct_rows.push_back({Value::Int32(f), run.value,
-                           Value::Int32(static_cast<int32_t>(run.count))});
-        f += static_cast<int32_t>(run.count);
-      }
-    } else {
-      for (size_t i = 0; i < rows.size(); i++) {
-        ct_rows.push_back({Value::Int32(static_cast<int32_t>(i)), rows[i][col]});
-      }
-    }
-    ELE_RETURN_NOT_OK(table->BulkLoadRows(std::move(ct_rows)));
+    ELE_RETURN_NOT_OK(
+        table->BulkLoadRows(CTableRows(rows, col, prefix, has_count)));
 
     // Secondary covering index with leading column v (includes f and c), as
     // in §2.2.1: "a secondary covering index with leading column v".
@@ -116,10 +178,36 @@ Result<ProjectionMeta> CTableBuilder::Build(const ProjectionDef& def) {
     ELE_RETURN_NOT_OK(table->Analyze());
     ELE_ASSIGN_OR_RETURN(ct.on_disk_pages, table->ClusteredPages());
 
+    // A base-table write marks this c-table stale; the next query touching
+    // it re-materializes the projection and reloads through this callback.
+    // Self-contained on purpose: the builder is often a temporary, so the
+    // callback captures the database, not `this`.
+    ELE_RETURN_NOT_OK(
+        db_->catalog().RegisterDerivedTable(ct.table_name, bases));
+    db_->catalog().SetDerivedRebuild(
+        ct.table_name, MakeRebuildHook(db_, def.query, def.name, def.sort_cols,
+                                       pos, has_count, ct.table_name));
+
     meta.ctables.push_back(std::move(ct));
     prefix.push_back(col);
   }
   return meta;
+}
+
+Status CTableBuilder::AttachRebuild(const ProjectionDef& def) {
+  ELE_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sel, ParseSelect(def.query));
+  std::vector<std::string> bases;
+  CollectTableNames(*sel, &bases);
+  for (size_t pos = 0; pos < def.sort_cols.size(); pos++) {
+    const std::string name = CTableName(def.name, def.sort_cols[pos]);
+    ELE_ASSIGN_OR_RETURN(Table * table, db_->catalog().GetTable(name));
+    const bool has_count = table->schema().NumColumns() == 3;
+    ELE_RETURN_NOT_OK(db_->catalog().RegisterDerivedTable(name, bases));
+    db_->catalog().SetDerivedRebuild(
+        name, MakeRebuildHook(db_, def.query, def.name, def.sort_cols, pos,
+                              has_count, name));
+  }
+  return Status::OK();
 }
 
 }  // namespace cstore

@@ -27,6 +27,13 @@ class CTableBuilder {
   /// Builds every c-table of `def`; returns their metadata.
   Result<ProjectionMeta> Build(const ProjectionDef& def);
 
+  /// Re-attaches the stale-rebuild hooks for a projection whose c-tables
+  /// already exist — after crash recovery, the recovered catalog knows the
+  /// derived tables and their bases but not the rebuild callbacks. Each
+  /// c-table's representation (with or without the count column) is read
+  /// back from its schema.
+  Status AttachRebuild(const ProjectionDef& def);
+
   /// Catalog name of a projection's c-table for `column`.
   static std::string CTableName(const std::string& projection,
                                 const std::string& column);

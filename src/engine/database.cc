@@ -1,18 +1,29 @@
 #include "engine/database.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <optional>
 
+#include "exec/expression.h"
 #include "obs/json.h"
 #include "obs/prometheus.h"
 #include "obs/trace_log.h"
 #include "parser/parser.h"
 #include "planner/binder.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
 
 namespace elephant {
 
 namespace {
+
+/// Page 0 of a WAL-mode disk: [magic][checkpoint LSN][catalog blob]. The
+/// page is reserved at engine construction, before any table can allocate,
+/// so its id is stable across the simulated reboot.
+constexpr page_id_t kMetaPageId = 0;
+constexpr uint32_t kMetaMagic = 0x454C4D31;  // "ELM1"
 
 /// Packages a rendered plan as a result set: one VARCHAR "QUERY PLAN" column,
 /// one row per text line (how EXPLAIN output reaches SQL clients).
@@ -69,7 +80,133 @@ Database::Database(DatabaseOptions options) : options_(options) {
   pool_ = std::make_unique<BufferPool>(disk_.get(), options_.buffer_pool_pages,
                                        &heatmap_);
   catalog_ = std::make_unique<Catalog>(pool_.get());
+  if (options_.wal_enabled) InitWalMachinery();
   RegisterSystemTables();
+}
+
+Database::Database(DatabaseOptions options, ReopenTag) : options_(options) {
+  disk_ = std::make_unique<DiskManager>(&heatmap_);
+  disk_->ConfigureReadahead(options_.readahead_enabled,
+                            options_.readahead_window_pages);
+  pool_ = std::make_unique<BufferPool>(disk_.get(), options_.buffer_pool_pages,
+                                       &heatmap_);
+  catalog_ = std::make_unique<Catalog>(pool_.get());
+}
+
+void Database::InitWalMachinery() {
+  // Reserve the meta page first: nothing else has allocated yet, so it gets
+  // page 0 — a stable address a reopened engine can read before it knows
+  // anything else about the database.
+  disk_->AllocatePage();
+  log_ = std::make_unique<wal::LogManager>(disk_.get());
+  lock_mgr_ = std::make_unique<txn::LockManager>();
+  txn_mgr_ = std::make_unique<txn::TransactionManager>(log_.get(), pool_.get(),
+                                                       lock_mgr_.get());
+  catalog_->EnableWalStorage();
+  // The WAL rule: a dirty page may reach disk only after the log covering
+  // its last mutation is durable.
+  pool_->SetWalFlushCallback(
+      [log = log_.get()](lsn_t lsn) { return log->FlushUntil(lsn); });
+}
+
+Result<std::unique_ptr<Database>> Database::Reopen(DatabaseOptions options,
+                                                   DurableImage image) {
+  options.wal_enabled = true;
+  std::unique_ptr<Database> db(new Database(options, ReopenTag{}));
+  ELE_RETURN_NOT_OK(db->disk_->RestorePages(image.pages));
+  db->log_ =
+      std::make_unique<wal::LogManager>(db->disk_.get(), std::move(image.log));
+  db->lock_mgr_ = std::make_unique<txn::LockManager>();
+  db->txn_mgr_ = std::make_unique<txn::TransactionManager>(
+      db->log_.get(), db->pool_.get(), db->lock_mgr_.get());
+  db->catalog_->EnableWalStorage();
+  db->pool_->SetWalFlushCallback(
+      [log = db->log_.get()](lsn_t lsn) { return log->FlushUntil(lsn); });
+  db->RegisterSystemTables();
+
+  // The meta page names the checkpoint to redo from and carries the catalog
+  // as of that checkpoint (DDL checkpoints eagerly, so the blob is always
+  // schema-current). An unwritten meta page — crash before the first
+  // checkpoint — reads as zeroes and fails the magic check: recover from
+  // the log start with an empty catalog.
+  lsn_t checkpoint_lsn = kInvalidLsn;
+  std::string catalog_blob;
+  if (db->disk_->NumPages() > 0) {
+    auto page = std::make_unique<char[]>(kPageSize);
+    ELE_RETURN_NOT_OK(db->disk_->ReadPage(kMetaPageId, page.get()));
+    uint32_t magic = 0;
+    std::memcpy(&magic, page.get(), sizeof(magic));
+    if (magic == kMetaMagic) {
+      uint64_t ckpt = 0;
+      uint32_t blob_len = 0;
+      std::memcpy(&ckpt, page.get() + 4, sizeof(ckpt));
+      std::memcpy(&blob_len, page.get() + 12, sizeof(blob_len));
+      if (16 + static_cast<uint64_t>(blob_len) > kPageSize) {
+        return Status::Corruption("meta page catalog blob overruns the page");
+      }
+      checkpoint_lsn = ckpt;
+      catalog_blob.assign(page.get() + 16, blob_len);
+    }
+  }
+  ELE_RETURN_NOT_OK(wal::Recover(db->log_.get(), db->pool_.get(),
+                                 checkpoint_lsn, &db->recovery_stats_));
+  if (!catalog_blob.empty()) {
+    ELE_RETURN_NOT_OK(db->catalog_->DeserializeFrom(catalog_blob));
+  }
+  // Derived tables (MVs, c-tables) are never logged; their owners re-attach
+  // rebuild hooks and the next read recomputes them from the bases.
+  db->catalog_->MarkAllDerivedStale();
+  // Recovery's redo/undo dirtied pages and appended CLRs; checkpointing now
+  // makes the recovered state durable so a crash during normal operation
+  // does not have to repeat this recovery's work.
+  ELE_RETURN_NOT_OK(db->Checkpoint());
+  return db;
+}
+
+Status Database::Checkpoint() {
+  if (log_ == nullptr) {
+    return Status::FailedPrecondition(
+        "CHECKPOINT requires the WAL engine (DatabaseOptions::wal_enabled)");
+  }
+  const lsn_t ckpt_lsn = log_->AppendCheckpoint();
+  // Pages first: each dirty frame's write-back flushes the log through that
+  // frame's LSN (WAL rule), so by the time the meta page commits to this
+  // checkpoint, every page it implies is covered.
+  ELE_RETURN_NOT_OK(pool_->FlushAll());
+  ELE_RETURN_NOT_OK(log_->Flush());
+  return WriteMetaPage(ckpt_lsn);
+}
+
+Status Database::WriteMetaPage(lsn_t checkpoint_lsn) {
+  std::string blob;
+  catalog_->SerializeTo(&blob);
+  if (16 + blob.size() > kPageSize) {
+    return Status::ResourceExhausted(
+        "catalog (" + std::to_string(blob.size()) +
+        " bytes) no longer fits the meta page");
+  }
+  auto page = std::make_unique<char[]>(kPageSize);
+  std::memset(page.get(), 0, kPageSize);
+  std::memcpy(page.get(), &kMetaMagic, sizeof(kMetaMagic));
+  const uint64_t ckpt = checkpoint_lsn;
+  std::memcpy(page.get() + 4, &ckpt, sizeof(ckpt));
+  const uint32_t blob_len = static_cast<uint32_t>(blob.size());
+  std::memcpy(page.get() + 12, &blob_len, sizeof(blob_len));
+  std::memcpy(page.get() + 16, blob.data(), blob.size());
+  ELE_RETURN_NOT_OK(disk_->WritePage(kMetaPageId, page.get()));
+  return disk_->Sync();
+}
+
+void Database::SetFaultInjector(FaultInjector* injector) {
+  disk_->SetFaultInjector(injector);
+  if (log_ != nullptr) log_->SetFaultInjector(injector);
+}
+
+DurableImage Database::CloneDurableImage() const {
+  DurableImage image;
+  image.pages = disk_->ClonePages();
+  if (log_ != nullptr) image.log = log_->DurablePrefix();
+  return image;
 }
 
 void Database::RegisterSystemTables() {
@@ -260,6 +397,72 @@ void Database::RegisterSystemTables() {
               }};
             });
   }
+
+  // elephant_stat_wal: one row of log + recovery counters. Registered in
+  // both modes (zeros without WAL) so queries against it always bind.
+  {
+    Schema schema({
+        Column("records_appended", TypeId::kInt64),
+        Column("bytes_appended", TypeId::kInt64),
+        Column("flushes", TypeId::kInt64),
+        Column("bytes_flushed", TypeId::kInt64),
+        Column("fsyncs", TypeId::kInt64),
+        Column("current_lsn", TypeId::kInt64),
+        Column("durable_lsn", TypeId::kInt64),
+        Column("checkpoint_lsn", TypeId::kInt64),
+        Column("recovery_redo_applied", TypeId::kInt64),
+        Column("recovery_redo_skipped", TypeId::kInt64),
+        Column("recovery_loser_txns", TypeId::kInt64),
+        Column("recovery_clrs_written", TypeId::kInt64),
+        Column("recovery_torn_tail", TypeId::kInt64),
+    });
+    catalog_->RegisterVirtualTable(
+            "elephant_stat_wal", std::move(schema),
+            [this, i64]() -> Result<std::vector<Row>> {
+              const wal::WalStats ws =
+                  log_ != nullptr ? log_->stats() : wal::WalStats{};
+              const IoStats io = disk_->stats();
+              return std::vector<Row>{Row{
+                  i64(ws.records_appended),
+                  i64(ws.bytes_appended),
+                  i64(ws.flushes),
+                  i64(ws.bytes_flushed),
+                  i64(io.fsyncs),
+                  i64(ws.current_lsn),
+                  i64(ws.durable_lsn),
+                  i64(ws.checkpoint_lsn),
+                  i64(recovery_stats_.redo_applied),
+                  i64(recovery_stats_.redo_skipped),
+                  i64(recovery_stats_.loser_txns),
+                  i64(recovery_stats_.clrs_written),
+                  i64(recovery_stats_.torn_tail ? 1 : 0),
+              }};
+            });
+  }
+
+  // elephant_stat_transactions: one row of transaction-manager counters.
+  {
+    Schema schema({
+        Column("begun", TypeId::kInt64),
+        Column("committed", TypeId::kInt64),
+        Column("aborted", TypeId::kInt64),
+        Column("active", TypeId::kInt64),
+        Column("lock_timeouts", TypeId::kInt64),
+    });
+    catalog_->RegisterVirtualTable(
+            "elephant_stat_transactions", std::move(schema),
+            [this, i64]() -> Result<std::vector<Row>> {
+              const txn::TxnStats s =
+                  txn_mgr_ != nullptr ? txn_mgr_->stats() : txn::TxnStats{};
+              return std::vector<Row>{Row{
+                  i64(s.begun),
+                  i64(s.committed),
+                  i64(s.aborted),
+                  i64(s.active),
+                  i64(s.lock_timeouts),
+              }};
+            });
+  }
 }
 
 std::string Database::ExportMetrics() {
@@ -337,6 +540,30 @@ std::string Database::ExportMetrics() {
       metrics_.GetGauge("db.workers.utilization")
           ->Set(capacity > 0 ? workers_->BusySeconds() / capacity : 0);
     }
+  }
+  if (log_ != nullptr) {
+    const wal::WalStats ws = log_->stats();
+    metrics_.GetCounter("wal.flushes_total")
+        ->Increment(ws.flushes -
+                    metrics_.GetCounter("wal.flushes_total")->value());
+    metrics_.GetCounter("wal.bytes_total")
+        ->Increment(ws.bytes_flushed -
+                    metrics_.GetCounter("wal.bytes_total")->value());
+    metrics_.GetCounter("db.disk.fsyncs_total")
+        ->Increment(io.fsyncs -
+                    metrics_.GetCounter("db.disk.fsyncs_total")->value());
+    const txn::TxnStats txn_stats = txn_mgr_->stats();
+    metrics_.GetCounter("txn.commits_total")
+        ->Increment(txn_stats.committed -
+                    metrics_.GetCounter("txn.commits_total")->value());
+    metrics_.GetCounter("txn.aborts_total")
+        ->Increment(txn_stats.aborted -
+                    metrics_.GetCounter("txn.aborts_total")->value());
+    metrics_.GetCounter("txn.lock_timeouts_total")
+        ->Increment(txn_stats.lock_timeouts -
+                    metrics_.GetCounter("txn.lock_timeouts_total")->value());
+    metrics_.GetGauge("txn.active")
+        ->Set(static_cast<double>(txn_stats.active));
   }
   // Registry families first, then the top statement families by modeled I/O
   // (labeled series the plain registry cannot express).
@@ -550,13 +777,15 @@ Result<ExplainAnalyzeResult> Database::ExplainAnalyze(const std::string& sql,
 }
 
 Result<QueryResult> Database::Execute(const std::string& sql,
-                                      PlanHints extra_hints) {
+                                      PlanHints extra_hints,
+                                      SessionTxnState* session) {
   // Root span of the statement: everything this statement does — parse,
   // bind, plan, execute, worker tasks, page faults — nests under it.
   std::optional<obs::TraceSpan> statement_span;
   if (obs::TraceLog::Global().enabled()) {
     statement_span.emplace("statement", "engine", obs::TraceArgs{{"sql", sql}});
   }
+  SessionTxnState* ts = session != nullptr ? session : &default_txn_state_;
   obs::Tracer tracer;
   Statement stmt;
   {
@@ -568,15 +797,64 @@ Result<QueryResult> Database::Execute(const std::string& sql,
   switch (stmt.kind) {
     case StatementKind::kSelect: {
       metrics_.GetCounter("db.statements.select")->Increment();
-      ELE_ASSIGN_OR_RETURN(
-          QueryResult r,
-          ExecuteSelect(sql, std::move(stmt.select), extra_hints,
-                        /*instrument=*/false, &tracer));
-      r.trace = std::make_shared<obs::QueryTrace>(tracer.Finish());
-      return r;
+      ELE_RETURN_NOT_OK(CheckNotInAbortedTxn(*ts, sql));
+      // In WAL mode a SELECT takes statement-scoped shared locks on its base
+      // tables (and refreshes stale derived tables) before executing. Inside
+      // a transaction the locks are taken under the transaction's id, so
+      // they compose with its exclusive locks; outside, a throwaway reader
+      // id keeps them disjoint from every transaction.
+      std::vector<std::string> acquired;
+      txn_id_t locker = kInvalidTxnId;
+      if (log_ != nullptr) {
+        locker = ts->txn != nullptr ? ts->txn->id()
+                                    : next_read_locker_.fetch_add(1);
+        Status prep = PrepareSelectTables(*stmt.select, locker, &acquired);
+        if (!prep.ok()) {
+          if (ts->txn == nullptr) {
+            lock_mgr_->ReleaseAll(locker);
+          } else if (ts->txn->state == txn::TxnState::kActive) {
+            AbortTxn(ts->txn.get(), sql, ts);
+          }
+          return prep;
+        }
+      }
+      Result<QueryResult> r = ExecuteSelect(sql, std::move(stmt.select),
+                                            extra_hints,
+                                            /*instrument=*/false, &tracer);
+      if (log_ != nullptr) {
+        if (ts->txn == nullptr) {
+          lock_mgr_->ReleaseAll(locker);
+        } else {
+          // Shared locks are statement-scoped even inside a transaction
+          // (locks the transaction held before this statement stay put).
+          for (const std::string& name : acquired) {
+            lock_mgr_->Release(locker, name, txn::LockManager::Mode::kShared);
+          }
+        }
+      }
+      if (!r.ok()) {
+        if (ts->txn != nullptr && ts->txn->state == txn::TxnState::kActive) {
+          AbortTxn(ts->txn.get(), sql, ts);
+        }
+        return r.status();
+      }
+      QueryResult qr = std::move(r).value();
+      qr.trace = std::make_shared<obs::QueryTrace>(tracer.Finish());
+      return qr;
     }
+    case StatementKind::kBegin:
+    case StatementKind::kCommit:
+    case StatementKind::kRollback:
+    case StatementKind::kCheckpoint:
+      return ExecuteTxnControl(stmt.kind, sql, ts);
+    case StatementKind::kInsert:
+    case StatementKind::kDelete:
+    case StatementKind::kUpdate:
+      return ExecuteDml(stmt, sql, ts);
     case StatementKind::kExplain: {
       metrics_.GetCounter("db.statements.explain")->Increment();
+      ELE_RETURN_NOT_OK(CheckNotInAbortedTxn(*ts, sql));
+      // EXPLAIN takes no locks: it reads only the catalog and statistics.
       if (!stmt.explain_analyze) {
         Binder binder(catalog_.get());
         ELE_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound,
@@ -622,6 +900,13 @@ Result<QueryResult> Database::Execute(const std::string& sql,
     }
     case StatementKind::kCreateTable: {
       metrics_.GetCounter("db.statements.create_table")->Increment();
+      ELE_RETURN_NOT_OK(CheckNotInAbortedTxn(*ts, sql));
+      if (log_ != nullptr && ts->txn != nullptr) {
+        return Status::FailedPrecondition(
+            "DDL is not transactional: statement \"" + sql +
+            "\" must run outside BEGIN/COMMIT (transaction state: " +
+            txn::TxnStateName(ts->txn->state) + ")");
+      }
       const CreateTableStmt& ct = *stmt.create_table;
       std::vector<Column> cols;
       for (const ColumnDef& cd : ct.columns) {
@@ -637,10 +922,20 @@ Result<QueryResult> Database::Execute(const std::string& sql,
         cluster.push_back(static_cast<size_t>(idx));
       }
       ELE_RETURN_NOT_OK(catalog_->CreateTable(ct.name, schema, cluster).status());
+      // DDL is checkpointed, not logged: the meta page's catalog blob is the
+      // durable record of the schema.
+      if (log_ != nullptr) ELE_RETURN_NOT_OK(Checkpoint());
       return QueryResult{};
     }
     case StatementKind::kCreateIndex: {
       metrics_.GetCounter("db.statements.create_index")->Increment();
+      ELE_RETURN_NOT_OK(CheckNotInAbortedTxn(*ts, sql));
+      if (log_ != nullptr && ts->txn != nullptr) {
+        return Status::FailedPrecondition(
+            "DDL is not transactional: statement \"" + sql +
+            "\" must run outside BEGIN/COMMIT (transaction state: " +
+            txn::TxnStateName(ts->txn->state) + ")");
+      }
       const CreateIndexStmt& ci = *stmt.create_index;
       ELE_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(ci.table_name));
       std::vector<size_t> keys, includes;
@@ -655,42 +950,367 @@ Result<QueryResult> Database::Execute(const std::string& sql,
         includes.push_back(static_cast<size_t>(idx));
       }
       ELE_RETURN_NOT_OK(table->CreateSecondaryIndex(ci.index_name, keys, includes));
+      if (log_ != nullptr) ELE_RETURN_NOT_OK(Checkpoint());
       return QueryResult{};
-    }
-    case StatementKind::kInsert: {
-      metrics_.GetCounter("db.statements.insert")->Increment();
-      const InsertStmt& ins = *stmt.insert;
-      if (catalog_->GetVirtualTable(ins.table_name) != nullptr ||
-          Catalog::IsReservedName(ins.table_name)) {
-        return Status::BindError("cannot INSERT into virtual system table \"" +
-                                 ins.table_name + "\"");
-      }
-      ELE_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(ins.table_name));
-      const Schema& schema = table->schema();
-      for (const auto& row_exprs : ins.rows) {
-        if (row_exprs.size() != schema.NumColumns()) {
-          return Status::BindError("INSERT arity mismatch");
-        }
-        Row row;
-        for (size_t c = 0; c < row_exprs.size(); c++) {
-          if (row_exprs[c]->kind != SqlExprKind::kLiteral) {
-            return Status::BindError("INSERT values must be literals");
-          }
-          Value v = row_exprs[c]->literal;
-          if (v.type() != schema.ColumnAt(c).type && !v.is_null()) {
-            auto cast = v.CastTo(schema.ColumnAt(c).type);
-            if (cast.ok()) v = std::move(cast).value();
-          }
-          row.push_back(std::move(v));
-        }
-        ELE_RETURN_NOT_OK(table->Insert(row));
-      }
-      QueryResult qr;
-      qr.counters.rows_output = ins.rows.size();
-      return qr;
     }
   }
   return Status::Internal("unhandled statement kind");
+}
+
+Status Database::CheckNotInAbortedTxn(const SessionTxnState& state,
+                                      const std::string& sql) const {
+  if (state.txn == nullptr || state.txn->state != txn::TxnState::kAborted) {
+    return Status::OK();
+  }
+  return Status::FailedPrecondition(
+      "current transaction is aborted (state: " +
+      std::string(txn::TxnStateName(state.txn->state)) +
+      "), commands ignored until ROLLBACK: statement \"" + sql +
+      "\" rejected; transaction failed at \"" + state.txn->failed_statement +
+      "\"");
+}
+
+void Database::AbortTxn(txn::Transaction* t, const std::string& sql,
+                        SessionTxnState* state) {
+  // The failed statement already poisoned the transaction's effects, so roll
+  // back now rather than waiting for the client's ROLLBACK. An explicit
+  // transaction then parks in kAborted limbo (PostgreSQL-style): every later
+  // statement is rejected until the client acknowledges with ROLLBACK or
+  // COMMIT. An implicit (autocommit) transaction just dies.
+  (void)state;
+  (void)txn_mgr_->Rollback(t);
+  if (!t->implicit()) {
+    t->state = txn::TxnState::kAborted;
+    t->failed_statement = sql;
+  }
+}
+
+Result<QueryResult> Database::ExecuteTxnControl(StatementKind kind,
+                                                const std::string& sql,
+                                                SessionTxnState* state) {
+  if (log_ == nullptr) {
+    return Status::NotSupported(
+        "transaction control requires the WAL engine "
+        "(DatabaseOptions::wal_enabled): statement \"" + sql + "\"");
+  }
+  switch (kind) {
+    case StatementKind::kBegin: {
+      metrics_.GetCounter("db.statements.begin")->Increment();
+      if (state->txn != nullptr) {
+        ELE_RETURN_NOT_OK(CheckNotInAbortedTxn(*state, sql));
+        return Status::FailedPrecondition(
+            "a transaction is already in progress");
+      }
+      state->txn = txn_mgr_->Begin(/*implicit=*/false);
+      return QueryResult{};
+    }
+    case StatementKind::kCommit: {
+      metrics_.GetCounter("db.statements.commit")->Increment();
+      if (state->txn == nullptr) {
+        return Status::FailedPrecondition("COMMIT: no transaction in progress");
+      }
+      std::unique_ptr<txn::Transaction> t = std::move(state->txn);
+      if (t->state == txn::TxnState::kAborted) {
+        // The failed statement already rolled the work back; COMMIT of an
+        // aborted transaction just closes it, exactly like ROLLBACK.
+        return QueryResult{};
+      }
+      ELE_RETURN_NOT_OK(txn_mgr_->Commit(t.get()));
+      return QueryResult{};
+    }
+    case StatementKind::kRollback: {
+      metrics_.GetCounter("db.statements.rollback")->Increment();
+      if (state->txn == nullptr) {
+        return Status::FailedPrecondition(
+            "ROLLBACK: no transaction in progress");
+      }
+      std::unique_ptr<txn::Transaction> t = std::move(state->txn);
+      if (t->state == txn::TxnState::kAborted) return QueryResult{};
+      ELE_RETURN_NOT_OK(txn_mgr_->Rollback(t.get()));
+      return QueryResult{};
+    }
+    case StatementKind::kCheckpoint: {
+      metrics_.GetCounter("db.statements.checkpoint")->Increment();
+      ELE_RETURN_NOT_OK(Checkpoint());
+      return QueryResult{};
+    }
+    default:
+      return Status::Internal("not a transaction-control statement");
+  }
+}
+
+Result<QueryResult> Database::ExecuteDml(const Statement& stmt,
+                                         const std::string& sql,
+                                         SessionTxnState* state) {
+  const std::string* table_name = nullptr;
+  switch (stmt.kind) {
+    case StatementKind::kInsert:
+      metrics_.GetCounter("db.statements.insert")->Increment();
+      table_name = &stmt.insert->table_name;
+      break;
+    case StatementKind::kDelete:
+      metrics_.GetCounter("db.statements.delete")->Increment();
+      table_name = &stmt.delete_stmt->table_name;
+      break;
+    case StatementKind::kUpdate:
+      metrics_.GetCounter("db.statements.update")->Increment();
+      table_name = &stmt.update_stmt->table_name;
+      break;
+    default:
+      return Status::Internal("not a DML statement");
+  }
+  if (catalog_->GetVirtualTable(*table_name) != nullptr ||
+      Catalog::IsReservedName(*table_name)) {
+    return Status::BindError(
+        "cannot write to virtual system table \"" + *table_name +
+        "\": statement \"" + sql + "\" rejected (transaction state: " +
+        (state->txn != nullptr
+             ? std::string(txn::TxnStateName(state->txn->state))
+             : std::string("autocommit")) +
+        ")");
+  }
+  ELE_RETURN_NOT_OK(CheckNotInAbortedTxn(*state, sql));
+  ELE_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(*table_name));
+
+  if (log_ == nullptr) {
+    // The unlogged engine keeps its original INSERT (bulk loads for the
+    // read-only experiments); destructive DML needs the write path.
+    if (stmt.kind != StatementKind::kInsert) {
+      return Status::NotSupported(
+          std::string(stmt.kind == StatementKind::kDelete ? "DELETE"
+                                                          : "UPDATE") +
+          " requires the transactional write path "
+          "(DatabaseOptions::wal_enabled)");
+    }
+    const InsertStmt& ins = *stmt.insert;
+    const Schema& schema = table->schema();
+    for (const auto& row_exprs : ins.rows) {
+      if (row_exprs.size() != schema.NumColumns()) {
+        return Status::BindError("INSERT arity mismatch");
+      }
+      Row row;
+      for (size_t c = 0; c < row_exprs.size(); c++) {
+        if (row_exprs[c]->kind != SqlExprKind::kLiteral) {
+          return Status::BindError("INSERT values must be literals");
+        }
+        Value v = row_exprs[c]->literal;
+        if (v.type() != schema.ColumnAt(c).type && !v.is_null()) {
+          auto cast = v.CastTo(schema.ColumnAt(c).type);
+          if (cast.ok()) v = std::move(cast).value();
+        }
+        row.push_back(std::move(v));
+      }
+      ELE_RETURN_NOT_OK(table->Insert(row));
+    }
+    catalog_->MarkDependentsStale(table->name());
+    QueryResult qr;
+    qr.counters.rows_output = ins.rows.size();
+    return qr;
+  }
+
+  if (catalog_->IsDerived(table->name())) {
+    return Status::BindError(
+        "table \"" + table->name() +
+        "\" is derived (materialized view or c-table) and is rebuilt from "
+        "its base tables; write to the bases instead: statement \"" + sql +
+        "\" rejected");
+  }
+
+  const bool autocommit = state->txn == nullptr;
+  std::unique_ptr<txn::Transaction> implicit_txn;
+  txn::Transaction* t = nullptr;
+  if (autocommit) {
+    implicit_txn = txn_mgr_->Begin(/*implicit=*/true);
+    t = implicit_txn.get();
+  } else {
+    t = state->txn.get();
+  }
+
+  auto run = [&]() -> Result<uint64_t> {
+    ELE_RETURN_NOT_OK(lock_mgr_->Acquire(t->id(), table->name(),
+                                         txn::LockManager::Mode::kExclusive,
+                                         options_.lock_timeout_seconds));
+    switch (stmt.kind) {
+      case StatementKind::kInsert:
+        return RunInsert(*stmt.insert, table, t);
+      case StatementKind::kDelete:
+        return RunDelete(*stmt.delete_stmt, table, t);
+      default:
+        return RunUpdate(*stmt.update_stmt, table, t);
+    }
+  };
+  Result<uint64_t> changed = run();
+  if (!changed.ok()) {
+    if (autocommit) {
+      (void)txn_mgr_->Rollback(t);
+    } else {
+      AbortTxn(t, sql, state);
+    }
+    return changed.status();
+  }
+  catalog_->MarkDependentsStale(table->name());
+  if (autocommit) {
+    // Commit is the only durability point: if the group flush fails, the
+    // transaction did NOT commit and the error surfaces here.
+    ELE_RETURN_NOT_OK(txn_mgr_->Commit(t));
+  }
+  QueryResult qr;
+  qr.counters.rows_output = changed.value();
+  return qr;
+}
+
+Result<uint64_t> Database::RunInsert(const InsertStmt& ins, Table* table,
+                                     txn::Transaction* t) {
+  const Schema& schema = table->schema();
+  TxnWriteContext ctx{log_.get(), t->id(), &t->last_lsn, &t->undo};
+  for (const auto& row_exprs : ins.rows) {
+    if (row_exprs.size() != schema.NumColumns()) {
+      return Status::BindError("INSERT arity mismatch");
+    }
+    Row row;
+    for (size_t c = 0; c < row_exprs.size(); c++) {
+      if (row_exprs[c]->kind != SqlExprKind::kLiteral) {
+        return Status::BindError("INSERT values must be literals");
+      }
+      Value v = row_exprs[c]->literal;
+      if (v.type() != schema.ColumnAt(c).type && !v.is_null()) {
+        auto cast = v.CastTo(schema.ColumnAt(c).type);
+        if (cast.ok()) v = std::move(cast).value();
+      }
+      row.push_back(std::move(v));
+    }
+    ELE_RETURN_NOT_OK(table->InsertTxn(row, ctx));
+  }
+  return static_cast<uint64_t>(ins.rows.size());
+}
+
+Result<uint64_t> Database::RunDelete(const DeleteStmt& del, Table* table,
+                                     txn::Transaction* t) {
+  ExprPtr pred;
+  if (del.where != nullptr) {
+    Binder binder(catalog_.get());
+    ELE_ASSIGN_OR_RETURN(pred, binder.BindOverTable(*del.where, *table));
+  }
+  // Victims are collected before the first mutation: the scan holds pinned
+  // pages and a tree position that deletes would invalidate.
+  std::vector<std::pair<std::string, Row>> victims;
+  {
+    ELE_ASSIGN_OR_RETURN(Table::RowIterator it, table->ScanAll());
+    while (it.Valid()) {
+      Row row;
+      ELE_RETURN_NOT_OK(it.Current(&row));
+      bool match = true;
+      if (pred != nullptr) {
+        ELE_ASSIGN_OR_RETURN(match, EvalPredicate(*pred, row));
+      }
+      if (match) {
+        victims.emplace_back(std::string(it.EncodedKey()), std::move(row));
+      }
+      ELE_RETURN_NOT_OK(it.Next());
+    }
+  }
+  TxnWriteContext ctx{log_.get(), t->id(), &t->last_lsn, &t->undo};
+  for (auto& [ckey, row] : victims) {
+    ELE_RETURN_NOT_OK(table->DeleteRowTxn(ckey, row, ctx));
+  }
+  return static_cast<uint64_t>(victims.size());
+}
+
+Result<uint64_t> Database::RunUpdate(const UpdateStmt& upd, Table* table,
+                                     txn::Transaction* t) {
+  const Schema& schema = table->schema();
+  Binder binder(catalog_.get());
+  struct SetTarget {
+    size_t col;
+    ExprPtr expr;
+  };
+  std::vector<SetTarget> sets;
+  bool changes_cluster = false;
+  for (const auto& [name, expr] : upd.sets) {
+    const int idx = schema.FindColumn(name);
+    if (idx < 0) return Status::BindError("unknown SET column " + name);
+    ELE_ASSIGN_OR_RETURN(ExprPtr bound, binder.BindOverTable(*expr, *table));
+    const size_t col = static_cast<size_t>(idx);
+    const auto& cluster = table->cluster_cols();
+    if (std::find(cluster.begin(), cluster.end(), col) != cluster.end()) {
+      changes_cluster = true;
+    }
+    sets.push_back(SetTarget{col, std::move(bound)});
+  }
+  ExprPtr pred;
+  if (upd.where != nullptr) {
+    ELE_ASSIGN_OR_RETURN(pred, binder.BindOverTable(*upd.where, *table));
+  }
+  std::vector<std::pair<std::string, Row>> victims;
+  {
+    ELE_ASSIGN_OR_RETURN(Table::RowIterator it, table->ScanAll());
+    while (it.Valid()) {
+      Row row;
+      ELE_RETURN_NOT_OK(it.Current(&row));
+      bool match = true;
+      if (pred != nullptr) {
+        ELE_ASSIGN_OR_RETURN(match, EvalPredicate(*pred, row));
+      }
+      if (match) {
+        victims.emplace_back(std::string(it.EncodedKey()), std::move(row));
+      }
+      ELE_RETURN_NOT_OK(it.Next());
+    }
+  }
+  TxnWriteContext ctx{log_.get(), t->id(), &t->last_lsn, &t->undo};
+  for (auto& [ckey, before] : victims) {
+    Row after = before;
+    for (const SetTarget& st : sets) {
+      ELE_ASSIGN_OR_RETURN(Value v, st.expr->Eval(before));
+      if (v.type() != schema.ColumnAt(st.col).type && !v.is_null()) {
+        auto cast = v.CastTo(schema.ColumnAt(st.col).type);
+        if (cast.ok()) v = std::move(cast).value();
+      }
+      after[st.col] = std::move(v);
+    }
+    if (changes_cluster) {
+      // A clustering-key change moves the row, so it logs as delete+insert
+      // (the same decomposition PostgreSQL uses for every UPDATE).
+      ELE_RETURN_NOT_OK(table->DeleteRowTxn(ckey, before, ctx));
+      ELE_RETURN_NOT_OK(table->InsertTxn(after, ctx));
+    } else {
+      ELE_RETURN_NOT_OK(table->UpdateRowTxn(ckey, before, after, ctx));
+    }
+  }
+  return static_cast<uint64_t>(victims.size());
+}
+
+Status Database::PrepareSelectTables(const SelectStmt& stmt, txn_id_t locker,
+                                     std::vector<std::string>* acquired) {
+  std::vector<std::string> names;
+  CollectTableNames(stmt, &names);
+  std::vector<std::string> tables;
+  for (const std::string& n : names) {
+    if (catalog_->GetVirtualTable(n) != nullptr) continue;
+    Result<Table*> t = catalog_->GetTable(n);
+    if (!t.ok()) continue;  // unknown tables get the binder's real error
+    tables.push_back(t.value()->name());
+  }
+  // Sorted, deduplicated acquisition order: every statement locks tables in
+  // the same (lexicographic) order, so statements cannot deadlock each other.
+  std::sort(tables.begin(), tables.end());
+  tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
+  // Refresh stale derived tables before taking this statement's locks: the
+  // rebuild re-enters Execute() for the materialization query, which takes
+  // its own reader locks on the base tables.
+  for (const std::string& name : tables) {
+    ELE_RETURN_NOT_OK(catalog_->RebuildIfStale(name));
+  }
+  for (const std::string& name : tables) {
+    if (lock_mgr_->Holds(locker, name, txn::LockManager::Mode::kShared)) {
+      continue;
+    }
+    ELE_RETURN_NOT_OK(lock_mgr_->Acquire(locker, name,
+                                         txn::LockManager::Mode::kShared,
+                                         options_.lock_timeout_seconds));
+    acquired->push_back(name);
+  }
+  return Status::OK();
 }
 
 }  // namespace elephant

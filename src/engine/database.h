@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <string>
@@ -20,6 +21,9 @@
 #include "sched/thread_pool.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "txn/transaction_manager.h"
+#include "wal/log_manager.h"
+#include "wal/recovery.h"
 
 namespace elephant {
 
@@ -79,6 +83,30 @@ struct DatabaseOptions {
   /// *global* pin count, so it is only valid for single-stream use — a
   /// concurrent session mid-scan legitimately holds pins. Tests enable it.
   bool check_pin_invariants = false;
+  /// Transactional write path: WAL-log every DML, give each base table a
+  /// durable heap, enforce the WAL rule in the buffer pool, and accept
+  /// BEGIN/COMMIT/ROLLBACK/CHECKPOINT plus DELETE/UPDATE. Off by default —
+  /// the read-only experiments keep the original unlogged engine.
+  bool wal_enabled = false;
+  /// Table-lock wait budget. A wait exceeding it aborts the transaction
+  /// (suspected deadlock). Tests shrink it to fail fast.
+  double lock_timeout_seconds = 1.0;
+};
+
+/// A session's open-transaction slot, passed to Database::Execute. A null
+/// slot (the default) shares the Database's built-in state, which is what
+/// single-session callers want; each Session owns its own so concurrent
+/// sessions get independent transactions.
+struct SessionTxnState {
+  std::unique_ptr<txn::Transaction> txn;  ///< open explicit transaction
+};
+
+/// What survives a simulated crash: the platter image (every page write that
+/// reached the disk) and the durable prefix of the WAL. Cloned from a dying
+/// engine and fed to Database::Reopen, which recovers from it.
+struct DurableImage {
+  std::vector<std::string> pages;
+  std::string log;
 };
 
 /// The "old elephant": an embedded row-store database. SQL in, rows out.
@@ -96,10 +124,15 @@ class Database {
   DatabaseOptions& options() { return options_; }
 
   /// Executes one statement (SELECT / CREATE TABLE / CREATE INDEX / INSERT /
-  /// EXPLAIN [ANALYZE] SELECT). `extra_hints` merge with any /*+ ... */ hints
-  /// in the SQL text. EXPLAIN statements return the plan rendering as rows of
-  /// a single QUERY PLAN column.
-  Result<QueryResult> Execute(const std::string& sql, PlanHints extra_hints = {});
+  /// DELETE / UPDATE / BEGIN / COMMIT / ROLLBACK / CHECKPOINT / EXPLAIN
+  /// [ANALYZE] SELECT). `extra_hints` merge with any /*+ ... */ hints in the
+  /// SQL text. EXPLAIN statements return the plan rendering as rows of a
+  /// single QUERY PLAN column. `session` carries the caller's transaction
+  /// slot (BEGIN opens into it, DML joins it); null uses the Database's
+  /// built-in single-session slot. DELETE/UPDATE and transaction control
+  /// require `wal_enabled`; a bare DML statement autocommits.
+  Result<QueryResult> Execute(const std::string& sql, PlanHints extra_hints = {},
+                              SessionTxnState* session = nullptr);
 
   /// Returns the physical plan for a SELECT without running it, annotated
   /// with the planner's per-node cardinality and cost estimates.
@@ -163,7 +196,42 @@ class Database {
   /// Refreshes optimizer statistics for one table.
   Status Analyze(const std::string& table);
 
+  // --- Transactional write path (wal_enabled) ------------------------------
+
+  /// Non-null in WAL mode.
+  wal::LogManager* wal() { return log_.get(); }
+  txn::TransactionManager* txn_manager() { return txn_mgr_.get(); }
+  txn::LockManager* lock_manager() { return lock_mgr_.get(); }
+
+  /// Fuzzy checkpoint: checkpoint record, flush all dirty pages (the WAL
+  /// rule flushes the log first), flush + fsync the log, then persist the
+  /// meta page (checkpoint LSN + serialized catalog). Recovery redo starts
+  /// from the checkpoint this page names.
+  Status Checkpoint();
+
+  /// Arms fault injection on page writes, log flushes and fsyncs (nullptr
+  /// disarms). The injector must outlive its use here.
+  void SetFaultInjector(FaultInjector* injector);
+
+  /// Deep-copies what stable storage holds right now — the image a crash
+  /// test carries across a simulated reboot.
+  DurableImage CloneDurableImage() const;
+
+  /// Boots an engine from a crash image: restores the platter, seeds the
+  /// log with the durable prefix, reads the meta page, runs ARIES recovery
+  /// (analysis / redo / undo), reloads the catalog, marks every derived
+  /// table stale, and checkpoints. `options.wal_enabled` is implied.
+  static Result<std::unique_ptr<Database>> Reopen(DatabaseOptions options,
+                                                  DurableImage image);
+
+  /// What recovery did on the last Reopen (zeros for a fresh engine).
+  const wal::RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
  private:
+  struct ReopenTag {};
+  /// Builds disk/pool/catalog only — the Reopen factory installs the platter
+  /// image and the WAL machinery itself, in recovery order.
+  Database(DatabaseOptions options, ReopenTag);
   Result<QueryResult> ExecuteSelect(const std::string& sql,
                                     std::unique_ptr<SelectStmt> stmt,
                                     PlanHints extra_hints, bool instrument,
@@ -173,6 +241,44 @@ class Database {
   /// (providers capture `this`; the catalog dies before the engine state).
   void RegisterSystemTables();
 
+  /// Creates the WAL machinery (log, lock manager, transaction manager),
+  /// reserves the meta page, and wires the WAL rule into the buffer pool.
+  void InitWalMachinery();
+
+  /// Rejects statements issued while the slot's transaction is in kAborted
+  /// limbo, quoting both the failed and the rejected statement.
+  Status CheckNotInAbortedTxn(const SessionTxnState& state,
+                              const std::string& sql) const;
+
+  /// Rolls `t` back and, for an explicit transaction, parks it in kAborted
+  /// limbo recording `sql` as the statement that killed it.
+  void AbortTxn(txn::Transaction* t, const std::string& sql,
+                SessionTxnState* state);
+
+  /// BEGIN / COMMIT / ROLLBACK / CHECKPOINT.
+  Result<QueryResult> ExecuteTxnControl(StatementKind kind,
+                                        const std::string& sql,
+                                        SessionTxnState* state);
+
+  /// INSERT / DELETE / UPDATE under an explicit or autocommit transaction.
+  Result<QueryResult> ExecuteDml(const Statement& stmt, const std::string& sql,
+                                 SessionTxnState* state);
+  Result<uint64_t> RunInsert(const InsertStmt& ins, Table* table,
+                             txn::Transaction* t);
+  Result<uint64_t> RunDelete(const DeleteStmt& del, Table* table,
+                             txn::Transaction* t);
+  Result<uint64_t> RunUpdate(const UpdateStmt& upd, Table* table,
+                             txn::Transaction* t);
+
+  /// Statement-scoped shared locks + stale-derived-table refresh for a
+  /// SELECT's base tables; fills `acquired` with the locks to drop at
+  /// statement end.
+  Status PrepareSelectTables(const SelectStmt& stmt, txn_id_t locker,
+                             std::vector<std::string>* acquired);
+
+  /// Serializes checkpoint LSN + catalog into the reserved meta page.
+  Status WriteMetaPage(lsn_t checkpoint_lsn);
+
   DatabaseOptions options_;
   /// Declared before disk_/pool_ (which hold pointers into it) so it is
   /// destroyed after them.
@@ -180,6 +286,19 @@ class Database {
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;
+  /// WAL mode only (null otherwise). The pool holds a flush callback into
+  /// log_, so these outlive pool_ teardown order-wise by being declared
+  /// after it (members destroy in reverse order; the callback fires only
+  /// from FlushAll/eviction, which no destructor triggers).
+  std::unique_ptr<wal::LogManager> log_;
+  std::unique_ptr<txn::LockManager> lock_mgr_;
+  std::unique_ptr<txn::TransactionManager> txn_mgr_;
+  /// The built-in transaction slot used when Execute gets no session.
+  SessionTxnState default_txn_state_;
+  /// Lock ids for statement-scoped shared locks taken outside any
+  /// transaction (plain SELECTs); disjoint from transaction ids.
+  std::atomic<uint64_t> next_read_locker_{1ull << 62};
+  wal::RecoveryStats recovery_stats_;
   obs::MetricsRegistry metrics_;
   obs::StatStatements stat_statements_;
   obs::QueryLog query_log_;

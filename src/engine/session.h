@@ -40,7 +40,8 @@ class Session {
   Result<QueryResult> Execute(const std::string& sql, PlanHints hints = {}) {
     statements_++;
     obs::SessionIdScope session_scope(id_);
-    Result<QueryResult> r = db_->Execute(sql, default_hints_.Merge(hints));
+    Result<QueryResult> r =
+        db_->Execute(sql, default_hints_.Merge(hints), &txn_state_);
     if (!r.ok()) last_error_ = r.status().ToString();
     return r;
   }
@@ -48,10 +49,18 @@ class Session {
   uint64_t statements_executed() const { return statements_; }
   const std::string& last_error() const { return last_error_; }
 
+  /// True while this session has an explicit transaction open (including
+  /// one parked in aborted limbo awaiting ROLLBACK).
+  bool in_transaction() const { return txn_state_.txn != nullptr; }
+
  private:
   Database* db_;
   int id_;
   PlanHints default_hints_;
+  /// This session's transaction slot: BEGIN opens into it, later statements
+  /// join it, COMMIT/ROLLBACK close it. Each session transacting on its own
+  /// slot is what lets concurrent writers contend only on table locks.
+  SessionTxnState txn_state_;
   uint64_t statements_ = 0;
   std::string last_error_;
 };

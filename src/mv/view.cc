@@ -70,7 +70,7 @@ std::string ViewManager::MaterializationSql(const ViewInfo& info,
   return sql;
 }
 
-Status ViewManager::CreateView(const ViewDef& def) {
+Result<ViewInfo> ViewManager::MakeInfo(const ViewDef& def) {
   for (const AnalyticQuery::Agg& a : def.aggs) {
     if (a.fn == AggFunc::kAvg) {
       return Status::InvalidArgument(
@@ -98,6 +98,45 @@ Status ViewManager::CreateView(const ViewDef& def) {
     info.agg_cols.push_back(
         ViewInfo::AggColumn{AggFunc::kCountStar, "", "cnt_star"});
   }
+  return info;
+}
+
+Status ViewManager::RegisterRebuild(const ViewInfo& info) {
+  // A write to any base marks the view stale, and the next query that
+  // touches it re-materializes from scratch through this callback
+  // (NotifyAppend remains the cheap incremental path for batch appends).
+  ELE_RETURN_NOT_OK(
+      db_->catalog().RegisterDerivedTable(info.table_name, info.def.tables));
+  db_->catalog().SetDerivedRebuild(
+      info.table_name, [this, name = info.table_name]() -> Status {
+        const ViewInfo* v = nullptr;
+        for (const ViewInfo& candidate : views_) {
+          if (candidate.table_name == name) v = &candidate;
+        }
+        if (v == nullptr) {
+          return Status::Internal("derived view " + name + " has no ViewInfo");
+        }
+        ELE_ASSIGN_OR_RETURN(QueryResult fresh,
+                             db_->Execute(MaterializationSql(*v, "")));
+        ELE_ASSIGN_OR_RETURN(Table * t, db_->catalog().GetTable(name));
+        ELE_RETURN_NOT_OK(t->ReloadRows(std::move(fresh.rows)));
+        return t->Analyze();
+      });
+  return Status::OK();
+}
+
+Status ViewManager::AttachView(const ViewDef& def) {
+  ELE_ASSIGN_OR_RETURN(ViewInfo info, MakeInfo(def));
+  ELE_ASSIGN_OR_RETURN(Table * table,
+                       db_->catalog().GetTable(info.table_name));
+  info.rows = table->row_count();
+  ELE_RETURN_NOT_OK(RegisterRebuild(info));
+  views_.push_back(std::move(info));
+  return Status::OK();
+}
+
+Status ViewManager::CreateView(const ViewDef& def) {
+  ELE_ASSIGN_OR_RETURN(ViewInfo info, MakeInfo(def));
 
   // Materialize.
   ELE_ASSIGN_OR_RETURN(QueryResult result,
@@ -119,10 +158,12 @@ Status ViewManager::CreateView(const ViewDef& def) {
   }
   ELE_ASSIGN_OR_RETURN(Table * table,
                        db_->catalog().CreateTable(info.table_name, Schema(cols),
-                                                  cluster, /*unique_cluster=*/true));
+                                                  cluster, /*unique_cluster=*/true,
+                                                  /*derived=*/true));
   info.rows = result.rows.size();
   ELE_RETURN_NOT_OK(table->BulkLoadRows(std::move(result.rows)));
   ELE_RETURN_NOT_OK(table->Analyze());
+  ELE_RETURN_NOT_OK(RegisterRebuild(info));
   views_.push_back(std::move(info));
   return Status::OK();
 }

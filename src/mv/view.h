@@ -58,6 +58,13 @@ class ViewManager {
   /// COUNT/AVG derivation).
   Status CreateView(const ViewDef& def);
 
+  /// Re-adopts a view whose backing table already exists — after crash
+  /// recovery, the recovered catalog still knows the derived table and its
+  /// bases but the rebuild hook (a callback into this manager) is gone.
+  /// Registers the view for matching and re-attaches the hook; if recovery
+  /// left the view stale, the next read re-materializes it.
+  Status AttachView(const ViewDef& def);
+
   const std::vector<ViewInfo>& views() const { return views_; }
 
   /// View matching: if some view can answer `query`, returns the
@@ -80,6 +87,15 @@ class ViewManager {
   /// conjunct restricting the fact rows (used for deltas).
   static std::string MaterializationSql(const ViewInfo& info,
                                         const std::string& extra_pred);
+
+  /// Builds the ViewInfo for `def` (named aggregate columns, the implicit
+  /// COUNT(*)); shared by CreateView and AttachView so both derive the same
+  /// backing-table layout.
+  static Result<ViewInfo> MakeInfo(const ViewDef& def);
+
+  /// Registers `info`'s backing table as derived from its bases and attaches
+  /// the full-rematerialization rebuild hook.
+  Status RegisterRebuild(const ViewInfo& info);
 
   /// Merges delta group rows into the view's backing table.
   Status MergeDelta(const ViewInfo& info, const std::vector<Row>& delta);

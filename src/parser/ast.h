@@ -3,6 +3,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -115,7 +116,31 @@ struct InsertStmt {
   std::vector<std::vector<SqlExprPtr>> rows;  ///< literal expressions only
 };
 
-enum class StatementKind { kSelect, kCreateTable, kCreateIndex, kInsert, kExplain };
+struct DeleteStmt {
+  std::string table_name;
+  SqlExprPtr where;  ///< null deletes every row
+};
+
+struct UpdateStmt {
+  std::string table_name;
+  /// SET assignments in statement order: column name -> value expression.
+  std::vector<std::pair<std::string, SqlExprPtr>> sets;
+  SqlExprPtr where;  ///< null updates every row
+};
+
+enum class StatementKind {
+  kSelect,
+  kCreateTable,
+  kCreateIndex,
+  kInsert,
+  kDelete,
+  kUpdate,
+  kBegin,
+  kCommit,
+  kRollback,
+  kCheckpoint,
+  kExplain,
+};
 
 struct Statement {
   StatementKind kind;
@@ -123,6 +148,8 @@ struct Statement {
   std::unique_ptr<CreateTableStmt> create_table;
   std::unique_ptr<CreateIndexStmt> create_index;
   std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<DeleteStmt> delete_stmt;
+  std::unique_ptr<UpdateStmt> update_stmt;
   bool explain_analyze = false;  ///< kExplain: EXPLAIN ANALYZE (run the query)
 };
 

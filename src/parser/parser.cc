@@ -107,6 +107,8 @@ class Parser {
   Result<CreateTableStmt> ParseCreateTable();
   Result<CreateIndexStmt> ParseCreateIndex();
   Result<InsertStmt> ParseInsert();
+  Result<DeleteStmt> ParseDelete();
+  Result<UpdateStmt> ParseUpdate();
   Result<std::vector<std::string>> ParseNameList();
 
   std::vector<Token> tokens_;
@@ -503,6 +505,32 @@ Result<InsertStmt> Parser::ParseInsert() {
   return stmt;
 }
 
+Result<DeleteStmt> Parser::ParseDelete() {
+  DeleteStmt stmt;
+  ELE_RETURN_NOT_OK(ExpectKeyword("FROM"));
+  ELE_ASSIGN_OR_RETURN(stmt.table_name, ExpectIdent());
+  if (MatchKeyword("WHERE")) {
+    ELE_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  return stmt;
+}
+
+Result<UpdateStmt> Parser::ParseUpdate() {
+  UpdateStmt stmt;
+  ELE_ASSIGN_OR_RETURN(stmt.table_name, ExpectIdent());
+  ELE_RETURN_NOT_OK(ExpectKeyword("SET"));
+  do {
+    ELE_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+    ELE_RETURN_NOT_OK(ExpectSymbol("="));
+    ELE_ASSIGN_OR_RETURN(SqlExprPtr value, ParseExpr());
+    stmt.sets.emplace_back(std::move(col), std::move(value));
+  } while (MatchSymbol(","));
+  if (MatchKeyword("WHERE")) {
+    ELE_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  return stmt;
+}
+
 Result<Statement> Parser::ParseStatement() {
   Statement stmt;
   if (MatchKeyword("EXPLAIN")) {
@@ -528,8 +556,32 @@ Result<Statement> Parser::ParseStatement() {
     stmt.kind = StatementKind::kInsert;
     ELE_ASSIGN_OR_RETURN(InsertStmt ins, ParseInsert());
     stmt.insert = std::make_unique<InsertStmt>(std::move(ins));
+  } else if (MatchKeyword("DELETE")) {
+    stmt.kind = StatementKind::kDelete;
+    ELE_ASSIGN_OR_RETURN(DeleteStmt del, ParseDelete());
+    stmt.delete_stmt = std::make_unique<DeleteStmt>(std::move(del));
+  } else if (MatchKeyword("UPDATE")) {
+    stmt.kind = StatementKind::kUpdate;
+    ELE_ASSIGN_OR_RETURN(UpdateStmt upd, ParseUpdate());
+    stmt.update_stmt = std::make_unique<UpdateStmt>(std::move(upd));
+  } else if (MatchKeyword("BEGIN") || MatchKeyword("START")) {
+    stmt.kind = StatementKind::kBegin;
+    MatchKeyword("TRANSACTION");
+    MatchKeyword("WORK");
+  } else if (MatchKeyword("COMMIT")) {
+    stmt.kind = StatementKind::kCommit;
+    MatchKeyword("TRANSACTION");
+    MatchKeyword("WORK");
+  } else if (MatchKeyword("ROLLBACK") || MatchKeyword("ABORT")) {
+    stmt.kind = StatementKind::kRollback;
+    MatchKeyword("TRANSACTION");
+    MatchKeyword("WORK");
+  } else if (MatchKeyword("CHECKPOINT")) {
+    stmt.kind = StatementKind::kCheckpoint;
   } else {
-    return Status::ParseError("expected SELECT, CREATE or INSERT");
+    return Status::ParseError(
+        "expected SELECT, CREATE, INSERT, DELETE, UPDATE, BEGIN, COMMIT, "
+        "ROLLBACK or CHECKPOINT");
   }
   MatchSymbol(";");
   if (!AtEnd()) {
@@ -545,6 +597,16 @@ Result<Statement> ParseStatement(const std::string& sql) {
   ELE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
   Parser parser(std::move(tokens));
   return parser.ParseStatement();
+}
+
+void CollectTableNames(const SelectStmt& stmt, std::vector<std::string>* out) {
+  for (const TableRef& ref : stmt.from) {
+    if (ref.derived != nullptr) {
+      CollectTableNames(*ref.derived, out);
+    } else {
+      out->push_back(ref.table_name);
+    }
+  }
 }
 
 Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& sql) {

@@ -18,4 +18,10 @@ Result<Statement> ParseStatement(const std::string& sql);
 /// Convenience: parses a statement that must be a SELECT.
 Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& sql);
 
+/// Collects every base-table name referenced by the SELECT's FROM lists
+/// (recursing into derived tables), in first-appearance order. The engine
+/// uses this before binding to lock the statement's tables and refresh
+/// stale derived tables.
+void CollectTableNames(const SelectStmt& stmt, std::vector<std::string>* out);
+
 }  // namespace elephant

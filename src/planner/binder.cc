@@ -122,6 +122,17 @@ std::string PlanHints::ToString() const {
   return out;
 }
 
+Result<ExprPtr> Binder::BindOverTable(const SqlExpr& expr, const Table& table) {
+  // A throwaway single-relation scope: name resolution only ever reads the
+  // alias and schema, so the relation's table pointer stays null.
+  BoundQuery q;
+  BoundRelation rel;
+  rel.alias = table.name();
+  rel.schema = table.schema();
+  q.relations.push_back(std::move(rel));
+  return BindScalar(expr, q);
+}
+
 Result<ExprPtr> Binder::BindColumnRef(const SqlExpr& expr, const BoundQuery& q) {
   int found_rel = -1, found_col = -1;
   for (size_t r = 0; r < q.relations.size(); r++) {

@@ -18,6 +18,11 @@ class Binder {
 
   Result<std::unique_ptr<BoundQuery>> Bind(const SelectStmt& stmt);
 
+  /// Binds a scalar expression over a single table's schema (positional
+  /// column references, no aggregates). Used by the DML paths for WHERE
+  /// predicates and UPDATE SET expressions.
+  Result<ExprPtr> BindOverTable(const SqlExpr& expr, const Table& table);
+
  private:
   /// Binds a scalar expression over the relations' concatenated schema.
   Result<ExprPtr> BindScalar(const SqlExpr& expr, const BoundQuery& q);

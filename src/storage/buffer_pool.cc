@@ -51,10 +51,25 @@ void BufferPool::TouchRing(size_t frame_idx) {
 Status BufferPool::FlushFrame(size_t i) {
   Frame& f = frames_[i];
   if (f.dirty_ && f.page_id_ != kInvalidPageId) {
+    // WAL rule: the log record that last touched this page must be durable
+    // before the page image may reach disk. FlushUntil is a no-op when the
+    // log is already flushed that far.
+    if (f.last_lsn_ != kInvalidLsn && wal_flush_) {
+      ELE_RETURN_NOT_OK(wal_flush_(f.last_lsn_));
+    }
     ELE_RETURN_NOT_OK(disk_->WritePage(f.page_id_, f.data()));
     f.dirty_ = false;
+    f.last_lsn_ = kInvalidLsn;
   }
   return Status::OK();
+}
+
+void BufferPool::RecordPageLsn(page_id_t page_id, lsn_t lsn) {
+  MutexLock lock(latch_);
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return;  // caller bug; tolerated like a bad unpin
+  Frame& f = frames_[it->second];
+  if (lsn > f.last_lsn_) f.last_lsn_ = lsn;
 }
 
 Result<size_t> BufferPool::GetVictimFrame() {
@@ -146,6 +161,7 @@ Result<Frame*> BufferPool::FetchPage(page_id_t page_id, AccessIntent intent) {
   f.page_id_ = page_id;
   f.pin_count_ = 1;
   f.dirty_ = false;
+  f.last_lsn_ = kInvalidLsn;
   page_table_[page_id] = idx;
   if (intent == AccessIntent::kSequentialScan) {
     stats_.scan_ring_inserts++;
@@ -165,6 +181,7 @@ Result<Frame*> BufferPool::NewPage(page_id_t* page_id, AccessIntent intent) {
   f.page_id_ = *page_id;
   f.pin_count_ = 1;
   f.dirty_ = true;
+  f.last_lsn_ = kInvalidLsn;
   page_table_[*page_id] = idx;
   if (intent == AccessIntent::kSequentialScan) {
     stats_.scan_ring_inserts++;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <unordered_map>
@@ -27,6 +28,10 @@ class Frame {
   int pin_count_ = 0;
   bool dirty_ = false;
   bool in_scan_ring_ = false;  ///< replacement region (see BufferPool docs)
+  /// Highest WAL LSN recorded against this frame (kInvalidLsn outside WAL
+  /// mode). The WAL rule: the log must be durable up to this LSN before the
+  /// frame's bytes may be written back to disk.
+  lsn_t last_lsn_ = kInvalidLsn;
 };
 
 /// Buffer-pool hit/miss counters (cache behaviour, distinct from disk I/O).
@@ -108,6 +113,21 @@ class BufferPool {
 
   /// Releases one pin; `dirty` marks the frame as modified.
   void UnpinPage(page_id_t page_id, bool dirty);
+
+  /// Installs the WAL-rule hook: before any dirty frame with a recorded LSN
+  /// is written back, `flush(lsn)` is invoked and must make the log durable
+  /// up to that LSN (or fail, which blocks the write-back). Wired by the
+  /// Database to LogManager::FlushUntil in WAL mode; nullptr disables.
+  void SetWalFlushCallback(std::function<Status(lsn_t)> flush) {
+    MutexLock lock(latch_);
+    wal_flush_ = std::move(flush);
+  }
+
+  /// Records that the log record ending at `lsn` modified `page_id`. The
+  /// page must be resident and pinned (the caller just mutated it under a
+  /// guard). Part of the WAL protocol: callers outside src/wal/ and src/txn/
+  /// are rejected by elephant_lint (rule wal-protocol).
+  void RecordPageLsn(page_id_t page_id, lsn_t lsn);
 
   /// Writes back all dirty frames.
   Status FlushAll();
@@ -197,6 +217,7 @@ class BufferPool {
       GUARDED_BY(latch_);
   std::vector<size_t> free_frames_ GUARDED_BY(latch_);
   BufferPoolStats stats_ GUARDED_BY(latch_);
+  std::function<Status(lsn_t)> wal_flush_ GUARDED_BY(latch_);
 };
 
 }  // namespace elephant

@@ -4,6 +4,7 @@
 
 #include "obs/heatmap.h"
 #include "obs/trace_log.h"
+#include "storage/fault_injection.h"
 
 namespace elephant {
 
@@ -156,6 +157,10 @@ Status DiskManager::WritePage(page_id_t page_id, const char* src) {
       return Status::OutOfRange("write of unallocated page " +
                                 std::to_string(page_id));
     }
+    if (injector_ != nullptr && !injector_->OnPageWrite()) {
+      return Status::IoError("simulated crash: page write " +
+                             std::to_string(page_id) + " dropped");
+    }
     stats_.page_writes++;
     if (heatmap_ != nullptr) {
       heatmap_->RecordWrite(obs::CurrentAccessLabel());
@@ -167,6 +172,39 @@ Status DiskManager::WritePage(page_id_t page_id, const char* src) {
   }
   if (IoSink* sink = CurrentIoSink()) {
     sink->page_writes.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status DiskManager::Sync() {
+  MutexLock lock(mu_);
+  stats_.fsyncs++;
+  if (injector_ != nullptr && !injector_->OnSync()) {
+    return Status::IoError("simulated crash: fsync dropped");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> DiskManager::ClonePages() const {
+  MutexLock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(pages_.size());
+  for (const auto& p : pages_) out.emplace_back(p.get(), kPageSize);
+  return out;
+}
+
+Status DiskManager::RestorePages(const std::vector<std::string>& pages) {
+  MutexLock lock(mu_);
+  if (!pages_.empty()) {
+    return Status::FailedPrecondition(
+        "RestorePages on a disk that already allocated pages");
+  }
+  for (const auto& src : pages) {
+    auto page = std::make_unique<char[]>(kPageSize);
+    std::memset(page.get(), 0, kPageSize);
+    std::memcpy(page.get(), src.data(),
+                src.size() < kPageSize ? src.size() : kPageSize);
+    pages_.push_back(std::move(page));
   }
   return Status::OK();
 }

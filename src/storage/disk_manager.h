@@ -16,6 +16,8 @@ namespace obs {
 class AccessHeatmap;  // heatmap.h includes this header; see src/obs
 }  // namespace obs
 
+class FaultInjector;  // storage/fault_injection.h
+
 /// How the caller expects to touch the page it is fetching. The hint flows
 /// from the planner (which knows whether an access path is a full scan or a
 /// point probe) down through the buffer pool to the disk manager:
@@ -57,6 +59,7 @@ struct IoStats {
   uint64_t sequential_reads = 0;  ///< page reads contiguous with the previous read
   uint64_t random_reads = 0;      ///< page reads requiring a head seek
   uint64_t page_writes = 0;
+  uint64_t fsyncs = 0;            ///< Sync() calls (WAL group flushes, checkpoints)
   ReadaheadStats readahead;       ///< prefetch-window activity
 
   uint64_t TotalReads() const { return sequential_reads + random_reads; }
@@ -66,6 +69,7 @@ struct IoStats {
     r.sequential_reads = sequential_reads - o.sequential_reads;
     r.random_reads = random_reads - o.random_reads;
     r.page_writes = page_writes - o.page_writes;
+    r.fsyncs = fsyncs - o.fsyncs;
     r.readahead = readahead - o.readahead;
     return r;
   }
@@ -248,8 +252,34 @@ class DiskManager {
   Status ReadPage(page_id_t page_id, char* dest,
                   AccessIntent intent = AccessIntent::kPointLookup);
 
-  /// Writes a page from `src` (kPageSize bytes).
+  /// Writes a page from `src` (kPageSize bytes). With a fault injector
+  /// armed, the write may be dropped (simulated crash), in which case the
+  /// backing store is untouched and kIoError is returned.
   Status WritePage(page_id_t page_id, const char* src);
+
+  /// Simulated fsync: counted in IoStats::fsyncs. Returns kIoError when a
+  /// fault injector drops the sync (the caller's durability watermark must
+  /// not advance).
+  Status Sync();
+
+  /// Arms (or with nullptr disarms) fault injection on page writes and
+  /// syncs. The injector is owned by the caller and must outlive its use;
+  /// the same injector is typically shared with the LogManager so page and
+  /// log durability share one crash-op counter.
+  void SetFaultInjector(FaultInjector* injector) {
+    MutexLock lock(mu_);
+    injector_ = injector;
+  }
+
+  /// Deep-copies the backing store — the "platter image" a crash test
+  /// carries across a simulated reboot. Dropped (post-crash) writes are
+  /// naturally absent because they never reached pages_.
+  std::vector<std::string> ClonePages() const;
+
+  /// Installs a platter image into a freshly constructed DiskManager (the
+  /// reboot counterpart of ClonePages). Fails unless no page has been
+  /// allocated yet.
+  Status RestorePages(const std::vector<std::string>& pages);
 
   /// Enables/disables read-ahead and sets the window size in pages.
   /// Read-ahead is on by default. Window sizes of 0 disable it.
@@ -306,6 +336,7 @@ class DiskManager {
   uint64_t clock_ GUARDED_BY(mu_) = 0;
   bool readahead_enabled_ GUARDED_BY(mu_) = true;
   uint32_t readahead_pages_ GUARDED_BY(mu_) = kDefaultReadaheadPages;
+  FaultInjector* injector_ GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace elephant

@@ -27,11 +27,23 @@ void SlottedPage::Init() {
   PutU16(0, 0);                      // slot_count
   PutU16(2, kPageSize);              // free_ptr (data grows down from page end)
   PutI32(4, kInvalidPageId);         // next_page
+  SetPageLsn(kInvalidLsn);
 }
 
 uint16_t SlottedPage::SlotCount() const { return GetU16(0); }
 page_id_t SlottedPage::NextPageId() const { return GetI32(4); }
 void SlottedPage::SetNextPageId(page_id_t id) { PutI32(4, id); }
+
+lsn_t SlottedPage::PageLsn() const {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; i++) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[8 + i])) << (8 * i);
+  }
+  return v;
+}
+void SlottedPage::SetPageLsn(lsn_t lsn) {
+  for (int i = 0; i < 8; i++) data_[8 + i] = static_cast<char>((lsn >> (8 * i)) & 0xff);
+}
 
 uint32_t SlottedPage::FreeSpace() const {
   const uint32_t slots_end = kHeaderBytes + SlotCount() * kSlotBytes;
@@ -79,6 +91,17 @@ Status SlottedPage::Update(slot_id_t slot, std::string_view record) {
   if (record.size() < len) {
     PutU16(kHeaderBytes + slot * kSlotBytes + 2, static_cast<uint16_t>(record.size()));
   }
+  return Status::OK();
+}
+
+Status SlottedPage::Restore(slot_id_t slot, std::string_view record) {
+  if (slot >= SlotCount()) return Status::NotFound("slot out of range");
+  const uint32_t off = SlotOffset(slot);
+  if (off + record.size() > kPageSize) {
+    return Status::Corruption("restore image exceeds page bounds");
+  }
+  std::memcpy(data_ + off, record.data(), record.size());
+  PutU16(kHeaderBytes + slot * kSlotBytes + 2, static_cast<uint16_t>(record.size()));
   return Status::OK();
 }
 

@@ -10,7 +10,7 @@ namespace elephant {
 
 /// A view over one kPageSize buffer laid out as a classic slotted page:
 ///
-///   [u16 slot_count][u16 free_ptr][i32 next_page]      (8-byte header)
+///   [u16 slot_count][u16 free_ptr][i32 next_page][u64 page_lsn]  (16-byte header)
 ///   [slot 0][slot 1]...                                 (grow upward)
 ///   ...free space...
 ///   [tuple data]                                        (grows downward)
@@ -18,16 +18,26 @@ namespace elephant {
 /// Each slot is {u16 offset, u16 length}; length == 0 marks a deleted slot.
 /// The view does not own the buffer; it is typically backed by a pinned
 /// buffer-pool frame.
+///
+/// `page_lsn` records the LSN of the last WAL record applied to the page;
+/// recovery redo is idempotent because it skips records with lsn <= page_lsn.
+/// Pages written outside the WAL path keep page_lsn == kInvalidLsn.
 class SlottedPage {
  public:
   explicit SlottedPage(char* data) : data_(data) {}
 
-  /// Formats a fresh page (empty, no next page).
+  /// Formats a fresh page (empty, no next page, page_lsn = kInvalidLsn).
   void Init();
 
   uint16_t SlotCount() const;
   page_id_t NextPageId() const;
   void SetNextPageId(page_id_t id);
+
+  /// LSN of the last log record applied to this page (WAL mode only).
+  /// SetPageLsn is part of the WAL protocol: callers outside src/wal/ and
+  /// src/txn/ are rejected by elephant_lint (rule wal-protocol).
+  lsn_t PageLsn() const;
+  void SetPageLsn(lsn_t lsn);
 
   /// Free bytes available for a new tuple (accounting for its slot entry).
   uint32_t FreeSpace() const;
@@ -47,8 +57,15 @@ class SlottedPage {
   /// returns ResourceExhausted otherwise (caller should delete+reinsert).
   Status Update(slot_id_t slot, std::string_view record);
 
+  /// Rewrites `slot` with `record` at its original offset, resurrecting a
+  /// deleted or shrunk slot. Only valid for the byte image the slot held at
+  /// some earlier time (space below free_ptr is never compacted or reused,
+  /// so the original allocation is still intact). Used by WAL undo/redo to
+  /// reverse deletes and in-place updates.
+  Status Restore(slot_id_t slot, std::string_view record);
+
  private:
-  static constexpr uint32_t kHeaderBytes = 8;
+  static constexpr uint32_t kHeaderBytes = 16;
   static constexpr uint32_t kSlotBytes = 4;
 
   uint16_t GetU16(uint32_t off) const;

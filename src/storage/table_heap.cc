@@ -54,6 +54,20 @@ Status TableHeap::Delete(const Rid& rid) {
   return s;
 }
 
+Status TableHeap::RefreshLastPage() {
+  page_id_t cur = first_page_;
+  while (true) {
+    ELE_ASSIGN_OR_RETURN(
+        PageGuard guard,
+        pool_->FetchPageGuarded(cur, AccessIntent::kSequentialScan));
+    const page_id_t next = SlottedPage(guard.data()).NextPageId();
+    if (next == kInvalidPageId) break;
+    cur = next;
+  }
+  last_page_ = cur;
+  return Status::OK();
+}
+
 Result<TableHeap::Iterator> TableHeap::Begin() const {
   Iterator it(pool_, first_page_);
   ELE_RETURN_NOT_OK(it.SeekToLive());

@@ -34,6 +34,18 @@ class TableHeap {
   page_id_t first_page() const { return first_page_; }
   page_id_t last_page() const { return last_page_; }
 
+  BufferPool* pool() const { return pool_; }
+
+  /// Updates the cached tail after a new page was chained on externally
+  /// (the WAL-logged append path in src/wal/heap_ops grows the chain with
+  /// logged PageInit/PageLink records and then records the new tail here).
+  void set_last_page(page_id_t id) { last_page_ = id; }
+
+  /// Re-derives the tail by walking the page chain from the head. Used after
+  /// crash recovery: redo may have chained pages past the tail the catalog
+  /// checkpointed.
+  Status RefreshLastPage();
+
   /// Forward iterator over all live tuples, page by page (sequential I/O).
   class Iterator {
    public:

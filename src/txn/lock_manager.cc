@@ -1,0 +1,93 @@
+#include "txn/lock_manager.h"
+
+#include <chrono>
+
+namespace elephant::txn {
+
+bool LockManager::Grantable(const Entry& e, txn_id_t locker, Mode mode) const {
+  if (e.x_holder == locker) return true;  // X covers everything for its holder
+  if (mode == Mode::kShared) {
+    return e.x_holder == kInvalidTxnId;
+  }
+  // Exclusive: no other X holder, and no sharer besides the requester (a
+  // sole S holder upgrades in place).
+  if (e.x_holder != kInvalidTxnId) return false;
+  for (txn_id_t s : e.sharers) {
+    if (s != locker) return false;
+  }
+  return true;
+}
+
+Status LockManager::Acquire(txn_id_t locker, const std::string& table,
+                            Mode mode, double timeout_seconds) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  MutexLock lock(mu_);
+  // The entry must be re-looked-up after every wait: a releaser erases
+  // entries that go free, so holding a reference across WaitFor would
+  // dangle (and a fresh default entry is exactly "nobody holds it").
+  for (;;) {
+    Entry& e = locks_[table];
+    if (Grantable(e, locker, mode)) {
+      if (mode == Mode::kShared) {
+        if (e.x_holder != locker) e.sharers.insert(locker);
+      } else {
+        e.sharers.erase(locker);  // in-place S→X upgrade
+        e.x_holder = locker;
+      }
+      return Status::OK();
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      timeouts_++;
+      return Status::Aborted(
+          "lock wait timeout on table \"" + table +
+          "\" (suspected deadlock); transaction must roll back");
+    }
+    const double remaining =
+        std::chrono::duration<double>(deadline - now).count();
+    cv_.WaitFor(mu_, remaining);
+  }
+}
+
+void LockManager::Release(txn_id_t locker, const std::string& table,
+                          Mode mode) {
+  MutexLock lock(mu_);
+  auto it = locks_.find(table);
+  if (it == locks_.end()) return;
+  if (mode == Mode::kShared) {
+    it->second.sharers.erase(locker);
+  } else if (it->second.x_holder == locker) {
+    it->second.x_holder = kInvalidTxnId;
+  }
+  if (it->second.Free()) locks_.erase(it);
+  cv_.NotifyAll();
+}
+
+void LockManager::ReleaseAll(txn_id_t locker) {
+  MutexLock lock(mu_);
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    it->second.sharers.erase(locker);
+    if (it->second.x_holder == locker) it->second.x_holder = kInvalidTxnId;
+    it = it->second.Free() ? locks_.erase(it) : std::next(it);
+  }
+  cv_.NotifyAll();
+}
+
+bool LockManager::Holds(txn_id_t locker, const std::string& table,
+                        Mode mode) const {
+  MutexLock lock(mu_);
+  auto it = locks_.find(table);
+  if (it == locks_.end()) return false;
+  if (it->second.x_holder == locker) return true;
+  return mode == Mode::kShared && it->second.sharers.count(locker) != 0;
+}
+
+uint64_t LockManager::timeouts() const {
+  MutexLock lock(mu_);
+  return timeouts_;
+}
+
+}  // namespace elephant::txn

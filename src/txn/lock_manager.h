@@ -1,0 +1,64 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace elephant::txn {
+
+/// Table-level shared/exclusive locks with strict 2PL semantics.
+///
+/// Grant rules: any number of S holders; one X holder excluding everyone
+/// else; a lock is reentrant for its holder, X covers S, and a sole S holder
+/// may upgrade to X in place. Statements acquire their table locks in sorted
+/// name order, which rules out the classic two-table deadlock; anything that
+/// slips through (e.g. concurrent S→X upgrades on one table) is broken by a
+/// wait timeout, which the caller turns into a transaction abort.
+class LockManager {
+ public:
+  enum class Mode { kShared, kExclusive };
+
+  LockManager() = default;
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Blocks until the lock is granted or `timeout_seconds` elapses; a
+  /// timeout returns kAborted status (the caller must roll the transaction
+  /// back — the wait may be a deadlock).
+  Status Acquire(txn_id_t locker, const std::string& table, Mode mode,
+                 double timeout_seconds);
+
+  /// Releases one mode of one lock. Releasing S after an in-place upgrade
+  /// (or a never-acquired lock) is a harmless no-op, so statement-end
+  /// S-release needs no bookkeeping about upgrades.
+  void Release(txn_id_t locker, const std::string& table, Mode mode);
+
+  /// Releases everything `locker` holds (commit/rollback).
+  void ReleaseAll(txn_id_t locker);
+
+  /// True when `locker` holds the lock in `mode` (X counts as holding S).
+  bool Holds(txn_id_t locker, const std::string& table, Mode mode) const;
+
+  /// Lock waits that ended in a timeout (aborted as suspected deadlocks).
+  uint64_t timeouts() const;
+
+ private:
+  struct Entry {
+    std::set<txn_id_t> sharers;
+    txn_id_t x_holder = kInvalidTxnId;
+    bool Free() const { return sharers.empty() && x_holder == kInvalidTxnId; }
+  };
+
+  bool Grantable(const Entry& e, txn_id_t locker, Mode mode) const REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::map<std::string, Entry> locks_ GUARDED_BY(mu_);
+  uint64_t timeouts_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace elephant::txn

@@ -1,0 +1,114 @@
+#include "txn/transaction_manager.h"
+
+#include "wal/heap_ops.h"
+
+namespace elephant::txn {
+
+const char* TxnStateName(TxnState s) {
+  switch (s) {
+    case TxnState::kActive: return "active";
+    case TxnState::kAborted: return "aborted";
+    case TxnState::kCommitted: return "committed";
+    case TxnState::kRolledBack: return "rolled back";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Transaction> TransactionManager::Begin(bool implicit) {
+  txn_id_t id;
+  {
+    MutexLock lock(mu_);
+    id = next_id_++;
+    stats_.begun++;
+    stats_.active++;
+  }
+  auto t = std::make_unique<Transaction>(id, implicit);
+  wal::LogRecord rec;
+  rec.type = wal::LogRecordType::kBegin;
+  rec.txn_id = id;
+  t->last_lsn = log_->Append(rec);
+  return t;
+}
+
+Status TransactionManager::Commit(Transaction* t) {
+  wal::LogRecord rec;
+  rec.type = wal::LogRecordType::kCommit;
+  rec.txn_id = t->id();
+  rec.prev_lsn = t->last_lsn;
+  const lsn_t lsn = log_->Append(rec);
+  t->last_lsn = lsn;
+  const Status flush = log_->FlushUntil(lsn);
+  if (!flush.ok()) {
+    // The commit record never reached stable storage: this transaction is
+    // NOT committed. Locks are released (the simulated machine is dying
+    // anyway) and recovery will undo the transaction on reopen.
+    locks_->ReleaseAll(t->id());
+    t->state = TxnState::kAborted;
+    MutexLock lock(mu_);
+    stats_.aborted++;
+    stats_.active--;
+    return flush;
+  }
+  t->state = TxnState::kCommitted;
+  t->undo.clear();
+  locks_->ReleaseAll(t->id());
+  MutexLock lock(mu_);
+  stats_.committed++;
+  stats_.active--;
+  return Status::OK();
+}
+
+Status TransactionManager::Rollback(Transaction* t) {
+  // Durable side: walk the backward WAL chain, appending one CLR per undone
+  // heap record — the same routine recovery undo uses, so a crash during
+  // rollback is recovered exactly like a crash during recovery undo.
+  Status first_error = Status::OK();
+  lsn_t cursor = t->last_lsn;
+  while (cursor != kInvalidLsn) {
+    auto rec = log_->ReadRecordEndingAt(cursor);
+    if (!rec.ok()) {
+      if (first_error.ok()) first_error = rec.status();
+      break;
+    }
+    if (rec->type == wal::LogRecordType::kBegin) break;
+    if (rec->type == wal::LogRecordType::kClr) {
+      cursor = rec->undo_next_lsn;
+      continue;
+    }
+    const Status undo =
+        wal::UndoHeapRecord(log_, pool_, *rec, cursor, &t->last_lsn);
+    if (!undo.ok() && first_error.ok()) first_error = undo;
+    cursor = rec->prev_lsn;
+  }
+  // Volatile side: reverse the in-memory undo list even if heap undo hit an
+  // (injected) I/O failure — after a simulated crash the engine is unusable
+  // anyway, but a plain statement-failure rollback must leave the trees,
+  // secondary indexes and rid maps exactly as before the transaction.
+  for (auto it = t->undo.rbegin(); it != t->undo.rend(); ++it) {
+    const Status undo = it->table->UndoVolatile(*it);
+    if (!undo.ok() && first_error.ok()) first_error = undo;
+  }
+  t->undo.clear();
+  wal::LogRecord abort;
+  abort.type = wal::LogRecordType::kAbort;
+  abort.txn_id = t->id();
+  abort.prev_lsn = t->last_lsn;
+  t->last_lsn = log_->Append(abort);
+  t->state = TxnState::kRolledBack;
+  locks_->ReleaseAll(t->id());
+  {
+    MutexLock lock(mu_);
+    stats_.aborted++;
+    stats_.active--;
+  }
+  return first_error;
+}
+
+TxnStats TransactionManager::stats() const {
+  MutexLock lock(mu_);
+  TxnStats s = stats_;
+  s.lock_timeouts = locks_->timeouts();
+  return s;
+}
+
+}  // namespace elephant::txn

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <memory>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+#include "wal/log_manager.h"
+
+namespace elephant {
+
+class BufferPool;
+
+namespace txn {
+
+/// Lifetime counters surfaced via elephant_stat_transactions and Prometheus.
+struct TxnStats {
+  uint64_t begun = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;     ///< rolled back (explicit ROLLBACK or failure)
+  uint64_t active = 0;
+  uint64_t lock_timeouts = 0;
+};
+
+/// Begins, commits and rolls back transactions against the WAL.
+///
+/// COMMIT appends a commit record and group-flushes the log through it —
+/// the only flush a transaction ever waits for. ROLLBACK undoes the durable
+/// side by walking the transaction's backward WAL chain (each step appends
+/// a CLR, exactly as recovery undo would), replays the volatile undo list
+/// in reverse, and appends an abort record that needs no flush.
+class TransactionManager {
+ public:
+  TransactionManager(wal::LogManager* log, BufferPool* pool,
+                     LockManager* locks)
+      : log_(log), pool_(pool), locks_(locks) {}
+
+  TransactionManager(const TransactionManager&) = delete;
+  TransactionManager& operator=(const TransactionManager&) = delete;
+
+  /// Starts a transaction (logs BEGIN). `implicit` marks an autocommit
+  /// wrapper around one bare DML statement.
+  std::unique_ptr<Transaction> Begin(bool implicit);
+
+  /// Durably commits: COMMIT record, group flush, release locks. On flush
+  /// failure (injected crash / dropped fsync) the transaction is NOT
+  /// committed — the caller reports the error and the data is rolled back
+  /// by recovery on the next reopen.
+  Status Commit(Transaction* t);
+
+  /// Rolls back: heap undo via the WAL chain (CLR-logged), volatile undo in
+  /// reverse, ABORT record, release locks. Safe to call on a transaction
+  /// whose statement just failed mid-flight.
+  Status Rollback(Transaction* t);
+
+  LockManager* locks() const { return locks_; }
+
+  TxnStats stats() const;
+
+ private:
+  wal::LogManager* const log_;
+  BufferPool* const pool_;
+  LockManager* const locks_;
+  mutable Mutex mu_;
+  txn_id_t next_id_ GUARDED_BY(mu_) = 1;
+  TxnStats stats_ GUARDED_BY(mu_);
+};
+
+}  // namespace txn
+}  // namespace elephant

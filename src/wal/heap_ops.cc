@@ -1,0 +1,227 @@
+#include "wal/heap_ops.h"
+
+#include <string>
+
+#include "storage/buffer_pool.h"
+#include "storage/slotted_page.h"
+#include "storage/table_heap.h"
+#include "wal/log_manager.h"
+
+namespace elephant::wal {
+
+namespace {
+
+/// Appends a record chained into the writer's transaction and advances the
+/// chain head.
+lsn_t AppendChained(const WalWriter& w, LogRecord* rec) {
+  rec->txn_id = w.txn_id;
+  rec->prev_lsn = *w.last_lsn;
+  const lsn_t lsn = w.log->Append(*rec);
+  *w.last_lsn = lsn;
+  return lsn;
+}
+
+}  // namespace
+
+Result<Rid> LoggedInsert(const WalWriter& w, TableHeap* heap,
+                         uint32_t table_id, std::string_view record) {
+  BufferPool* pool = heap->pool();
+  page_id_t tail = heap->last_page();
+  ELE_ASSIGN_OR_RETURN(PageGuard guard, pool->FetchPageGuarded(tail));
+  SlottedPage page(guard.data());
+  if (record.size() > page.FreeSpace()) {
+    // Grow the chain: format a fresh page (logged), then link the old tail
+    // to it (logged). Both are single-page redo ops in their own right.
+    page_id_t new_pid = kInvalidPageId;
+    ELE_ASSIGN_OR_RETURN(PageGuard fresh, pool->NewPageGuarded(&new_pid));
+    {
+      LogRecord init;
+      init.type = LogRecordType::kPageInit;
+      init.page_id = new_pid;
+      init.table_id = table_id;
+      const lsn_t lsn = AppendChained(w, &init);
+      SlottedPage np(fresh.data());
+      np.Init();
+      np.SetPageLsn(lsn);
+      fresh.MarkDirty();
+      pool->RecordPageLsn(new_pid, lsn);
+    }
+    {
+      LogRecord link;
+      link.type = LogRecordType::kPageLink;
+      link.page_id = tail;
+      link.aux_page = new_pid;
+      link.table_id = table_id;
+      const lsn_t lsn = AppendChained(w, &link);
+      page.SetNextPageId(new_pid);
+      page.SetPageLsn(lsn);
+      guard.MarkDirty();
+      pool->RecordPageLsn(tail, lsn);
+    }
+    heap->set_last_page(new_pid);
+    tail = new_pid;
+    guard = std::move(fresh);
+    page = SlottedPage(guard.data());
+    if (record.size() > page.FreeSpace()) {
+      return Status::InvalidArgument("record larger than an empty heap page");
+    }
+  }
+  LogRecord ins;
+  ins.type = LogRecordType::kInsert;
+  ins.page_id = tail;
+  ins.slot = page.SlotCount();
+  ins.table_id = table_id;
+  ins.after.assign(record.data(), record.size());
+  const lsn_t lsn = AppendChained(w, &ins);
+  ELE_ASSIGN_OR_RETURN(slot_id_t slot, page.Insert(record));
+  page.SetPageLsn(lsn);
+  guard.MarkDirty();
+  pool->RecordPageLsn(tail, lsn);
+  return Rid{tail, slot};
+}
+
+Status LoggedDelete(const WalWriter& w, BufferPool* pool, uint32_t table_id,
+                    Rid rid) {
+  ELE_ASSIGN_OR_RETURN(PageGuard guard, pool->FetchPageGuarded(rid.page_id));
+  SlottedPage page(guard.data());
+  ELE_ASSIGN_OR_RETURN(std::string_view before, page.Get(rid.slot));
+  LogRecord del;
+  del.type = LogRecordType::kDelete;
+  del.page_id = rid.page_id;
+  del.slot = rid.slot;
+  del.table_id = table_id;
+  del.before.assign(before.data(), before.size());
+  const lsn_t lsn = AppendChained(w, &del);
+  ELE_RETURN_NOT_OK(page.Delete(rid.slot));
+  page.SetPageLsn(lsn);
+  guard.MarkDirty();
+  pool->RecordPageLsn(rid.page_id, lsn);
+  return Status::OK();
+}
+
+Result<bool> LoggedUpdate(const WalWriter& w, BufferPool* pool,
+                          uint32_t table_id, Rid rid,
+                          std::string_view record) {
+  ELE_ASSIGN_OR_RETURN(PageGuard guard, pool->FetchPageGuarded(rid.page_id));
+  SlottedPage page(guard.data());
+  ELE_ASSIGN_OR_RETURN(std::string_view before, page.Get(rid.slot));
+  if (record.size() > before.size()) return false;
+  LogRecord upd;
+  upd.type = LogRecordType::kUpdate;
+  upd.page_id = rid.page_id;
+  upd.slot = rid.slot;
+  upd.table_id = table_id;
+  upd.before.assign(before.data(), before.size());
+  upd.after.assign(record.data(), record.size());
+  const lsn_t lsn = AppendChained(w, &upd);
+  ELE_RETURN_NOT_OK(page.Restore(rid.slot, record));
+  page.SetPageLsn(lsn);
+  guard.MarkDirty();
+  pool->RecordPageLsn(rid.page_id, lsn);
+  return true;
+}
+
+Status UndoHeapRecord(LogManager* log, BufferPool* pool, const LogRecord& rec,
+                      lsn_t rec_lsn, lsn_t* last_lsn) {
+  ClrAction action;
+  std::string restore_image;
+  switch (rec.type) {
+    case LogRecordType::kInsert:
+      action = ClrAction::kDelete;
+      break;
+    case LogRecordType::kDelete:
+    case LogRecordType::kUpdate:
+      action = ClrAction::kRestore;
+      restore_image = rec.before;
+      break;
+    default:
+      return Status::OK();  // structural / control records are not undone
+  }
+  LogRecord clr;
+  clr.type = LogRecordType::kClr;
+  clr.clr_action = action;
+  clr.txn_id = rec.txn_id;
+  clr.prev_lsn = *last_lsn;
+  clr.undo_next_lsn = rec.prev_lsn;
+  clr.page_id = rec.page_id;
+  clr.slot = rec.slot;
+  clr.table_id = rec.table_id;
+  clr.after = restore_image;
+  const lsn_t lsn = log->Append(clr);
+  *last_lsn = lsn;
+  ELE_ASSIGN_OR_RETURN(PageGuard guard, pool->FetchPageGuarded(rec.page_id));
+  SlottedPage page(guard.data());
+  if (action == ClrAction::kDelete) {
+    ELE_RETURN_NOT_OK(page.Delete(rec.slot));
+  } else {
+    ELE_RETURN_NOT_OK(page.Restore(rec.slot, restore_image));
+  }
+  page.SetPageLsn(lsn);
+  guard.MarkDirty();
+  pool->RecordPageLsn(rec.page_id, lsn);
+  return Status::OK();
+}
+
+Status RedoRecord(BufferPool* pool, const LogRecord& rec, lsn_t lsn,
+                  bool* applied) {
+  *applied = false;
+  page_id_t target = rec.page_id;
+  switch (rec.type) {
+    case LogRecordType::kInsert:
+    case LogRecordType::kDelete:
+    case LogRecordType::kUpdate:
+    case LogRecordType::kClr:
+    case LogRecordType::kPageInit:
+    case LogRecordType::kPageLink:
+      break;
+    default:
+      return Status::OK();  // control records carry no page change
+  }
+  ELE_ASSIGN_OR_RETURN(PageGuard guard, pool->FetchPageGuarded(target));
+  SlottedPage page(guard.data());
+  // Idempotence: a page whose on-disk image already reflects this record
+  // (page_lsn caught up to it before the crash) must not have it reapplied.
+  // Never-written pages read page_lsn == kInvalidLsn (0) and always redo.
+  if (page.PageLsn() >= lsn) {
+    return Status::OK();
+  }
+  switch (rec.type) {
+    case LogRecordType::kInsert: {
+      ELE_ASSIGN_OR_RETURN(slot_id_t slot, page.Insert(rec.after));
+      if (slot != rec.slot) {
+        return Status::Corruption("redo insert landed on slot " +
+                                  std::to_string(slot) + ", logged slot " +
+                                  std::to_string(rec.slot));
+      }
+      break;
+    }
+    case LogRecordType::kDelete:
+      ELE_RETURN_NOT_OK(page.Delete(rec.slot));
+      break;
+    case LogRecordType::kUpdate:
+      ELE_RETURN_NOT_OK(page.Restore(rec.slot, rec.after));
+      break;
+    case LogRecordType::kClr:
+      if (rec.clr_action == ClrAction::kDelete) {
+        ELE_RETURN_NOT_OK(page.Delete(rec.slot));
+      } else {
+        ELE_RETURN_NOT_OK(page.Restore(rec.slot, rec.after));
+      }
+      break;
+    case LogRecordType::kPageInit:
+      page.Init();
+      break;
+    case LogRecordType::kPageLink:
+      page.SetNextPageId(rec.aux_page);
+      break;
+    default:
+      break;
+  }
+  page.SetPageLsn(lsn);
+  guard.MarkDirty();
+  pool->RecordPageLsn(target, lsn);
+  *applied = true;
+  return Status::OK();
+}
+
+}  // namespace elephant::wal

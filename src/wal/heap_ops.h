@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string_view>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "wal/log_record.h"
+
+namespace elephant {
+
+class BufferPool;
+class TableHeap;
+
+namespace wal {
+
+class LogManager;
+
+/// Per-transaction logging context threaded through every logged heap
+/// mutation. `last_lsn` is the head of the transaction's backward record
+/// chain (prev_lsn links); each logged op advances it.
+struct WalWriter {
+  LogManager* log = nullptr;
+  txn_id_t txn_id = kInvalidTxnId;
+  lsn_t* last_lsn = nullptr;
+};
+
+/// The ONLY functions that construct DML log records and stamp page LSNs
+/// (enforced by the elephant_lint `wal-protocol` rule). Each follows the
+/// WAL discipline exactly: append the record, apply the single-page
+/// mutation, stamp the page LSN, record the frame LSN with the pool.
+
+/// Appends `record` to the heap tail under the writer's transaction,
+/// logging the insert — plus PageInit/PageLink records when the tail page
+/// fills and the chain grows. Returns the new tuple's address.
+Result<Rid> LoggedInsert(const WalWriter& w, TableHeap* heap,
+                         uint32_t table_id, std::string_view record);
+
+/// Deletes the tuple at `rid`, logging its before image.
+Status LoggedDelete(const WalWriter& w, BufferPool* pool, uint32_t table_id,
+                    Rid rid);
+
+/// Rewrites the tuple at `rid` in place, logging before and after images.
+/// Returns false (and logs nothing) when the new bytes do not fit in the
+/// slot — the caller falls back to LoggedDelete + LoggedInsert.
+Result<bool> LoggedUpdate(const WalWriter& w, BufferPool* pool,
+                          uint32_t table_id, Rid rid,
+                          std::string_view record);
+
+/// Undoes one heap DML record (kInsert/kDelete/kUpdate) by appending a
+/// compensation record and applying its action; `last_lsn` chains the CLR
+/// into the transaction. Non-DML records (Begin, PageInit, PageLink, ...)
+/// are skipped without logging. Shared by runtime ROLLBACK and the
+/// recovery undo pass.
+Status UndoHeapRecord(LogManager* log, BufferPool* pool, const LogRecord& rec,
+                      lsn_t rec_lsn, lsn_t* last_lsn);
+
+/// Redoes `rec` (ending at `lsn`) against its page if and only if the page
+/// image predates it (page_lsn < lsn); sets `*applied` accordingly.
+/// Idempotent — the heart of the ARIES redo pass.
+Status RedoRecord(BufferPool* pool, const LogRecord& rec, lsn_t lsn,
+                  bool* applied);
+
+}  // namespace wal
+}  // namespace elephant

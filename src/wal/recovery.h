@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/config.h"
+#include "common/status.h"
+
+namespace elephant {
+
+class BufferPool;
+
+namespace wal {
+
+class LogManager;
+
+/// What recovery did — surfaced in elephant_stat_wal after a reopen and
+/// asserted by the crash-matrix harness.
+struct RecoveryStats {
+  uint64_t records_scanned = 0;  ///< valid records in the durable log
+  uint64_t redo_applied = 0;     ///< page records replayed
+  uint64_t redo_skipped = 0;     ///< page records the page image already had
+  uint64_t committed_txns = 0;   ///< txns with a durable COMMIT
+  uint64_t loser_txns = 0;       ///< txns undone (no COMMIT/ABORT on disk)
+  uint64_t clrs_written = 0;     ///< compensation records appended by undo
+  bool torn_tail = false;        ///< log ended in a damaged/partial record
+  lsn_t log_end = kInvalidLsn;   ///< end of the valid log after truncation
+};
+
+/// ARIES-lite restart recovery:
+///
+///   1. **Analysis** — scan the durable log front to back, classifying every
+///      transaction as winner (durable COMMIT), finished (durable ABORT) or
+///      loser, and locating the torn tail (first record with a damaged CRC),
+///      at which the log is truncated.
+///   2. **Redo** — replay every page record after `checkpoint_lsn`
+///      ("repeating history"), skipping pages whose on-disk LSN already
+///      covers the record. CLRs are redone like any other record, so
+///      rollback progress from before the crash is preserved.
+///   3. **Undo** — roll the losers back in descending LSN order, appending
+///      a CLR per undone record and an ABORT per finished loser; a CLR's
+///      undo_next_lsn makes this pass itself crash-restartable.
+///
+/// The caller (Database::Reopen) flushes pages and checkpoints afterwards.
+Status Recover(LogManager* log, BufferPool* pool, lsn_t checkpoint_lsn,
+               RecoveryStats* stats);
+
+}  // namespace wal
+}  // namespace elephant

@@ -1,0 +1,480 @@
+// Crash-recovery matrix: the PR's headline experiment. Runs a fixed DML
+// workload over a base table with a materialized view and a c-store
+// projection riding on it, crashes the simulated machine at every durable
+// op (page write or WAL flush) in turn, reboots from the durable image, and
+// checks three invariants at every crash point:
+//
+//   1. the recovered base table is EXACTLY the acknowledged-commit prefix
+//      of the workload (row count and content checksum against a shadow
+//      oracle maintained outside the engine);
+//   2. a scan of the materialized view after recovery (which re-materializes
+//      it, since recovery marks all derived tables stale) matches the
+//      equivalent aggregate over the base table, value for value;
+//   3. each c-table, expanded back into a column, equals the base table's
+//      sorted projection, value for value.
+//
+// Besides the crash-at-Nth-op sweep, two more failure modes run at the
+// workload's end: a torn final WAL flush (recovery must truncate at the bad
+// record) and silently dropped fsyncs (no invented commits).
+//
+// Exit code 0 = every point green. Any failure prints the point and aborts
+// with a nonzero exit. Wired into ctest as `recovery_crash_matrix` and into
+// scripts/check.sh's `recovery` step.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cstore/ctable_builder.h"
+#include "engine/database.h"
+#include "mv/view.h"
+#include "storage/fault_injection.h"
+
+namespace elephant {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shadow oracle: an out-of-engine mirror of the base table, updated only
+// when the engine ACKNOWLEDGES a statement. Recovery must reproduce it
+// exactly — an unacknowledged commit surviving or an acknowledged one lost
+// are both failures.
+
+struct OracleRow {
+  std::string cat;
+  int32_t amt = 0;
+};
+using Oracle = std::map<int32_t, OracleRow>;  // keyed by id
+
+struct Step {
+  std::string sql;
+  std::function<void(Oracle&)> apply;  // mirror of the statement's effect
+};
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string OracleKeyString(const Oracle& oracle) {
+  std::vector<std::string> lines;
+  lines.reserve(oracle.size());
+  for (const auto& [id, row] : oracle) {
+    lines.push_back(std::to_string(id) + "|" + row.cat + "|" +
+                    std::to_string(row.amt));
+  }
+  std::sort(lines.begin(), lines.end());  // match SortedRowsString's order
+  std::string all;
+  for (const std::string& l : lines) all += l + "\n";
+  return all;
+}
+
+// Canonical sorted rendering of a query result, for multiset comparison.
+std::string SortedRowsString(const QueryResult& r) {
+  std::vector<std::string> lines;
+  lines.reserve(r.rows.size());
+  for (const Row& row : r.rows) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); i++) {
+      if (i > 0) line += "|";
+      line += row[i].ToString();
+    }
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string all;
+  for (const std::string& l : lines) all += l + "\n";
+  return all;
+}
+
+// ---------------------------------------------------------------------------
+// The workload. Seed rows go in before fault injection is armed; the steps
+// below run under it. CHECKPOINTs are sprinkled in so the op sweep crosses
+// page-flush interleavings, not just commit-flush boundaries.
+
+const std::vector<std::pair<int32_t, OracleRow>> kSeed = {
+    {1, {"a", 10}}, {2, {"b", 20}}, {3, {"a", 30}}, {4, {"c", 40}},
+    {5, {"b", 50}}, {6, {"a", 60}}, {7, {"c", 70}}, {8, {"b", 80}},
+};
+
+std::vector<Step> Workload() {
+  std::vector<Step> steps;
+  steps.push_back({"INSERT INTO orders VALUES (9, 'a', 90), (10, 'b', 100)",
+                   [](Oracle& o) {
+                     o[9] = {"a", 90};
+                     o[10] = {"b", 100};
+                   }});
+  steps.push_back({"UPDATE orders SET amt = 5 WHERE id = 3",
+                   [](Oracle& o) { o[3].amt = 5; }});
+  steps.push_back({"DELETE FROM orders WHERE id = 1",
+                   [](Oracle& o) { o.erase(1); }});
+  steps.push_back({"CHECKPOINT", [](Oracle&) {}});
+  steps.push_back({"INSERT INTO orders VALUES (11, 'c', 110)",
+                   [](Oracle& o) { o[11] = {"c", 110}; }});
+  steps.push_back({"UPDATE orders SET cat = 'z' WHERE id = 2",
+                   [](Oracle& o) { o[2].cat = "z"; }});
+  // Cluster-key move: exercises the delete+insert path inside one txn.
+  steps.push_back({"UPDATE orders SET id = 12 WHERE id = 4", [](Oracle& o) {
+                     OracleRow moved = o[4];
+                     o.erase(4);
+                     o[12] = moved;
+                   }});
+  steps.push_back({"DELETE FROM orders WHERE id = 5",
+                   [](Oracle& o) { o.erase(5); }});
+  steps.push_back({"CHECKPOINT", [](Oracle&) {}});
+  steps.push_back({"INSERT INTO orders VALUES (13, 'a', 130)",
+                   [](Oracle& o) { o[13] = {"a", 130}; }});
+  steps.push_back({"UPDATE orders SET amt = 77 WHERE cat = 'z'",
+                   [](Oracle& o) {
+                     for (auto& [id, row] : o) {
+                       if (row.cat == "z") row.amt = 77;
+                     }
+                   }});
+  steps.push_back({"BEGIN", [](Oracle&) {}});
+  steps.push_back({"INSERT INTO orders VALUES (14, 'b', 140)", [](Oracle&) {}});
+  steps.push_back({"DELETE FROM orders WHERE id = 6", [](Oracle&) {}});
+  // The explicit transaction's effect lands in the oracle only at COMMIT —
+  // a crash between BEGIN and COMMIT must undo both statements above.
+  steps.push_back({"COMMIT", [](Oracle& o) {
+                     o[14] = {"b", 140};
+                     o.erase(6);
+                   }});
+  steps.push_back({"INSERT INTO orders VALUES (15, 'c', 150)",
+                   [](Oracle& o) { o[15] = {"c", 150}; }});
+  steps.push_back({"CHECKPOINT", [](Oracle&) {}});
+  steps.push_back({"UPDATE orders SET amt = 151 WHERE id = 15",
+                   [](Oracle& o) { o[15].amt = 151; }});
+  steps.push_back({"DELETE FROM orders WHERE id = 7",
+                   [](Oracle& o) { o.erase(7); }});
+  return steps;
+}
+
+mv::ViewDef MvDef() {
+  mv::ViewDef def;
+  def.name = "orders_by_cat";
+  def.tables = {"orders"};
+  def.group_cols = {"cat"};
+  def.aggs = {{AggFunc::kCountStar, "", "n"}, {AggFunc::kSum, "amt", "total"}};
+  return def;
+}
+
+ProjectionDef ProjDef() {
+  ProjectionDef def;
+  def.name = "p1";
+  def.query = "SELECT cat, amt FROM orders";
+  def.sort_cols = {"cat", "amt"};
+  return def;
+}
+
+#define CHECK_OK(expr)                                                    \
+  do {                                                                    \
+    Status _s = (expr);                                                   \
+    if (!_s.ok()) {                                                       \
+      std::fprintf(stderr, "FATAL %s:%d: %s\n", __FILE__, __LINE__,       \
+                   _s.ToString().c_str());                                \
+      return false;                                                       \
+    }                                                                     \
+  } while (0)
+
+// Builds the database the workload runs against: base table + seed rows +
+// materialized view + c-store projection, checkpointed so the sweep starts
+// from a clean durable state.
+std::unique_ptr<Database> Setup(Oracle* oracle) {
+  DatabaseOptions options;
+  options.wal_enabled = true;
+  auto db = std::make_unique<Database>(options);
+  auto run = [&db](const std::string& sql) {
+    auto r = db->Execute(sql);
+    if (!r.ok()) {
+      std::fprintf(stderr, "FATAL setup \"%s\": %s\n", sql.c_str(),
+                   r.status().ToString().c_str());
+      return false;
+    }
+    return true;
+  };
+  if (!run("CREATE TABLE orders (id INT, cat VARCHAR, amt INT) "
+           "CLUSTER BY (id)")) {
+    return nullptr;
+  }
+  std::string values;
+  oracle->clear();
+  for (const auto& [id, row] : kSeed) {
+    if (!values.empty()) values += ", ";
+    values += "(" + std::to_string(id) + ", '" + row.cat + "', " +
+              std::to_string(row.amt) + ")";
+    (*oracle)[id] = row;
+  }
+  if (!run("INSERT INTO orders VALUES " + values)) return nullptr;
+
+  mv::ViewManager views(db.get());
+  if (!views.CreateView(MvDef()).ok()) return nullptr;
+  cstore::CTableBuilder builder(db.get());
+  if (!builder.Build(ProjDef()).ok()) return nullptr;
+  if (!run("CHECKPOINT")) return nullptr;
+  return db;
+}
+
+// ---------------------------------------------------------------------------
+// Post-recovery verification.
+
+bool VerifyBase(Database& db, const Oracle& oracle, uint64_t point) {
+  auto r = db.Execute("SELECT id, cat, amt FROM orders");
+  if (!r.ok()) {
+    std::fprintf(stderr, "point %llu: base scan failed: %s\n",
+                 static_cast<unsigned long long>(point),
+                 r.status().ToString().c_str());
+    return false;
+  }
+  const std::string got = SortedRowsString(r.value());
+  const std::string want = OracleKeyString(oracle);
+  if (got != want) {
+    std::fprintf(stderr,
+                 "point %llu: base table diverged from committed prefix\n"
+                 "  oracle (%zu rows, fnv %016llx):\n%s"
+                 "  recovered (%zu rows, fnv %016llx):\n%s",
+                 static_cast<unsigned long long>(point), oracle.size(),
+                 static_cast<unsigned long long>(Fnv1a(want)), want.c_str(),
+                 r.value().rows.size(),
+                 static_cast<unsigned long long>(Fnv1a(got)), got.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool VerifyMv(Database& db, uint64_t point) {
+  // The MV scan re-materializes the (stale-after-recovery) view, then must
+  // agree with the equivalent aggregation planned over the base table.
+  auto view = db.Execute("SELECT cat, n, total FROM orders_by_cat");
+  auto base = db.Execute(
+      "SELECT cat, COUNT(*) AS n, SUM(amt) AS total FROM orders GROUP BY cat");
+  if (!view.ok() || !base.ok()) {
+    std::fprintf(stderr, "point %llu: MV check failed: %s / %s\n",
+                 static_cast<unsigned long long>(point),
+                 view.status().ToString().c_str(),
+                 base.status().ToString().c_str());
+    return false;
+  }
+  const std::string got = SortedRowsString(view.value());
+  const std::string want = SortedRowsString(base.value());
+  if (got != want) {
+    std::fprintf(stderr,
+                 "point %llu: MV scan != base-table plan\n"
+                 "  base plan:\n%s  view scan:\n%s",
+                 static_cast<unsigned long long>(point), want.c_str(),
+                 got.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Expands a c-table scan (f, v[, c]) back into the flat column it encodes.
+std::vector<std::string> ExpandCTable(const QueryResult& r) {
+  std::vector<std::string> out;
+  for (const Row& row : r.rows) {
+    const int64_t count = row.size() == 3 ? row[2].AsInt32() : 1;
+    for (int64_t i = 0; i < count; i++) out.push_back(row[1].ToString());
+  }
+  return out;
+}
+
+bool VerifyCTables(Database& db, uint64_t point) {
+  // Expected: the projection's rows sorted by (cat, amt); column k of the
+  // sorted result is what c-table k must encode.
+  auto base = db.Execute("SELECT cat, amt FROM orders");
+  if (!base.ok()) return false;
+  std::vector<std::pair<std::string, int32_t>> rows;
+  for (const Row& row : base.value().rows) {
+    rows.emplace_back(row[0].AsString(), row[1].AsInt32());
+  }
+  std::sort(rows.begin(), rows.end());
+
+  const char* tables[2] = {"p1_cat", "p1_amt"};
+  for (int col = 0; col < 2; col++) {
+    auto scan = db.Execute(std::string("SELECT * FROM ") + tables[col]);
+    if (!scan.ok()) {
+      std::fprintf(stderr, "point %llu: %s scan failed: %s\n",
+                   static_cast<unsigned long long>(point), tables[col],
+                   scan.status().ToString().c_str());
+      return false;
+    }
+    const std::vector<std::string> got = ExpandCTable(scan.value());
+    std::vector<std::string> want;
+    want.reserve(rows.size());
+    for (const auto& [cat, amt] : rows) {
+      want.push_back(col == 0 ? cat : Value::Int32(amt).ToString());
+    }
+    if (got != want) {
+      std::fprintf(stderr,
+                   "point %llu: c-table %s != base projection "
+                   "(%zu vs %zu values)\n",
+                   static_cast<unsigned long long>(point), tables[col],
+                   got.size(), want.size());
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// One sweep point: run the workload with the given fault plan, reboot from
+// the durable image, re-attach derived-table hooks, verify all invariants.
+// `total_ops` (out, optional) reports the durable ops a full run consumed.
+
+bool RunPoint(const FaultPlan& plan, uint64_t point, uint64_t* total_ops) {
+  Oracle oracle;
+  std::unique_ptr<Database> db = Setup(&oracle);
+  if (db == nullptr) return false;
+
+  FaultInjector injector(plan);
+  db->SetFaultInjector(&injector);
+
+  for (const Step& step : Workload()) {
+    Oracle next = oracle;
+    step.apply(next);
+    auto r = db->Execute(step.sql);
+    if (r.ok()) {
+      oracle = std::move(next);
+      continue;
+    }
+    if (injector.crashed()) break;  // the machine died; stop the workload
+    // kDropFsync never kills the machine, so statements keep succeeding —
+    // any visible failure there (or in a fault-free run) is a real bug.
+    std::fprintf(stderr, "point %llu: \"%s\" failed without a crash: %s\n",
+                 static_cast<unsigned long long>(point), step.sql.c_str(),
+                 r.status().ToString().c_str());
+    return false;
+  }
+  if (total_ops != nullptr) *total_ops = injector.ops();
+
+  // For dropped fsyncs the engine keeps running (the drive lies, nothing
+  // fails); the crash happens "now", at an arbitrary later moment.
+  DatabaseOptions options;
+  options.wal_enabled = true;
+  auto reopened = Database::Reopen(options, db->CloneDurableImage());
+  if (!reopened.ok()) {
+    std::fprintf(stderr, "point %llu: reopen failed: %s\n",
+                 static_cast<unsigned long long>(point),
+                 reopened.status().ToString().c_str());
+    return false;
+  }
+  std::unique_ptr<Database> rec = std::move(reopened).value();
+
+  // Recovery restores derived tables' contents-as-of-crash and marks them
+  // stale; their rebuild hooks are callbacks and must be re-attached by the
+  // owning managers before the first read.
+  mv::ViewManager views(rec.get());
+  CHECK_OK(views.AttachView(MvDef()));
+  cstore::CTableBuilder builder(rec.get());
+  CHECK_OK(builder.AttachRebuild(ProjDef()));
+
+  return VerifyBase(*rec, oracle, point) && VerifyMv(*rec, point) &&
+         VerifyCTables(*rec, point);
+}
+
+}  // namespace
+}  // namespace elephant
+
+int main() {
+  using namespace elephant;
+
+  // Measure the workload's durable-op count with a counting-but-never-firing
+  // plan (crash_after_ops = 0), which also validates the fault-free run.
+  FaultPlan probe;
+  probe.mode = FaultPlan::Mode::kCrashAtWrite;
+  probe.crash_after_ops = 0;
+  uint64_t total_ops = 0;
+  if (!RunPoint(probe, 0, &total_ops)) {
+    std::fprintf(stderr, "fault-free run failed\n");
+    return 1;
+  }
+  std::printf("fault-free workload: %llu durable ops\n",
+              static_cast<unsigned long long>(total_ops));
+  if (total_ops < 20) {
+    std::fprintf(stderr,
+                 "workload too small: %llu durable ops (< 20 crash points)\n",
+                 static_cast<unsigned long long>(total_ops));
+    return 1;
+  }
+
+  // The matrix proper: crash at every durable op.
+  int failures = 0;
+  for (uint64_t k = 1; k <= total_ops; k++) {
+    FaultPlan plan;
+    plan.mode = FaultPlan::Mode::kCrashAtWrite;
+    plan.crash_after_ops = k;
+    if (!RunPoint(plan, k, nullptr)) failures++;
+  }
+  std::printf("crash-at-write sweep: %llu points, %d failures\n",
+              static_cast<unsigned long long>(total_ops), failures);
+
+  // Torn final WAL flush at several late crash points: only a prefix of the
+  // final flush persists; recovery must truncate at the torn record.
+  for (uint64_t k = total_ops / 2; k <= total_ops; k += 3) {
+    for (uint32_t keep : {0u, 3u, 11u}) {
+      FaultPlan plan;
+      plan.mode = FaultPlan::Mode::kTornLogFlush;
+      plan.crash_after_ops = k;
+      plan.torn_keep_bytes = keep;
+      if (!RunPoint(plan, k, nullptr)) failures++;
+    }
+  }
+  std::printf("torn-flush points done\n");
+
+  // A lying drive: fsyncs dropped after the first. The engine detects the
+  // failed sync and refuses to acknowledge those commits (statements fail),
+  // so the durable prefix lags the workload. The oracle cannot track which
+  // writes truly persisted, so the reboot is checked for internal
+  // consistency only: the MV and c-tables must agree with whatever base
+  // state recovery produced.
+  {
+    FaultPlan plan;
+    plan.mode = FaultPlan::Mode::kDropFsync;
+    plan.drop_fsync_after = 1;
+    Oracle oracle;
+    std::unique_ptr<Database> db = Setup(&oracle);
+    if (db == nullptr) return 1;
+    FaultInjector injector(plan);
+    db->SetFaultInjector(&injector);
+    size_t acknowledged = 0;
+    for (const Step& step : Workload()) {
+      auto r = db->Execute(step.sql);
+      if (r.ok()) acknowledged++;  // unacknowledged statements are expected
+    }
+    std::printf("drop-fsync: %zu/%zu statements acknowledged\n", acknowledged,
+                Workload().size());
+    DatabaseOptions options;
+    options.wal_enabled = true;
+    auto reopened = Database::Reopen(options, db->CloneDurableImage());
+    if (!reopened.ok()) {
+      std::fprintf(stderr, "drop-fsync: reopen failed: %s\n",
+                   reopened.status().ToString().c_str());
+      failures++;
+    } else {
+      std::unique_ptr<Database> rec = std::move(reopened).value();
+      mv::ViewManager views(rec.get());
+      cstore::CTableBuilder builder(rec.get());
+      if (!views.AttachView(MvDef()).ok() ||
+          !builder.AttachRebuild(ProjDef()).ok() ||
+          !VerifyMv(*rec, 9999) || !VerifyCTables(*rec, 9999)) {
+        failures++;
+      }
+    }
+    std::printf("drop-fsync point done\n");
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "crash matrix: %d FAILURES\n", failures);
+    return 1;
+  }
+  std::printf("crash matrix: all points green\n");
+  return 0;
+}
