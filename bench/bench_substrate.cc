@@ -129,7 +129,11 @@ void BM_TupleDeserialize(benchmark::State& state) {
           Value::Decimal(12345), Value::Date(9000),
           Value::Char("R"),      Value::Varchar("hello world text")};
   std::string buf;
-  (void)tuple::Serialize(s, row, &buf);
+  Status ser = tuple::Serialize(s, row, &buf);
+  if (!ser.ok()) {
+    state.SkipWithError(ser.ToString().c_str());
+    return;
+  }
   Row out;
   for (auto _ : state) {
     benchmark::DoNotOptimize(tuple::Deserialize(s, buf.data(), buf.size(), &out));
@@ -175,11 +179,19 @@ void BM_ClusteredScanExecutor(benchmark::State& state) {
     rows.push_back({Value::Int32(static_cast<int32_t>(i)),
                     Value::Int32(static_cast<int32_t>(i % 97))});
   }
-  (void)table.value()->BulkLoadRows(std::move(rows));
+  Status load = table.value()->BulkLoadRows(std::move(rows));
+  if (!load.ok()) {
+    state.SkipWithError(load.ToString().c_str());
+    return;
+  }
   for (auto _ : state) {
     ExecContext ctx(&pool);
     ClusteredScanExecutor scan(&ctx, table.value());
-    (void)scan.Init();
+    Status init = scan.Init();
+    if (!init.ok()) {
+      state.SkipWithError(init.ToString().c_str());
+      return;
+    }
     Row row;
     int64_t count = 0;
     while (true) {
@@ -205,7 +217,11 @@ void BM_HashAggregate(benchmark::State& state) {
     rows.push_back({Value::Int32(static_cast<int32_t>(i)),
                     Value::Int32(static_cast<int32_t>(i % 500))});
   }
-  (void)table.value()->BulkLoadRows(std::move(rows));
+  Status load = table.value()->BulkLoadRows(std::move(rows));
+  if (!load.ok()) {
+    state.SkipWithError(load.ToString().c_str());
+    return;
+  }
   for (auto _ : state) {
     ExecContext ctx(&pool);
     auto scan = std::make_unique<ClusteredScanExecutor>(&ctx, table.value());
@@ -215,7 +231,11 @@ void BM_HashAggregate(benchmark::State& state) {
     aggs.emplace_back(AggFunc::kCountStar, nullptr, "cnt");
     HashAggregateExecutor agg(&ctx, std::move(scan), std::move(groups),
                               std::move(aggs));
-    (void)agg.Init();
+    Status init = agg.Init();
+    if (!init.ok()) {
+      state.SkipWithError(init.ToString().c_str());
+      return;
+    }
     Row row;
     int64_t count = 0;
     while (true) {

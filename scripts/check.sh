@@ -3,6 +3,11 @@
 # different things:
 #
 #   default   correctness (full suite, incl. the lint/lint_selftest tests)
+#   analysis  static-analysis gate: regex lint (self-test + live, fallback
+#             rules auto-retired when clang++ is present) and the AST
+#             protocol analyzer (tools/elephant_analyze) — checker self-test
+#             on committed AST fixtures plus a live run over
+#             compile_commands.json that SKIPS LOUDLY when clang++ is absent
 #   analyze   Clang -Wthread-safety -Werror whole-tree lock-discipline proof
 #   sanitize  ASan + UBSan
 #   telemetry run a traced multi-session PARALLEL workload on the default
@@ -28,10 +33,25 @@ cd "$(dirname "$0")/.."
 
 PRESETS=("$@")
 if [ ${#PRESETS[@]} -eq 0 ]; then
-  PRESETS=(default analyze sanitize telemetry recovery)
+  PRESETS=(default analysis analyze sanitize telemetry recovery)
 fi
 
 for preset in "${PRESETS[@]}"; do
+  if [ "$preset" = analysis ]; then
+    echo "=== [$preset] configure ==============================================="
+    cmake --preset default
+    echo "=== [$preset] lint self-test =========================================="
+    python3 scripts/elephant_lint.py --self-test
+    echo "=== [$preset] lint ===================================================="
+    python3 scripts/elephant_lint.py
+    echo "=== [$preset] analyzer self-test ======================================"
+    python3 tools/elephant_analyze --self-test
+    echo "=== [$preset] analyzer live run ======================================="
+    # Prints a SKIPPED notice (exit 0) when clang++ is not installed; the
+    # ctest `analysis` label turns the same notice into an explicit Skipped.
+    python3 tools/elephant_analyze --build-dir build
+    continue
+  fi
   if [ "$preset" = recovery ]; then
     echo "=== [$preset] build ==================================================="
     cmake --preset default

@@ -7,12 +7,13 @@ arguments depend on:
   raw-page-api      FetchPage / NewPage / UnpinPage outside the buffer pool
                     and PageGuard implementation. Engine code must hold pages
                     through PageGuard (RAII unpin) so pin leaks are impossible
-                    by construction.
+                    by construction. FALLBACK RULE — see below.
   raw-mutex         std::mutex / std::condition_variable / std::lock_guard /
                     std::unique_lock / std::scoped_lock / std::shared_mutex in
                     src/. Engine code must use the annotated Mutex / MutexLock
                     / CondVar from common/thread_annotations.h so Clang's
                     -Wthread-safety analysis sees every lock.
+                    FALLBACK RULE — see below.
   unguarded-mutex   A Mutex member declared in a header whose file contains no
                     GUARDED_BY(that_mutex) annotation — a capability nothing
                     is guarded by is almost always a forgotten annotation.
@@ -42,6 +43,16 @@ arguments depend on:
                     silently breaks redo idempotence and the WAL rule.
                     Everything else mutates heaps through the wal:: helpers
                     (InsertTxn / DeleteRowTxn / UpdateRowTxn).
+                    FALLBACK RULE — see below.
+
+Fallback rules: raw-page-api, raw-mutex and wal-protocol are regex
+approximations of protocols the AST analyzer (tools/elephant_analyze)
+checks precisely — clang's thread-safety analysis plus the lock-rank,
+page-escape and wal-order checkers subsume them. When clang++ is installed
+the AST layer is authoritative and these rules are retired for the normal
+lint run (a notice says so); when clang++ is absent they stay active as the
+fallback enforcement. --self-test always exercises ALL rules in both
+environments, and --force-fallback re-activates them with clang present.
 
 Suppress a finding with a trailing or preceding-line comment:
 
@@ -89,6 +100,12 @@ RULES = (
     "wal-protocol",
 )
 
+# Regex approximations of protocols tools/elephant_analyze proves at AST
+# level (via clang -Wthread-safety and the lock-rank / page-escape /
+# wal-order checkers). Active only when clang++ is unavailable — the
+# fallback enforcement — or under --force-fallback / --self-test.
+FALLBACK_RULES = frozenset({"raw-page-api", "raw-mutex", "wal-protocol"})
+
 # Directories (top-level under src/) allowed to touch the statement registry:
 # obs/ implements it, engine/ records into it and serves the virtual tables.
 STAT_STATEMENTS_ALLOWED_DIRS = {"obs", "engine"}
@@ -127,7 +144,10 @@ RAW_MUTEX_RE = re.compile(
     r"shared_lock)\b"
 )
 
-MUTEX_MEMBER_RE = re.compile(r"^\s*(?:mutable\s+)?Mutex\s+(\w+)\s*;")
+# Matches both unranked (`Mutex mu_;`) and ranked
+# (`Mutex mu_{LockRank::kBufferPool, "..."};`) member declarations.
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?Mutex\s+(\w+)\s*(?:\{[^}]*\})?\s*;")
 
 NAKED_NEW_ANY_RE = re.compile(r"\bnew\s+[A-Za-z_:<(]")
 # A `new` is fine when immediately owned: the argument of a smart-pointer
@@ -490,15 +510,37 @@ def main():
                     help="lint the seeded fixtures instead of src/")
     ap.add_argument("--clang-tidy", metavar="BUILD_DIR", default=None,
                     help="also run clang-tidy over compile_commands.json")
+    ap.add_argument("--force-fallback", action="store_true",
+                    help="keep the fallback rules active even when clang++ "
+                         "is installed")
     args = ap.parse_args()
 
     root = args.root or os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))
 
     if args.self_test:
+        # The self-test always exercises every rule, fallback ones included:
+        # the fixtures prove the regex layer still works in a clang-less
+        # environment regardless of what this machine has installed.
         return run_self_test(root)
 
-    findings = run_lint(root)
+    fallback_active = args.force_fallback or shutil.which("clang++") is None
+    if fallback_active:
+        active_rules = set(RULES)
+        print("elephant_lint: fallback mode — clang++ "
+              + ("override (--force-fallback)" if args.force_fallback
+                 else "not found")
+              + "; regex rules " + ", ".join(sorted(FALLBACK_RULES))
+              + " enforce what tools/elephant_analyze would prove at AST "
+                "level")
+    else:
+        active_rules = set(RULES) - FALLBACK_RULES
+        print("elephant_lint: clang++ present — retired fallback rules "
+              + ", ".join(sorted(FALLBACK_RULES))
+              + " (tools/elephant_analyze and -Wthread-safety are "
+                "authoritative); run with --force-fallback to re-enable")
+
+    findings = [f for f in run_lint(root) if f.rule in active_rules]
     for f in findings:
         print(f)
     rc = 0

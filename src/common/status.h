@@ -39,7 +39,14 @@ const char* StatusCodeName(StatusCode code);
 /// Status s = table->Insert(row);
 /// if (!s.ok()) return s;
 /// ```
-class Status {
+///
+/// `[[nodiscard]]`: a dropped Status is a silently swallowed failure — in
+/// the WAL/commit paths it is the difference between "durable" and
+/// "acknowledged but lost". Every producer must be consumed; genuinely
+/// intentional discards are spelled `(void)expr;` with a
+/// `// lint:allow(discarded-status): reason` justification, which
+/// tools/elephant_analyze verifies.
+class [[nodiscard]] Status {
  public:
   /// Constructs a success status.
   Status() : code_(StatusCode::kOk) {}
@@ -124,7 +131,7 @@ class Status {
 /// Use(r.value());
 /// ```
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a success result holding `value`.
   Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)

@@ -4,6 +4,8 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "common/lock_rank.h"
+
 // Clang thread-safety analysis (-Wthread-safety) macros plus the annotated
 // Mutex / MutexLock / CondVar wrappers every mutex in this engine must use
 // (enforced by scripts/elephant_lint.py: bare std::mutex is banned outside
@@ -72,22 +74,76 @@ namespace elephant {
 /// the `capability` attribute so Clang can check the locking discipline of
 /// everything GUARDED_BY it. Exposes both CamelCase engine spellings and the
 /// std BasicLockable interface (lock/unlock), so a CondVar can block on it.
+///
+/// A Mutex may additionally carry a LockRank and a name (see
+/// common/lock_rank.h): ranked mutexes are validated at runtime against the
+/// engine-wide acquisition order, and the process aborts — naming both locks
+/// — on the first inversion. Default-constructed mutexes are unranked and
+/// exempt. CondVar::Wait composes cleanly: the wait releases and reacquires
+/// through lock()/unlock(), so the held-rank stack stays accurate across it.
 class CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  Mutex(LockRank rank, const char* name) : rank_(rank), name_(name) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() ACQUIRE() {
+    RankCheckAcquire();
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    RankCheckRelease();
+    mu_.unlock();
+  }
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    RankCheckTryAcquire();
+    return true;
+  }
 
   // BasicLockable interface (std interop; same capability semantics).
-  void lock() ACQUIRE() { mu_.lock(); }
-  void unlock() RELEASE() { mu_.unlock(); }
+  void lock() ACQUIRE() {
+    RankCheckAcquire();
+    mu_.lock();
+  }
+  void unlock() RELEASE() {
+    RankCheckRelease();
+    mu_.unlock();
+  }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
 
  private:
+#ifndef ELEPHANT_NO_LOCK_RANK_CHECKS
+  // The acquire check runs *before* blocking on the std::mutex so an
+  // inversion aborts loudly instead of deadlocking quietly; the release
+  // hook pops before unlocking so the stack never understates what's held.
+  void RankCheckAcquire() {
+    if (rank_ != LockRank::kUnranked) {
+      lock_rank::OnAcquire(this, rank_, name_);
+    }
+  }
+  void RankCheckTryAcquire() {
+    if (rank_ != LockRank::kUnranked) {
+      lock_rank::OnTryAcquire(this, rank_, name_);
+    }
+  }
+  void RankCheckRelease() {
+    if (rank_ != LockRank::kUnranked) {
+      lock_rank::OnRelease(this, name_);
+    }
+  }
+#else
+  void RankCheckAcquire() {}
+  void RankCheckTryAcquire() {}
+  void RankCheckRelease() {}
+#endif
+
   std::mutex mu_;
+  LockRank rank_ = LockRank::kUnranked;
+  const char* name_ = "unranked";
 };
 
 /// RAII lock for Mutex, annotated as a scoped capability so the analysis

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 
@@ -81,7 +82,16 @@ Database::Database(DatabaseOptions options) : options_(options) {
                                        &heatmap_);
   catalog_ = std::make_unique<Catalog>(pool_.get());
   if (options_.wal_enabled) InitWalMachinery();
-  RegisterSystemTables();
+  Status reg = RegisterSystemTables();
+  if (!reg.ok()) {
+    // A fresh catalog cannot collide with the reserved elephant_stat_ names;
+    // failure here means the engine itself is broken, and constructors
+    // cannot report errors — fail loudly rather than run without the
+    // introspection tables callers were promised.
+    std::fprintf(stderr, "RegisterSystemTables failed: %s\n",
+                 reg.ToString().c_str());
+    std::abort();
+  }
 }
 
 Database::Database(DatabaseOptions options, ReopenTag) : options_(options) {
@@ -122,7 +132,7 @@ Result<std::unique_ptr<Database>> Database::Reopen(DatabaseOptions options,
   db->catalog_->EnableWalStorage();
   db->pool_->SetWalFlushCallback(
       [log = db->log_.get()](lsn_t lsn) { return log->FlushUntil(lsn); });
-  db->RegisterSystemTables();
+  ELE_RETURN_NOT_OK(db->RegisterSystemTables());
 
   // The meta page names the checkpoint to redo from and carries the catalog
   // as of that checkpoint (DDL checkpoints eagerly, so the blob is always
@@ -209,7 +219,7 @@ DurableImage Database::CloneDurableImage() const {
   return image;
 }
 
-void Database::RegisterSystemTables() {
+Status Database::RegisterSystemTables() {
   using obs::HexHash;
   const auto i64 = [](uint64_t v) {
     return Value::Int64(static_cast<int64_t>(v));
@@ -239,7 +249,7 @@ void Database::RegisterSystemTables() {
         Column("io_prefetch_hits", TypeId::kInt64),
         Column("io_prefetch_wasted", TypeId::kInt64),
     });
-    catalog_->RegisterVirtualTable(
+    ELE_RETURN_NOT_OK(catalog_->RegisterVirtualTable(
             "elephant_stat_statements", std::move(schema),
             [this, i64]() -> Result<std::vector<Row>> {
               std::vector<Row> rows;
@@ -268,7 +278,7 @@ void Database::RegisterSystemTables() {
                 });
               }
               return rows;
-            });
+            }));
   }
 
   // elephant_stat_buffer_pool: one row of pool occupancy + counters.
@@ -284,7 +294,7 @@ void Database::RegisterSystemTables() {
         Column("scan_ring_promotions", TypeId::kInt64),
         Column("pin_protocol_errors", TypeId::kInt64),
     });
-    catalog_->RegisterVirtualTable(
+    ELE_RETURN_NOT_OK(catalog_->RegisterVirtualTable(
             "elephant_stat_buffer_pool", std::move(schema),
             [this, i64]() -> Result<std::vector<Row>> {
               const BufferPoolStats s = pool_->stats();
@@ -299,7 +309,7 @@ void Database::RegisterSystemTables() {
                   i64(s.scan_ring_promotions),
                   i64(s.pin_protocol_errors),
               }};
-            });
+            }));
   }
 
   // elephant_stat_io: one row of engine-global disk counters.
@@ -314,7 +324,7 @@ void Database::RegisterSystemTables() {
         Column("prefetch_wasted", TypeId::kInt64),
         Column("modeled_seconds", TypeId::kDouble),
     });
-    catalog_->RegisterVirtualTable(
+    ELE_RETURN_NOT_OK(catalog_->RegisterVirtualTable(
             "elephant_stat_io", std::move(schema),
             [this, i64]() -> Result<std::vector<Row>> {
               const IoStats io = disk_->stats();
@@ -328,7 +338,7 @@ void Database::RegisterSystemTables() {
                   i64(io.readahead.prefetch_wasted),
                   Value::Double(options_.disk_model.Seconds(io)),
               }};
-            });
+            }));
   }
 
   // elephant_stat_heatmap: one row per storage object.
@@ -343,7 +353,7 @@ void Database::RegisterSystemTables() {
         Column("page_writes", TypeId::kInt64),
         Column("modeled_read_seconds", TypeId::kDouble),
     });
-    catalog_->RegisterVirtualTable(
+    ELE_RETURN_NOT_OK(catalog_->RegisterVirtualTable(
             "elephant_stat_heatmap", std::move(schema),
             [this, i64]() -> Result<std::vector<Row>> {
               std::vector<Row> rows;
@@ -360,7 +370,7 @@ void Database::RegisterSystemTables() {
                 });
               }
               return rows;
-            });
+            }));
   }
 
   // elephant_stat_scheduler: one row; zeros until the worker pool spins up.
@@ -372,7 +382,7 @@ void Database::RegisterSystemTables() {
         Column("busy_seconds", TypeId::kDouble),
         Column("utilization", TypeId::kDouble),
     });
-    catalog_->RegisterVirtualTable(
+    ELE_RETURN_NOT_OK(catalog_->RegisterVirtualTable(
             "elephant_stat_scheduler", std::move(schema),
             [this, i64]() -> Result<std::vector<Row>> {
               MutexLock lock(workers_mu_);
@@ -395,7 +405,7 @@ void Database::RegisterSystemTables() {
                   Value::Double(capacity > 0 ? workers_->BusySeconds() / capacity
                                              : 0),
               }};
-            });
+            }));
   }
 
   // elephant_stat_wal: one row of log + recovery counters. Registered in
@@ -416,7 +426,7 @@ void Database::RegisterSystemTables() {
         Column("recovery_clrs_written", TypeId::kInt64),
         Column("recovery_torn_tail", TypeId::kInt64),
     });
-    catalog_->RegisterVirtualTable(
+    ELE_RETURN_NOT_OK(catalog_->RegisterVirtualTable(
             "elephant_stat_wal", std::move(schema),
             [this, i64]() -> Result<std::vector<Row>> {
               const wal::WalStats ws =
@@ -437,7 +447,7 @@ void Database::RegisterSystemTables() {
                   i64(recovery_stats_.clrs_written),
                   i64(recovery_stats_.torn_tail ? 1 : 0),
               }};
-            });
+            }));
   }
 
   // elephant_stat_transactions: one row of transaction-manager counters.
@@ -449,7 +459,7 @@ void Database::RegisterSystemTables() {
         Column("active", TypeId::kInt64),
         Column("lock_timeouts", TypeId::kInt64),
     });
-    catalog_->RegisterVirtualTable(
+    ELE_RETURN_NOT_OK(catalog_->RegisterVirtualTable(
             "elephant_stat_transactions", std::move(schema),
             [this, i64]() -> Result<std::vector<Row>> {
               const txn::TxnStats s =
@@ -461,8 +471,9 @@ void Database::RegisterSystemTables() {
                   i64(s.active),
                   i64(s.lock_timeouts),
               }};
-            });
+            }));
   }
+  return Status::OK();
 }
 
 std::string Database::ExportMetrics() {
@@ -813,7 +824,8 @@ Result<QueryResult> Database::Execute(const std::string& sql,
           if (ts->txn == nullptr) {
             lock_mgr_->ReleaseAll(locker);
           } else if (ts->txn->state == txn::TxnState::kActive) {
-            AbortTxn(ts->txn.get(), sql, ts);
+            return CombineWithRollbackFailure(
+                prep, AbortTxn(ts->txn.get(), sql, ts));
           }
           return prep;
         }
@@ -834,7 +846,8 @@ Result<QueryResult> Database::Execute(const std::string& sql,
       }
       if (!r.ok()) {
         if (ts->txn != nullptr && ts->txn->state == txn::TxnState::kActive) {
-          AbortTxn(ts->txn.get(), sql, ts);
+          return CombineWithRollbackFailure(
+              r.status(), AbortTxn(ts->txn.get(), sql, ts));
         }
         return r.status();
       }
@@ -970,19 +983,35 @@ Status Database::CheckNotInAbortedTxn(const SessionTxnState& state,
       "\"");
 }
 
-void Database::AbortTxn(txn::Transaction* t, const std::string& sql,
-                        SessionTxnState* state) {
+Status Database::AbortTxn(txn::Transaction* t, const std::string& sql,
+                          SessionTxnState* state) {
   // The failed statement already poisoned the transaction's effects, so roll
   // back now rather than waiting for the client's ROLLBACK. An explicit
   // transaction then parks in kAborted limbo (PostgreSQL-style): every later
   // statement is rejected until the client acknowledges with ROLLBACK or
   // COMMIT. An implicit (autocommit) transaction just dies.
-  (void)state;
-  (void)txn_mgr_->Rollback(t);
+  (void)state;  // lint:allow(discarded-status): not a Status — unused param kept for call-site symmetry
+  Status rb = txn_mgr_->Rollback(t);
+  if (!rb.ok()) {
+    // An incomplete rollback means uncommitted changes may still be visible
+    // until recovery replays the WAL. This must never be silent: count it
+    // and hand the status to the caller to fold into the client's error.
+    metrics_.GetCounter("txn.rollback_failures_total")->Increment();
+  }
   if (!t->implicit()) {
     t->state = txn::TxnState::kAborted;
     t->failed_statement = sql;
   }
+  return rb;
+}
+
+Status Database::CombineWithRollbackFailure(const Status& primary,
+                                            const Status& rollback) {
+  if (rollback.ok()) return primary;
+  return Status(primary.code(),
+                primary.message() + " (rollback also failed: " +
+                    rollback.ToString() +
+                    "; uncommitted changes may persist until recovery)");
 }
 
 Result<QueryResult> Database::ExecuteTxnControl(StatementKind kind,
@@ -1142,11 +1171,14 @@ Result<QueryResult> Database::ExecuteDml(const Statement& stmt,
   Result<uint64_t> changed = run();
   if (!changed.ok()) {
     if (autocommit) {
-      (void)txn_mgr_->Rollback(t);
-    } else {
-      AbortTxn(t, sql, state);
+      Status rb = txn_mgr_->Rollback(t);
+      if (!rb.ok()) {
+        metrics_.GetCounter("txn.rollback_failures_total")->Increment();
+      }
+      return CombineWithRollbackFailure(changed.status(), rb);
     }
-    return changed.status();
+    return CombineWithRollbackFailure(changed.status(),
+                                      AbortTxn(t, sql, state));
   }
   catalog_->MarkDependentsStale(table->name());
   if (autocommit) {

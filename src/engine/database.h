@@ -239,7 +239,7 @@ class Database {
 
   /// Registers the `elephant_stat_*` virtual system tables in the catalog
   /// (providers capture `this`; the catalog dies before the engine state).
-  void RegisterSystemTables();
+  Status RegisterSystemTables();
 
   /// Creates the WAL machinery (log, lock manager, transaction manager),
   /// reserves the meta page, and wires the WAL rule into the buffer pool.
@@ -250,10 +250,18 @@ class Database {
   Status CheckNotInAbortedTxn(const SessionTxnState& state,
                               const std::string& sql) const;
 
-  /// Rolls `t` back and, for an explicit transaction, parks it in kAborted
-  /// limbo recording `sql` as the statement that killed it.
-  void AbortTxn(txn::Transaction* t, const std::string& sql,
-                SessionTxnState* state);
+  /// Rolls `t` back after a failed statement and, for an explicit
+  /// transaction, parks it in kAborted limbo recording `sql` as the
+  /// statement that killed it. Returns the rollback's own status (non-OK
+  /// when undo was incomplete — callers fold it into the client error via
+  /// CombineWithRollbackFailure so it is never silent).
+  Status AbortTxn(txn::Transaction* t, const std::string& sql,
+                  SessionTxnState* state);
+
+  /// Appends a rollback failure to a primary statement error (no-op when the
+  /// rollback succeeded).
+  static Status CombineWithRollbackFailure(const Status& primary,
+                                           const Status& rollback);
 
   /// BEGIN / COMMIT / ROLLBACK / CHECKPOINT.
   Result<QueryResult> ExecuteTxnControl(StatementKind kind,
@@ -304,7 +312,7 @@ class Database {
   obs::QueryLog query_log_;
   const std::chrono::steady_clock::time_point created_at_ =
       std::chrono::steady_clock::now();
-  Mutex workers_mu_;
+  Mutex workers_mu_{LockRank::kDatabaseWorkers, "Database::workers_mu_"};
   std::unique_ptr<sched::ThreadPool> workers_ GUARDED_BY(workers_mu_);
 };
 

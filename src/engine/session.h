@@ -121,7 +121,7 @@ class SessionManager {
  private:
   Database* db_;
   sched::ThreadPool pool_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kSessionManager, "SessionManager::mu_"};
   std::vector<std::unique_ptr<Session>> sessions_ GUARDED_BY(mu_);
 };
 

@@ -100,7 +100,7 @@ class AccessHeatmap {
   std::string ToString(const DiskModel& model) const;
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kHeatmap, "Heatmap::mu_"};
   std::map<std::string, ObjectIoStats> objects_ GUARDED_BY(mu_);
 };
 

@@ -85,7 +85,7 @@ class Histogram {
   HistogramSnapshot Snapshot() const;
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kMetricsHistogram, "Histogram::mu_"};
   std::vector<double> bounds_;  ///< ascending upper bounds; immutable after
                                 ///< the constructor, so reads skip the lock
   std::vector<uint64_t> buckets_ GUARDED_BY(mu_);  ///< bounds_.size() + 1 entries
@@ -129,7 +129,7 @@ class MetricsRegistry {
   static MetricsRegistry& Global();
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kMetricsRegistry, "MetricsRegistry::mu_"};
   std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Histogram>> histograms_ GUARDED_BY(mu_);

@@ -63,7 +63,7 @@ class QueryLog {
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kQueryLog, "QueryLog::mu_"};
   std::FILE* file_ GUARDED_BY(mu_) = nullptr;
   double threshold_seconds_ GUARDED_BY(mu_) = 0;
   uint64_t entries_written_ GUARDED_BY(mu_) = 0;

@@ -165,7 +165,7 @@ class StatStatements {
   using Key = std::pair<uint64_t, uint64_t>;  ///< fingerprint, plan_hash
 
   const size_t capacity_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kStatStatements, "StatStatements::mu_"};
   /// Front = most recently used; `index_` points into the list.
   std::list<StatementStats> entries_ GUARDED_BY(mu_);
   std::map<Key, std::list<StatementStats>::iterator> index_ GUARDED_BY(mu_);

@@ -106,7 +106,7 @@ class TraceLog {
   std::atomic<uint64_t> next_id_{0};
   const std::chrono::steady_clock::time_point t0_ =
       std::chrono::steady_clock::now();
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kTraceLog, "TraceLog::mu_"};
   std::vector<TraceEvent> events_ GUARDED_BY(mu_);
   size_t capacity_ GUARDED_BY(mu_) = kMaxEvents;
   size_t dropped_ GUARDED_BY(mu_) = 0;

@@ -47,7 +47,7 @@ class TaskGroup {
 
   ThreadPool* pool_;
   std::atomic<bool> cancelled_{false};
-  Mutex mu_;
+  Mutex mu_{LockRank::kTaskGroup, "TaskGroup::mu_"};
   Status first_error_ GUARDED_BY(mu_);
   /// Touched only by the owning thread (Submit/Wait are single-caller by
   /// contract), never by pool workers, so it needs no guard.

@@ -70,7 +70,7 @@ class ThreadPool {
   void WorkerLoop(size_t worker_index);
 
   const std::string name_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kScheduler, "ThreadPool::mu_"};
   CondVar cv_;
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   bool stop_ GUARDED_BY(mu_) = false;

@@ -198,7 +198,7 @@ class BufferPool {
   /// Removes the frame from whichever replacement list holds it.
   void RemoveFromReplacer(size_t frame_idx) REQUIRES(latch_);
 
-  mutable Mutex latch_;
+  mutable Mutex latch_{LockRank::kBufferPool, "BufferPool::latch_"};
   DiskManager* const disk_;
   const uint32_t capacity_;
   obs::AccessHeatmap* const heatmap_;

@@ -55,6 +55,10 @@ Status DiskManager::ReadPage(page_id_t page_id, char* dest,
       return Status::OutOfRange("read of unallocated page " +
                                 std::to_string(page_id));
     }
+    if (injector_ != nullptr && !injector_->OnPageRead()) {
+      return Status::IoError("injected read fault on page " +
+                             std::to_string(page_id));
+    }
     clock_++;
     int hit = -1;
     int lru = 0;

@@ -329,7 +329,7 @@ class DiskManager {
                          uint64_t* pages_prefetched) REQUIRES(mu_);
 
   obs::AccessHeatmap* const heatmap_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kDiskManager, "DiskManager::mu_"};
   std::vector<std::unique_ptr<char[]>> pages_ GUARDED_BY(mu_);
   IoStats stats_ GUARDED_BY(mu_);
   StreamPos streams_[kReadStreams] GUARDED_BY(mu_);

@@ -87,6 +87,22 @@ class FaultInjector {
     return true;
   }
 
+  /// Consulted before a page read is served. Reads normally survive a crash
+  /// plan (the platter is intact, only new durability is lost); they fail
+  /// only while `FailReads(true)` is armed — a dying disk surface. Exists so
+  /// tests can force failures on paths that only read (e.g. rollback undo
+  /// re-fetching an evicted heap page) and prove those errors are surfaced.
+  bool OnPageRead() {
+    MutexLock lock(mu_);
+    return !fail_reads_;
+  }
+
+  /// Arms/disarms read failures (independent of the crash plan).
+  void FailReads(bool fail) {
+    MutexLock lock(mu_);
+    fail_reads_ = fail;
+  }
+
   bool crashed() const {
     MutexLock lock(mu_);
     return crashed_;
@@ -105,10 +121,11 @@ class FaultInjector {
   }
 
   const FaultPlan plan_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kFaultInjector, "FaultInjector::mu_"};
   uint64_t ops_ GUARDED_BY(mu_) = 0;
   uint64_t syncs_ GUARDED_BY(mu_) = 0;
   bool crashed_ GUARDED_BY(mu_) = false;
+  bool fail_reads_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace elephant

@@ -55,7 +55,7 @@ class LockManager {
 
   bool Grantable(const Entry& e, txn_id_t locker, Mode mode) const REQUIRES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kTxnLockManager, "LockManager::mu_"};
   CondVar cv_;
   std::map<std::string, Entry> locks_ GUARDED_BY(mu_);
   uint64_t timeouts_ GUARDED_BY(mu_) = 0;

@@ -62,7 +62,7 @@ class TransactionManager {
   wal::LogManager* const log_;
   BufferPool* const pool_;
   LockManager* const locks_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kTxnManager, "TransactionManager::mu_"};
   txn_id_t next_id_ GUARDED_BY(mu_) = 1;
   TxnStats stats_ GUARDED_BY(mu_);
 };

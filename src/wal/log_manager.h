@@ -111,7 +111,7 @@ class LogManager {
   Status FlushLocked(lsn_t lsn) REQUIRES(mu_);
 
   DiskManager* const disk_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kLogManager, "LogManager::mu_"};
   std::string buffer_ GUARDED_BY(mu_);  ///< entire log; [0, durable_bytes_) is on "disk"
   uint64_t durable_bytes_ GUARDED_BY(mu_) = 0;
   WalStats stats_ GUARDED_BY(mu_);

@@ -1,0 +1,37 @@
+// Seeded violation for elephant_analyze's `blocking-under-latch` checker.
+// The paired AST dump (ast_bad_blocking_under_latch.json) renders this
+// file: the buffer-pool latch — the lock every page lookup in the engine
+// funnels through — is held across a condition wait, once inline and once
+// through an innocent-looking helper. The checker must catch both, the
+// second one transitively through the call graph. Never compiled; the JSON
+// is what the self-test consumes.
+
+#include "common/thread_annotations.h"
+
+namespace elephant {
+
+class Pool {
+  Mutex latch_{LockRank::kBufferPool, "Pool::latch_"};
+  CondVar cv_;
+
+ public:
+  void WaitDirect() {
+    MutexLock lock(latch_);
+    // VIOLATION: an unbounded block while every FetchPage in the process
+    cv_.Wait(latch_);  // queues up behind this latch.
+  }
+
+  void WaitTransitive() {
+    MutexLock lock(latch_);
+    // VIOLATION (transitive): the callee parks on the condvar.
+    DrainBacklog();
+  }
+
+ private:
+  void DrainBacklog() {
+    // Fine on its own — the caller above makes it a protocol violation.
+    cv_.WaitFor(latch_, 0.1);
+  }
+};
+
+}  // namespace elephant

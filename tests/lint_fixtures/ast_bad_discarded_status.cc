@@ -1,0 +1,19 @@
+// Seeded violation for elephant_analyze's `discarded-status` checker. The
+// committed AST dump (ast_bad_discarded_status.json) is the clang
+// -ast-dump=json rendering of this file; the checker must flag BOTH the
+// plainly ignored Status call and the unjustified (void) launder below.
+// Never compiled — the paired JSON is what the self-test consumes.
+
+#include "common/status.h"
+
+namespace elephant {
+
+void WalUser::Ignore() {
+  // Finding 1: the returned Status evaporates at the semicolon.
+  Commit();
+
+  // Finding 2: laundered through (void) with no lint:allow justification.
+  (void)Prepare();
+}
+
+}  // namespace elephant

@@ -1,0 +1,35 @@
+// Seeded violation for elephant_analyze's `lock-rank` checker. The paired
+// AST dump (ast_bad_lock_rank.json) renders this file: two classes nest the
+// same two ranked mutexes in OPPOSITE orders. The checker must report both
+// the rank inversion (kDiskManager held while acquiring kTxnManager) and
+// the resulting Txn::mu_ <-> Store::mu_ cycle — the classic two-thread
+// deadlock. Never compiled; the JSON is what the self-test consumes.
+
+#include "common/thread_annotations.h"
+
+namespace elephant {
+
+class Txn {
+  Mutex mu_{LockRank::kTxnManager, "Txn::mu_"};
+  Store* store_;
+
+ public:
+  void ForwardNesting() {
+    MutexLock a(mu_);          // rank 350
+    MutexLock b(store_->mu_);  // rank 600: increasing — this one is fine
+  }
+};
+
+class Store {
+  friend class Txn;
+  Mutex mu_{LockRank::kDiskManager, "Store::mu_"};
+  Txn* txn_;
+
+ public:
+  void BackwardNesting() {
+    MutexLock a(mu_);        // rank 600
+    MutexLock b(txn_->mu_);  // rank 350: INVERSION — closes the cycle
+  }
+};
+
+}  // namespace elephant

@@ -1,0 +1,24 @@
+// Seeded violation for elephant_analyze's `page-escape` checker. The paired
+// AST dump (ast_bad_page_escape.json) renders this file: a raw Page*
+// obtained from a PageGuard escapes the guard's scope twice — once returned
+// to the caller, once stashed in a member. Either way the guard's
+// destructor drops the pin at scope exit and the frame can be evicted and
+// remapped under the escaped pointer. Never compiled; the JSON is what the
+// self-test consumes.
+
+#include "storage/page_guard.h"
+
+namespace elephant {
+
+Page* Scanner::LeakByReturn() {
+  // VIOLATION: the pin dies with `guard` at the closing brace below.
+  return guard.page();
+}
+
+void Scanner::LeakByMember() {
+  // VIOLATION: a member outlives the guard; the cached pointer dangles as
+  // soon as this method returns.
+  cached_page_ = guard.page();
+}
+
+}  // namespace elephant

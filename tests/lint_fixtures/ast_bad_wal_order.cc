@@ -1,0 +1,20 @@
+// Seeded violation for elephant_analyze's `wal-order` checker. The paired
+// AST dump (ast_bad_wal_order.json) renders this file: the page is stamped
+// with an LSN BEFORE the WAL record exists. If the no-force buffer pool
+// flushes that page in the gap, its pageLSN points past the durable end of
+// the log and recovery's redo test misfires. Never compiled; the JSON is
+// what the self-test consumes.
+
+#include "wal/log_manager.h"
+
+namespace elephant {
+
+void HeapWriter::StampFirst() {
+  // VIOLATION: stamping with an LSN whose record was never appended yet.
+  page_->SetPageLsn(next_lsn_);
+
+  // The append happens after the stamp — exactly backwards.
+  log_->Append(rec_);
+}
+
+}  // namespace elephant

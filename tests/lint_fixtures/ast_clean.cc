@@ -1,0 +1,49 @@
+// Clean counterpart for elephant_analyze's AST checkers: every protocol the
+// seeded ast_bad_* fixtures violate is exercised here done RIGHT, and the
+// self-test requires the checkers to stay completely silent on the paired
+// dump (ast_clean.json). Never compiled; the JSON is what the test reads.
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "storage/page_guard.h"
+#include "wal/log_manager.h"
+
+namespace elephant {
+
+void CleanUser::GoodNesting() {
+  MutexLock a(mu_low_);   // kTxnManager (350)
+  MutexLock b(mu_high_);  // kDiskManager (600): strictly increasing
+}
+
+void CleanUser::GoodNestingViaCall() {
+  MutexLock a(mu_low_);
+  TakeHigh();  // transitively acquires the higher rank: still increasing
+}
+
+void CleanUser::TakeHigh() {
+  MutexLock b(mu_high_);
+}
+
+void CleanUser::GoodWal() {
+  const lsn_t lsn = log_->Append(rec_);  // record first...
+  page_->SetPageLsn(lsn);                // ...then the stamp
+}
+
+void CleanUser::GoodBlocking() {
+  {
+    MutexLock lock(latch_);  // kBufferPool latch confined to its own scope
+  }
+  Status s = log_->FlushUntil(9);  // fsync happens after the latch dropped
+}
+
+void CleanUser::GoodEscape() {
+  Page* p = guard_.page();  // borrowed locally, never outlives the guard
+  Use(p);
+}
+
+void CleanUser::GoodLaunder() {
+  // Closing a scratch session; the Status genuinely does not matter here.
+  (void)Cleanup();  // lint:allow(discarded-status): fixture — failure is irrelevant by design
+}
+
+}  // namespace elephant

@@ -215,7 +215,11 @@ TEST(BufferPoolConcurrencyTest, EvictAllRacesWithFetchers) {
     });
   }
   for (int i = 0; i < 50; i++) {
-    pool.EvictAll();  // may fail while pages are pinned — must not corrupt
+    // Eviction racing live fetches may find pinned pages — that exact code
+    // (FailedPrecondition) is the only acceptable failure; anything else
+    // (IoError, Internal) means the race corrupted the pool.
+    Status evict = pool.EvictAll();
+    ASSERT_TRUE(evict.ok() || evict.IsFailedPrecondition()) << evict.ToString();
     std::this_thread::yield();
   }
   stop.store(true, std::memory_order_relaxed);

@@ -3,6 +3,7 @@
 #include "engine/database.h"
 #include "engine/session.h"
 #include "mv/view.h"
+#include "storage/fault_injection.h"
 #include "txn/lock_manager.h"
 
 namespace elephant {
@@ -113,6 +114,33 @@ TEST_F(TxnTest, FailedStatementAbortsTransaction) {
 
   Exec("ROLLBACK");
   EXPECT_EQ(Count("t"), 0u);  // the pre-failure insert rolled back too
+}
+
+TEST_F(TxnTest, RollbackFailureSurfacedNotSwallowed) {
+  Exec("INSERT INTO t VALUES (1, 'a'), (2, 'b')");
+  Exec("BEGIN");
+  Exec("UPDATE t SET v = 'x' WHERE id = 1");
+  // Push the dirtied heap page out of the pool so rollback's heap undo must
+  // re-read it from disk.
+  ASSERT_TRUE(db_->EvictCaches().ok());
+  FaultInjector injector{FaultPlan{}};
+  db_->SetFaultInjector(&injector);
+  injector.FailReads(true);
+  // The next statement dies on the injected read fault, aborting the
+  // transaction — and rollback's heap undo then hits the same fault, so the
+  // rollback itself is incomplete. Before the [[nodiscard]] sweep that
+  // second failure was discarded with (void): the client saw only the
+  // statement error while uncommitted changes silently stayed in the heap.
+  auto r = db_->Execute("UPDATE t SET v = 'y' WHERE id = 2");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("rollback also failed"),
+            std::string::npos)
+      << r.status().ToString();
+  EXPECT_EQ(db_->metrics().GetCounter("txn.rollback_failures_total")->value(),
+            1u);
+  injector.FailReads(false);
+  db_->SetFaultInjector(nullptr);
+  Exec("ROLLBACK");  // closes the limbo transaction
 }
 
 TEST_F(TxnTest, CommitOfAbortedTransactionJustClosesIt) {

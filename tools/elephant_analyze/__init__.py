@@ -1,0 +1,5 @@
+"""AST-level protocol analyzer for the elephant engine.
+
+See __main__.py for the CLI and checkers.py for the checker catalog.
+Run as: python3 tools/elephant_analyze --self-test
+"""

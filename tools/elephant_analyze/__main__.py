@@ -1,0 +1,234 @@
+"""elephant_analyze — AST-level protocol analyzer for the elephant engine.
+
+Runs the protocol checkers in checkers.py over clang AST dumps
+(`clang++ -Xclang -ast-dump=json`). Three modes:
+
+  --build-dir BUILD   live mode: analyze every src/ TU listed in BUILD's
+                      compile_commands.json (the `analyze` CMake preset
+                      writes one). When clang++ is not installed this SKIPS
+                      LOUDLY and exits 0 — the regex fallback rules in
+                      scripts/elephant_lint.py then carry the invariants —
+                      mirroring how scripts/check.sh treats the analyze
+                      preset itself.
+  --ast-json FILE...  run the checkers over pre-dumped AST JSON files.
+  --self-test         run every checker against the seeded-violation AST
+                      fixtures in tests/lint_fixtures/: each ast_bad_* dump
+                      must trip exactly its checker, and ast_clean.json
+                      must trip none. Exercises full checker logic with no
+                      clang needed, so it runs in every environment.
+
+Exit codes: 0 clean (or loud skip), 1 findings / self-test failure,
+2 usage or infrastructure error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shlex
+import shutil
+import subprocess
+import sys
+
+try:
+    from checkers import Context, make_checkers
+except ImportError:
+    from .checkers import Context, make_checkers
+
+SKIP_NOTICE = ("elephant_analyze: SKIPPED — clang++ not found; AST protocol "
+               "checks unavailable (regex fallback rules in "
+               "scripts/elephant_lint.py remain active)")
+
+# checker name -> seeded-violation fixture (tests/lint_fixtures/)
+FIXTURES = {
+    "discarded-status": "ast_bad_discarded_status.json",
+    "lock-rank": "ast_bad_lock_rank.json",
+    "wal-order": "ast_bad_wal_order.json",
+    "page-escape": "ast_bad_page_escape.json",
+    "blocking-under-latch": "ast_bad_blocking_under_latch.json",
+}
+CLEAN_FIXTURE = "ast_clean.json"
+
+
+def default_root():
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.dirname(os.path.dirname(here))
+
+
+def load_tu(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def run_checkers(tus, ctx):
+    """Feed every TU to every checker; return the combined findings."""
+    checkers = make_checkers()
+    findings = []
+    for tu in tus:
+        for checker in checkers:
+            findings.extend(checker.visit_tu(tu, ctx))
+    for checker in checkers:
+        findings.extend(checker.finish(ctx))
+    return findings
+
+
+def analyze_build_dir(build_dir, ctx):
+    clangxx = shutil.which("clang++")
+    if clangxx is None:
+        print(SKIP_NOTICE)
+        return 0
+    cc_path = os.path.join(build_dir, "compile_commands.json")
+    try:
+        with open(cc_path, encoding="utf-8") as f:
+            entries = json.load(f)
+    except OSError as e:
+        print(f"elephant_analyze: cannot read {cc_path}: {e}", file=sys.stderr)
+        print("  (configure the `analyze` preset first: "
+              "cmake --preset analyze)", file=sys.stderr)
+        return 2
+
+    src_prefix = os.path.join(ctx.root, "src") + os.sep
+    tus = []
+    for entry in entries:
+        file = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry.get("file", "")))
+        if not file.startswith(src_prefix):
+            continue
+        args = entry.get("arguments") or shlex.split(entry.get("command", ""))
+        # Re-drive the TU through clang's frontend only, dumping the AST
+        # instead of producing an object file.
+        cmd = [clangxx]
+        skip_next = False
+        for a in args[1:]:
+            if skip_next:
+                skip_next = False
+                continue
+            if a in ("-c", "-o"):
+                skip_next = a == "-o"
+                continue
+            cmd.append(a)
+        cmd += ["-fsyntax-only", "-Xclang", "-ast-dump=json"]
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              cwd=entry.get("directory") or None)
+        if proc.returncode != 0:
+            print(f"elephant_analyze: clang failed on {file}:\n{proc.stderr}",
+                  file=sys.stderr)
+            return 2
+        tus.append(json.loads(proc.stdout))
+        print(f"  parsed {os.path.relpath(file, ctx.root)}")
+
+    findings = [f for f in run_checkers(tus, ctx)
+                if os.path.normpath(os.path.join(ctx.root, f.file))
+                .startswith(src_prefix) or f.file.startswith(src_prefix)]
+    return report(findings, f"{len(tus)} translation units")
+
+
+def analyze_json_files(paths, ctx):
+    tus = []
+    for path in paths:
+        try:
+            tus.append(load_tu(path))
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"elephant_analyze: cannot load {path}: {e}",
+                  file=sys.stderr)
+            return 2
+    return report(run_checkers(tus, ctx), f"{len(tus)} AST dumps")
+
+
+def report(findings, what):
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"elephant_analyze: {len(findings)} finding(s) across {what}")
+        return 1
+    print(f"elephant_analyze: clean across {what}")
+    return 0
+
+
+def self_test(ctx):
+    """Every checker must catch its seeded fixture and stay quiet on the
+    clean one — proving the checker logic end-to-end without clang."""
+    fixture_dir = os.path.join(ctx.root, "tests", "lint_fixtures")
+    failures = 0
+
+    for checker_name, fixture in sorted(FIXTURES.items()):
+        path = os.path.join(fixture_dir, fixture)
+        try:
+            tu = load_tu(path)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"FAIL  {checker_name}: cannot load {fixture}: {e}")
+            failures += 1
+            continue
+        findings = run_checkers([tu], ctx)
+        mine = [f for f in findings if f.checker == checker_name]
+        others = [f for f in findings if f.checker != checker_name]
+        if not mine:
+            print(f"FAIL  {checker_name}: seeded violation in {fixture} "
+                  "not detected")
+            failures += 1
+        elif others:
+            print(f"FAIL  {checker_name}: {fixture} also tripped "
+                  f"{sorted({f.checker for f in others})} — fixture must "
+                  "isolate one checker")
+            for f in others:
+                print(f"      {f}")
+            failures += 1
+        else:
+            print(f"ok    {checker_name}: {fixture} -> "
+                  f"{len(mine)} finding(s)")
+
+    clean_path = os.path.join(fixture_dir, CLEAN_FIXTURE)
+    try:
+        findings = run_checkers([load_tu(clean_path)], ctx)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL  clean: cannot load {CLEAN_FIXTURE}: {e}")
+        findings, failures = [], failures + 1
+    else:
+        if findings:
+            print(f"FAIL  clean: {CLEAN_FIXTURE} produced "
+                  f"{len(findings)} finding(s):")
+            for f in findings:
+                print(f"      {f}")
+            failures += 1
+        else:
+            print(f"ok    clean: {CLEAN_FIXTURE} -> no findings")
+
+    if failures:
+        print(f"elephant_analyze --self-test: {failures} FAILURE(S)")
+        return 1
+    print("elephant_analyze --self-test: all checkers pass")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="elephant_analyze",
+        description="AST-level protocol analyzer (clang -ast-dump=json)")
+    parser.add_argument("--root", default=default_root(),
+                        help="repository root (default: inferred)")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--build-dir",
+                      help="analyze TUs from BUILD/compile_commands.json "
+                           "(loud skip when clang++ is absent)")
+    mode.add_argument("--ast-json", nargs="+", metavar="FILE",
+                      help="analyze pre-dumped clang AST JSON files")
+    mode.add_argument("--self-test", action="store_true",
+                      help="verify every checker against the seeded "
+                           "fixtures in tests/lint_fixtures/")
+    args = parser.parse_args(argv)
+
+    ctx = Context(os.path.abspath(args.root))
+    if not ctx.rank_values:
+        print("elephant_analyze: warning: could not parse LockRank values "
+              "from src/common/lock_rank.h", file=sys.stderr)
+
+    if args.self_test:
+        return self_test(ctx)
+    if args.ast_json:
+        return analyze_json_files(args.ast_json, ctx)
+    return analyze_build_dir(args.build_dir, ctx)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,387 @@
+"""Helpers over `clang++ -Xclang -ast-dump=json` translation-unit dumps.
+
+The dump is a tree of plain dicts: every node has a "kind", children live in
+"inner", expression types in {"type": {"qualType": ...}}, and source
+locations in "loc"/"range" — *differentially*: clang omits "file" (and
+sometimes "line") when unchanged from the previously printed node, so
+location must be tracked as a cursor through the walk, never read off a
+single node in isolation.
+
+Everything here is checker-agnostic plumbing: walking, type stripping,
+location cursors, function/field collection, and the scope-aware
+lock/call event stream the protocol checkers replay.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+
+# ---------------------------------------------------------------------------
+# Basic tree access
+
+
+def inner(node):
+    """A node's children ([] when absent)."""
+    kids = node.get("inner")
+    return kids if isinstance(kids, list) else []
+
+
+def walk(node):
+    """Yield `node` and every descendant, depth-first, document order."""
+    stack = [node]
+    while stack:
+        n = stack.pop()
+        yield n
+        stack.extend(reversed(inner(n)))
+
+
+def walk_with_parents(node, parents=()):
+    """Yield (node, parents) pairs; `parents` is outermost-first."""
+    yield node, parents
+    child_parents = parents + (node,)
+    for child in inner(node):
+        yield from walk_with_parents(child, child_parents)
+
+
+def qual_type(node):
+    t = node.get("type")
+    if isinstance(t, dict):
+        return t.get("qualType", "")
+    return ""
+
+
+_TYPE_NOISE = re.compile(
+    r"\bconst\b|[&*]|\belephant::|\b(?:wal|txn|sched|obs)::"
+    r"|\bclass\b|\bstruct\b")
+
+
+def strip_type(qualtype):
+    """Reduce a qualType to its bare class name: `const elephant::BufferPool *`
+    -> `BufferPool`. Template arguments are preserved (`Result<int>`)."""
+    return _TYPE_NOISE.sub("", qualtype).strip()
+
+
+_WRAPPERS = (
+    "ImplicitCastExpr",
+    "ParenExpr",
+    "ExprWithCleanups",
+    "MaterializeTemporaryExpr",
+    "CXXBindTemporaryExpr",
+    "ConstantExpr",
+    "FullExpr",
+)
+
+
+def unwrap(node):
+    """Strip value-category/temporary wrapper nodes down to the real expr."""
+    while node.get("kind") in _WRAPPERS and inner(node):
+        node = inner(node)[0]
+    return node
+
+
+# ---------------------------------------------------------------------------
+# Locations
+
+
+class LocCursor:
+    """Tracks the current spelling file/line through a document-order walk.
+
+    clang's JSON emitter prints locations differentially: a node's "loc"
+    carries "file" only when it differs from the last printed location and
+    "line" only when the line changed. The cursor absorbs whatever fields a
+    node does carry and exposes the running position.
+    """
+
+    def __init__(self, file="", line=0):
+        self.file = file
+        self.line = line
+
+    def visit(self, node):
+        loc = node.get("loc")
+        if not isinstance(loc, dict):
+            rng = node.get("range")
+            loc = rng.get("begin") if isinstance(rng, dict) else None
+        if isinstance(loc, dict):
+            # Macro expansions nest the real position one level down.
+            if "spellingLoc" in loc:
+                loc = loc["spellingLoc"]
+            if "file" in loc:
+                self.file = loc["file"]
+            if "line" in loc:
+                self.line = loc["line"]
+        return self.file, self.line
+
+    def at(self):
+        return self.file, self.line
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+
+
+@dataclasses.dataclass
+class FunctionInfo:
+    name: str           # bare name ("FlushFrame")
+    qualname: str       # record-qualified ("BufferPool::FlushFrame")
+    record: str         # enclosing class name ("" for free functions)
+    node: dict          # the FunctionDecl/CXXMethodDecl node
+    body: dict          # its CompoundStmt
+    file: str
+    line: int
+
+
+_FUNCTION_KINDS = {
+    "FunctionDecl",
+    "CXXMethodDecl",
+    "CXXConstructorDecl",
+    "CXXDestructorDecl",
+    "CXXConversionDecl",
+}
+
+_CONTEXT_KINDS = {"NamespaceDecl", "CXXRecordDecl", "ClassTemplateDecl",
+                  "LinkageSpecDecl", "TranslationUnitDecl"}
+
+
+def collect_functions(tu):
+    """Every function with a body, qualified by its enclosing record."""
+    out = []
+    cursor = LocCursor()
+
+    def visit(node, record):
+        cursor.visit(node)
+        kind = node.get("kind")
+        if kind in _FUNCTION_KINDS:
+            body = next((c for c in inner(node)
+                         if c.get("kind") == "CompoundStmt"), None)
+            if body is not None:
+                name = node.get("name", "")
+                qual = f"{record}::{name}" if record else name
+                file, line = cursor.at()
+                out.append(FunctionInfo(name, qual, record, node, body,
+                                        file, line))
+            return  # no nested-function recursion (lambdas handled in exprs)
+        next_record = record
+        if kind == "CXXRecordDecl" and node.get("name"):
+            next_record = node["name"]
+        if kind in _CONTEXT_KINDS or kind == "CXXRecordDecl":
+            for child in inner(node):
+                visit(child, next_record)
+
+    visit(tu, "")
+    return out
+
+
+@dataclasses.dataclass
+class MutexField:
+    lock_id: str        # "BufferPool::latch_"
+    rank_name: str      # "kBufferPool" ("" when unranked)
+    rank: int           # numeric rank (0 when unranked)
+    display: str        # the string-literal name passed to the ctor
+
+
+def collect_mutex_fields(tu, rank_values):
+    """Map lock id -> MutexField for every `Mutex` class member.
+
+    A ranked field's in-class initializer is a braced init holding a
+    DeclRefExpr to one of the LockRank enumerators plus a StringLiteral
+    name; both are fished out of the initializer subtree.
+    """
+    fields = {}
+    cursor = LocCursor()
+
+    def visit(node, record):
+        cursor.visit(node)
+        kind = node.get("kind")
+        if kind == "FieldDecl" and strip_type(qual_type(node)) == "Mutex":
+            lock_id = f"{record}::{node.get('name', '')}"
+            rank_name, rank, display = "", 0, lock_id
+            for sub in walk(node):
+                if sub.get("kind") == "DeclRefExpr":
+                    ref = sub.get("referencedDecl", {})
+                    if (ref.get("kind") == "EnumConstantDecl"
+                            and ref.get("name") in rank_values):
+                        rank_name = ref["name"]
+                        rank = rank_values[rank_name]
+                elif sub.get("kind") == "StringLiteral":
+                    display = sub.get("value", display).strip('"')
+            fields[lock_id] = MutexField(lock_id, rank_name, rank, display)
+            return
+        next_record = record
+        if kind == "CXXRecordDecl" and node.get("name"):
+            next_record = node["name"]
+        for child in inner(node):
+            visit(child, next_record)
+
+    visit(tu, "")
+    return fields
+
+
+# ---------------------------------------------------------------------------
+# Member-expression resolution
+
+
+def member_parts(member_expr, enclosing_record):
+    """(member_name, base_class) for a MemberExpr; base_class falls back to
+    the enclosing record for implicit/explicit `this` accesses."""
+    name = member_expr.get("name", "")
+    kids = inner(member_expr)
+    base_class = enclosing_record
+    if kids:
+        base = unwrap(kids[0])
+        if base.get("kind") == "CXXThisExpr":
+            base_class = enclosing_record
+        else:
+            t = strip_type(qual_type(base))
+            if t:
+                base_class = t
+    return name, base_class
+
+
+def resolve_lock_expr(expr, enclosing_record):
+    """Lock identity for the argument of a MutexLock guard / Lock() call.
+
+    Member mutexes resolve to "Class::field"; local/parameter mutexes to
+    "local:<name>"; anything else to None.
+    """
+    expr = unwrap(expr)
+    kind = expr.get("kind")
+    if kind == "MemberExpr":
+        name, base_class = member_parts(expr, enclosing_record)
+        return f"{base_class}::{name}"
+    if kind == "DeclRefExpr":
+        ref = expr.get("referencedDecl", {})
+        if ref.get("kind") in ("VarDecl", "ParmVarDecl"):
+            return f"local:{ref.get('name', '')}"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Scope-aware event streams
+
+ACQUIRE = "acquire"
+RELEASE = "release"
+CALL = "call"
+
+
+@dataclasses.dataclass
+class Event:
+    kind: str           # ACQUIRE / RELEASE / CALL
+    lock: str = ""      # lock id (ACQUIRE/RELEASE)
+    callee: str = ""    # qualified-ish callee (CALL): "Class::member" or name
+    base_class: str = ""  # class of the call's object ("" for free calls)
+    member: str = ""    # bare member/function name
+    file: str = ""
+    line: int = 0
+
+
+_SEQUENCED_STMTS = {
+    "IfStmt", "WhileStmt", "ForStmt", "DoStmt", "CXXForRangeStmt",
+    "SwitchStmt", "CaseStmt", "DefaultStmt", "CXXTryStmt", "CXXCatchStmt",
+    "LabelStmt", "ReturnStmt", "AttributedStmt",
+}
+
+_GUARD_TYPES = {"MutexLock", "std::lock_guard<Mutex>",
+                "std::unique_lock<Mutex>"}
+
+
+def function_events(fn):
+    """Replayable lock/call event stream for one function.
+
+    RAII guards (`MutexLock lock(mu_)`) acquire at their declaration and
+    release at the end of the enclosing compound block; manual
+    `mu_.Lock()` / `mu_.Unlock()` calls map to bare acquire/release events.
+    Control-flow branches are flattened in document order — conservative
+    but exactly right for the straight-line protocol code being checked.
+    """
+    events = []
+    cursor = LocCursor(fn.file, fn.line)
+
+    def emit(kind, **kw):
+        file, line = cursor.at()
+        events.append(Event(kind, file=file, line=line, **kw))
+
+    def scan_expr(node):
+        """Scan an expression subtree for calls and manual lock ops."""
+        cursor.visit(node)
+        kind = node.get("kind")
+        if kind == "CXXMemberCallExpr":
+            kids = inner(node)
+            callee = kids[0] if kids else {}
+            callee = callee if callee.get("kind") == "MemberExpr" else unwrap(callee)
+            if callee.get("kind") == "MemberExpr":
+                member, base_class = member_parts(callee, fn.record)
+                base_kids = inner(callee)
+                base_expr = base_kids[0] if base_kids else {}
+                if member in ("Lock", "lock"):
+                    lock = resolve_lock_expr(base_expr, fn.record)
+                    if lock:
+                        emit(ACQUIRE, lock=lock)
+                elif member in ("Unlock", "unlock"):
+                    lock = resolve_lock_expr(base_expr, fn.record)
+                    if lock:
+                        emit(RELEASE, lock=lock)
+                else:
+                    emit(CALL, callee=f"{base_class}::{member}",
+                         base_class=base_class, member=member)
+                # The base object expression may itself contain calls.
+                if base_kids:
+                    scan_expr(base_expr)
+            for arg in kids[1:]:
+                scan_expr(arg)
+            return
+        if kind == "CallExpr":
+            kids = inner(node)
+            name = ""
+            if kids:
+                ref = unwrap(kids[0])
+                if ref.get("kind") == "DeclRefExpr":
+                    name = ref.get("referencedDecl", {}).get("name", "")
+            if name:
+                emit(CALL, callee=name, member=name)
+            for arg in kids[1:]:
+                scan_expr(arg)
+            return
+        for child in inner(node):
+            scan_expr(child)
+
+    def handle_stmt(node, scoped):
+        cursor.visit(node)
+        kind = node.get("kind")
+        if kind == "CompoundStmt":
+            eval_block(node)
+            return
+        if kind == "DeclStmt":
+            for var in inner(node):
+                if var.get("kind") != "VarDecl":
+                    continue
+                cursor.visit(var)
+                if strip_type(qual_type(var)) in _GUARD_TYPES:
+                    ctor = next((c for c in inner(var)
+                                 if c.get("kind") in ("CXXConstructExpr",
+                                                      "InitListExpr")), None)
+                    args = inner(ctor) if ctor else []
+                    lock = resolve_lock_expr(args[0], fn.record) if args else None
+                    if lock:
+                        emit(ACQUIRE, lock=lock)
+                        scoped.append(lock)
+                else:
+                    for init in inner(var):
+                        scan_expr(init)
+            return
+        if kind in _SEQUENCED_STMTS:
+            for child in inner(node):
+                handle_stmt(child, scoped)
+            return
+        scan_expr(node)
+
+    def eval_block(block):
+        scoped = []
+        for child in inner(block):
+            handle_stmt(child, scoped)
+        for lock in reversed(scoped):
+            emit(RELEASE, lock=lock)
+
+    eval_block(fn.body)
+    return events

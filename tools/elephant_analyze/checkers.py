@@ -1,0 +1,477 @@
+"""AST-level protocol checkers for the elephant engine.
+
+Each checker consumes clang AST JSON (see astwalk) and reports Findings.
+Single-TU checkers report from visit_tu(); whole-program checkers
+(lock-rank, blocking-under-latch) accumulate per-TU facts and report from
+finish(), after every TU has been seen — the deadlock analysis is only
+meaningful over the cross-TU lock-acquisition graph.
+
+The checkers encode the engine's concurrency/durability protocols:
+
+  discarded-status       every Status/Result return is consumed; `(void)`
+                         launders carry a lint:allow justification
+  lock-rank              the cross-TU lock graph is acyclic and every
+                         nested acquisition strictly increases LockRank
+  wal-order              SetPageLsn only after the WAL record was appended
+  page-escape            a PageGuard's raw Page* never outlives the guard
+                         (returned or stowed in a member)
+  blocking-under-latch   no flush/sync/condvar-wait while the buffer-pool
+                         latch is held
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import re
+
+try:
+    from astwalk import (ACQUIRE, CALL, RELEASE, LocCursor, collect_functions,
+                         collect_mutex_fields, function_events, inner,
+                         member_parts, qual_type, strip_type, unwrap,
+                         walk_with_parents)
+except ImportError:  # imported as a package module
+    from .astwalk import (ACQUIRE, CALL, RELEASE, LocCursor,
+                          collect_functions, collect_mutex_fields,
+                          function_events, inner, member_parts, qual_type,
+                          strip_type, unwrap, walk_with_parents)
+
+
+@dataclasses.dataclass
+class Finding:
+    checker: str
+    file: str
+    line: int
+    message: str
+
+    def __str__(self):
+        return f"{self.file}:{self.line}: [{self.checker}] {self.message}"
+
+
+class Context:
+    """Shared analysis state: repo root (for source lookups and rank
+    parsing) and the LockRank table parsed from common/lock_rank.h — the
+    analyzer never hard-codes rank values, so the header stays the single
+    source of truth."""
+
+    def __init__(self, root):
+        self.root = root
+        self.rank_values = parse_rank_values(root)
+        self._sources = {}
+
+    def source_line(self, path, line):
+        """1-based line of a source file, '' when unavailable."""
+        lines = self._sources.get(path)
+        if lines is None:
+            lines = []
+            for candidate in (path, os.path.join(self.root, path)):
+                try:
+                    with open(candidate, encoding="utf-8") as f:
+                        lines = f.read().splitlines()
+                    break
+                except OSError:
+                    continue
+            self._sources[path] = lines
+        if 1 <= line <= len(lines):
+            return lines[line - 1]
+        return ""
+
+
+def parse_rank_values(root):
+    """LockRank enumerator -> numeric value, from common/lock_rank.h."""
+    path = os.path.join(root, "src", "common", "lock_rank.h")
+    values = {}
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError:
+        return values
+    for m in re.finditer(r"^\s*(k\w+)\s*=\s*(\d+)", text, re.MULTILINE):
+        values[m.group(1)] = int(m.group(2))
+    return values
+
+
+def _is_status_type(qualtype):
+    t = strip_type(qualtype)
+    return t == "Status" or t.startswith("Result<")
+
+
+_CALL_KINDS = {"CXXMemberCallExpr", "CallExpr", "CXXOperatorCallExpr"}
+
+
+# ---------------------------------------------------------------------------
+
+
+class DiscardedStatusChecker:
+    """A Status-returning call whose result is discarded, or a `(void)`
+    launder without a `lint:allow(discarded-status)` justification.
+
+    The compiler half of this rule is [[nodiscard]] + -Werror=unused-result,
+    which GCC enforces for plain discards but deliberately silences for
+    `(void)` casts — so the cast escape hatch is exactly what the AST pass
+    polices: each one must carry a written reason on its own or the
+    preceding line.
+    """
+
+    name = "discarded-status"
+
+    def visit_tu(self, tu, ctx):
+        findings = []
+        cursor = LocCursor()
+        for node, parents in walk_with_parents(tu):
+            cursor.visit(node)
+            file, line = cursor.at()
+            kind = node.get("kind")
+            if kind in _CALL_KINDS and parents \
+                    and parents[-1].get("kind") == "CompoundStmt" \
+                    and _is_status_type(qual_type(node)):
+                findings.append(Finding(
+                    self.name, file, line,
+                    "call returns Status/Result but the value is ignored; "
+                    "handle it, ELE_RETURN_NOT_OK it, or justify a (void) "
+                    "cast with lint:allow(discarded-status)"))
+            elif kind == "ExprWithCleanups" and parents \
+                    and parents[-1].get("kind") == "CompoundStmt":
+                expr = unwrap(node)
+                if expr.get("kind") in _CALL_KINDS \
+                        and _is_status_type(qual_type(expr)):
+                    findings.append(Finding(
+                        self.name, file, line,
+                        "call returns Status/Result but the value is "
+                        "ignored; handle it, ELE_RETURN_NOT_OK it, or "
+                        "justify a (void) cast with "
+                        "lint:allow(discarded-status)"))
+            elif kind == "CStyleCastExpr" \
+                    and strip_type(qual_type(node)) == "void":
+                expr = unwrap(inner(node)[0]) if inner(node) else {}
+                if _is_status_type(qual_type(expr)):
+                    allowed = any(
+                        "lint:allow(discarded-status)" in
+                        ctx.source_line(file, ln)
+                        for ln in (line, line - 1))
+                    if not allowed:
+                        findings.append(Finding(
+                            self.name, file, line,
+                            "(void)-cast discards a Status/Result without a "
+                            "lint:allow(discarded-status) justification"))
+        return findings
+
+    def finish(self, ctx):
+        return []
+
+
+# ---------------------------------------------------------------------------
+
+
+class WalOrderChecker:
+    """SetPageLsn stamps a page with the LSN of the WAL record covering the
+    mutation — so inside any one function, the LogManager::Append call must
+    lexically precede the SetPageLsn call. Stamping first would let a
+    no-force flush write out a page whose LSN points past the end of the
+    durable log, breaking recovery's redo test."""
+
+    name = "wal-order"
+
+    def visit_tu(self, tu, ctx):
+        findings = []
+        for fn in collect_functions(tu):
+            appended = False
+            for ev in function_events(fn):
+                if ev.kind != CALL:
+                    continue
+                if ev.member == "Append" and ev.base_class in (
+                        "LogManager", "wal::LogManager", ""):
+                    appended = True
+                elif ev.member == "SetPageLsn" and not appended:
+                    findings.append(Finding(
+                        self.name, ev.file, ev.line,
+                        f"{fn.qualname} calls SetPageLsn before any "
+                        "LogManager::Append — the WAL record must exist "
+                        "before the page is stamped with its LSN"))
+        return findings
+
+    def finish(self, ctx):
+        return []
+
+
+# ---------------------------------------------------------------------------
+
+
+_GUARD_CLASS = re.compile(r"PageGuard")
+
+
+class PageEscapeChecker:
+    """A raw Page* obtained from a PageGuard must not outlive the guard:
+    returning it or storing it in a member keeps a pointer to a frame whose
+    pin the guard's destructor is about to drop, after which the frame can
+    be evicted and remapped under the caller."""
+
+    name = "page-escape"
+
+    def visit_tu(self, tu, ctx):
+        findings = []
+        cursor = LocCursor()
+        for node, parents in walk_with_parents(tu):
+            cursor.visit(node)
+            if node.get("kind") != "CXXMemberCallExpr":
+                continue
+            kids = inner(node)
+            callee = kids[0] if kids else {}
+            if callee.get("kind") != "MemberExpr":
+                continue
+            member, base_class = member_parts(callee, "")
+            if member != "page" or not _GUARD_CLASS.search(base_class):
+                continue
+            file, line = cursor.at()
+            for anc in reversed(parents):
+                akind = anc.get("kind")
+                if akind == "ReturnStmt":
+                    findings.append(Finding(
+                        self.name, file, line,
+                        f"raw Page* from a {base_class} is returned; the "
+                        "guard's pin ends at scope exit, so the pointer "
+                        "dangles — return the guard (it moves) instead"))
+                    break
+                if akind == "BinaryOperator" and anc.get("opcode") == "=":
+                    lhs = unwrap(inner(anc)[0]) if inner(anc) else {}
+                    if lhs.get("kind") == "MemberExpr":
+                        base = inner(lhs)[0] if inner(lhs) else {}
+                        if unwrap(base).get("kind") == "CXXThisExpr":
+                            findings.append(Finding(
+                                self.name, file, line,
+                                f"raw Page* from a {base_class} is stored "
+                                "to a member field, outliving the guard's "
+                                "pin — keep the guard itself if the page "
+                                "must stay resident"))
+                            break
+                if akind in _CALL_KINDS:
+                    break  # passed as an argument: borrowed, not escaped
+        return findings
+
+    def finish(self, ctx):
+        return []
+
+
+# ---------------------------------------------------------------------------
+
+
+class _ProgramFacts:
+    """Cross-TU accumulation shared by the whole-program checkers."""
+
+    def __init__(self):
+        self.mutex_fields = {}   # lock_id -> MutexField
+        self.functions = {}      # qualname -> list[Event]
+        self.fn_sites = {}       # qualname -> (file, line)
+
+    def absorb(self, tu, ctx):
+        self.mutex_fields.update(collect_mutex_fields(tu, ctx.rank_values))
+        for fn in collect_functions(tu):
+            # Inline definitions can be re-dumped in several TUs; one copy
+            # of the event stream is enough (they are identical).
+            if fn.qualname not in self.functions:
+                self.functions[fn.qualname] = function_events(fn)
+                self.fn_sites[fn.qualname] = (fn.file, fn.line)
+
+    def transitive(self, direct):
+        """Fixpoint of `direct` (qualname -> set) propagated over calls:
+        a function owns its direct set plus the sets of everything it may
+        call. Unresolvable callees contribute nothing."""
+        result = {qn: set(s) for qn, s in direct.items()}
+        changed = True
+        while changed:
+            changed = False
+            for qn, events in self.functions.items():
+                acc = result.setdefault(qn, set())
+                for ev in events:
+                    if ev.kind == CALL and ev.callee in result:
+                        extra = result[ev.callee] - acc
+                        if extra:
+                            acc |= extra
+                            changed = True
+        return result
+
+
+class LockRankChecker:
+    """Builds the cross-TU lock-acquisition graph — an edge L1 -> L2 for
+    every point where L2 is acquired (directly or via a callee) while L1 is
+    held — then requires (a) every ranked edge to strictly increase
+    LockRank and (b) the whole graph to be acyclic. (a) alone proves
+    deadlock freedom for ranked locks; (b) additionally catches cycles
+    through unranked locals the rank table can't see."""
+
+    name = "lock-rank"
+
+    def __init__(self):
+        self.facts = _ProgramFacts()
+
+    def visit_tu(self, tu, ctx):
+        self.facts.absorb(tu, ctx)
+        return []
+
+    def _rank(self, lock_id):
+        field = self.facts.mutex_fields.get(lock_id)
+        return field.rank if field and field.rank_name else None
+
+    def finish(self, ctx):
+        findings = []
+        direct_acquires = {
+            qn: {ev.lock for ev in events if ev.kind == ACQUIRE}
+            for qn, events in self.facts.functions.items()
+        }
+        trans_acquires = self.facts.transitive(direct_acquires)
+
+        edges = {}  # (L1, L2) -> (file, line, via)
+        for qn, events in self.facts.functions.items():
+            held = []
+            for ev in events:
+                if ev.kind == ACQUIRE:
+                    for h in held:
+                        edges.setdefault((h, ev.lock),
+                                         (ev.file, ev.line, ""))
+                    held.append(ev.lock)
+                elif ev.kind == RELEASE:
+                    if ev.lock in held:
+                        held.remove(ev.lock)
+                elif ev.kind == CALL and held and ev.callee in trans_acquires:
+                    for target in trans_acquires[ev.callee]:
+                        for h in held:
+                            if h != target:
+                                edges.setdefault(
+                                    (h, target),
+                                    (ev.file, ev.line, ev.callee))
+
+        for (l1, l2), (file, line, via) in sorted(edges.items()):
+            r1, r2 = self._rank(l1), self._rank(l2)
+            if r1 is not None and r2 is not None and r1 >= r2:
+                hop = f" (via {via})" if via else ""
+                findings.append(Finding(
+                    self.name, file, line,
+                    f"lock-rank inversion: {l2} (rank {r2}) acquired{hop} "
+                    f"while holding {l1} (rank {r1}); ranked locks must be "
+                    "taken in strictly increasing rank order"))
+
+        cycle = _find_cycle({l1: {b for (a, b) in edges if a == l1}
+                             for (l1, _) in edges})
+        if cycle:
+            file, line, _ = edges[(cycle[0], cycle[1])]
+            findings.append(Finding(
+                self.name, file, line,
+                "lock-acquisition cycle: " + " -> ".join(cycle) +
+                " — two threads interleaving these paths can deadlock"))
+        return findings
+
+
+def _find_cycle(graph):
+    """First cycle in a {node: successors} digraph as [a, b, ..., a]."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {}
+    stack = []
+
+    def dfs(n):
+        color[n] = GRAY
+        stack.append(n)
+        for m in sorted(graph.get(n, ())):
+            c = color.get(m, WHITE)
+            if c == GRAY:
+                return stack[stack.index(m):] + [m]
+            if c == WHITE:
+                found = dfs(m)
+                if found:
+                    return found
+        stack.pop()
+        color[n] = BLACK
+        return None
+
+    for n in sorted(graph):
+        if color.get(n, WHITE) == WHITE:
+            found = dfs(n)
+            if found:
+                return found
+    return None
+
+
+# ---------------------------------------------------------------------------
+
+
+_BLOCKING = {
+    ("LogManager", "Flush"): "LogManager::Flush (waits on an fsync)",
+    ("LogManager", "FlushUntil"): "LogManager::FlushUntil (waits on an fsync)",
+    ("DiskManager", "Sync"): "DiskManager::Sync (an fsync)",
+    ("CondVar", "Wait"): "CondVar::Wait (unbounded block)",
+    ("CondVar", "WaitFor"): "CondVar::WaitFor (a timed block)",
+}
+
+
+class BlockingUnderLatchChecker:
+    """The buffer-pool latch serializes every page lookup in the engine;
+    holding it across an fsync or a condition wait stalls all of them for a
+    device-time eternity (and a condvar wait under it can deadlock against
+    the waker needing the latch). Detected transitively: calling a function
+    that may block is as bad as blocking inline."""
+
+    name = "blocking-under-latch"
+
+    def __init__(self):
+        self.facts = _ProgramFacts()
+
+    def visit_tu(self, tu, ctx):
+        self.facts.absorb(tu, ctx)
+        return []
+
+    def finish(self, ctx):
+        findings = []
+        pool_rank = ctx.rank_values.get("kBufferPool")
+        if pool_rank is None:
+            return findings
+
+        def is_pool_latch(lock_id):
+            field = self.facts.mutex_fields.get(lock_id)
+            return field is not None and field.rank == pool_rank
+
+        direct_blocking = {}
+        for qn, events in self.facts.functions.items():
+            prims = {_BLOCKING[(ev.base_class, ev.member)]
+                     for ev in events
+                     if ev.kind == CALL
+                     and (ev.base_class, ev.member) in _BLOCKING}
+            direct_blocking[qn] = prims
+        trans_blocking = self.facts.transitive(direct_blocking)
+
+        for qn, events in self.facts.functions.items():
+            held = []
+            for ev in events:
+                if ev.kind == ACQUIRE:
+                    held.append(ev.lock)
+                elif ev.kind == RELEASE:
+                    if ev.lock in held:
+                        held.remove(ev.lock)
+                elif ev.kind == CALL and any(is_pool_latch(h) for h in held):
+                    prim = _BLOCKING.get((ev.base_class, ev.member))
+                    if prim:
+                        findings.append(Finding(
+                            self.name, ev.file, ev.line,
+                            f"{qn} calls {prim} while holding the "
+                            "buffer-pool latch; release the latch before "
+                            "blocking"))
+                    elif trans_blocking.get(ev.callee):
+                        via = sorted(trans_blocking[ev.callee])[0]
+                        findings.append(Finding(
+                            self.name, ev.file, ev.line,
+                            f"{qn} calls {ev.callee} while holding the "
+                            f"buffer-pool latch, and that path blocks in "
+                            f"{via}; release the latch before calling it"))
+        return findings
+
+
+# ---------------------------------------------------------------------------
+
+
+def make_checkers():
+    """Fresh checker instances (whole-program checkers carry state)."""
+    return [
+        DiscardedStatusChecker(),
+        LockRankChecker(),
+        WalOrderChecker(),
+        PageEscapeChecker(),
+        BlockingUnderLatchChecker(),
+    ]
