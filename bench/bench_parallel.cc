@@ -132,6 +132,23 @@ int Run() {
          {"workers", std::to_string(workers)},
          {"query", "Q1-agg"}},
         sr);
+    // Where the best run's blocked time went, per wait class (the gather
+    // wait at the exchange dominates a healthy PARALLEL run; lwlock_seconds
+    // staying ~0 is the contention health signal).
+    const obs::WaitProfile& wp = best.wait_profile;
+    BenchTelemetry::Instance().RecordMetrics(
+        {{"leg", "workers"},
+         {"workers", std::to_string(workers)},
+         {"query", "Q1-agg"},
+         {"kind", "wait_classes"}},
+        {{"wait_total_seconds", wp.TotalSeconds()},
+         {"wait_lwlock_seconds", wp.ClassSeconds(obs::WaitClass::kLWLock)},
+         {"wait_lock_seconds", wp.ClassSeconds(obs::WaitClass::kLock)},
+         {"wait_io_seconds", wp.ClassSeconds(obs::WaitClass::kIO)},
+         {"wait_wal_seconds", wp.ClassSeconds(obs::WaitClass::kWAL)},
+         {"wait_condvar_seconds", wp.ClassSeconds(obs::WaitClass::kCondVar)},
+         {"wait_scheduler_seconds",
+          wp.ClassSeconds(obs::WaitClass::kScheduler)}});
     wt.AddRow({std::to_string(workers),
                FormatSeconds(sr.cpu_seconds),
                FormatSeconds(sr.io_seconds),

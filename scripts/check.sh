@@ -75,7 +75,8 @@ for preset in "${PRESETS[@]}"; do
     python3 scripts/telemetry_check.py \
       --trace "$trace_dir/trace.json" --min-worker-threads 2 \
       --metrics "$trace_dir/metrics.prom" \
-      --stat-statements "$trace_dir/stat_statements.json"
+      --stat-statements "$trace_dir/stat_statements.json" \
+      --wait-events
     echo "=== [$preset] bench-regression self-tests ============================="
     python3 scripts/bench_regress.py figure2 --self-test
     python3 scripts/bench_regress.py parallel --self-test

@@ -9,12 +9,20 @@ running a traced workload, and handy standalone:
     python3 scripts/telemetry_check.py --trace trace.json --min-worker-threads 2
     python3 scripts/telemetry_check.py --metrics metrics.prom
     python3 scripts/telemetry_check.py --stat-statements stat_statements.json
+    python3 scripts/telemetry_check.py --metrics metrics.prom --wait-events
+
+``--wait-events`` cross-checks the Prometheus dump against the wait-event
+taxonomy parsed out of ``src/obs/wait_events.h``: both labeled counter
+families must cover exactly the taxonomy (zeros included), so an event added
+in C++ without reaching the export — or a stale exported label — fails here.
 
 Exits non-zero with one line per violation.
 """
 
 import argparse
 import json
+import math
+import os
 import re
 import sys
 
@@ -173,6 +181,101 @@ def check_metrics(path):
     return errors
 
 
+WAIT_CLASSES = {"LWLock", "Lock", "IO", "WAL", "CondVar", "Scheduler"}
+# One taxonomy entry per line in src/obs/wait_events.h, by contract there
+# (anchored at line start so the header's doc-comment example is skipped):
+#   {WaitClass::kX, "Class", "Event"},
+WAIT_INFO_RE = re.compile(
+    r'^\s*\{WaitClass::k\w+,\s*"(\w+)",\s*"(\w+)"\},$', re.MULTILINE)
+WAIT_FAMILIES = ("elephant_wait_events_total", "elephant_wait_seconds_total")
+
+
+def parse_wait_taxonomy(root):
+    """(class, event) pairs parsed from the kWaitEventInfos table."""
+    path = os.path.join(root, "src", "obs", "wait_events.h")
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    return path, [(m.group(1), m.group(2))
+                  for m in WAIT_INFO_RE.finditer(text)]
+
+
+def check_wait_events(metrics_path, root):
+    """The Prometheus wait families mirror the C++ taxonomy exactly."""
+    errors = []
+    try:
+        header_path, taxonomy = parse_wait_taxonomy(root)
+    except OSError as e:
+        return ["wait_events: %s" % e]
+    if not taxonomy:
+        return ["wait_events: no kWaitEventInfos entries parsed from %s "
+                "(one-line-per-entry contract broken?)" % header_path]
+    bad = [c for c, _ in taxonomy if c not in WAIT_CLASSES]
+    if bad:
+        errors.append("wait_events: unknown wait class(es) %s in %s" %
+                      (sorted(set(bad)), header_path))
+    if len(set(taxonomy)) != len(taxonomy):
+        errors.append("wait_events: duplicate (class, event) pair in %s" %
+                      header_path)
+
+    try:
+        with open(metrics_path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        return errors + ["wait_events: %s" % e]
+
+    label_re = re.compile(
+        r'^(?P<family>elephant_wait_(?:events|seconds)_total)'
+        r'\{class="(?P<cls>\w+)",event="(?P<event>\w+)"\} (?P<value>\S+)$')
+    seen = {family: {} for family in WAIT_FAMILIES}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if line.startswith("#"):
+            continue
+        m = label_re.match(line)
+        if m is None:
+            continue
+        where = "wait_events: line %d" % lineno
+        key = (m.group("cls"), m.group("event"))
+        family = m.group("family")
+        if key in seen[family]:
+            errors.append("%s: duplicate series %s%s" % (where, family, key))
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            errors.append("%s: bad value %r" % (where, m.group("value")))
+            continue
+        seen[family][key] = value
+        if value < 0:
+            errors.append("%s: %s%s is negative" % (where, family, key))
+        if family == "elephant_wait_events_total" \
+                and value != int(value):
+            errors.append("%s: %s%s count is not integral" %
+                          (where, family, key))
+
+    expected = set(taxonomy)
+    for family in WAIT_FAMILIES:
+        if "# TYPE %s counter" % family not in text:
+            errors.append("wait_events: missing TYPE counter line for %s" %
+                          family)
+        missing = expected - set(seen[family])
+        extra = set(seen[family]) - expected
+        if missing:
+            errors.append("wait_events: %s missing taxonomy entries %s "
+                          "(zeros must still be exported)" %
+                          (family, sorted(missing)))
+        if extra:
+            errors.append("wait_events: %s exports %s not in the taxonomy" %
+                          (family, sorted(extra)))
+    # A wait that was counted must have accumulated time's worth of a
+    # nonnegative seconds sample (and vice versa the series must exist).
+    for key, count in seen["elephant_wait_events_total"].items():
+        if key in seen["elephant_wait_seconds_total"]:
+            secs = seen["elephant_wait_seconds_total"][key]
+            if count == 0 and secs != 0:
+                errors.append("wait_events: %s has seconds %g with zero "
+                              "count" % (key, secs))
+    return errors
+
+
 IO_KEYS = ("sequential_reads", "random_reads", "page_writes")
 READAHEAD_KEYS = ("windows_issued", "pages_prefetched", "prefetch_hits",
                   "prefetch_wasted")
@@ -276,7 +379,10 @@ def check_stat_statements(path):
             ra_sums[key] += entry["io"].get("readahead", {}).get(key, 0)
 
     # The totals block must reconcile exactly with the per-statement rows
-    # (counters exactly; seconds to float round-off).
+    # (counters exactly; seconds to float round-off plus the JSON writer's
+    # %.9g quantum — every serialized value carries up to half a unit in the
+    # 9th significant digit, so the bound must scale with the magnitude of
+    # the total AND with the number of rounded addends).
     totals = doc.get("totals")
     if not isinstance(totals, dict):
         return errors + ["stat_statements: no totals object"]
@@ -284,8 +390,17 @@ def check_stat_statements(path):
         if totals.get(key) != sums[key]:
             errors.append("stat_statements: totals.%s %r != statement sum %d" %
                           (key, totals.get(key), sums[key]))
+
+    def g9_quantum(v):
+        """Max rounding error of %.9g for a value of v's magnitude."""
+        if not v:
+            return 0.0
+        return 10.0 ** (math.floor(math.log10(abs(v))) - 8)
+
     for key in ("total_seconds", "total_io_seconds"):
-        if abs(totals.get(key, 0) - sums[key]) > 1e-9 + 1e-9 * sums[key]:
+        tol = (1e-9 + g9_quantum(totals.get(key, 0)) +
+               sum(g9_quantum(e.get(key, 0)) for e in statements))
+        if abs(totals.get(key, 0) - sums[key]) > tol:
             errors.append("stat_statements: totals.%s %r != statement sum %r" %
                           (key, totals.get(key), sums[key]))
     total_io = totals.get("io", {})
@@ -311,17 +426,28 @@ def main():
                         help="ExportStatStatements() JSON file to validate")
     parser.add_argument("--min-worker-threads", type=int, default=0,
                         help="require worker spans on at least N threads")
+    parser.add_argument("--wait-events", action="store_true",
+                        help="cross-check --metrics against the wait-event "
+                             "taxonomy in src/obs/wait_events.h")
+    parser.add_argument("--root",
+                        default=os.path.join(os.path.dirname(
+                            os.path.abspath(__file__)), ".."),
+                        help="repository root (for --wait-events)")
     args = parser.parse_args()
     if not args.trace and not args.metrics and not args.stat_statements:
         parser.error(
             "nothing to check: pass --trace, --metrics, and/or "
             "--stat-statements")
+    if args.wait_events and not args.metrics:
+        parser.error("--wait-events needs --metrics to cross-check")
 
     errors = []
     if args.trace:
         errors += check_trace(args.trace, args.min_worker_threads)
     if args.metrics:
         errors += check_metrics(args.metrics)
+    if args.wait_events:
+        errors += check_wait_events(args.metrics, args.root)
     if args.stat_statements:
         errors += check_stat_statements(args.stat_statements)
     for e in errors:
@@ -329,6 +455,8 @@ def main():
     if not errors:
         checked = [p for p in (args.trace, args.metrics,
                                args.stat_statements) if p]
+        if args.wait_events:
+            checked.append("wait-events taxonomy")
         print("telemetry_check: OK (%s)" % ", ".join(checked))
     return 1 if errors else 0
 

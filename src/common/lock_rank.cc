@@ -26,6 +26,9 @@ const char* LockRankName(LockRank rank) {
     case LockRank::kHeatmap: return "kHeatmap";
     case LockRank::kMetricsRegistry: return "kMetricsRegistry";
     case LockRank::kMetricsHistogram: return "kMetricsHistogram";
+    case LockRank::kWaitSessionRegistry: return "kWaitSessionRegistry";
+    case LockRank::kAshRing: return "kAshRing";
+    case LockRank::kAshSampler: return "kAshSampler";
   }
   return "kUnranked";
 }

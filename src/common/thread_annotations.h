@@ -3,8 +3,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <thread>
 
 #include "common/lock_rank.h"
+#include "obs/wait_events.h"
 
 // Clang thread-safety analysis (-Wthread-safety) macros plus the annotated
 // Mutex / MutexLock / CondVar wrappers every mutex in this engine must use
@@ -89,8 +91,12 @@ class CAPABILITY("mutex") Mutex {
   Mutex& operator=(const Mutex&) = delete;
 
   void Lock() ACQUIRE() {
+    // Rank check first: an inversion aborts before blocking. The slow path
+    // then spins briefly and only a true sleep records an LWLock wait event
+    // — the uncontended fast path records nothing (obs/wait_events.h).
     RankCheckAcquire();
-    mu_.lock();
+    if (mu_.try_lock()) return;
+    LockSlow();
   }
   void Unlock() RELEASE() {
     RankCheckRelease();
@@ -102,10 +108,12 @@ class CAPABILITY("mutex") Mutex {
     return true;
   }
 
-  // BasicLockable interface (std interop; same capability semantics).
+  // BasicLockable interface (std interop; same capability semantics,
+  // including the contended-acquire wait event).
   void lock() ACQUIRE() {
     RankCheckAcquire();
-    mu_.lock();
+    if (mu_.try_lock()) return;
+    LockSlow();
   }
   void unlock() RELEASE() {
     RankCheckRelease();
@@ -116,6 +124,27 @@ class CAPABILITY("mutex") Mutex {
   const char* name() const { return name_; }
 
  private:
+  /// A contended acquire spins briefly before sleeping. Engine critical
+  /// sections are sub-microsecond (map lookups, counter bumps), so the spin
+  /// absorbs micro-contention and an LWLock wait event means the thread
+  /// actually parked — PostgreSQL's LWLock semantic (spin, then sleep and
+  /// count). This is also what makes "an uncontended run records zero
+  /// LWLock waits" deterministic enough to test: workers brushing past each
+  /// other on the buffer-pool latch never reach the recording path. Holders
+  /// that keep the mutex for real work (a group flush syncing the log) blow
+  /// through the budget and get counted. The periodic yield lets a
+  /// preempted holder run on machines with fewer cores than threads.
+  static constexpr int kSpinIterations = 4096;
+  static constexpr int kSpinYieldEvery = 128;
+  void LockSlow() {
+    for (int i = 1; i <= kSpinIterations; i++) {
+      if (mu_.try_lock()) return;
+      if (i % kSpinYieldEvery == 0) std::this_thread::yield();
+    }
+    obs::WaitScope wait(obs::WaitEventForRank(rank_));
+    mu_.lock();
+  }
+
 #ifndef ELEPHANT_NO_LOCK_RANK_CHECKS
   // The acquire check runs *before* blocking on the std::mutex so an
   // inversion aborts loudly instead of deadlocking quietly; the release
@@ -168,11 +197,18 @@ class SCOPED_CAPABILITY MutexLock {
 /// still enforced at every call site.
 class CondVar {
  public:
-  void Wait(Mutex& mu) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS { cv_.wait(mu); }
+  void Wait(Mutex& mu) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    // The generic CondVar wait event; callers with a sharper classification
+    // (lock manager, scheduler, WAL) open their own WaitScope first, which
+    // makes this one inert (outermost-wins nesting).
+    obs::WaitScope wait(obs::WaitEventId::kCondVarWait);
+    cv_.wait(mu);
+  }
   /// Timed wait: returns false when `seconds` elapsed without a notify
   /// (callers still re-check their predicate either way). Used by the lock
   /// manager to resolve deadlocks by timeout.
   bool WaitFor(Mutex& mu, double seconds) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    obs::WaitScope wait(obs::WaitEventId::kCondVarWait);
     return cv_.wait_for(mu, std::chrono::duration<double>(seconds)) ==
            std::cv_status::no_timeout;
   }

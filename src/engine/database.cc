@@ -92,6 +92,7 @@ Database::Database(DatabaseOptions options) : options_(options) {
                  reg.ToString().c_str());
     std::abort();
   }
+  MaybeStartAshSampler();
 }
 
 Database::Database(DatabaseOptions options, ReopenTag) : options_(options) {
@@ -101,6 +102,15 @@ Database::Database(DatabaseOptions options, ReopenTag) : options_(options) {
   pool_ = std::make_unique<BufferPool>(disk_.get(), options_.buffer_pool_pages,
                                        &heatmap_);
   catalog_ = std::make_unique<Catalog>(pool_.get());
+}
+
+void Database::MaybeStartAshSampler() {
+  if (!options_.ash_sampler_enabled) return;
+  obs::AshSampler::Options ash;
+  ash.interval_seconds = options_.ash_interval_seconds;
+  ash.ring_capacity = options_.ash_ring_capacity;
+  ash_sampler_ = std::make_unique<obs::AshSampler>(&session_states_, ash);
+  ash_sampler_->Start();
 }
 
 void Database::InitWalMachinery() {
@@ -170,6 +180,7 @@ Result<std::unique_ptr<Database>> Database::Reopen(DatabaseOptions options,
   // makes the recovered state durable so a crash during normal operation
   // does not have to repeat this recovery's work.
   ELE_RETURN_NOT_OK(db->Checkpoint());
+  db->MaybeStartAshSampler();
   return db;
 }
 
@@ -473,6 +484,136 @@ Status Database::RegisterSystemTables() {
               }};
             }));
   }
+
+  // elephant_stat_wait_events: the full wait taxonomy, one row per event
+  // (zeros included so the event space is always visible). Quantiles come
+  // from the registry's log-scale histograms.
+  {
+    Schema schema({
+        Column("wait_class", TypeId::kVarchar),
+        Column("wait_event", TypeId::kVarchar),
+        Column("count", TypeId::kInt64),
+        Column("wait_seconds", TypeId::kDouble),
+        Column("p50_seconds", TypeId::kDouble),
+        Column("p95_seconds", TypeId::kDouble),
+    });
+    ELE_RETURN_NOT_OK(catalog_->RegisterVirtualTable(
+            "elephant_stat_wait_events", std::move(schema),
+            [i64]() -> Result<std::vector<Row>> {
+              obs::WaitEventRegistry& reg = obs::WaitEventRegistry::Global();
+              std::vector<Row> rows;
+              for (int e = 0; e < obs::kNumWaitEvents; e++) {
+                const auto event = static_cast<obs::WaitEventId>(e);
+                const obs::WaitEventRegistry::EventSnapshot snap =
+                    reg.Snapshot(event);
+                rows.push_back(Row{
+                    Value::Varchar(obs::kWaitEventInfos[e].class_name),
+                    Value::Varchar(obs::kWaitEventInfos[e].event_name),
+                    i64(snap.count),
+                    Value::Double(static_cast<double>(snap.nanos) / 1e9),
+                    Value::Double(reg.QuantileSeconds(event, 0.50)),
+                    Value::Double(reg.QuantileSeconds(event, 0.95)),
+                });
+              }
+              return rows;
+            }));
+  }
+
+  // elephant_stat_activity: one row per live session (pg_stat_activity).
+  {
+    Schema schema({
+        Column("session_id", TypeId::kInt64),
+        Column("state", TypeId::kVarchar),
+        Column("wait_event", TypeId::kVarchar),
+        Column("query_fingerprint", TypeId::kVarchar),
+        Column("txn_id", TypeId::kInt64),
+        Column("statements", TypeId::kInt64),
+    });
+    ELE_RETURN_NOT_OK(catalog_->RegisterVirtualTable(
+            "elephant_stat_activity", std::move(schema),
+            [this, i64]() -> Result<std::vector<Row>> {
+              std::vector<Row> rows;
+              for (const obs::SessionActivitySample& s :
+                   session_states_.Snapshot()) {
+                rows.push_back(Row{
+                    i64(static_cast<uint64_t>(s.session_id)),
+                    Value::Varchar(obs::SessionActivityStateName(s.state)),
+                    Value::Varchar(obs::WaitEventName(s.wait_event)),
+                    Value::Varchar(HexHash(s.sql_fingerprint)),
+                    Value::Int64(s.txn_id),
+                    i64(s.statements),
+                });
+              }
+              return rows;
+            }));
+  }
+
+  // elephant_stat_ash: the sampler's ring, oldest first. Empty (not an
+  // error) when the sampler is disabled, so the table always binds.
+  {
+    Schema schema({
+        Column("sample_seq", TypeId::kInt64),
+        Column("sample_seconds", TypeId::kDouble),
+        Column("session_id", TypeId::kInt64),
+        Column("state", TypeId::kVarchar),
+        Column("wait_event", TypeId::kVarchar),
+        Column("query_fingerprint", TypeId::kVarchar),
+        Column("txn_id", TypeId::kInt64),
+    });
+    ELE_RETURN_NOT_OK(catalog_->RegisterVirtualTable(
+            "elephant_stat_ash", std::move(schema),
+            [this, i64]() -> Result<std::vector<Row>> {
+              std::vector<Row> rows;
+              if (ash_sampler_ == nullptr) return rows;
+              for (const obs::AshSample& a : ash_sampler_->Snapshot()) {
+                rows.push_back(Row{
+                    i64(a.seq),
+                    Value::Double(static_cast<double>(a.steady_nanos) / 1e9),
+                    i64(static_cast<uint64_t>(a.session.session_id)),
+                    Value::Varchar(
+                        obs::SessionActivityStateName(a.session.state)),
+                    Value::Varchar(obs::WaitEventName(a.session.wait_event)),
+                    Value::Varchar(HexHash(a.session.sql_fingerprint)),
+                    Value::Int64(a.session.txn_id),
+                });
+              }
+              return rows;
+            }));
+  }
+
+  // elephant_stat_lock_waits: who blocks whom *right now* — one row per
+  // (parked waiter, current holder) edge of the lock manager's wait graph.
+  // Empty outside WAL mode and whenever nobody is parked.
+  {
+    Schema schema({
+        Column("waiter_txn", TypeId::kInt64),
+        Column("table_name", TypeId::kVarchar),
+        Column("requested_mode", TypeId::kVarchar),
+        Column("holder_txn", TypeId::kInt64),
+        Column("held_mode", TypeId::kVarchar),
+    });
+    ELE_RETURN_NOT_OK(catalog_->RegisterVirtualTable(
+            "elephant_stat_lock_waits", std::move(schema),
+            [this, i64]() -> Result<std::vector<Row>> {
+              std::vector<Row> rows;
+              if (lock_mgr_ == nullptr) return rows;
+              const auto mode_name = [](txn::LockManager::Mode m) {
+                return m == txn::LockManager::Mode::kShared ? "Shared"
+                                                            : "Exclusive";
+              };
+              for (const txn::LockManager::LockWaitEdge& e :
+                   lock_mgr_->SnapshotWaiters()) {
+                rows.push_back(Row{
+                    i64(e.waiter),
+                    Value::Varchar(e.table),
+                    Value::Varchar(mode_name(e.requested)),
+                    i64(e.holder),
+                    Value::Varchar(mode_name(e.held)),
+                });
+              }
+              return rows;
+            }));
+  }
   return Status::OK();
 }
 
@@ -577,9 +718,11 @@ std::string Database::ExportMetrics() {
         ->Set(static_cast<double>(txn_stats.active));
   }
   // Registry families first, then the top statement families by modeled I/O
-  // (labeled series the plain registry cannot express).
+  // and the wait-event counters (labeled series the plain registry cannot
+  // express).
   return obs::ToPrometheusText(metrics_) +
-         stat_statements_.ToPrometheusTopN(5);
+         stat_statements_.ToPrometheusTopN(5) +
+         obs::WaitEventRegistry::Global().ToPrometheus();
 }
 
 Status Database::EvictCaches() { return pool_->EvictAll(); }
@@ -613,6 +756,54 @@ Result<std::string> Database::Explain(const std::string& sql,
   Planner planner(&ctx);
   ELE_ASSIGN_OR_RETURN(PlannedQuery plan, planner.Plan(std::move(bound)));
   return plan.explain;
+}
+
+Result<QueryResult> Database::ExecuteSelectWithLocks(
+    const std::string& sql, std::unique_ptr<SelectStmt> stmt,
+    PlanHints extra_hints, bool instrument, obs::Tracer* tracer,
+    SessionTxnState* ts) {
+  // In WAL mode a SELECT takes statement-scoped shared locks on its base
+  // tables (and refreshes stale derived tables) before executing. Inside
+  // a transaction the locks are taken under the transaction's id, so
+  // they compose with its exclusive locks; outside, a throwaway reader
+  // id keeps them disjoint from every transaction.
+  std::vector<std::string> acquired;
+  txn_id_t locker = kInvalidTxnId;
+  if (log_ != nullptr) {
+    locker = ts->txn != nullptr ? ts->txn->id()
+                                : next_read_locker_.fetch_add(1);
+    Status prep = PrepareSelectTables(*stmt, locker, &acquired);
+    if (!prep.ok()) {
+      if (ts->txn == nullptr) {
+        lock_mgr_->ReleaseAll(locker);
+      } else if (ts->txn->state == txn::TxnState::kActive) {
+        return CombineWithRollbackFailure(prep,
+                                          AbortTxn(ts->txn.get(), sql, ts));
+      }
+      return prep;
+    }
+  }
+  Result<QueryResult> r =
+      ExecuteSelect(sql, std::move(stmt), extra_hints, instrument, tracer);
+  if (log_ != nullptr) {
+    if (ts->txn == nullptr) {
+      lock_mgr_->ReleaseAll(locker);
+    } else {
+      // Shared locks are statement-scoped even inside a transaction
+      // (locks the transaction held before this statement stay put).
+      for (const std::string& name : acquired) {
+        lock_mgr_->Release(locker, name, txn::LockManager::Mode::kShared);
+      }
+    }
+  }
+  if (!r.ok()) {
+    if (ts->txn != nullptr && ts->txn->state == txn::TxnState::kActive) {
+      return CombineWithRollbackFailure(r.status(),
+                                        AbortTxn(ts->txn.get(), sql, ts));
+    }
+    return r.status();
+  }
+  return r;
 }
 
 Result<QueryResult> Database::ExecuteSelect(const std::string& sql,
@@ -723,6 +914,11 @@ Result<QueryResult> Database::ExecuteSelect(const std::string& sql,
     entry.io = result.io;
     entry.rows = result.rows.size();
     entry.session_id = obs::CurrentSessionId();
+    if (obs::WaitSink* waits = obs::CurrentWaitSink()) {
+      // The statement's waits so far (locks were acquired before this point,
+      // so heavyweight Lock waits are already in the sink).
+      entry.wait_profile = waits->ToProfile();
+    }
     query_log_.Record(entry);
   }
   return result;
@@ -734,6 +930,11 @@ Result<ExplainAnalyzeResult> Database::ExplainAnalyze(const std::string& sql,
   if (obs::TraceLog::Global().enabled()) {
     statement_span.emplace("statement", "engine", obs::TraceArgs{{"sql", sql}});
   }
+  // Same per-statement accounting Execute() installs: the instrumented run
+  // attributes its lock/IO/WAL waits like any other statement.
+  obs::WaitSink sink;
+  obs::WaitSinkScope sink_scope(&sink);
+  const auto wall_start = std::chrono::steady_clock::now();
   obs::Tracer tracer;
   std::unique_ptr<SelectStmt> stmt;
   {
@@ -748,9 +949,14 @@ Result<ExplainAnalyzeResult> Database::ExplainAnalyze(const std::string& sql,
   metrics_.GetCounter("db.statements.explain")->Increment();
   ELE_ASSIGN_OR_RETURN(
       QueryResult result,
-      ExecuteSelect(sql, std::move(stmt), extra_hints, /*instrument=*/true,
-                    &tracer));
+      ExecuteSelectWithLocks(sql, std::move(stmt), extra_hints,
+                             /*instrument=*/true, &tracer,
+                             &default_txn_state_));
   result.trace = std::make_shared<obs::QueryTrace>(tracer.Finish());
+  result.wait_profile = sink.ToProfile();
+  result.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
 
   ExplainAnalyzeResult out;
   out.text = obs::RenderPlanTree(*result.plan, /*with_actuals=*/true);
@@ -779,6 +985,22 @@ Result<ExplainAnalyzeResult> Database::ExplainAnalyze(const std::string& sql,
   w.Key("cpu_seconds").Double(result.cpu_seconds);
   w.Key("io_seconds").Double(result.io_seconds);
   w.Key("total_seconds").Double(result.TotalSeconds());
+  w.Key("waits").BeginObject();
+  w.Key("total_seconds").Double(result.wait_profile.TotalSeconds());
+  w.Key("lwlock_seconds")
+      .Double(result.wait_profile.ClassSeconds(obs::WaitClass::kLWLock));
+  w.Key("lock_seconds")
+      .Double(result.wait_profile.ClassSeconds(obs::WaitClass::kLock));
+  w.Key("io_seconds")
+      .Double(result.wait_profile.ClassSeconds(obs::WaitClass::kIO));
+  w.Key("wal_seconds")
+      .Double(result.wait_profile.ClassSeconds(obs::WaitClass::kWAL));
+  w.Key("condvar_seconds")
+      .Double(result.wait_profile.ClassSeconds(obs::WaitClass::kCondVar));
+  w.Key("scheduler_seconds")
+      .Double(result.wait_profile.ClassSeconds(obs::WaitClass::kScheduler));
+  w.Key("top_event").String(result.wait_profile.TopEventName());
+  w.EndObject();
   w.Key("phases");
   result.trace->AppendJson(&w);
   w.EndObject();
@@ -790,6 +1012,27 @@ Result<ExplainAnalyzeResult> Database::ExplainAnalyze(const std::string& sql,
 Result<QueryResult> Database::Execute(const std::string& sql,
                                       PlanHints extra_hints,
                                       SessionTxnState* session) {
+  // Per-statement wait attribution: every WaitScope this thread (and, via
+  // TaskGroup, this statement's workers) enters folds into this sink in
+  // addition to the global registry. Installed here — above parse and lock
+  // acquisition — so a statement that spends its life parked on a table lock
+  // shows that time in its profile, not just in engine-wide counters.
+  obs::WaitSink sink;
+  obs::WaitSinkScope sink_scope(&sink);
+  const auto wall_start = std::chrono::steady_clock::now();
+  Result<QueryResult> r = ExecuteStatement(sql, extra_hints, session);
+  if (!r.ok()) return r.status();
+  QueryResult qr = std::move(r).value();
+  qr.wait_profile = sink.ToProfile();
+  qr.wall_seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
+  return qr;
+}
+
+Result<QueryResult> Database::ExecuteStatement(const std::string& sql,
+                                               PlanHints extra_hints,
+                                               SessionTxnState* session) {
   // Root span of the statement: everything this statement does — parse,
   // bind, plan, execute, worker tasks, page faults — nests under it.
   std::optional<obs::TraceSpan> statement_span;
@@ -809,48 +1052,10 @@ Result<QueryResult> Database::Execute(const std::string& sql,
     case StatementKind::kSelect: {
       metrics_.GetCounter("db.statements.select")->Increment();
       ELE_RETURN_NOT_OK(CheckNotInAbortedTxn(*ts, sql));
-      // In WAL mode a SELECT takes statement-scoped shared locks on its base
-      // tables (and refreshes stale derived tables) before executing. Inside
-      // a transaction the locks are taken under the transaction's id, so
-      // they compose with its exclusive locks; outside, a throwaway reader
-      // id keeps them disjoint from every transaction.
-      std::vector<std::string> acquired;
-      txn_id_t locker = kInvalidTxnId;
-      if (log_ != nullptr) {
-        locker = ts->txn != nullptr ? ts->txn->id()
-                                    : next_read_locker_.fetch_add(1);
-        Status prep = PrepareSelectTables(*stmt.select, locker, &acquired);
-        if (!prep.ok()) {
-          if (ts->txn == nullptr) {
-            lock_mgr_->ReleaseAll(locker);
-          } else if (ts->txn->state == txn::TxnState::kActive) {
-            return CombineWithRollbackFailure(
-                prep, AbortTxn(ts->txn.get(), sql, ts));
-          }
-          return prep;
-        }
-      }
-      Result<QueryResult> r = ExecuteSelect(sql, std::move(stmt.select),
-                                            extra_hints,
-                                            /*instrument=*/false, &tracer);
-      if (log_ != nullptr) {
-        if (ts->txn == nullptr) {
-          lock_mgr_->ReleaseAll(locker);
-        } else {
-          // Shared locks are statement-scoped even inside a transaction
-          // (locks the transaction held before this statement stay put).
-          for (const std::string& name : acquired) {
-            lock_mgr_->Release(locker, name, txn::LockManager::Mode::kShared);
-          }
-        }
-      }
-      if (!r.ok()) {
-        if (ts->txn != nullptr && ts->txn->state == txn::TxnState::kActive) {
-          return CombineWithRollbackFailure(
-              r.status(), AbortTxn(ts->txn.get(), sql, ts));
-        }
-        return r.status();
-      }
+      Result<QueryResult> r =
+          ExecuteSelectWithLocks(sql, std::move(stmt.select), extra_hints,
+                                 /*instrument=*/false, &tracer, ts);
+      if (!r.ok()) return r.status();
       QueryResult qr = std::move(r).value();
       qr.trace = std::make_shared<obs::QueryTrace>(tracer.Finish());
       return qr;
@@ -867,7 +1072,10 @@ Result<QueryResult> Database::Execute(const std::string& sql,
     case StatementKind::kExplain: {
       metrics_.GetCounter("db.statements.explain")->Increment();
       ELE_RETURN_NOT_OK(CheckNotInAbortedTxn(*ts, sql));
-      // EXPLAIN takes no locks: it reads only the catalog and statistics.
+      // Plain EXPLAIN takes no locks: it reads only the catalog and
+      // statistics. EXPLAIN ANALYZE executes, so below it goes through the
+      // same shared-lock protocol as a SELECT — which is exactly what lets
+      // it *observe* a lock conflict instead of racing past it.
       if (!stmt.explain_analyze) {
         Binder binder(catalog_.get());
         ELE_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound,
@@ -884,8 +1092,8 @@ Result<QueryResult> Database::Execute(const std::string& sql,
       }
       ELE_ASSIGN_OR_RETURN(
           QueryResult inner,
-          ExecuteSelect(sql, std::move(stmt.select), extra_hints,
-                        /*instrument=*/true, &tracer));
+          ExecuteSelectWithLocks(sql, std::move(stmt.select), extra_hints,
+                                 /*instrument=*/true, &tracer, ts));
       inner.trace = std::make_shared<obs::QueryTrace>(tracer.Finish());
       std::string text = obs::RenderPlanTree(*inner.plan, /*with_actuals=*/true);
       char buf[256];
@@ -902,6 +1110,12 @@ Result<QueryResult> Database::Execute(const std::string& sql,
                     inner.TotalSeconds() * 1e3);
       text += buf;
       text += "Phases: " + inner.trace->ToString() + "\n";
+      // The statement's wait profile so far: lock acquisition, I/O and WAL
+      // waits of this very statement (the sink was installed by Execute()
+      // before parsing; rendering happens while it is still attached).
+      if (obs::WaitSink* waits = obs::CurrentWaitSink()) {
+        text += "Waits: " + waits->ToProfile().ToString() + "\n";
+      }
       QueryResult qr = PlanTextResult(text);
       qr.counters = inner.counters;
       qr.io = inner.io;

@@ -9,12 +9,14 @@
 #include "catalog/catalog.h"
 #include "common/thread_annotations.h"
 #include "exec/executor.h"
+#include "obs/ash.h"
 #include "obs/heatmap.h"
 #include "obs/metrics.h"
 #include "obs/plan_stats.h"
 #include "obs/query_log.h"
 #include "obs/stat_statements.h"
 #include "obs/trace.h"
+#include "obs/wait_events.h"
 #include "parser/ast.h"
 #include "planner/hints.h"
 #include "planner/planner.h"
@@ -39,6 +41,16 @@ struct QueryResult {
   /// Modeled end-to-end time: what this execution would have taken with the
   /// configured disk (I/O model) plus the measured CPU time.
   double TotalSeconds() const { return cpu_seconds + io_seconds; }
+
+  /// Where this statement's blocked time went, by wait event (lock waits,
+  /// I/O, WAL flushes, scheduler gathers — see obs/wait_events.h). Filled by
+  /// Execute() and ExplainAnalyze() from the statement's WaitSink.
+  obs::WaitProfile wait_profile;
+  /// End-to-end wall time of the statement as Execute() saw it — parse, lock
+  /// acquisition and waits included (cpu_seconds times the execute phase of
+  /// a SELECT only, so wall_seconds - cpu_seconds is roughly "overhead +
+  /// blocked time").
+  double wall_seconds = 0;
 
   /// Phase timings (parse -> bind -> plan -> execute) of this statement.
   std::shared_ptr<const obs::QueryTrace> trace;
@@ -91,6 +103,16 @@ struct DatabaseOptions {
   /// Table-lock wait budget. A wait exceeding it aborts the transaction
   /// (suspected deadlock). Tests shrink it to fail fast.
   double lock_timeout_seconds = 1.0;
+  /// Active session history: a background thread samples every live
+  /// session's activity (running / waiting-on-<event> / idle-in-txn) into a
+  /// bounded ring served by the elephant_stat_ash virtual table. Off by
+  /// default — contention experiments and tests opt in.
+  bool ash_sampler_enabled = false;
+  /// Seconds between ASH samples (PostgreSQL folks run ~1s; the simulated
+  /// engine's statements finish in microseconds, so the default is 5ms).
+  double ash_interval_seconds = 0.005;
+  /// ASH ring size in samples; the oldest samples fall off.
+  uint32_t ash_ring_capacity = 4096;
 };
 
 /// A session's open-transaction slot, passed to Database::Execute. A null
@@ -184,6 +206,15 @@ class Database {
   void DisableSlowQueryLog() { query_log_.Close(); }
   obs::QueryLog& query_log() { return query_log_; }
 
+  /// Live-session activity slots behind elephant_stat_activity and the ASH
+  /// sampler. Sessions register themselves here for their lifetime
+  /// (engine/session.h).
+  obs::SessionStateRegistry* session_states() { return &session_states_; }
+
+  /// The ASH sampler thread, or null when DatabaseOptions::ash_sampler_enabled
+  /// is off (elephant_stat_ash then reads as empty).
+  obs::AshSampler* ash_sampler() { return ash_sampler_.get(); }
+
   /// The shared intra-query worker pool (created on first use). Distinct
   /// from any session-level statement scheduler: workers never block on
   /// other tasks, which keeps PARALLEL queries deadlock-free even when
@@ -232,10 +263,33 @@ class Database {
   /// Builds disk/pool/catalog only — the Reopen factory installs the platter
   /// image and the WAL machinery itself, in recovery order.
   Database(DatabaseOptions options, ReopenTag);
+
+  /// Execute() minus the per-statement accounting wrapper: the public entry
+  /// installs a WaitSink and the wall clock, then dispatches here.
+  Result<QueryResult> ExecuteStatement(const std::string& sql,
+                                       PlanHints extra_hints,
+                                       SessionTxnState* session);
+
   Result<QueryResult> ExecuteSelect(const std::string& sql,
                                     std::unique_ptr<SelectStmt> stmt,
                                     PlanHints extra_hints, bool instrument,
                                     obs::Tracer* tracer);
+
+  /// ExecuteSelect wrapped in the WAL-mode statement-scoped shared-lock
+  /// protocol (acquire via PrepareSelectTables, release at statement end,
+  /// abort the enclosing transaction on failure). Shared by plain SELECT,
+  /// EXPLAIN ANALYZE and ExplainAnalyze() so an instrumented run blocks on —
+  /// and attributes — exactly the locks a normal run would.
+  Result<QueryResult> ExecuteSelectWithLocks(const std::string& sql,
+                                             std::unique_ptr<SelectStmt> stmt,
+                                             PlanHints extra_hints,
+                                             bool instrument,
+                                             obs::Tracer* tracer,
+                                             SessionTxnState* ts);
+
+  /// Creates and starts the ASH sampler when options_.ash_sampler_enabled
+  /// (both construction paths: fresh engine and Reopen).
+  void MaybeStartAshSampler();
 
   /// Registers the `elephant_stat_*` virtual system tables in the catalog
   /// (providers capture `this`; the catalog dies before the engine state).
@@ -310,6 +364,10 @@ class Database {
   obs::MetricsRegistry metrics_;
   obs::StatStatements stat_statements_;
   obs::QueryLog query_log_;
+  /// Declared before ash_sampler_ (which holds a pointer into it) so the
+  /// sampler thread is stopped and destroyed first.
+  obs::SessionStateRegistry session_states_;
+  std::unique_ptr<obs::AshSampler> ash_sampler_;
   const std::chrono::steady_clock::time_point created_at_ =
       std::chrono::steady_clock::now();
   Mutex workers_mu_{LockRank::kDatabaseWorkers, "Database::workers_mu_"};

@@ -24,7 +24,8 @@ namespace elephant {
 /// before fanning out, the usual read-mostly contract of this engine.
 class Session {
  public:
-  Session(Database* db, int id) : db_(db), id_(id) {}
+  Session(Database* db, int id)
+      : db_(db), id_(id), registration_(db->session_states(), id) {}
 
   int id() const { return id_; }
 
@@ -40,8 +41,16 @@ class Session {
   Result<QueryResult> Execute(const std::string& sql, PlanHints hints = {}) {
     statements_++;
     obs::SessionIdScope session_scope(id_);
+    // Activity for elephant_stat_activity and the ASH sampler: running with
+    // this statement's fingerprint while Execute is in flight (WaitScopes
+    // flip it waiting), then idle or idle-in-txn depending on whether the
+    // statement left a transaction open.
+    obs::ScopedStatementActivity activity(registration_.state(),
+                                          obs::FingerprintSql(sql),
+                                          CurrentTxnId());
     Result<QueryResult> r =
         db_->Execute(sql, default_hints_.Merge(hints), &txn_state_);
+    activity.SetTxnId(CurrentTxnId());
     if (!r.ok()) last_error_ = r.status().ToString();
     return r;
   }
@@ -54,8 +63,19 @@ class Session {
   bool in_transaction() const { return txn_state_.txn != nullptr; }
 
  private:
+  int64_t CurrentTxnId() const {
+    return txn_state_.txn != nullptr
+               ? static_cast<int64_t>(txn_state_.txn->id())
+               : -1;
+  }
+
   Database* db_;
   int id_;
+  /// This session's slot in the Database's live-session registry, held for
+  /// the session's lifetime (the registry outlives every session: sessions
+  /// are owned by a SessionManager, which callers keep shorter-lived than
+  /// the Database).
+  obs::ScopedSessionRegistration registration_;
   PlanHints default_hints_;
   /// This session's transaction slot: BEGIN opens into it, later statements
   /// join it, COMMIT/ROLLBACK close it. Each session transacting on its own

@@ -1,0 +1,163 @@
+#pragma once
+
+// Active session history: the live-session registry behind
+// elephant_stat_activity plus the background sampler behind
+// elephant_stat_ash.
+//
+// Sessions register a SessionWaitState slot for their lifetime (see
+// engine/session.h); statements flip it running/idle/idle-in-txn and stamp
+// the SQL fingerprint and txn id; WaitScopes flip it waiting-on-<event>
+// while a wait is in progress (obs/wait_events.h). The sampler thread wakes
+// every interval, snapshots every registered slot that is not plain idle,
+// and appends the observations to a bounded ring — Oracle-ASH style history
+// that joins against elephant_stat_statements by fingerprint.
+//
+// Locking: the registry mutex (kWaitSessionRegistry), the ring mutex
+// (kAshRing) and the sampler lifecycle mutex (kAshSampler) are never held
+// together — the loop acquires them strictly one at a time — and all three
+// are observability leaves, so sampling can never invert against engine
+// locks.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "obs/wait_events.h"
+
+namespace elephant {
+namespace obs {
+
+/// One observation of one session, either live (elephant_stat_activity) or
+/// historical (an ASH ring entry).
+struct SessionActivitySample {
+  int session_id = -1;
+  SessionActivityState state = SessionActivityState::kIdle;
+  int wait_event = -1;  ///< WaitEventId while waiting, else -1
+  uint64_t sql_fingerprint = 0;
+  int64_t txn_id = -1;
+  uint64_t statements = 0;
+};
+
+/// Owns the SessionWaitState slots of every live session of one Database.
+/// Slots are registered for the session's lifetime and written by the
+/// session's thread with relaxed atomics; Snapshot() reads them without
+/// stopping anyone.
+class SessionStateRegistry {
+ public:
+  /// Registers a slot for `session_id` and returns it (registry-owned; valid
+  /// until Release). The slot starts idle.
+  SessionWaitState* Acquire(int session_id);
+
+  /// Removes the slot; the pointer is dead after this returns.
+  void Release(SessionWaitState* state);
+
+  /// Current state of every registered session, sorted by session id.
+  std::vector<SessionActivitySample> Snapshot() const;
+
+ private:
+  mutable Mutex mu_{LockRank::kWaitSessionRegistry,
+                    "SessionStateRegistry::mu_"};
+  std::map<int, std::unique_ptr<SessionWaitState>> slots_ GUARDED_BY(mu_);
+};
+
+/// RAII session registration: Acquire in the constructor, Release in the
+/// destructor. Owned by Session for its lifetime.
+class ScopedSessionRegistration {
+ public:
+  ScopedSessionRegistration(SessionStateRegistry* registry, int session_id)
+      : registry_(registry), state_(registry->Acquire(session_id)) {}
+  ~ScopedSessionRegistration() { registry_->Release(state_); }
+
+  ScopedSessionRegistration(const ScopedSessionRegistration&) = delete;
+  ScopedSessionRegistration& operator=(const ScopedSessionRegistration&) =
+      delete;
+
+  SessionWaitState* state() { return state_; }
+
+ private:
+  SessionStateRegistry* registry_;
+  SessionWaitState* state_;
+};
+
+/// Statement-scoped activity bookkeeping: marks the slot running (stamping
+/// fingerprint + txn id), attaches it to the thread so WaitScopes flip it
+/// waiting, and on destruction settles it to idle or idle-in-transaction.
+class ScopedStatementActivity {
+ public:
+  ScopedStatementActivity(SessionWaitState* state, uint64_t sql_fingerprint,
+                          int64_t txn_id);
+  ~ScopedStatementActivity();
+
+  ScopedStatementActivity(const ScopedStatementActivity&) = delete;
+  ScopedStatementActivity& operator=(const ScopedStatementActivity&) = delete;
+
+  /// The statement may have opened or closed a transaction; the destructor
+  /// uses the latest value to pick idle vs idle-in-txn.
+  void SetTxnId(int64_t txn_id) { txn_id_ = txn_id; }
+
+ private:
+  SessionWaitState* state_;
+  SessionWaitStateScope attach_;
+  int64_t txn_id_;
+};
+
+/// One row of the ASH ring.
+struct AshSample {
+  uint64_t seq = 0;            ///< monotonic sample number
+  uint64_t steady_nanos = 0;   ///< steady-clock capture time
+  SessionActivitySample session;
+};
+
+/// The background sampler: every `interval_seconds` it snapshots the
+/// registry and appends every non-idle session to a bounded ring. Opt-in via
+/// DatabaseOptions::ash_sampler_enabled.
+class AshSampler {
+ public:
+  struct Options {
+    double interval_seconds = 0.005;
+    size_t ring_capacity = 4096;
+  };
+
+  AshSampler(const SessionStateRegistry* registry, Options options);
+  ~AshSampler();  ///< stops the thread
+
+  AshSampler(const AshSampler&) = delete;
+  AshSampler& operator=(const AshSampler&) = delete;
+
+  void Start();
+  void Stop();
+
+  /// Ring contents, oldest first.
+  std::vector<AshSample> Snapshot() const;
+
+  /// Total sampler wakeups since Start (includes ticks that found every
+  /// session idle and recorded nothing).
+  uint64_t ticks() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  void Loop();
+
+  const SessionStateRegistry* const registry_;
+  const Options options_;
+
+  Mutex mu_{LockRank::kAshSampler, "AshSampler::mu_"};
+  CondVar cv_;
+  bool started_ GUARDED_BY(mu_) = false;
+  bool stop_ GUARDED_BY(mu_) = false;
+
+  mutable Mutex ring_mu_{LockRank::kAshRing, "AshSampler::ring_mu_"};
+  std::deque<AshSample> ring_ GUARDED_BY(ring_mu_);
+  uint64_t next_seq_ GUARDED_BY(ring_mu_) = 0;
+  uint64_t ticks_ GUARDED_BY(ring_mu_) = 0;
+
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace elephant

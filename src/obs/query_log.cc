@@ -57,6 +57,21 @@ void QueryLog::Record(const QueryLogEntry& entry) {
   w.Key("page_writes").UInt(entry.io.page_writes);
   w.Key("rows").UInt(entry.rows);
   w.Key("session_id").Int(entry.session_id);
+  w.Key("wait_profile").BeginObject();
+  w.Key("total_seconds").Double(entry.wait_profile.TotalSeconds());
+  w.Key("lwlock_seconds")
+      .Double(entry.wait_profile.ClassSeconds(WaitClass::kLWLock));
+  w.Key("lock_seconds")
+      .Double(entry.wait_profile.ClassSeconds(WaitClass::kLock));
+  w.Key("io_seconds").Double(entry.wait_profile.ClassSeconds(WaitClass::kIO));
+  w.Key("wal_seconds")
+      .Double(entry.wait_profile.ClassSeconds(WaitClass::kWAL));
+  w.Key("condvar_seconds")
+      .Double(entry.wait_profile.ClassSeconds(WaitClass::kCondVar));
+  w.Key("scheduler_seconds")
+      .Double(entry.wait_profile.ClassSeconds(WaitClass::kScheduler));
+  w.Key("top_event").String(entry.wait_profile.TopEventName());
+  w.EndObject();
   w.EndObject();
   const std::string line = std::move(w).str();
 

@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "common/thread_annotations.h"
+#include "obs/wait_events.h"
 #include "storage/disk_manager.h"
 
 namespace elephant {
@@ -28,6 +29,9 @@ struct QueryLogEntry {
   IoStats io;                    ///< physical page traffic
   uint64_t rows = 0;
   int session_id = -1;           ///< -1 = outside any session
+  /// Where the statement's blocked time went (per wait class, plus the
+  /// single hottest event) — serialized as the "wait_profile" JSON object.
+  WaitProfile wait_profile;
 };
 
 /// Threshold-gated slow-query/audit log: statements whose wall-clock latency

@@ -1,6 +1,7 @@
 #include "sched/task_group.h"
 
 #include "obs/trace_log.h"
+#include "obs/wait_events.h"
 
 namespace elephant {
 namespace sched {
@@ -19,11 +20,18 @@ void TaskGroup::Submit(std::function<Status()> fn) {
   // opens then nest under the query's span instead of floating parentless.
   const uint64_t parent_span = obs::CurrentSpanId();
   const int session_id = obs::CurrentSessionId();
+  // The query's wait sink travels too (its counters are atomic, so workers
+  // fold in concurrently) — a worker blocking on the buffer pool charges the
+  // owning query. The session *state* deliberately does not travel: the
+  // session thread reports "waiting on gather" while morsels run.
+  obs::WaitSink* wait_sink = obs::CurrentWaitSink();
   futures_.push_back(
-      pool_->Async([this, parent_span, session_id, fn = std::move(fn)]() {
+      pool_->Async([this, parent_span, session_id, wait_sink,
+                    fn = std::move(fn)]() {
         if (cancelled()) return;
         obs::SessionIdScope session_scope(session_id);
         obs::TraceParentScope parent_scope(parent_span);
+        obs::WaitSinkScope wait_scope(wait_sink);
         obs::TraceSpan span("task", "sched");
         Record(fn());
       }));
@@ -35,8 +43,13 @@ void TaskGroup::RunInline(const std::function<Status()>& fn) {
 }
 
 Status TaskGroup::Wait() {
-  for (std::future<void>& f : futures_) {
-    if (f.valid()) f.get();
+  {
+    // The whole gather — however many futures are outstanding — is one
+    // Scheduler wait from the owning thread's point of view.
+    obs::WaitScope wait(obs::WaitEventId::kSchedulerGather);
+    for (std::future<void>& f : futures_) {
+      if (f.valid()) f.get();
+    }
   }
   futures_.clear();
   MutexLock lock(mu_);

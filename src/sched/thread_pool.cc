@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "obs/trace_log.h"
+#include "obs/wait_events.h"
 
 namespace elephant {
 namespace sched {
@@ -64,7 +65,12 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
       name_ + "-" + std::to_string(worker_index));
   mu_.Lock();
   while (true) {
-    while (!stop_ && queue_.empty()) cv_.Wait(mu_);
+    while (!stop_ && queue_.empty()) {
+      // Idle workers have no query sink attached; the park lands in the
+      // global registry only, under its scheduler-specific name.
+      obs::WaitScope idle(obs::WaitEventId::kSchedulerWorkerIdle);
+      cv_.Wait(mu_);
+    }
     // Drain remaining tasks even when stopping, so futures never dangle.
     if (queue_.empty()) break;
     std::function<void()> task = std::move(queue_.front());

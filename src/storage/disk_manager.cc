@@ -4,6 +4,7 @@
 
 #include "obs/heatmap.h"
 #include "obs/trace_log.h"
+#include "obs/wait_events.h"
 #include "storage/fault_injection.h"
 
 namespace elephant {
@@ -46,6 +47,11 @@ void DiskManager::MaybeExtendWindow(StreamPos* s, uint64_t* windows_issued,
 
 Status DiskManager::ReadPage(page_id_t page_id, char* dest,
                              AccessIntent intent) {
+  // Opened before the device mutex on purpose: queueing on the (serialized)
+  // drive is part of the I/O wait — iowait semantics — so the contended
+  // LWLock:DiskManager event rarely fires and the whole operation counts
+  // once under IO.
+  obs::WaitScope wait(obs::WaitEventId::kIoDataFileRead);
   bool sequential;
   bool prefetch_hit = false;
   ReadaheadStats ra_delta;
@@ -155,6 +161,7 @@ Status DiskManager::ReadPage(page_id_t page_id, char* dest,
 }
 
 Status DiskManager::WritePage(page_id_t page_id, const char* src) {
+  obs::WaitScope wait(obs::WaitEventId::kIoDataFileWrite);
   {
     MutexLock lock(mu_);
     if (page_id < 0 || static_cast<size_t>(page_id) >= pages_.size()) {
@@ -181,6 +188,9 @@ Status DiskManager::WritePage(page_id_t page_id, const char* src) {
 }
 
 Status DiskManager::Sync() {
+  // Inert when the caller is a WAL group flush (kWalFlush is already
+  // timing); standalone syncs (checkpoints) count as IO.
+  obs::WaitScope wait(obs::WaitEventId::kIoDataFileSync);
   MutexLock lock(mu_);
   stats_.fsyncs++;
   if (injector_ != nullptr && !injector_->OnSync()) {

@@ -1,6 +1,9 @@
 #include "txn/lock_manager.h"
 
+#include <algorithm>
 #include <chrono>
+
+#include "obs/wait_events.h"
 
 namespace elephant::txn {
 
@@ -25,6 +28,23 @@ Status LockManager::Acquire(txn_id_t locker, const std::string& table,
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(timeout_seconds));
   MutexLock lock(mu_);
+  // Membership in waiters_ makes this blocked Acquire visible to
+  // SnapshotWaiters (elephant_stat_lock_waits) while it parks.
+  bool waiting_registered = false;
+  const auto deregister = [&]() {
+    if (!waiting_registered) return;
+    auto it = waiters_.find(table);
+    if (it != waiters_.end()) {
+      auto& ws = it->second;
+      ws.erase(std::remove_if(ws.begin(), ws.end(),
+                              [&](const Waiter& w) {
+                                return w.txn == locker && w.mode == mode;
+                              }),
+               ws.end());
+      if (ws.empty()) waiters_.erase(it);
+    }
+    waiting_registered = false;
+  };
   // The entry must be re-looked-up after every wait: a releaser erases
   // entries that go free, so holding a reference across WaitFor would
   // dangle (and a fresh default entry is exactly "nobody holds it").
@@ -37,18 +57,37 @@ Status LockManager::Acquire(txn_id_t locker, const std::string& table,
         e.sharers.erase(locker);  // in-place S→X upgrade
         e.x_holder = locker;
       }
+      deregister();
       return Status::OK();
     }
     const auto now = std::chrono::steady_clock::now();
     if (now >= deadline) {
       timeouts_++;
+      deregister();
       return Status::Aborted(
           "lock wait timeout on table \"" + table +
           "\" (suspected deadlock); transaction must roll back");
     }
+    if (!waiting_registered) {
+      waiters_[table].push_back(Waiter{locker, mode});
+      waiting_registered = true;
+    }
     const double remaining =
         std::chrono::duration<double>(deadline - now).count();
-    cv_.WaitFor(mu_, remaining);
+    // One registry event per park. Opening the scope while holding mu_ is
+    // fine (WaitScope is wait-free), and it classifies the whole park —
+    // including the mutex reacquire inside WaitFor — as a heavyweight Lock
+    // wait; the CondVar scope inside WaitFor is nested-inert.
+    uint64_t parked_nanos = 0;
+    {
+      obs::WaitScope wait(mode == Mode::kShared
+                              ? obs::WaitEventId::kLockTableShared
+                              : obs::WaitEventId::kLockTableExclusive);
+      cv_.WaitFor(mu_, remaining);
+      parked_nanos = wait.Finish();
+    }
+    waits_++;
+    wait_nanos_ += parked_nanos;
   }
 }
 
@@ -88,6 +127,33 @@ bool LockManager::Holds(txn_id_t locker, const std::string& table,
 uint64_t LockManager::timeouts() const {
   MutexLock lock(mu_);
   return timeouts_;
+}
+
+LockManager::LockWaitStats LockManager::wait_stats() const {
+  MutexLock lock(mu_);
+  return LockWaitStats{waits_, timeouts_, wait_nanos_};
+}
+
+std::vector<LockManager::LockWaitEdge> LockManager::SnapshotWaiters() const {
+  MutexLock lock(mu_);
+  std::vector<LockWaitEdge> edges;
+  for (const auto& [table, waiters] : waiters_) {
+    auto it = locks_.find(table);
+    if (it == locks_.end()) continue;  // holder released; waiter waking up
+    const Entry& e = it->second;
+    for (const Waiter& w : waiters) {
+      if (e.x_holder != kInvalidTxnId && e.x_holder != w.txn) {
+        edges.push_back(
+            LockWaitEdge{w.txn, table, w.mode, e.x_holder, Mode::kExclusive});
+      }
+      for (txn_id_t sharer : e.sharers) {
+        if (sharer == w.txn) continue;
+        edges.push_back(
+            LockWaitEdge{w.txn, table, w.mode, sharer, Mode::kShared});
+      }
+    }
+  }
+  return edges;
 }
 
 }  // namespace elephant::txn

@@ -3,6 +3,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "common/config.h"
 #include "common/status.h"
@@ -46,6 +47,31 @@ class LockManager {
   /// Lock waits that ended in a timeout (aborted as suspected deadlocks).
   uint64_t timeouts() const;
 
+  /// Cumulative wait accounting, reconciled exactly with the Lock-class
+  /// events in obs::WaitEventRegistry: `waits` counts individual WaitFor
+  /// parks (one registry event each) and `wait_nanos` sums the nanos those
+  /// same WaitScopes recorded (WaitScope::Finish's return value).
+  struct LockWaitStats {
+    uint64_t waits = 0;
+    uint64_t timeouts = 0;
+    uint64_t wait_nanos = 0;
+  };
+  LockWaitStats wait_stats() const;
+
+  /// One waiter→holder edge of the current wait-for graph, the raw material
+  /// for elephant_stat_lock_waits and blocker-graph SQL.
+  struct LockWaitEdge {
+    txn_id_t waiter = kInvalidTxnId;
+    std::string table;
+    Mode requested = Mode::kShared;
+    txn_id_t holder = kInvalidTxnId;
+    Mode held = Mode::kShared;
+  };
+
+  /// Every (waiter, holder) pair currently blocked in Acquire, joined
+  /// against the live lock table under the manager's own mutex.
+  std::vector<LockWaitEdge> SnapshotWaiters() const;
+
  private:
   struct Entry {
     std::set<txn_id_t> sharers;
@@ -55,10 +81,20 @@ class LockManager {
 
   bool Grantable(const Entry& e, txn_id_t locker, Mode mode) const REQUIRES(mu_);
 
+  struct Waiter {
+    txn_id_t txn = kInvalidTxnId;
+    Mode mode = Mode::kShared;
+  };
+
   mutable Mutex mu_{LockRank::kTxnLockManager, "LockManager::mu_"};
   CondVar cv_;
   std::map<std::string, Entry> locks_ GUARDED_BY(mu_);
+  /// Blocked Acquire calls, per table (registered before the first park,
+  /// deregistered on grant or timeout).
+  std::map<std::string, std::vector<Waiter>> waiters_ GUARDED_BY(mu_);
   uint64_t timeouts_ GUARDED_BY(mu_) = 0;
+  uint64_t waits_ GUARDED_BY(mu_) = 0;
+  uint64_t wait_nanos_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace elephant::txn

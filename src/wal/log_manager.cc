@@ -1,5 +1,6 @@
 #include "wal/log_manager.h"
 
+#include "obs/wait_events.h"
 #include "storage/disk_manager.h"
 #include "storage/fault_injection.h"
 
@@ -56,11 +57,16 @@ Status LogManager::FlushLocked(lsn_t lsn) {
 }
 
 Status LogManager::FlushUntil(lsn_t lsn) {
+  // The WAL scope opens before the log mutex: committers queued behind an
+  // in-progress group flush are waiting on WAL durability, not on a latch.
+  // The nested LWLock:LogManager and IO:DataFileSync scopes are inert.
+  obs::WaitScope wait(obs::WaitEventId::kWalFlush);
   MutexLock lock(mu_);
   return FlushLocked(lsn);
 }
 
 Status LogManager::Flush() {
+  obs::WaitScope wait(obs::WaitEventId::kWalFlush);
   MutexLock lock(mu_);
   return FlushLocked(buffer_.size());
 }

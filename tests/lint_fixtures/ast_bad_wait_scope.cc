@@ -1,0 +1,32 @@
+// Seeded violation for elephant_analyze's `wait-scope` checker. The paired
+// AST dump (ast_bad_wait_scope.json) renders this file: a CondVar wrapper
+// whose Wait() parks on the underlying std::condition_variable_any without
+// first declaring an obs::WaitScope — the park would be invisible to
+// wait-event accounting (no registry record, no per-query profile, the ASH
+// sampler reports the thread as running while it sleeps). WaitFor() shows
+// the compliant shape: classify first, then block. Never compiled; the JSON
+// is what the self-test consumes.
+
+#include "common/thread_annotations.h"
+#include "obs/wait_events.h"
+
+namespace elephant {
+
+class CondVar {
+ public:
+  void Wait(Mutex& mu) {
+    // VIOLATION: parks with no WaitScope declared earlier in the function.
+    cv_.wait(mu);
+  }
+
+  bool WaitFor(Mutex& mu, double seconds) {
+    obs::WaitScope wait(obs::WaitEventId::kCondVarWait);
+    cv_.wait_for(mu, seconds);  // fine: the scope above classifies the park
+    return true;
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace elephant

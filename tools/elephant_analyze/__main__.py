@@ -47,6 +47,7 @@ FIXTURES = {
     "wal-order": "ast_bad_wal_order.json",
     "page-escape": "ast_bad_page_escape.json",
     "blocking-under-latch": "ast_bad_blocking_under_latch.json",
+    "wait-scope": "ast_bad_wait_scope.json",
 }
 CLEAN_FIXTURE = "ast_clean.json"
 

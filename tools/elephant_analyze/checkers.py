@@ -17,6 +17,9 @@ The checkers encode the engine's concurrency/durability protocols:
                          (returned or stowed in a member)
   blocking-under-latch   no flush/sync/condvar-wait while the buffer-pool
                          latch is held
+  wait-scope             every blocking primitive in the engine's wrapper
+                         classes sits under an obs::WaitScope, so no park
+                         escapes wait-event accounting
 """
 
 from __future__ import annotations
@@ -28,13 +31,13 @@ import re
 try:
     from astwalk import (ACQUIRE, CALL, RELEASE, LocCursor, collect_functions,
                          collect_mutex_fields, function_events, inner,
-                         member_parts, qual_type, strip_type, unwrap,
+                         member_parts, qual_type, strip_type, unwrap, walk,
                          walk_with_parents)
 except ImportError:  # imported as a package module
     from .astwalk import (ACQUIRE, CALL, RELEASE, LocCursor,
                           collect_functions, collect_mutex_fields,
                           function_events, inner, member_parts, qual_type,
-                          strip_type, unwrap, walk_with_parents)
+                          strip_type, unwrap, walk, walk_with_parents)
 
 
 @dataclasses.dataclass
@@ -466,6 +469,76 @@ class BlockingUnderLatchChecker:
 # ---------------------------------------------------------------------------
 
 
+# The classes that wrap blocking primitives for the rest of the engine: if a
+# park happens anywhere, it happens inside one of these.
+_WAIT_WRAPPERS = {"Mutex", "CondVar", "LockManager", "LogManager",
+                  "ThreadPool", "TaskGroup", "AshSampler"}
+
+# (base class, member) pairs that actually put the thread to sleep.
+_WAIT_PRIMITIVES = {
+    ("std::mutex", "lock"): "std::mutex::lock (a sleeping acquire)",
+    ("std::condition_variable_any", "wait"):
+        "std::condition_variable_any::wait (an unbounded park)",
+    ("std::condition_variable_any", "wait_for"):
+        "std::condition_variable_any::wait_for (a timed park)",
+    ("std::future<void>", "get"): "std::future::get (a gather park)",
+    ("CondVar", "Wait"): "CondVar::Wait (an unbounded park)",
+    ("CondVar", "WaitFor"): "CondVar::WaitFor (a timed park)",
+}
+
+
+class WaitScopeChecker:
+    """Every blocking primitive inside the engine's wrapper classes must be
+    preceded (in document order, within the same function) by an
+    obs::WaitScope declaration. A park without a scope is invisible to
+    wait-event accounting: elephant_stat_wait_events, per-query wait
+    profiles and the ASH sampler would all report the thread as running
+    while it sleeps. The sticky saw-a-scope rule matches how the wrappers
+    are written — classify first (spin loops and try_locks may come before
+    the scope, they never sleep), then block."""
+
+    name = "wait-scope"
+
+    def visit_tu(self, tu, ctx):
+        findings = []
+        for fn in collect_functions(tu):
+            if fn.record not in _WAIT_WRAPPERS:
+                continue
+            cursor = LocCursor(fn.file, fn.line)
+            saw_scope = False
+            for node in walk(fn.body):
+                cursor.visit(node)
+                kind = node.get("kind")
+                if kind == "VarDecl" \
+                        and strip_type(qual_type(node)) == "WaitScope":
+                    saw_scope = True
+                elif kind == "CXXMemberCallExpr":
+                    kids = inner(node)
+                    callee = kids[0] if kids else {}
+                    if callee.get("kind") != "MemberExpr":
+                        callee = unwrap(callee)
+                    if callee.get("kind") != "MemberExpr":
+                        continue
+                    member, base_class = member_parts(callee, fn.record)
+                    prim = _WAIT_PRIMITIVES.get((base_class, member))
+                    if prim and not saw_scope:
+                        file, line = cursor.at()
+                        findings.append(Finding(
+                            self.name, file, line,
+                            f"{fn.qualname} blocks in {prim} with no "
+                            "WaitScope opened earlier in the function; the "
+                            "park would be invisible to wait-event "
+                            "accounting — open the classifying "
+                            "obs::WaitScope before sleeping"))
+        return findings
+
+    def finish(self, ctx):
+        return []
+
+
+# ---------------------------------------------------------------------------
+
+
 def make_checkers():
     """Fresh checker instances (whole-program checkers carry state)."""
     return [
@@ -474,4 +547,5 @@ def make_checkers():
         WalOrderChecker(),
         PageEscapeChecker(),
         BlockingUnderLatchChecker(),
+        WaitScopeChecker(),
     ]
