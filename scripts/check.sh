@@ -103,6 +103,11 @@ for preset in "${PRESETS[@]}"; do
     ctest --preset "$preset" -L obs --output-on-failure
     echo "=== [$preset] txn label (transactions / recovery) ====================="
     ctest --preset "$preset" -L txn --output-on-failure
+    echo "=== [$preset] batch-vs-Volcano identity (vectorized engine) ==========="
+    # The differential harness: every query shape runs Volcano (NO_BATCH),
+    # batch serial, and batch PARALLEL 4, and must be byte-identical at the
+    # same plan shape (order-insensitive across plan shapes).
+    ctest --preset "$preset" -R "Batch" --output-on-failure
   fi
 done
 

@@ -108,10 +108,41 @@ TypeId WiderOf(TypeId a, TypeId b) {
   return TypeId::kInt32;
 }
 
+/// Checked INT64-domain arithmetic. All integer arithmetic in this file
+/// funnels through these three so an overflow surfaces as InvalidArgument
+/// instead of wrapping (signed overflow is UB, and a silently wrapped SUM
+/// is a wrong answer the differential harness can't even catch — both
+/// engines would wrap identically). `what` names the operation.
+Result<int64_t> CheckedAdd64(int64_t a, int64_t b, const char* what) {
+  int64_t r;
+  if (__builtin_add_overflow(a, b, &r)) {
+    return Status::InvalidArgument(std::string(what) + " overflows INT64");
+  }
+  return r;
+}
+
+Result<int64_t> CheckedSub64(int64_t a, int64_t b, const char* what) {
+  int64_t r;
+  if (__builtin_sub_overflow(a, b, &r)) {
+    return Status::InvalidArgument(std::string(what) + " overflows INT64");
+  }
+  return r;
+}
+
+Result<int64_t> CheckedMul64(int64_t a, int64_t b, const char* what) {
+  int64_t r;
+  if (__builtin_mul_overflow(a, b, &r)) {
+    return Status::InvalidArgument(std::string(what) + " overflows INT64");
+  }
+  return r;
+}
+
 /// Scaled integer payload of `v` interpreted in the `target` integer domain.
-int64_t ToIntegralDomain(const Value& v, TypeId target) {
+/// Fails when scaling an integer into the DECIMAL domain overflows (the
+/// decimal payload is the value x100, so values near INT64_MAX don't fit).
+Result<int64_t> ToIntegralDomain(const Value& v, TypeId target) {
   if (target == TypeId::kDecimal && v.type() != TypeId::kDecimal) {
-    return v.AsInt64() * decimal::kScale;
+    return CheckedMul64(v.AsInt64(), decimal::kScale, "DECIMAL scaling");
   }
   return v.AsInt64();
 }
@@ -140,8 +171,9 @@ Result<Value> Value::Add(const Value& o) const {
     if (d.type_ == TypeId::kDate && n.type_ != TypeId::kDate &&
         (n.type_ == TypeId::kInt32 || n.type_ == TypeId::kInt64)) {
       if (is_null_ || o.is_null_) return Value::Null(TypeId::kDate);
-      ELE_ASSIGN_OR_RETURN(int32_t days,
-                           NarrowToInt32(d.ival_ + n.ival_, "DATE + integer"));
+      ELE_ASSIGN_OR_RETURN(int64_t sum,
+                           CheckedAdd64(d.ival_, n.ival_, "DATE + integer"));
+      ELE_ASSIGN_OR_RETURN(int32_t days, NarrowToInt32(sum, "DATE + integer"));
       return Value::Date(days);
     }
     return Status::InvalidArgument("unsupported DATE addition");
@@ -150,7 +182,10 @@ Result<Value> Value::Add(const Value& o) const {
   TypeId t = WiderOf(type_, o.type_);
   if (is_null_ || o.is_null_) return Value::Null(t);
   if (t == TypeId::kDouble) return Value::Double(AsDouble() + o.AsDouble());
-  int64_t r = ToIntegralDomain(*this, t) + ToIntegralDomain(o, t);
+  ELE_ASSIGN_OR_RETURN(int64_t a, ToIntegralDomain(*this, t));
+  ELE_ASSIGN_OR_RETURN(int64_t b, ToIntegralDomain(o, t));
+  const char* what = t == TypeId::kDecimal ? "DECIMAL addition" : "addition";
+  ELE_ASSIGN_OR_RETURN(int64_t r, CheckedAdd64(a, b, what));
   if (t == TypeId::kDecimal) return Value::Decimal(r);
   if (t == TypeId::kInt64) return Value::Int64(r);
   ELE_ASSIGN_OR_RETURN(int32_t narrow, NarrowToInt32(r, "INT32 addition"));
@@ -162,14 +197,16 @@ Result<Value> Value::Subtract(const Value& o) const {
   if (type_ == TypeId::kDate) {
     if (o.type_ == TypeId::kDate) {
       if (is_null_ || o.is_null_) return Value::Null(TypeId::kInt32);
-      ELE_ASSIGN_OR_RETURN(int32_t days,
-                           NarrowToInt32(ival_ - o.ival_, "DATE - DATE"));
+      ELE_ASSIGN_OR_RETURN(int64_t diff,
+                           CheckedSub64(ival_, o.ival_, "DATE - DATE"));
+      ELE_ASSIGN_OR_RETURN(int32_t days, NarrowToInt32(diff, "DATE - DATE"));
       return Value::Int32(days);
     }
     if (o.type_ == TypeId::kInt32 || o.type_ == TypeId::kInt64) {
       if (is_null_ || o.is_null_) return Value::Null(TypeId::kDate);
-      ELE_ASSIGN_OR_RETURN(int32_t days,
-                           NarrowToInt32(ival_ - o.ival_, "DATE - integer"));
+      ELE_ASSIGN_OR_RETURN(int64_t diff,
+                           CheckedSub64(ival_, o.ival_, "DATE - integer"));
+      ELE_ASSIGN_OR_RETURN(int32_t days, NarrowToInt32(diff, "DATE - integer"));
       return Value::Date(days);
     }
     return Status::InvalidArgument("unsupported DATE subtraction");
@@ -181,7 +218,11 @@ Result<Value> Value::Subtract(const Value& o) const {
   TypeId t = WiderOf(type_, o.type_);
   if (is_null_ || o.is_null_) return Value::Null(t);
   if (t == TypeId::kDouble) return Value::Double(AsDouble() - o.AsDouble());
-  int64_t r = ToIntegralDomain(*this, t) - ToIntegralDomain(o, t);
+  ELE_ASSIGN_OR_RETURN(int64_t a, ToIntegralDomain(*this, t));
+  ELE_ASSIGN_OR_RETURN(int64_t b, ToIntegralDomain(o, t));
+  const char* what =
+      t == TypeId::kDecimal ? "DECIMAL subtraction" : "subtraction";
+  ELE_ASSIGN_OR_RETURN(int64_t r, CheckedSub64(a, b, what));
   if (t == TypeId::kDecimal) return Value::Decimal(r);
   if (t == TypeId::kInt64) return Value::Int64(r);
   ELE_ASSIGN_OR_RETURN(int32_t narrow, NarrowToInt32(r, "INT32 subtraction"));
@@ -194,11 +235,16 @@ Result<Value> Value::Multiply(const Value& o) const {
   if (is_null_ || o.is_null_) return Value::Null(t);
   if (t == TypeId::kDouble) return Value::Double(AsDouble() * o.AsDouble());
   if (t == TypeId::kDecimal) {
-    // Keep scale 2: (a*100)*(b*100)/100.
-    int64_t a = ToIntegralDomain(*this, t), b = ToIntegralDomain(o, t);
-    return Value::Decimal(a * b / decimal::kScale);
+    // Keep scale 2: (a*100)*(b*100)/100. The intermediate product carries
+    // both scale factors, so it can overflow even when the final quotient
+    // would fit; erring there is deliberate (no silent wrap, ever).
+    ELE_ASSIGN_OR_RETURN(int64_t a, ToIntegralDomain(*this, t));
+    ELE_ASSIGN_OR_RETURN(int64_t b, ToIntegralDomain(o, t));
+    ELE_ASSIGN_OR_RETURN(int64_t p, CheckedMul64(a, b, "DECIMAL multiplication"));
+    return Value::Decimal(p / decimal::kScale);
   }
-  int64_t r = AsInt64() * o.AsInt64();
+  ELE_ASSIGN_OR_RETURN(int64_t r,
+                       CheckedMul64(AsInt64(), o.AsInt64(), "multiplication"));
   if (t == TypeId::kInt64) return Value::Int64(r);
   ELE_ASSIGN_OR_RETURN(int32_t narrow,
                        NarrowToInt32(r, "INT32 multiplication"));
@@ -214,11 +260,17 @@ Result<Value> Value::Divide(const Value& o) const {
     if (d == 0) return Status::InvalidArgument("division by zero");
     return Value::Double(AsDouble() / d);
   }
-  int64_t b = ToIntegralDomain(o, t);
+  ELE_ASSIGN_OR_RETURN(int64_t b, ToIntegralDomain(o, t));
   if (b == 0) return Status::InvalidArgument("division by zero");
   if (t == TypeId::kDecimal) {
-    int64_t a = ToIntegralDomain(*this, t);
-    return Value::Decimal(a * decimal::kScale / b);
+    ELE_ASSIGN_OR_RETURN(int64_t a, ToIntegralDomain(*this, t));
+    ELE_ASSIGN_OR_RETURN(int64_t p,
+                         CheckedMul64(a, decimal::kScale, "DECIMAL division"));
+    return Value::Decimal(p / b);
+  }
+  // INT64_MIN / -1 is the one quotient that overflows the INT64 domain.
+  if (AsInt64() == std::numeric_limits<int64_t>::min() && o.AsInt64() == -1) {
+    return Status::InvalidArgument("division overflows INT64");
   }
   int64_t r = AsInt64() / o.AsInt64();
   if (t == TypeId::kInt64) return Value::Int64(r);

@@ -750,6 +750,7 @@ Result<std::string> Database::Explain(const std::string& sql,
   ELE_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound, binder.Bind(*stmt));
   bound->hints = bound->hints.Merge(extra_hints);
   ExecContext ctx(pool_.get());
+  ctx.set_batch_enabled(options_.batch_execution);
   // EXPLAIN must show the same plan Execute() would run, so a PARALLEL hint
   // attaches the scheduler here too (the query is not executed).
   if (bound->hints.parallel_workers >= 2) ctx.set_scheduler(workers());
@@ -825,6 +826,7 @@ Result<QueryResult> Database::ExecuteSelect(const std::string& sql,
   // stat queries would recurse forever in spirit).
   const bool reads_virtual = bound->uses_virtual;
   ExecContext ctx(pool_.get());
+  ctx.set_batch_enabled(options_.batch_execution);
   // Attach the worker pool only when this query asked for parallelism, so
   // serial-only workloads never spin up threads.
   if (bound->hints.parallel_workers >= 2) ctx.set_scheduler(workers());
@@ -871,6 +873,10 @@ Result<QueryResult> Database::ExecuteSelect(const std::string& sql,
   result.cpu_seconds = std::chrono::duration<double>(t1 - t0).count();
   result.io_seconds = options_.disk_model.Seconds(result.io);
   result.counters = ctx.counters();
+  // rows_output is defined as "rows the root emitted" (see ExecCounters);
+  // assigning it here keeps it exact for every engine/plan shape, including
+  // LIMIT over Gather where per-operator increments over-counted.
+  result.counters.rows_output = result.rows.size();
   result.plan = std::shared_ptr<const obs::PlanNode>(std::move(plan.plan));
 
   metrics_.GetCounter("db.rows_returned_total")->Increment(result.rows.size());
@@ -1082,6 +1088,7 @@ Result<QueryResult> Database::ExecuteStatement(const std::string& sql,
                              binder.Bind(*stmt.select));
         bound->hints = bound->hints.Merge(extra_hints);
         ExecContext ctx(pool_.get());
+        ctx.set_batch_enabled(options_.batch_execution);
         if (bound->hints.parallel_workers >= 2) ctx.set_scheduler(workers());
         Planner planner(&ctx);
         ELE_ASSIGN_OR_RETURN(PlannedQuery plan, planner.Plan(std::move(bound)));

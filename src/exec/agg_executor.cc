@@ -46,14 +46,14 @@ Status AccumulateAggs(const std::vector<AggSpec>& aggs, std::vector<AggState>* s
   return Status::OK();
 }
 
-std::vector<AggState> FreshStates(const std::vector<AggSpec>& aggs) {
+}  // namespace
+
+std::vector<AggState> FreshAggStates(const std::vector<AggSpec>& aggs) {
   std::vector<AggState> states;
   states.reserve(aggs.size());
   for (const AggSpec& a : aggs) states.emplace_back(a.fn);
   return states;
 }
-
-}  // namespace
 
 HashAggregateExecutor::HashAggregateExecutor(ExecContext* ctx, ExecutorPtr child,
                                              std::vector<ExprPtr> group_exprs,
@@ -76,14 +76,14 @@ Status HashAggregateExecutor::Init() {
                          EncodeGroupKey(group_exprs_, row, &group_values));
     auto it = groups_.find(key);
     if (it == groups_.end()) {
-      it = groups_.emplace(std::move(key), Group{group_values, FreshStates(aggs_)})
+      it = groups_.emplace(std::move(key), Group{group_values, FreshAggStates(aggs_)})
                .first;
     }
     ELE_RETURN_NOT_OK(AccumulateAggs(aggs_, &it->second.states, row));
   }
   // Scalar aggregation (no GROUP BY) over empty input yields one row.
   if (group_exprs_.empty() && groups_.empty()) {
-    groups_.emplace(std::string(), Group{Row{}, FreshStates(aggs_)});
+    groups_.emplace(std::string(), Group{Row{}, FreshAggStates(aggs_)});
   }
   emit_it_ = groups_.begin();
   inited_ = true;
@@ -97,7 +97,6 @@ Result<bool> HashAggregateExecutor::Next(Row* out) {
   for (const Value& v : emit_it_->second.group_values) out->push_back(v);
   for (const AggState& s : emit_it_->second.states) out->push_back(s.Finalize());
   ++emit_it_;
-  ctx_->counters().rows_output++;
   return true;
 }
 
@@ -124,7 +123,6 @@ void StreamAggregateExecutor::EmitCurrent(Row* out) {
   for (const Value& v : current_values_) out->push_back(v);
   for (const AggState& s : states_) out->push_back(s.Finalize());
   has_group_ = false;
-  ctx_->counters().rows_output++;
 }
 
 Result<bool> StreamAggregateExecutor::Next(Row* out) {
@@ -146,7 +144,7 @@ Result<bool> StreamAggregateExecutor::Next(Row* out) {
       }
       // Scalar aggregate over empty input: one row of empty-group states.
       if (group_exprs_.empty()) {
-        states_ = FreshStates(aggs_);
+        states_ = FreshAggStates(aggs_);
         current_values_.clear();
         has_group_ = true;
         EmitCurrent(out);
@@ -160,7 +158,7 @@ Result<bool> StreamAggregateExecutor::Next(Row* out) {
       has_group_ = true;
       current_key_ = std::move(key);
       current_values_ = std::move(group_values);
-      states_ = FreshStates(aggs_);
+      states_ = FreshAggStates(aggs_);
       ELE_RETURN_NOT_OK(AccumulateAggs(aggs_, &states_, row));
       continue;
     }
@@ -175,7 +173,7 @@ Result<bool> StreamAggregateExecutor::Next(Row* out) {
     has_group_ = true;
     current_key_ = std::move(key);
     current_values_ = std::move(group_values);
-    states_ = FreshStates(aggs_);
+    states_ = FreshAggStates(aggs_);
     ELE_RETURN_NOT_OK(AccumulateAggs(aggs_, &states_, row));
     return true;
   }
@@ -213,7 +211,7 @@ Status PartialAggregateExecutor::Init() {
                          EncodeGroupKey(group_exprs_, row, &group_values));
     auto it = groups_.find(key);
     if (it == groups_.end()) {
-      it = groups_.emplace(std::move(key), Group{group_values, FreshStates(aggs_)})
+      it = groups_.emplace(std::move(key), Group{group_values, FreshAggStates(aggs_)})
                .first;
     }
     ELE_RETURN_NOT_OK(AccumulateAggs(aggs_, &it->second.states, row));
@@ -221,7 +219,7 @@ Status PartialAggregateExecutor::Init() {
   // A scalar partial aggregate always contributes one transfer row, even
   // over an empty morsel, so the final merge sees COUNT() = 0 etc.
   if (group_exprs_.empty() && groups_.empty()) {
-    groups_.emplace(std::string(), Group{Row{}, FreshStates(aggs_)});
+    groups_.emplace(std::string(), Group{Row{}, FreshAggStates(aggs_)});
   }
   emit_it_ = groups_.begin();
   inited_ = true;
@@ -234,7 +232,6 @@ Result<bool> PartialAggregateExecutor::Next(Row* out) {
   for (const Value& v : emit_it_->second.group_values) out->push_back(v);
   for (const AggState& s : emit_it_->second.states) s.AppendPartial(out);
   ++emit_it_;
-  ctx_->counters().rows_output++;
   return true;
 }
 
@@ -262,7 +259,7 @@ Status FinalAggregateExecutor::Init() {
       Row group_values(row.begin(), row.begin() + static_cast<long>(num_groups_));
       it = groups_
                .emplace(std::move(key),
-                        Group{std::move(group_values), FreshStates(aggs_)})
+                        Group{std::move(group_values), FreshAggStates(aggs_)})
                .first;
     }
     size_t pos = num_groups_;
@@ -274,7 +271,7 @@ Status FinalAggregateExecutor::Init() {
   // Scalar aggregation over zero partial rows (e.g. an empty key range
   // produced no morsels) still yields one output row, like the serial plan.
   if (num_groups_ == 0 && groups_.empty()) {
-    groups_.emplace(std::string(), Group{Row{}, FreshStates(aggs_)});
+    groups_.emplace(std::string(), Group{Row{}, FreshAggStates(aggs_)});
   }
   emit_it_ = groups_.begin();
   inited_ = true;
@@ -288,7 +285,6 @@ Result<bool> FinalAggregateExecutor::Next(Row* out) {
   for (const Value& v : emit_it_->second.group_values) out->push_back(v);
   for (const AggState& s : emit_it_->second.states) out->push_back(s.Finalize());
   ++emit_it_;
-  ctx_->counters().rows_output++;
   return true;
 }
 

@@ -10,6 +10,7 @@ namespace elephant {
 /// Hash-based GROUP BY aggregation: consumes the whole child in Init(),
 /// then drains groups. Output schema = group columns ++ aggregate columns.
 /// Groups are emitted in encoded-group-key order (deterministic output).
+/// batch: twin BatchHashAggregateExecutor (batch_executors.h).
 class HashAggregateExecutor final : public Executor {
  public:
   HashAggregateExecutor(ExecContext* ctx, ExecutorPtr child,
@@ -40,6 +41,7 @@ class HashAggregateExecutor final : public Executor {
 /// the group expressions: emits each group as soon as the next group starts.
 /// This is the "stream-based operator" of the paper's Figure 4(c) plan —
 /// after an intermediate sort, grouping needs no hash table.
+/// batch: twin BatchStreamAggregateExecutor (batch_executors.h).
 class StreamAggregateExecutor final : public Executor {
  public:
   StreamAggregateExecutor(ExecContext* ctx, ExecutorPtr child,
@@ -73,6 +75,10 @@ class StreamAggregateExecutor final : public Executor {
 Schema MakeAggOutputSchema(const Schema& input, const std::vector<ExprPtr>& groups,
                            const std::vector<AggSpec>& aggs);
 
+/// Fresh accumulator states for `aggs`, shared by the row and batch
+/// aggregate executors so both fold inputs through identical AggState logic.
+std::vector<AggState> FreshAggStates(const std::vector<AggSpec>& aggs);
+
 /// Output schema of a PartialAggregateExecutor: group columns followed by
 /// each aggregate's partial (transfer) columns — see AggState::AppendPartial.
 Schema MakePartialAggSchema(const std::vector<ExprPtr>& groups,
@@ -86,6 +92,7 @@ Schema MakePartialAggSchema(const std::vector<ExprPtr>& groups,
 ///
 /// A scalar (no GROUP BY) partial aggregate over an empty morsel still
 /// emits one all-empty partial row, mirroring serial scalar aggregation.
+/// batch: twin BatchPartialAggregateExecutor (batch_executors.h).
 class PartialAggregateExecutor final : public Executor {
  public:
   PartialAggregateExecutor(ExecContext* ctx, ExecutorPtr child,
@@ -118,6 +125,7 @@ class PartialAggregateExecutor final : public Executor {
 /// Merging is exact for integer and decimal aggregates; the input arrives
 /// in deterministic morsel order, so even floating-point sums are
 /// reproducible run to run.
+/// batch: twin BatchFinalAggregateExecutor (batch_executors.h).
 class FinalAggregateExecutor final : public Executor {
  public:
   /// `aggs` describe the aggregates whose partial states the child carries;

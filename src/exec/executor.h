@@ -15,6 +15,12 @@ class ThreadPool;
 /// Counters gathered while a plan runs. `index_seeks` counts inner-side index
 /// probes of index nested-loop joins — the "context switches" the paper's
 /// optimized Q3 rewrite (Figure 4(b)) is designed to reduce.
+///
+/// `rows_output` is the number of rows the PLAN ROOT emitted to the client;
+/// the engine assigns it once when the drain loop finishes. Operators must
+/// not bump it per intermediate row — doing so over-counted under
+/// LIMIT-atop-Gather and double-counted multi-stage aggregation, and would
+/// diverge between the row and batch engines.
 struct ExecCounters {
   uint64_t rows_output = 0;
   uint64_t index_seeks = 0;
@@ -35,10 +41,17 @@ class ExecContext {
   sched::ThreadPool* scheduler() const { return scheduler_; }
   void set_scheduler(sched::ThreadPool* scheduler) { scheduler_ = scheduler; }
 
+  /// Whether the planner may choose the vectorized batch pipeline for
+  /// eligible (sub)plans. On by default; DatabaseOptions::batch_execution
+  /// and the NO_BATCH hint turn it off per-database / per-query.
+  bool batch_enabled() const { return batch_enabled_; }
+  void set_batch_enabled(bool enabled) { batch_enabled_ = enabled; }
+
  private:
   BufferPool* pool_;
   ExecCounters counters_;
   sched::ThreadPool* scheduler_ = nullptr;
+  bool batch_enabled_ = true;
 };
 
 /// Volcano-style executor: Init() once, then Next() until it yields false.

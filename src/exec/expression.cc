@@ -1,5 +1,7 @@
 #include "exec/expression.h"
 
+#include "exec/batch.h"
+
 namespace elephant {
 
 const char* CompareOpName(CompareOp op) {
@@ -36,12 +38,10 @@ const char* AggFuncName(AggFunc fn) {
   return "?";
 }
 
-Result<Value> CompareExpr::Eval(const Row& row) const {
-  ELE_ASSIGN_OR_RETURN(Value l, lhs_->Eval(row));
-  ELE_ASSIGN_OR_RETURN(Value r, rhs_->Eval(row));
+Result<Value> EvalCompareOp(CompareOp op, const Value& l, const Value& r) {
   if (l.is_null() || r.is_null()) return Value::Boolean(false);
   const int c = l.Compare(r);
-  switch (op_) {
+  switch (op) {
     case CompareOp::kEq: return Value::Boolean(c == 0);
     case CompareOp::kNe: return Value::Boolean(c != 0);
     case CompareOp::kLt: return Value::Boolean(c < 0);
@@ -52,19 +52,8 @@ Result<Value> CompareExpr::Eval(const Row& row) const {
   return Status::Internal("bad compare op");
 }
 
-Result<Value> LogicalExpr::Eval(const Row& row) const {
-  ELE_ASSIGN_OR_RETURN(Value l, lhs_->Eval(row));
-  const bool lb = !l.is_null() && l.AsBool();
-  if (op_ == LogicalOp::kAnd && !lb) return Value::Boolean(false);
-  if (op_ == LogicalOp::kOr && lb) return Value::Boolean(true);
-  ELE_ASSIGN_OR_RETURN(Value r, rhs_->Eval(row));
-  return Value::Boolean(!r.is_null() && r.AsBool());
-}
-
-Result<Value> ArithExpr::Eval(const Row& row) const {
-  ELE_ASSIGN_OR_RETURN(Value l, lhs_->Eval(row));
-  ELE_ASSIGN_OR_RETURN(Value r, rhs_->Eval(row));
-  switch (op_) {
+Result<Value> EvalArithOp(ArithOp op, const Value& l, const Value& r) {
+  switch (op) {
     case ArithOp::kAdd: return l.Add(r);
     case ArithOp::kSub: return l.Subtract(r);
     case ArithOp::kMul: return l.Multiply(r);
@@ -85,6 +74,118 @@ Result<Value> ArithExpr::Eval(const Row& row) const {
   return Status::Internal("bad arith op");
 }
 
+Status Expr::EvalBatch(const Batch& batch,
+                       const std::vector<uint32_t>& positions,
+                       std::vector<Value>* out) const {
+  out->resize(batch.num_rows());
+  Row scratch;
+  for (uint32_t pos : positions) {
+    batch.GatherRow(pos, &scratch);
+    ELE_ASSIGN_OR_RETURN((*out)[pos], Eval(scratch));
+  }
+  return Status::OK();
+}
+
+Status ColumnExpr::EvalBatch(const Batch& batch,
+                             const std::vector<uint32_t>& /*positions*/,
+                             std::vector<Value>* out) const {
+  if (index_ >= batch.num_cols()) {
+    return Status::ExecError("column index " + std::to_string(index_) +
+                             " out of range (batch arity " +
+                             std::to_string(batch.num_cols()) + ")");
+  }
+  // Copying the full column (not just the listed positions) is safe —
+  // column reads have no side effects — and keeps the loop branch-free.
+  *out = batch.col(index_);
+  return Status::OK();
+}
+
+Status LiteralExpr::EvalBatch(const Batch& batch,
+                              const std::vector<uint32_t>& /*positions*/,
+                              std::vector<Value>* out) const {
+  out->assign(batch.num_rows(), value_);
+  return Status::OK();
+}
+
+Status CompareExpr::EvalBatch(const Batch& batch,
+                              const std::vector<uint32_t>& positions,
+                              std::vector<Value>* out) const {
+  std::vector<Value> l, r;
+  ELE_RETURN_NOT_OK(lhs_->EvalBatch(batch, positions, &l));
+  ELE_RETURN_NOT_OK(rhs_->EvalBatch(batch, positions, &r));
+  out->resize(batch.num_rows());
+  for (uint32_t pos : positions) {
+    ELE_ASSIGN_OR_RETURN((*out)[pos], EvalCompareOp(op_, l[pos], r[pos]));
+  }
+  return Status::OK();
+}
+
+Result<Value> CompareExpr::Eval(const Row& row) const {
+  ELE_ASSIGN_OR_RETURN(Value l, lhs_->Eval(row));
+  ELE_ASSIGN_OR_RETURN(Value r, rhs_->Eval(row));
+  return EvalCompareOp(op_, l, r);
+}
+
+Result<Value> LogicalExpr::Eval(const Row& row) const {
+  ELE_ASSIGN_OR_RETURN(Value l, lhs_->Eval(row));
+  const bool lb = !l.is_null() && l.AsBool();
+  if (op_ == LogicalOp::kAnd && !lb) return Value::Boolean(false);
+  if (op_ == LogicalOp::kOr && lb) return Value::Boolean(true);
+  ELE_ASSIGN_OR_RETURN(Value r, rhs_->Eval(row));
+  return Value::Boolean(!r.is_null() && r.AsBool());
+}
+
+Status LogicalExpr::EvalBatch(const Batch& batch,
+                              const std::vector<uint32_t>& positions,
+                              std::vector<Value>* out) const {
+  std::vector<Value> l;
+  ELE_RETURN_NOT_OK(lhs_->EvalBatch(batch, positions, &l));
+  out->resize(batch.num_rows());
+  // Positional short-circuit, mirroring the row path exactly: the rhs is
+  // evaluated only where the lhs does not already decide the result (AND
+  // with false-ish lhs, OR with true lhs). This matters for errors, not
+  // just speed — `x <> 0 AND 10 / x > 1` must never divide at x = 0.
+  std::vector<uint32_t> undecided;
+  undecided.reserve(positions.size());
+  for (uint32_t pos : positions) {
+    const bool lb = !l[pos].is_null() && l[pos].AsBool();
+    if (op_ == LogicalOp::kAnd && !lb) {
+      (*out)[pos] = Value::Boolean(false);
+    } else if (op_ == LogicalOp::kOr && lb) {
+      (*out)[pos] = Value::Boolean(true);
+    } else {
+      undecided.push_back(pos);
+    }
+  }
+  if (!undecided.empty()) {
+    std::vector<Value> r;
+    ELE_RETURN_NOT_OK(rhs_->EvalBatch(batch, undecided, &r));
+    for (uint32_t pos : undecided) {
+      (*out)[pos] = Value::Boolean(!r[pos].is_null() && r[pos].AsBool());
+    }
+  }
+  return Status::OK();
+}
+
+Result<Value> ArithExpr::Eval(const Row& row) const {
+  ELE_ASSIGN_OR_RETURN(Value l, lhs_->Eval(row));
+  ELE_ASSIGN_OR_RETURN(Value r, rhs_->Eval(row));
+  return EvalArithOp(op_, l, r);
+}
+
+Status ArithExpr::EvalBatch(const Batch& batch,
+                            const std::vector<uint32_t>& positions,
+                            std::vector<Value>* out) const {
+  std::vector<Value> l, r;
+  ELE_RETURN_NOT_OK(lhs_->EvalBatch(batch, positions, &l));
+  ELE_RETURN_NOT_OK(rhs_->EvalBatch(batch, positions, &r));
+  out->resize(batch.num_rows());
+  for (uint32_t pos : positions) {
+    ELE_ASSIGN_OR_RETURN((*out)[pos], EvalArithOp(op_, l[pos], r[pos]));
+  }
+  return Status::OK();
+}
+
 TypeId ArithExpr::output_type() const {
   if (op_ == ArithOp::kDiv) return TypeId::kDouble;
   const TypeId a = lhs_->output_type();
@@ -100,6 +201,19 @@ Result<Value> NotExpr::Eval(const Row& row) const {
   ELE_ASSIGN_OR_RETURN(Value v, child_->Eval(row));
   if (v.is_null()) return Value::Null(TypeId::kBoolean);
   return Value::Boolean(!v.AsBool());
+}
+
+Status NotExpr::EvalBatch(const Batch& batch,
+                          const std::vector<uint32_t>& positions,
+                          std::vector<Value>* out) const {
+  std::vector<Value> c;
+  ELE_RETURN_NOT_OK(child_->EvalBatch(batch, positions, &c));
+  out->resize(batch.num_rows());
+  for (uint32_t pos : positions) {
+    (*out)[pos] = c[pos].is_null() ? Value::Null(TypeId::kBoolean)
+                                   : Value::Boolean(!c[pos].AsBool());
+  }
+  return Status::OK();
 }
 
 ExprPtr ConjoinAll(std::vector<ExprPtr> preds) {
@@ -125,6 +239,19 @@ void SplitConjuncts(ExprPtr pred, std::vector<ExprPtr>* out) {
 Result<bool> EvalPredicate(const Expr& pred, const Row& row) {
   ELE_ASSIGN_OR_RETURN(Value v, pred.Eval(row));
   return !v.is_null() && v.AsBool();
+}
+
+Status ApplyFilterToBatch(const Expr& pred, Batch* batch) {
+  const std::vector<uint32_t> positions = batch->ActiveIndices();
+  std::vector<Value> verdicts;
+  ELE_RETURN_NOT_OK(pred.EvalBatch(*batch, positions, &verdicts));
+  std::vector<uint32_t> keep;
+  keep.reserve(positions.size());
+  for (uint32_t pos : positions) {
+    if (!verdicts[pos].is_null() && verdicts[pos].AsBool()) keep.push_back(pos);
+  }
+  batch->SetSelection(std::move(keep));
+  return Status::OK();
 }
 
 TypeId AggSpec::OutputType() const {

@@ -11,6 +11,7 @@
 
 namespace elephant {
 
+class Batch;
 class Expr;
 using ExprPtr = std::unique_ptr<Expr>;
 
@@ -20,6 +21,14 @@ enum class ArithOp { kAdd, kSub, kMul, kDiv };
 
 const char* CompareOpName(CompareOp op);
 const char* ArithOpName(ArithOp op);
+
+/// Scalar comparison kernel shared by the row and batch evaluation paths so
+/// both engines agree bit-for-bit: NULL operands yield false.
+Result<Value> EvalCompareOp(CompareOp op, const Value& l, const Value& r);
+
+/// Scalar arithmetic kernel shared by the row and batch evaluation paths.
+/// `/` always yields DOUBLE; division by zero is an error.
+Result<Value> EvalArithOp(ArithOp op, const Value& l, const Value& r);
 
 /// A scalar expression evaluated against a single input row. Column
 /// references are positional (resolved by the binder/planner); join
@@ -31,6 +40,22 @@ class Expr {
   /// Evaluates against `row`. Comparison of NULL operands yields false
   /// (simplified SQL three-valued logic: NULL never satisfies a filter).
   virtual Result<Value> Eval(const Row& row) const = 0;
+
+  /// Vectorized evaluation: computes this expression at each physical row
+  /// index listed in `positions`, writing results into `(*out)[pos]`.
+  /// `out` is resized to batch.num_rows(); entries at positions NOT listed
+  /// are unspecified and must never be read. Taking an explicit position
+  /// list (rather than evaluating the whole batch) is what keeps batch
+  /// semantics identical to Volcano: side-effecting expressions such as
+  /// `10 / x` are never evaluated at rows a preceding filter rejected, and
+  /// AND/OR short-circuit positionally exactly like the row path.
+  ///
+  /// The base implementation gathers scratch rows and calls Eval; leaf and
+  /// arithmetic/comparison nodes override it with columnar loops built on
+  /// the same scalar kernels as the row path.
+  virtual Status EvalBatch(const Batch& batch,
+                           const std::vector<uint32_t>& positions,
+                           std::vector<Value>* out) const;
 
   /// Static result type.
   virtual TypeId output_type() const = 0;
@@ -69,6 +94,8 @@ class ColumnExpr final : public Expr {
     }
     return row[index_];
   }
+  Status EvalBatch(const Batch& batch, const std::vector<uint32_t>& positions,
+                   std::vector<Value>* out) const override;
   TypeId output_type() const override { return type_; }
   uint32_t output_length() const override { return length_; }
   std::string ToString() const override {
@@ -104,6 +131,8 @@ class LiteralExpr final : public Expr {
   explicit LiteralExpr(Value v) : value_(std::move(v)) {}
 
   Result<Value> Eval(const Row&) const override { return value_; }
+  Status EvalBatch(const Batch& batch, const std::vector<uint32_t>& positions,
+                   std::vector<Value>* out) const override;
   TypeId output_type() const override { return value_.type(); }
   uint32_t output_length() const override {
     return value_.type() == TypeId::kChar
@@ -129,6 +158,8 @@ class CompareExpr final : public Expr {
       : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
 
   Result<Value> Eval(const Row& row) const override;
+  Status EvalBatch(const Batch& batch, const std::vector<uint32_t>& positions,
+                   std::vector<Value>* out) const override;
   TypeId output_type() const override { return TypeId::kBoolean; }
   std::string ToString() const override {
     return "(" + lhs_->ToString() + " " + CompareOpName(op_) + " " +
@@ -168,6 +199,8 @@ class LogicalExpr final : public Expr {
       : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
 
   Result<Value> Eval(const Row& row) const override;
+  Status EvalBatch(const Batch& batch, const std::vector<uint32_t>& positions,
+                   std::vector<Value>* out) const override;
   TypeId output_type() const override { return TypeId::kBoolean; }
   std::string ToString() const override {
     return "(" + lhs_->ToString() + (op_ == LogicalOp::kAnd ? " AND " : " OR ") +
@@ -207,6 +240,8 @@ class ArithExpr final : public Expr {
       : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
 
   Result<Value> Eval(const Row& row) const override;
+  Status EvalBatch(const Batch& batch, const std::vector<uint32_t>& positions,
+                   std::vector<Value>* out) const override;
   TypeId output_type() const override;
   std::string ToString() const override {
     return "(" + lhs_->ToString() + " " + ArithOpName(op_) + " " +
@@ -239,6 +274,8 @@ class NotExpr final : public Expr {
   explicit NotExpr(ExprPtr child) : child_(std::move(child)) {}
 
   Result<Value> Eval(const Row& row) const override;
+  Status EvalBatch(const Batch& batch, const std::vector<uint32_t>& positions,
+                   std::vector<Value>* out) const override;
   TypeId output_type() const override { return TypeId::kBoolean; }
   std::string ToString() const override { return "NOT " + child_->ToString(); }
   ExprPtr Clone() const override {
@@ -283,6 +320,11 @@ void SplitConjuncts(ExprPtr pred, std::vector<ExprPtr>* out);
 
 /// Evaluates `pred` as a filter: true iff it evaluates to non-NULL true.
 Result<bool> EvalPredicate(const Expr& pred, const Row& row);
+
+/// Vectorized filter: evaluates `pred` at the live rows of `*batch` and
+/// narrows the selection vector to those where it is non-NULL true —
+/// row-for-row the same acceptance test as EvalPredicate.
+Status ApplyFilterToBatch(const Expr& pred, Batch* batch);
 
 // ---- Aggregates ----
 

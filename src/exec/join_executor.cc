@@ -84,7 +84,6 @@ Result<bool> IndexNestedLoopJoinExecutor::Next(Row* out) {
       ELE_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*residual_, *out));
       if (!pass) continue;
     }
-    ctx_->counters().rows_output++;
     return true;
   }
 }
@@ -152,7 +151,6 @@ Result<bool> HashJoinExecutor::Next(Row* out) {
       ELE_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*residual_, *out));
       if (!pass) continue;
     }
-    ctx_->counters().rows_output++;
     return true;
   }
 }
@@ -219,7 +217,6 @@ Result<bool> BandMergeJoinExecutor::Next(Row* out) {
       ELE_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*residual_, *out));
       if (!pass) continue;
     }
-    ctx_->counters().rows_output++;
     return true;
   }
   return false;

@@ -32,6 +32,8 @@ struct InljBounds {
 /// the outer row, emitting outer ++ inner rows that pass the residual
 /// predicate. Every inner probe increments ExecCounters::index_seeks — the
 /// "context switches" the paper's Figure 4(b) optimization minimizes.
+/// batch: opt-out — joins are row-at-a-time; the planner calls
+/// EnsureRows() on every input before a join is built.
 class IndexNestedLoopJoinExecutor final : public Executor {
  public:
   /// Inner = clustered index of `inner_table` when `inner_index` is null,
@@ -64,6 +66,8 @@ class IndexNestedLoopJoinExecutor final : public Executor {
 
 /// Hash join on equality keys: builds a hash table on the right child, then
 /// probes with the left. Output = left ++ right.
+/// batch: opt-out — joins are row-at-a-time (see
+/// IndexNestedLoopJoinExecutor).
 class HashJoinExecutor final : public Executor {
  public:
   HashJoinExecutor(ExecContext* ctx, ExecutorPtr left, ExecutorPtr right,
@@ -99,6 +103,8 @@ class HashJoinExecutor final : public Executor {
 /// the optimizer wrongly prefers over INLJ when it ignores data properties
 /// (§3 "Query hints"): it must read the *entire* inner input even when the
 /// outer ranges are highly selective.
+/// batch: opt-out — joins are row-at-a-time (see
+/// IndexNestedLoopJoinExecutor).
 class BandMergeJoinExecutor final : public Executor {
  public:
   BandMergeJoinExecutor(ExecContext* ctx, ExecutorPtr outer, ExecutorPtr inner,

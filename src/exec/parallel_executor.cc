@@ -123,7 +123,6 @@ Result<bool> GatherExecutor::Next(Row* out) {
   while (chunk_ < chunks_.size()) {
     if (pos_ < chunks_[chunk_].size()) {
       *out = std::move(chunks_[chunk_][pos_++]);
-      ctx_->counters().rows_output++;
       return true;
     }
     chunks_[chunk_].clear();

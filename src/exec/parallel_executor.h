@@ -49,6 +49,9 @@ using MorselPlanFactory =
 /// sink). Worker ExecCounters and per-morsel operator stats are merged the
 /// same way. An error from any morsel cancels the remaining morsels via
 /// TaskGroup and is returned from Init().
+/// batch: opt-out — exchange operator; it merges per-morsel ROW streams
+/// in morsel order, so batch morsel pipelines end in a RowFromBatchAdapter
+/// and Gather itself never sees a Batch.
 class GatherExecutor final : public Executor {
  public:
   GatherExecutor(ExecContext* ctx, sched::ThreadPool* pool, size_t workers,

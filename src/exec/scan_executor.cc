@@ -55,27 +55,35 @@ Status SecondaryIndexScanExecutor::Init() {
   return Status::OK();
 }
 
+Status DecodeSecondaryIndexRow(const Table& table, const SecondaryIndex& index,
+                               std::string_view key, std::string_view value,
+                               Row* out) {
+  // Decode key columns from the encoded key, then include columns from the
+  // serialized payload.
+  out->clear();
+  std::string key_str(key);
+  size_t pos = 0;
+  for (size_t c : index.key_cols) {
+    ELE_ASSIGN_OR_RETURN(
+        Value v, keycodec::Decode(table.schema().ColumnAt(c).type, key_str, &pos));
+    out->push_back(std::move(v));
+  }
+  SecondaryEntry entry = DecodeSecondaryValue(value);
+  Row include_row;
+  ELE_RETURN_NOT_OK(tuple::Deserialize(index.include_schema, entry.include_bytes.data(),
+                                       entry.include_bytes.size(), &include_row));
+  for (Value& v : include_row) out->push_back(std::move(v));
+  return Status::OK();
+}
+
 Result<bool> SecondaryIndexScanExecutor::Next(Row* out) {
   if (!it_->Valid()) return false;
   const std::string_view key = it_->key();
   if (!range_.hi.empty() && std::string_view(key) >= std::string_view(range_.hi)) {
     return false;
   }
-  // Decode key columns from the encoded key, then include columns from the
-  // serialized payload.
-  out->clear();
-  std::string key_str(key);
-  size_t pos = 0;
-  for (size_t c : index_->key_cols) {
-    ELE_ASSIGN_OR_RETURN(
-        Value v, keycodec::Decode(table_->schema().ColumnAt(c).type, key_str, &pos));
-    out->push_back(std::move(v));
-  }
-  SecondaryEntry entry = DecodeSecondaryValue(it_->value());
-  Row include_row;
-  ELE_RETURN_NOT_OK(tuple::Deserialize(index_->include_schema, entry.include_bytes.data(),
-                                       entry.include_bytes.size(), &include_row));
-  for (Value& v : include_row) out->push_back(std::move(v));
+  ELE_RETURN_NOT_OK(
+      DecodeSecondaryIndexRow(*table_, *index_, key, it_->value(), out));
   ELE_RETURN_NOT_OK(it_->Next());
   ctx_->counters().rows_scanned++;
   return true;

@@ -22,9 +22,17 @@ KeyRange MakeKeyRange(const std::vector<Value>& eq_values,
                       const std::optional<Value>& lo, bool lo_inclusive,
                       const std::optional<Value>& hi, bool hi_inclusive);
 
+/// Decodes one secondary-index entry into an output row: key columns from
+/// the encoded key, include columns from the serialized payload. Shared by
+/// the row and batch index-scan executors so both decode identically.
+Status DecodeSecondaryIndexRow(const Table& table, const SecondaryIndex& index,
+                               std::string_view key, std::string_view value,
+                               Row* out);
+
 /// Scans a table through its clustered index, optionally within a key range.
 /// Output schema = the table schema. Range scans over a cluster-key prefix
 /// touch only the qualifying leaves (sequential I/O on bulk-loaded tables).
+/// batch: twin BatchClusteredScanExecutor (batch_executors.h).
 class ClusteredScanExecutor final : public Executor {
  public:
   /// `intent` is the planner's access-pattern hint: full scans (and wide
@@ -49,6 +57,9 @@ class ClusteredScanExecutor final : public Executor {
 
 /// Scans a secondary covering index within a key range. Output schema =
 /// index key columns followed by include columns (SecondaryIndex::out_schema).
+/// batch: twin BatchSecondaryIndexScanExecutor (batch_executors.h) for
+/// the covering case; non-covering scans fetch from the heap row-by-row
+/// and stay on this executor.
 class SecondaryIndexScanExecutor final : public Executor {
  public:
   /// `intent` as in ClusteredScanExecutor: kSequentialScan for full-index
@@ -76,6 +87,8 @@ class SecondaryIndexScanExecutor final : public Executor {
 };
 
 /// Emits a fixed list of rows (used for VALUES and for testing).
+/// batch: opt-out — emits a tiny bound VALUES list; batching buys
+/// nothing below one batch of input.
 class ValuesExecutor final : public Executor {
  public:
   ValuesExecutor(Schema schema, std::vector<Row> rows)

@@ -6,6 +6,7 @@
 namespace elephant {
 
 /// Emits child rows satisfying `predicate`.
+/// batch: twin BatchFilterExecutor (batch_executors.h).
 class FilterExecutor final : public Executor {
  public:
   FilterExecutor(ExecutorPtr child, ExprPtr predicate)
@@ -21,6 +22,7 @@ class FilterExecutor final : public Executor {
 };
 
 /// Computes one output column per expression.
+/// batch: twin BatchProjectExecutor (batch_executors.h).
 class ProjectExecutor final : public Executor {
  public:
   ProjectExecutor(ExecutorPtr child, std::vector<ExprPtr> exprs,
@@ -44,6 +46,9 @@ struct SortKey {
 
 /// Materializes the child and emits rows in sort-key order (in-memory sort;
 /// the engine's working sets fit the paper's read-mostly workloads).
+/// batch: opt-out — blocking full-materialization operator; a batch
+/// pipeline below it is drained through RowFromBatchAdapter, and a
+/// stream aggregate above it re-enters batch via BatchFromRowAdapter.
 class SortExecutor final : public Executor {
  public:
   SortExecutor(ExecContext* ctx, ExecutorPtr child, std::vector<SortKey> keys)
@@ -62,6 +67,8 @@ class SortExecutor final : public Executor {
 };
 
 /// Emits at most `limit` child rows.
+/// batch: opt-out — sits at the plan root above ORDER BY, where the
+/// engine drains rows anyway; counting rows beats slicing batches.
 class LimitExecutor final : public Executor {
  public:
   LimitExecutor(ExecutorPtr child, uint64_t limit)

@@ -13,6 +13,8 @@ namespace elephant {
 /// touched, so virtual scans contribute zero physical I/O to the query's
 /// IoStats — the property that lets `elephant_stat_*` queries be excluded
 /// from the statement registry without skewing reconciliation.
+/// batch: opt-out — virtual system tables are tiny introspection
+/// snapshots; scans finish within a single batch of rows.
 class VirtualTableScanExecutor final : public Executor {
  public:
   VirtualTableScanExecutor(ExecContext* ctx, const VirtualTable* vtable)

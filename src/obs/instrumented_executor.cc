@@ -69,5 +69,28 @@ Result<bool> InstrumentedExecutor::Next(Row* out) {
   return has;
 }
 
+Status InstrumentedBatchExecutor::Init() {
+  const IoSnapshot before = Snap(ctx_);
+  const auto t0 = std::chrono::steady_clock::now();
+  Status s = child_->Init();
+  const auto t1 = std::chrono::steady_clock::now();
+  Accumulate(before, Snap(ctx_), std::chrono::duration<double>(t1 - t0).count(),
+             stats_.get());
+  stats_->init_calls++;
+  return s;
+}
+
+Result<bool> InstrumentedBatchExecutor::NextBatch(Batch* out) {
+  const IoSnapshot before = Snap(ctx_);
+  const auto t0 = std::chrono::steady_clock::now();
+  Result<bool> has = child_->NextBatch(out);
+  const auto t1 = std::chrono::steady_clock::now();
+  Accumulate(before, Snap(ctx_), std::chrono::duration<double>(t1 - t0).count(),
+             stats_.get());
+  stats_->next_calls++;
+  if (has.ok() && has.value()) stats_->rows += out->ActiveCount();
+  return has;
+}
+
 }  // namespace obs
 }  // namespace elephant

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "exec/batch.h"
 #include "exec/executor.h"
 #include "obs/plan_stats.h"
 
@@ -27,6 +28,27 @@ class InstrumentedExecutor final : public Executor {
  private:
   ExecContext* ctx_;
   ExecutorPtr child_;
+  std::shared_ptr<OperatorStats> stats_;
+};
+
+/// BatchExecutor decorator with the same contract as InstrumentedExecutor:
+/// inclusive wall time and I/O deltas per Init()/NextBatch() call, `rows`
+/// advanced by each emitted batch's live-row count. One NextBatch call is
+/// one `next_calls` tick — per-operator CPU cost amortizes over the batch,
+/// which is the point of the vectorized engine.
+class InstrumentedBatchExecutor final : public BatchExecutor {
+ public:
+  InstrumentedBatchExecutor(ExecContext* ctx, BatchExecutorPtr child,
+                            std::shared_ptr<OperatorStats> stats)
+      : ctx_(ctx), child_(std::move(child)), stats_(std::move(stats)) {}
+
+  Status Init() override;
+  Result<bool> NextBatch(Batch* out) override;
+  const Schema& OutputSchema() const override { return child_->OutputSchema(); }
+
+ private:
+  ExecContext* ctx_;
+  BatchExecutorPtr child_;
   std::shared_ptr<OperatorStats> stats_;
 };
 

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "exec/agg_executor.h"
+#include "exec/batch_executors.h"
 #include "exec/join_executor.h"
 #include "exec/parallel_executor.h"
 #include "exec/scan_executor.h"
@@ -65,7 +66,12 @@ void FillEstimates(ExplainNode* n) {
 // ---------- working structures ----------
 
 struct SubPlan {
+  /// Exactly one of `exec` / `bexec` is set: a subplan is either in
+  /// row (Volcano) mode or in vectorized batch mode. Batch-mode plan nodes
+  /// carry a trailing " [batch]" label marker; EnsureRows() drops back to
+  /// row mode through a transparent RowFromBatchAdapter.
   ExecutorPtr exec;
+  BatchExecutorPtr bexec;
   ExplainPtr note;
   size_t width = 0;  ///< number of output columns
   /// Plan positions whose values are provably ascending across the output
@@ -168,6 +174,9 @@ struct ParallelSpec {
   AccessIntent scan_intent = AccessIntent::kPointLookup;
   ExprPtr residual;              ///< relation-local filter; may be null
   bool aggregate = false;
+  /// Build the per-morsel pipeline out of vectorized batch operators (the
+  /// morsel root is then adapted back to rows so Gather is unchanged).
+  bool batch = false;
   std::vector<ExprPtr> groups;   ///< relation-local group expressions
   std::vector<AggSpec> aggs;
   std::shared_ptr<obs::OperatorStats> scan_slot;
@@ -188,6 +197,39 @@ MorselPlanFactory MakeMorselFactory(std::shared_ptr<const ParallelSpec> spec) {
           wctx, std::move(mp.exec), slot);
       mp.stats.emplace_back(std::move(slot), target);
     };
+    std::vector<ExprPtr> groups;
+    groups.reserve(spec->groups.size());
+    for (const ExprPtr& g : spec->groups) groups.push_back(g->Clone());
+    std::vector<AggSpec> aggs;
+    aggs.reserve(spec->aggs.size());
+    for (const AggSpec& a : spec->aggs) aggs.push_back(a.Clone());
+    if (spec->batch) {
+      // Vectorized morsel pipeline; the finished batch root is adapted back
+      // to rows so GatherExecutor's merge loop stays engine-agnostic.
+      BatchExecutorPtr bexec;
+      auto battach = [&](const std::shared_ptr<obs::OperatorStats>& target) {
+        if (target == nullptr) return;
+        auto slot = std::make_shared<obs::OperatorStats>();
+        bexec = std::make_unique<obs::InstrumentedBatchExecutor>(
+            wctx, std::move(bexec), slot);
+        mp.stats.emplace_back(std::move(slot), target);
+      };
+      bexec = std::make_unique<BatchClusteredScanExecutor>(
+          wctx, spec->table, morsel, spec->scan_intent);
+      battach(spec->scan_slot);
+      if (spec->residual != nullptr) {
+        bexec = std::make_unique<BatchFilterExecutor>(std::move(bexec),
+                                                      spec->residual->Clone());
+        battach(spec->filter_slot);
+      }
+      if (spec->aggregate) {
+        bexec = std::make_unique<BatchPartialAggregateExecutor>(
+            wctx, std::move(bexec), std::move(groups), std::move(aggs));
+        battach(spec->agg_slot);
+      }
+      mp.exec = std::make_unique<RowFromBatchAdapter>(std::move(bexec));
+      return mp;
+    }
     mp.exec = std::make_unique<ClusteredScanExecutor>(wctx, spec->table, morsel,
                                                       spec->scan_intent);
     attach(spec->scan_slot);
@@ -197,12 +239,6 @@ MorselPlanFactory MakeMorselFactory(std::shared_ptr<const ParallelSpec> spec) {
       attach(spec->filter_slot);
     }
     if (spec->aggregate) {
-      std::vector<ExprPtr> groups;
-      groups.reserve(spec->groups.size());
-      for (const ExprPtr& g : spec->groups) groups.push_back(g->Clone());
-      std::vector<AggSpec> aggs;
-      aggs.reserve(spec->aggs.size());
-      for (const AggSpec& a : spec->aggs) aggs.push_back(a.Clone());
       mp.exec = std::make_unique<PartialAggregateExecutor>(
           wctx, std::move(mp.exec), std::move(groups), std::move(aggs));
       attach(spec->agg_slot);
@@ -234,8 +270,36 @@ class PlanBuilder {
   }
 
   /// WrapNode for the common case where the new node is the SubPlan's root.
+  /// Dispatches on the plan's engine: batch-mode roots are wrapped in an
+  /// InstrumentedBatchExecutor so EXPLAIN ANALYZE attribution works
+  /// identically for both engines.
   void Decorate(SubPlan* plan, double est_rows = -1) {
+    if (plan->bexec != nullptr) {
+      ExplainNode* node = plan->note.get();
+      if (est_rows >= 0) node->est_rows = est_rows;
+      if (!instrument_) return;
+      node->stats = std::make_shared<obs::OperatorStats>();
+      plan->bexec = std::make_unique<obs::InstrumentedBatchExecutor>(
+          ctx_, std::move(plan->bexec), node->stats);
+      return;
+    }
     WrapNode(&plan->exec, plan->note.get(), est_rows);
+  }
+
+  /// Whether the vectorized batch engine is available to this query. The
+  /// NO_BATCH hint and DatabaseOptions::batch_execution force the classic
+  /// row-at-a-time pipeline.
+  bool batch_on() const {
+    return ctx_->batch_enabled() && !q_->hints.no_batch;
+  }
+
+  /// Drops a batch-mode subplan back to row mode through a transparent
+  /// RowFromBatchAdapter (no plan node of its own: the adapter is glue
+  /// between the engines, not an operator). No-op for row-mode plans.
+  static void EnsureRows(SubPlan* plan) {
+    if (plan->bexec == nullptr) return;
+    plan->exec = std::make_unique<RowFromBatchAdapter>(std::move(plan->bexec));
+    plan->bexec = nullptr;
   }
 
   Status AnalyzePrereqs();
@@ -605,11 +669,16 @@ Result<SubPlan> PlanBuilder::AccessPath(size_t r, std::vector<int>* local_to_pla
                                   ? AccessIntent::kPointLookup
                                   : ScanIntent(rel.table);
   if (use_clustered || best_idx == nullptr) {
-    plan.exec =
-        std::make_unique<ClusteredScanExecutor>(ctx_, rel.table, range, intent);
+    if (batch_on()) {
+      plan.bexec = std::make_unique<BatchClusteredScanExecutor>(
+          ctx_, rel.table, range, intent);
+    } else {
+      plan.exec = std::make_unique<ClusteredScanExecutor>(ctx_, rel.table,
+                                                          range, intent);
+    }
     plan.width = rel.table->schema().NumColumns();
     plan.note = Note("ClusteredIndexScan " + rel.table->name() + " as " +
-                     rel.alias + range_desc);
+                     rel.alias + range_desc + (batch_on() ? " [batch]" : ""));
     Decorate(&plan, EstimateRows(r));
     local_to_plan->assign(rel.schema.NumColumns(), 0);
     for (size_t c = 0; c < rel.schema.NumColumns(); c++) {
@@ -624,11 +693,17 @@ Result<SubPlan> PlanBuilder::AccessPath(size_t r, std::vector<int>* local_to_pla
       }
     }
   } else {
-    plan.exec = std::make_unique<SecondaryIndexScanExecutor>(
-        ctx_, rel.table, best_idx, range, intent);
+    if (batch_on()) {
+      plan.bexec = std::make_unique<BatchSecondaryIndexScanExecutor>(
+          ctx_, rel.table, best_idx, range, intent);
+    } else {
+      plan.exec = std::make_unique<SecondaryIndexScanExecutor>(
+          ctx_, rel.table, best_idx, range, intent);
+    }
     plan.width = best_idx->out_schema.NumColumns();
     plan.note = Note("CoveringIndexSeek " + best_idx->name + " on " +
-                     rel.table->name() + " as " + rel.alias + range_desc);
+                     rel.table->name() + " as " + rel.alias + range_desc +
+                     (batch_on() ? " [batch]" : ""));
     Decorate(&plan, EstimateRows(r));
     local_to_plan->assign(rel.schema.NumColumns(), -1);
     size_t out_pos = 0;
@@ -676,11 +751,20 @@ Result<SubPlan> PlanBuilder::AccessPath(size_t r, std::vector<int>* local_to_pla
     for (ExprPtr& p : residual) p->RemapColumns(to_plan);
     ExprPtr pred = ConjoinAll(std::move(residual));
     std::string label = "Filter " + pred->ToString();
-    plan.exec =
-        std::make_unique<FilterExecutor>(std::move(plan.exec), std::move(pred));
+    if (plan.bexec != nullptr) {
+      label += " [batch]";
+      plan.bexec = std::make_unique<BatchFilterExecutor>(std::move(plan.bexec),
+                                                         std::move(pred));
+    } else {
+      plan.exec = std::make_unique<FilterExecutor>(std::move(plan.exec),
+                                                   std::move(pred));
+    }
     plan.note = Note(std::move(label), std::move(plan.note));
     Decorate(&plan, EstimateRows(r));
   }
+  // Joins are row-at-a-time operators: when this relation feeds a join, fall
+  // back to the Volcano engine at the access-path boundary.
+  if (q_->relations.size() > 1) EnsureRows(&plan);
   return plan;
 }
 
@@ -703,8 +787,14 @@ Status PlanBuilder::ApplyAvailableFilters(SubPlan* plan) {
   if (!preds.empty()) {
     ExprPtr pred = ConjoinAll(std::move(preds));
     std::string label = "Filter " + pred->ToString();
-    plan->exec =
-        std::make_unique<FilterExecutor>(std::move(plan->exec), std::move(pred));
+    if (plan->bexec != nullptr) {
+      label += " [batch]";
+      plan->bexec = std::make_unique<BatchFilterExecutor>(std::move(plan->bexec),
+                                                          std::move(pred));
+    } else {
+      plan->exec = std::make_unique<FilterExecutor>(std::move(plan->exec),
+                                                    std::move(pred));
+    }
     plan->note = Note(std::move(label), std::move(plan->note));
     Decorate(plan);
   }
@@ -1143,6 +1233,8 @@ Result<bool> PlanBuilder::TryBuildParallel(SubPlan* out, bool* agg_done) {
 
   auto spec = std::make_shared<ParallelSpec>();
   spec->table = rel.table;
+  spec->batch = batch_on();
+  const std::string batch_tag = spec->batch ? " [batch]" : "";
   spec->scan_intent =
       match.matched_cols > 0 ? AccessIntent::kPointLookup : ScanIntent(rel.table);
   std::vector<ExprPtr> residual;
@@ -1183,11 +1275,12 @@ Result<bool> PlanBuilder::TryBuildParallel(SubPlan* out, bool* agg_done) {
   };
   ExplainPtr tip = Note("ParallelMorselScan " + rel.table->name() + " as " +
                         rel.alias + range_desc + " (morsels=" +
-                        std::to_string(morsels.size()) + ")");
+                        std::to_string(morsels.size()) + ")" + batch_tag);
   tip->est_rows = scan_est;
   spec->scan_slot = slot_for(tip.get());
   if (spec->residual != nullptr) {
-    tip = Note("Filter " + spec->residual->ToString(), std::move(tip));
+    tip = Note("Filter " + spec->residual->ToString() + batch_tag,
+               std::move(tip));
     tip->est_rows = scan_est;
     spec->filter_slot = slot_for(tip.get());
   }
@@ -1202,7 +1295,7 @@ Result<bool> PlanBuilder::TryBuildParallel(SubPlan* out, bool* agg_done) {
     for (const AggSpec& a : spec->aggs) final_aggs.push_back(a.Clone());
     final_schema = MakeAggOutputSchema(q_->input_schema, spec->groups, spec->aggs);
     worker_schema = MakePartialAggSchema(spec->groups, spec->aggs);
-    tip = Note("PartialAggregate", std::move(tip));
+    tip = Note("PartialAggregate" + batch_tag, std::move(tip));
     spec->agg_slot = slot_for(tip.get());
   }
   const size_t num_groups = spec->groups.size();
@@ -1220,10 +1313,20 @@ Result<bool> PlanBuilder::TryBuildParallel(SubPlan* out, bool* agg_done) {
     const double agg_est =
         num_groups == 0 ? 1.0 : std::max(1.0, scan_est / 10.0);
     plan.width = final_schema.NumColumns();
-    plan.exec = std::make_unique<FinalAggregateExecutor>(
-        ctx_, std::move(plan.exec), num_groups, std::move(final_aggs),
-        std::move(final_schema));
-    plan.note = Note("FinalAggregate", std::move(plan.note));
+    if (spec->batch) {
+      // Gather emits rows (its merge loop is engine-agnostic); adapt them
+      // into batches so the final merge runs vectorized too.
+      plan.bexec = std::make_unique<BatchFinalAggregateExecutor>(
+          ctx_,
+          std::make_unique<BatchFromRowAdapter>(std::move(plan.exec)),
+          num_groups, std::move(final_aggs), std::move(final_schema));
+      plan.exec = nullptr;
+    } else {
+      plan.exec = std::make_unique<FinalAggregateExecutor>(
+          ctx_, std::move(plan.exec), num_groups, std::move(final_aggs),
+          std::move(final_schema));
+    }
+    plan.note = Note("FinalAggregate" + batch_tag, std::move(plan.note));
     Decorate(&plan, agg_est);
     *agg_done = true;
   } else {
@@ -1291,15 +1394,33 @@ Result<PlannedQuery> PlanBuilder::Build() {
     const double agg_est =
         q_->group_by.empty() ? 1.0 : std::max(1.0, outer_est_ / 10.0);
     if (q_->hints.stream_agg && !q_->hints.hash_agg) {
+      // The sort itself is a row operator; when the input pipeline ran
+      // vectorized, the aggregation above the sort does too (re-batching the
+      // sorted rows exercises the row->batch adapter on a hot path).
+      const bool batch_agg = plan.bexec != nullptr;
+      EnsureRows(&plan);
       std::vector<SortKey> keys;
       for (const ExprPtr& g : groups) keys.push_back(SortKey{g->Clone(), true});
       ExplainPtr note = Note("Sort (group order)", std::move(plan.note));
       plan.exec = std::make_unique<SortExecutor>(ctx_, std::move(plan.exec),
                                                  std::move(keys));
       WrapNode(&plan.exec, note.get(), outer_est_);
-      plan.exec = std::make_unique<StreamAggregateExecutor>(
-          ctx_, std::move(plan.exec), std::move(groups), std::move(aggs));
-      plan.note = Note("StreamAggregate", std::move(note));
+      if (batch_agg) {
+        plan.bexec = std::make_unique<BatchStreamAggregateExecutor>(
+            ctx_, std::make_unique<BatchFromRowAdapter>(std::move(plan.exec)),
+            std::move(groups), std::move(aggs));
+        plan.exec = nullptr;
+        plan.note = Note("StreamAggregate [batch]", std::move(note));
+      } else {
+        plan.exec = std::make_unique<StreamAggregateExecutor>(
+            ctx_, std::move(plan.exec), std::move(groups), std::move(aggs));
+        plan.note = Note("StreamAggregate", std::move(note));
+      }
+      Decorate(&plan, agg_est);
+    } else if (plan.bexec != nullptr) {
+      plan.bexec = std::make_unique<BatchHashAggregateExecutor>(
+          ctx_, std::move(plan.bexec), std::move(groups), std::move(aggs));
+      plan.note = Note("HashAggregate [batch]", std::move(plan.note));
       Decorate(&plan, agg_est);
     } else {
       plan.exec = std::make_unique<HashAggregateExecutor>(
@@ -1312,8 +1433,14 @@ Result<PlannedQuery> PlanBuilder::Build() {
   // the serial and the parallel (partial/final) aggregation plans.
   if (q_->has_grouping && q_->having != nullptr) {
     std::string label = "Filter (HAVING) " + q_->having->ToString();
-    plan.exec = std::make_unique<FilterExecutor>(std::move(plan.exec),
-                                                 std::move(q_->having));
+    if (plan.bexec != nullptr) {
+      label += " [batch]";
+      plan.bexec = std::make_unique<BatchFilterExecutor>(std::move(plan.bexec),
+                                                         std::move(q_->having));
+    } else {
+      plan.exec = std::make_unique<FilterExecutor>(std::move(plan.exec),
+                                                   std::move(q_->having));
+    }
     plan.note = Note(std::move(label), std::move(plan.note));
     Decorate(&plan);
   }
@@ -1324,26 +1451,43 @@ Result<PlannedQuery> PlanBuilder::Build() {
     if (!q_->has_grouping) s->RemapColumns(mapping_);
     projs.push_back(std::move(s));
   }
-  plan.exec = std::make_unique<ProjectExecutor>(std::move(plan.exec),
-                                                std::move(projs), q_->select_names);
-  plan.note = Note("Project", std::move(plan.note));
+  if (plan.bexec != nullptr) {
+    plan.bexec = std::make_unique<BatchProjectExecutor>(
+        std::move(plan.bexec), std::move(projs), q_->select_names);
+    plan.note = Note("Project [batch]", std::move(plan.note));
+  } else {
+    plan.exec = std::make_unique<ProjectExecutor>(
+        std::move(plan.exec), std::move(projs), q_->select_names);
+    plan.note = Note("Project", std::move(plan.note));
+  }
   Decorate(&plan);
   if (q_->distinct) {
     // DISTINCT = group by every output column with no aggregates.
     std::vector<ExprPtr> dgroups;
-    const Schema& out_schema = plan.exec->OutputSchema();
+    const Schema& out_schema = plan.bexec != nullptr
+                                   ? plan.bexec->OutputSchema()
+                                   : plan.exec->OutputSchema();
     for (size_t c = 0; c < out_schema.NumColumns(); c++) {
       dgroups.push_back(Col(c, out_schema.ColumnAt(c).type,
                             out_schema.ColumnAt(c).name,
                             out_schema.ColumnAt(c).length));
     }
-    plan.exec = std::make_unique<HashAggregateExecutor>(
-        ctx_, std::move(plan.exec), std::move(dgroups), std::vector<AggSpec>{});
-    plan.note = Note("Distinct", std::move(plan.note));
+    if (plan.bexec != nullptr) {
+      plan.bexec = std::make_unique<BatchHashAggregateExecutor>(
+          ctx_, std::move(plan.bexec), std::move(dgroups),
+          std::vector<AggSpec>{});
+      plan.note = Note("Distinct [batch]", std::move(plan.note));
+    } else {
+      plan.exec = std::make_unique<HashAggregateExecutor>(
+          ctx_, std::move(plan.exec), std::move(dgroups),
+          std::vector<AggSpec>{});
+      plan.note = Note("Distinct", std::move(plan.note));
+    }
     Decorate(&plan);
   }
 
-  // ORDER BY / LIMIT.
+  // ORDER BY / LIMIT: row operators; leave the batch engine if still in it.
+  EnsureRows(&plan);
   if (!q_->order_by.empty()) {
     std::vector<SortKey> keys;
     for (BoundOrderKey& k : q_->order_by) {
@@ -1362,6 +1506,7 @@ Result<PlannedQuery> PlanBuilder::Build() {
 
   PlannedQuery out;
   out.output_schema = q_->output_schema;
+  EnsureRows(&plan);  // the engine's drain loop consumes rows
   out.executor = std::move(plan.exec);
   out.plan = std::move(plan.note);
   FillEstimates(out.plan.get());

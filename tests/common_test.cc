@@ -121,6 +121,46 @@ TEST(ValueTest, Int32OverflowIsAnErrorNotWraparound) {
             static_cast<int64_t>(kMax) + 1);
 }
 
+TEST(ValueTest, Int64OverflowIsAnErrorNotWraparound) {
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  const int64_t kMin = std::numeric_limits<int64_t>::min();
+  // Exactly at the boundary: fine.
+  EXPECT_EQ(Value::Int64(kMax - 1).Add(Value::Int64(1)).value().AsInt64(), kMax);
+  EXPECT_EQ(Value::Int64(kMin + 1).Subtract(Value::Int64(1)).value().AsInt64(),
+            kMin);
+  EXPECT_EQ(Value::Int64(kMax / 2).Multiply(Value::Int64(2)).value().AsInt64(),
+            kMax - 1);
+  // One past the boundary: InvalidArgument, not UB / a wrapped value.
+  auto add = Value::Int64(kMax).Add(Value::Int64(1));
+  ASSERT_FALSE(add.ok());
+  EXPECT_EQ(add.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(add.status().ToString().find("INT64"), std::string::npos);
+  EXPECT_FALSE(Value::Int64(kMin).Add(Value::Int64(-1)).ok());
+  EXPECT_FALSE(Value::Int64(kMin).Subtract(Value::Int64(1)).ok());
+  EXPECT_FALSE(Value::Int64(kMax).Subtract(Value::Int64(-1)).ok());
+  EXPECT_FALSE(Value::Int64(kMax).Multiply(Value::Int64(2)).ok());
+  EXPECT_FALSE(Value::Int64(kMin).Multiply(Value::Int64(-1)).ok());
+  // The one overflowing INT64 quotient.
+  EXPECT_FALSE(Value::Int64(kMin).Divide(Value::Int64(-1)).ok());
+}
+
+TEST(ValueTest, DecimalOverflowIsAnErrorNotWraparound) {
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  // The decimal payload is the value scaled by 100; near-INT64_MAX payloads
+  // must fail to add/scale rather than wrap.
+  EXPECT_FALSE(Value::Decimal(kMax).Add(Value::Decimal(100)).ok());
+  EXPECT_FALSE(Value::Decimal(kMax).Subtract(Value::Decimal(-100)).ok());
+  // Scaling an INT64 into the decimal domain (x100) can itself overflow.
+  EXPECT_FALSE(Value::Decimal(100).Add(Value::Int64(kMax)).ok());
+  // The multiplication intermediate carries both scale factors.
+  EXPECT_FALSE(Value::Decimal(kMax / 10).Multiply(Value::Decimal(1000)).ok());
+  // In-range decimal math is unaffected.
+  EXPECT_EQ(
+      Value::Decimal(12345).Add(Value::Decimal(55)).value().AsInt64(), 12400);
+  EXPECT_EQ(Value::Decimal(200).Multiply(Value::Int64(3)).value().AsInt64(),
+            600);
+}
+
 TEST(ValueTest, DateArithmeticRangeChecked) {
   const int32_t kMax = std::numeric_limits<int32_t>::max();
   const Value d = Value::Date(date::FromYMD(1998, 9, 1));

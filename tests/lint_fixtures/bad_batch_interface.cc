@@ -1,0 +1,11 @@
+// Fixture: a row executor under src/exec carrying no vectorization marker
+// comment — it neither names a vectorized twin nor states an opt-out
+// rationale, so the planner's vectorized/Volcano dispatch table can no
+// longer be audited from the declarations alone.
+
+/// Streams rows from somewhere, one at a time.
+class SneakyRowOnlyExecutor final : public Executor {
+ public:
+  Status Init() override;
+  Result<bool> Next(Row* out) override;
+};
